@@ -1,0 +1,116 @@
+"""Ablation B — int-bitmask terminal sets vs frozenset-based sets.
+
+The DP pipeline unions terminal sets constantly; this ablation re-runs
+the two Digraph phases with Python frozensets standing in for the int
+masks, quantifying the representation choice (the paper used bit vectors
+for the same reason).
+
+Regenerate:  pytest benchmarks/bench_ablation_bitset.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.bench import format_table, time_callable
+from repro.core.relations import LalrRelations
+
+from common import TABLE_GRAMMARS, banner, load_augmented
+
+SUBSET = ["expr", "json", "lua_like_chunks", "mini_pascal_det", "mini_c"]
+
+
+def _setting(name):
+    grammar = load_augmented(name)
+    automaton = LR0Automaton(grammar)
+    return LalrRelations(automaton)
+
+
+PREPARED = {name: _setting(name) for name in SUBSET}
+
+
+def la_with_bitsets(relations):
+    """The production pipeline: int masks all the way through."""
+    from repro.core.digraph import digraph
+
+    read, _ = digraph(
+        relations.transitions,
+        lambda t: relations.reads[t],
+        lambda t: relations.dr[t],
+    )
+    follow, _ = digraph(
+        relations.transitions,
+        lambda t: relations.includes[t],
+        lambda t: read[t],
+    )
+    la = {}
+    for site, lookbacks in relations.lookback.items():
+        mask = 0
+        for transition in lookbacks:
+            mask |= follow[transition]
+        la[site] = mask
+    return la
+
+
+def la_with_frozensets(relations):
+    """Same traversals with frozenset unions (the ablated representation)."""
+    from repro.core.digraph import digraph
+
+    vocabulary = relations.vocabulary
+    dr_sets = {t: vocabulary.symbols(m) for t, m in relations.dr.items()}
+
+    # digraph() unions with `|=`, which frozensets support; the `!= 0`
+    # emptiness checks aren't used by the traversal, so it runs unchanged.
+    read, _ = digraph(
+        relations.transitions,
+        lambda t: relations.reads[t],
+        lambda t: dr_sets[t],
+    )
+    follow, _ = digraph(
+        relations.transitions,
+        lambda t: relations.includes[t],
+        lambda t: read[t],
+    )
+    la = {}
+    for site, lookbacks in relations.lookback.items():
+        combined = frozenset()
+        for transition in lookbacks:
+            combined |= follow[transition]
+        la[site] = combined
+    return la
+
+
+@pytest.mark.parametrize("name", SUBSET)
+@pytest.mark.parametrize("variant", ["bitset", "frozenset"])
+def test_representation(benchmark, name, variant):
+    relations = PREPARED[name]
+    fn = la_with_bitsets if variant == "bitset" else la_with_frozensets
+    benchmark(lambda: fn(relations))
+
+
+def test_report_ablation_bitset(benchmark):
+    def build():
+        rows = []
+        for name in SUBSET:
+            relations = PREPARED[name]
+            bit_la = la_with_bitsets(relations)
+            set_la = la_with_frozensets(relations)
+            # Semantics must be identical.
+            vocabulary = relations.vocabulary
+            assert {
+                site: vocabulary.symbols(mask) for site, mask in bit_la.items()
+            } == set_la
+            bit_time = time_callable(lambda: la_with_bitsets(relations), repeats=5)
+            set_time = time_callable(lambda: la_with_frozensets(relations), repeats=5)
+            rows.append([
+                name,
+                len(relations.transitions),
+                bit_time * 1e3,
+                set_time * 1e3,
+                round(set_time / bit_time, 2),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["grammar", "transitions", "bitset_ms", "frozenset_ms", "frozen/bit"]
+    print(banner("Ablation B — terminal-set representation inside the pipeline"))
+    print(format_table(headers, rows))

@@ -1,0 +1,62 @@
+"""Figure 1 — lookahead-computation time vs grammar size, per method.
+
+The scaling figure behind the paper's efficiency claim: on the
+expression-grammar family G(n) (n precedence levels), DeRemer-Pennello
+grows roughly linearly with the automaton, propagation grows faster
+(per-kernel-item closures), and LR(1)-merge grows fastest (it rebuilds
+the whole item system with lookaheads).
+
+Regenerate:  pytest benchmarks/bench_fig1_scaling.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.bench import METHODS, format_series, time_callable
+from repro.grammars import expression_family
+
+from common import banner
+
+SIZES = [2, 4, 8, 16, 32]
+PREPARED = {}
+for n in SIZES:
+    grammar = expression_family(n).augmented()
+    PREPARED[n] = (grammar, LR0Automaton(grammar))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("method", ["deremer_pennello", "propagation", "lr1_merge"])
+def test_scaling_point(benchmark, n, method):
+    grammar, automaton = PREPARED[n]
+    benchmark(lambda: METHODS[method](grammar, automaton))
+
+
+def test_report_fig1(benchmark):
+    def build():
+        series = {"dp_ms": [], "prop_ms": [], "merge_ms": [],
+                  "prop/dp": [], "merge/dp": []}
+        for n in SIZES:
+            grammar, automaton = PREPARED[n]
+            timings = {
+                method: time_callable(
+                    lambda m=method: METHODS[m](grammar, automaton), repeats=3
+                )
+                for method in ("deremer_pennello", "propagation", "lr1_merge")
+            }
+            series["dp_ms"].append(timings["deremer_pennello"] * 1e3)
+            series["prop_ms"].append(timings["propagation"] * 1e3)
+            series["merge_ms"].append(timings["lr1_merge"] * 1e3)
+            series["prop/dp"].append(
+                timings["propagation"] / timings["deremer_pennello"]
+            )
+            series["merge/dp"].append(
+                timings["lr1_merge"] / timings["deremer_pennello"]
+            )
+        return series
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print(banner("Figure 1 — lookahead time vs expression-family size n"))
+    print(format_series("n", series, SIZES))
+    # Shape assertion: at the largest size both baselines cost more than DP.
+    assert series["prop/dp"][-1] > 1.0
+    assert series["merge/dp"][-1] > 1.0

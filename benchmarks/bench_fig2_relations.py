@@ -1,0 +1,63 @@
+"""Figure 2 — relation structure vs nullable-chain length.
+
+On ``S -> X1 ... Xn t; Xi -> ai | %empty`` the `reads` relation forms
+long chains (reading "through" the nullable run), so relation size and
+Digraph traversal work grow quadratically in n while states stay linear —
+the structural regime the Digraph's single-pass traversal is built for.
+
+Regenerate:  pytest benchmarks/bench_fig2_relations.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.bench import format_series
+from repro.core import LalrAnalysis
+from repro.core.relations import LalrRelations
+from repro.grammars import nullable_chain_family
+
+from common import banner
+
+SIZES = [2, 4, 8, 16, 32]
+PREPARED = {}
+for n in SIZES:
+    grammar = nullable_chain_family(n).augmented()
+    PREPARED[n] = (grammar, LR0Automaton(grammar))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_relation_construction(benchmark, n):
+    grammar, automaton = PREPARED[n]
+    benchmark(lambda: LalrRelations(automaton))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_full_analysis(benchmark, n):
+    grammar, automaton = PREPARED[n]
+    benchmark(lambda: LalrAnalysis(grammar, automaton))
+
+
+def test_report_fig2(benchmark):
+    def build():
+        series = {
+            "states": [], "nt_transitions": [], "reads_edges": [],
+            "includes_edges": [], "digraph_unions": [], "reads_sccs": [],
+        }
+        for n in SIZES:
+            grammar, automaton = PREPARED[n]
+            analysis = LalrAnalysis(grammar, automaton)
+            stats = analysis.relations.stats()
+            series["states"].append(len(automaton))
+            series["nt_transitions"].append(stats["nonterminal_transitions"])
+            series["reads_edges"].append(stats["reads_edges"])
+            series["includes_edges"].append(stats["includes_edges"])
+            series["digraph_unions"].append(analysis.stats.unions)
+            series["reads_sccs"].append(len(analysis.reads_sccs))
+        return series
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    print(banner("Figure 2 — relation sizes vs nullable-chain length n"))
+    print(format_series("n", series, SIZES))
+    # Shape assertions: reads edges grow superlinearly; no spurious SCCs.
+    assert series["reads_edges"][-1] > 4 * series["reads_edges"][-3]
+    assert all(count == 0 for count in series["reads_sccs"])

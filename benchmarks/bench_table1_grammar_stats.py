@@ -1,0 +1,42 @@
+"""Table 1 — grammar & automaton statistics for the corpus.
+
+Columns mirror the per-grammar descriptive table every LALR paper opens
+with: grammar sizes, LR(0) automaton sizes, and the sizes of the four
+DeRemer-Pennello relations the algorithm's cost is linear in.
+
+Regenerate:  pytest benchmarks/bench_table1_grammar_stats.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.bench import format_table, grammar_row
+
+from common import TABLE_GRAMMARS, banner, load_augmented
+
+GRAMMARS = {name: load_augmented(name) for name in TABLE_GRAMMARS}
+
+
+@pytest.mark.parametrize("name", TABLE_GRAMMARS)
+def test_lr0_automaton_construction(benchmark, name):
+    """Time to build the LR(0) automaton (input to every method)."""
+    grammar = GRAMMARS[name]
+    benchmark(lambda: LR0Automaton(grammar))
+
+
+def test_report_table1(benchmark):
+    columns = [
+        "terminals", "nonterminals", "productions", "states",
+        "nonterminal_transitions", "reads_edges", "includes_edges",
+        "lookback_edges", "reads_sccs", "includes_sccs",
+    ]
+
+    def build():
+        return [
+            [name] + [grammar_row(GRAMMARS[name])[c] for c in columns]
+            for name in TABLE_GRAMMARS
+        ]
+
+    rows = benchmark(build)
+    print(banner("Table 1 — grammar and relation statistics"))
+    print(format_table(["grammar"] + columns, rows))

@@ -1,0 +1,58 @@
+"""Table 2 — the cost of computing LALR(1) look-ahead sets, per method.
+
+The paper's central table: DeRemer-Pennello versus the techniques it
+displaced, on the same grammars, charged only for the lookahead phase
+(the shared LR(0) automaton is prebuilt).  Wall time comes from
+pytest-benchmark; the report adds machine-independent operation counts.
+
+Expected shape: deremer_pennello beats propagation (factor grows with
+grammar size) and lr1_merge (largest factor); slr_follow is cheapest but
+solves a weaker problem (see Table 4).
+
+Regenerate:  pytest benchmarks/bench_table2_lookahead_cost.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import METHODS, cost_row, format_table, measure_methods
+
+from common import TABLE_GRAMMARS, banner, prepared
+
+PREPARED = prepared()
+
+
+@pytest.mark.parametrize("name", TABLE_GRAMMARS)
+@pytest.mark.parametrize("method", list(METHODS))
+def test_lookahead_method(benchmark, name, method):
+    grammar, automaton = PREPARED[name]
+    benchmark(lambda: METHODS[method](grammar, automaton))
+
+
+def test_report_table2(benchmark):
+    def build():
+        rows = []
+        for name in TABLE_GRAMMARS:
+            grammar, automaton = PREPARED[name]
+            times = measure_methods(grammar, repeats=3)
+            counts = cost_row(grammar)
+            rows.append([
+                name,
+                times["deremer_pennello"] * 1e3,
+                times["propagation"] * 1e3,
+                times["lr1_merge"] * 1e3,
+                times["slr_follow"] * 1e3,
+                round(times["propagation"] / times["deremer_pennello"], 1),
+                round(times["lr1_merge"] / times["deremer_pennello"], 1),
+                counts["dp_unions"],
+                counts["prop_unions"],
+                counts["lr1_states"],
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = [
+        "grammar", "dp_ms", "prop_ms", "merge_ms", "slr_ms",
+        "prop/dp", "merge/dp", "dp_unions", "prop_unions", "lr1_states",
+    ]
+    print(banner("Table 2 — lookahead computation cost per method"))
+    print(format_table(headers, rows))

@@ -1,0 +1,75 @@
+"""Table 3 — automaton/table sizes and conflict counts per construction.
+
+Quantifies the size argument for LALR: the LALR table lives on the LR(0)
+automaton while canonical LR(1) multiplies states; and the resolving-power
+argument: conflicts per construction step down LR(0) -> SLR -> LALR.
+
+Regenerate:  pytest benchmarks/bench_table3_table_sizes.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.automaton import LR1Automaton
+from repro.bench import format_table
+from repro.tables import (
+    build_clr_table,
+    build_lalr_table,
+    build_lr0_table,
+    build_slr_table,
+)
+
+from common import TABLE_GRAMMARS, banner, prepared
+
+PREPARED = prepared()
+
+BUILDERS = {
+    "lr0": build_lr0_table,
+    "slr1": build_slr_table,
+    "lalr1": build_lalr_table,
+}
+
+
+@pytest.mark.parametrize("name", TABLE_GRAMMARS)
+@pytest.mark.parametrize("method", list(BUILDERS))
+def test_build_lr0_based_table(benchmark, name, method):
+    grammar, automaton = PREPARED[name]
+    benchmark(lambda: BUILDERS[method](grammar, automaton))
+
+
+@pytest.mark.parametrize("name", ["expr", "json", "mini_c"])
+def test_build_clr_table(benchmark, name):
+    grammar, _ = PREPARED[name]
+    benchmark(lambda: build_clr_table(grammar))
+
+
+def test_report_table3(benchmark):
+    def build():
+        rows = []
+        for name in TABLE_GRAMMARS:
+            grammar, automaton = PREPARED[name]
+            lr0 = build_lr0_table(grammar, automaton)
+            slr = build_slr_table(grammar, automaton)
+            lalr = build_lalr_table(grammar, automaton)
+            clr = build_clr_table(grammar, LR1Automaton(grammar))
+            rows.append([
+                name,
+                lalr.n_states,
+                clr.n_states,
+                round(clr.n_states / lalr.n_states, 2),
+                lalr.size_cells(),
+                clr.size_cells(),
+                len(lr0.unresolved_conflicts),
+                len(slr.unresolved_conflicts),
+                len(lalr.unresolved_conflicts),
+                len(clr.unresolved_conflicts),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = [
+        "grammar", "lalr_states", "clr_states", "clr/lalr",
+        "lalr_cells", "clr_cells",
+        "lr0_conf", "slr_conf", "lalr_conf", "clr_conf",
+    ]
+    print(banner("Table 3 — table sizes and conflicts per construction"))
+    print(format_table(headers, rows))

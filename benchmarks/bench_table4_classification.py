@@ -1,0 +1,60 @@
+"""Table 4 — the classification matrix over the whole corpus.
+
+Each grammar's expected LR-hierarchy class against the detected one, plus
+the reads-SCC quick not-LR(k) verdict.  This is the correctness table: a
+single mismatch would falsify the reproduction.
+
+Regenerate:  pytest benchmarks/bench_table4_classification.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.grammars import corpus
+from repro.tables import classify
+
+ALL_NAMES = [e.name for e in corpus.all_entries()]
+GRAMMARS = {name: corpus.load(name) for name in ALL_NAMES}
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_classification_time(benchmark, name):
+    grammar = GRAMMARS[name]
+    benchmark(lambda: classify(grammar))
+
+
+def test_report_table4(benchmark):
+    def build():
+        rows = []
+        mismatches = 0
+        for entry in corpus.all_entries():
+            verdict = classify(GRAMMARS[entry.name])
+            ok = (
+                verdict.grammar_class == entry.expected_class
+                and verdict.not_lr_k == entry.expected_not_lr_k
+            )
+            mismatches += 0 if ok else 1
+            rows.append([
+                entry.name,
+                str(entry.expected_class),
+                str(verdict.grammar_class),
+                verdict.is_lr0,
+                verdict.is_slr1,
+                verdict.is_lalr1,
+                verdict.is_lr1,
+                verdict.not_lr_k,
+                ok,
+            ])
+        return rows, mismatches
+
+    rows, mismatches = benchmark.pedantic(build, rounds=1, iterations=1)
+    from common import banner
+
+    headers = [
+        "grammar", "expected", "detected",
+        "lr0", "slr1", "lalr1", "lr1", "not_lr_k", "match",
+    ]
+    print(banner("Table 4 — LR-hierarchy classification matrix"))
+    print(format_table(headers, rows))
+    print(f"\nmismatches: {mismatches} / {len(rows)}")
+    assert mismatches == 0

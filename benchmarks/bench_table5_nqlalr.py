@@ -1,0 +1,74 @@
+"""Table 5 — NQLALR(1) precision loss (the paper's §7 case against it).
+
+NQLALR attaches Follow sets to goto-target states instead of transitions
+(cheaper bookkeeping, fewer nodes) but merges left contexts: its LA sets
+are supersets of the exact ones.  The table reports, per grammar, how
+many nodes the shortcut saves, how many reduction sites it loosens, and
+whether the looseness manufactures conflicts on an LALR(1)-clean grammar.
+
+Regenerate:  pytest benchmarks/bench_table5_nqlalr.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.baselines.nqlalr import NqlalrAnalysis, nqlalr_overapproximation_sites
+from repro.bench import format_table
+from repro.tables import build_lalr_table
+
+from common import banner, prepared
+
+PREPARED = prepared()
+NAMES = list(PREPARED) + ["nqlalr_trap"]
+
+from common import load_augmented
+from repro.automaton import LR0Automaton
+
+_trap = load_augmented("nqlalr_trap")
+PREPARED["nqlalr_trap"] = (_trap, LR0Automaton(_trap))
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_nqlalr_time(benchmark, name):
+    grammar, automaton = PREPARED[name]
+    benchmark(lambda: NqlalrAnalysis(grammar, automaton))
+
+
+def test_report_table5(benchmark):
+    def build():
+        rows = []
+        for name in NAMES:
+            grammar, automaton = PREPARED[name]
+            analysis = NqlalrAnalysis(grammar, automaton)
+            nq_nodes, transitions = analysis.merged_node_count()
+            loose_sites = nqlalr_overapproximation_sites(grammar, automaton)
+            exact_table = build_lalr_table(grammar, automaton)
+            nq_table = build_lalr_table(
+                grammar, automaton, analysis.lookahead_table()
+            )
+            spurious = (
+                len(nq_table.unresolved_conflicts)
+                - len(exact_table.unresolved_conflicts)
+            )
+            rows.append([
+                name,
+                transitions,
+                nq_nodes,
+                len(loose_sites),
+                sum(len(extra) for _, extra in loose_sites),
+                len(exact_table.unresolved_conflicts),
+                len(nq_table.unresolved_conflicts),
+                spurious,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = [
+        "grammar", "exact_nodes", "nq_nodes", "loose_sites",
+        "spurious_terminals", "exact_conflicts", "nq_conflicts", "spurious_conflicts",
+    ]
+    print(banner("Table 5 — NQLALR(1) merging: node savings vs precision loss"))
+    print(format_table(headers, rows))
+    # The trap grammar must show spurious conflicts; none may show fewer.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["nqlalr_trap"][-1] > 0
+    assert all(row[-1] >= 0 for row in rows)

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark file regenerates one table or figure from EXPERIMENTS.md.
+Conventions:
+
+- Grammars are pre-built at module import so pytest-benchmark timings
+  measure only the phase under study.
+- Each file ends with a ``test_report_*`` that assembles and prints the
+  full table/series (visible with ``pytest benchmarks/ --benchmark-only -s``);
+  the printed rows are what EXPERIMENTS.md records.
+- Machine-independent operation counts accompany every timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.automaton import LR0Automaton
+from repro.grammar.grammar import Grammar
+from repro.grammars import corpus
+
+#: The corpus subset used for per-grammar tables, smallest to largest —
+#: mirrors the paper's practice of reporting rows per real grammar.
+TABLE_GRAMMARS: List[str] = [
+    "lr0_demo",
+    "expr",
+    "lvalue",
+    "lalr_not_slr",
+    "lr1_not_lalr",
+    "unit_chain",
+    "epsilon_heavy",
+    "json",
+    "lua_like_chunks",
+    "mini_pascal_det",
+    "mini_c",
+    "algol_like",
+    "toy_java",
+]
+
+
+def load_augmented(name: str) -> Grammar:
+    return corpus.load(name, augment=True)
+
+
+def prepared() -> "Dict[str, tuple]":
+    """(grammar, automaton) per table grammar, built once per module."""
+    out = {}
+    for name in TABLE_GRAMMARS:
+        grammar = load_augmented(name)
+        out[name] = (grammar, LR0Automaton(grammar))
+    return out
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(8, len(title))
+    return f"\n{rule}\n{title}\n{rule}"

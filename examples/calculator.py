@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""An evaluating calculator built on the LALR(1) pipeline.
+
+Demonstrates the yacc workflow end to end:
+- an *ambiguous* expression grammar disambiguated by %left/%right
+  precedence declarations (conflicts resolved, not reported),
+- a lexer mapping text to tokens,
+- semantic actions folded over reductions (no parse tree materialised).
+
+Run:  python examples/calculator.py            # demo expressions
+      python examples/calculator.py '2*(3+4)'  # evaluate arguments
+"""
+
+import sys
+
+from repro import Lexer, Parser, build_lalr_table, load_grammar
+
+GRAMMAR = """
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%right '^'
+%right UMINUS
+%start expr
+%%
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | expr '^' expr
+     | '-' expr %prec UMINUS
+     | '(' expr ')'
+     | NUM
+     ;
+"""
+
+
+def build_calculator():
+    """Returns (parser, lexer) for the calculator language."""
+    grammar = load_grammar(GRAMMAR, name="calculator").augmented()
+    table = build_lalr_table(grammar)
+    # The raw grammar is ambiguous; precedence must have resolved every
+    # conflict, otherwise the declarations are wrong.
+    assert table.is_deterministic, [
+        c.describe(grammar) for c in table.unresolved_conflicts
+    ]
+    lexer = (
+        Lexer(grammar)
+        .skip(r"\s+")
+        .token("NUM", r"\d+(\.\d+)?", convert=float)
+        .with_literals()
+    )
+    return Parser(table), lexer
+
+
+def evaluate(parser: Parser, lexer: Lexer, text: str) -> float:
+    """Parse *text* and compute its value via semantic actions."""
+
+    def reduce_action(production, children):
+        rhs_names = [s.name for s in production.rhs]
+        if rhs_names == ["NUM"]:
+            return children[0]
+        if rhs_names == ["(", "expr", ")"]:
+            return children[1]
+        if rhs_names == ["-", "expr"]:
+            return -children[1]
+        left, op, right = children
+        return {
+            "+": lambda: left + right,
+            "-": lambda: left - right,
+            "*": lambda: left * right,
+            "/": lambda: left / right,
+            "^": lambda: left ** right,
+        }[production.rhs[1].name]()
+
+    return parser.parse_with_actions(lexer.tokenize(text), reduce_action)
+
+
+def main() -> None:
+    parser, lexer = build_calculator()
+    expressions = sys.argv[1:] or [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "2 ^ 3 ^ 2",          # right-assoc: 2^(3^2) = 512
+        "10 - 4 - 3",         # left-assoc: (10-4)-3 = 3
+        "-3 ^ 2",             # unary binds tighter: (-3)^2 = 9
+        "100 / 4 / 5",
+    ]
+    for text in expressions:
+        print(f"{text} = {evaluate(parser, lexer, text)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Grammar doctor: diagnose a grammar's place in the LR hierarchy.
+
+Shows what the DeRemer-Pennello machinery gives a grammar *author*:
+- classification (LR(0) / SLR(1) / LALR(1) / LR(1) / not LR(1)),
+- the instant not-LR(k) verdict from reads-relation cycles,
+- every conflict, with the LR(0) state's items for context and a
+  concrete witness input that reaches it,
+- a bounded ambiguity check (is the grammar provably ambiguous, with an
+  example sentence, or merely deterministic-hard?),
+- where SLR's FOLLOW over-approximates the true LALR look-aheads
+  (exactly the information the paper's per-state Follow sets add).
+
+Run:  python examples/grammar_doctor.py                # demo corpus tour
+      python examples/grammar_doctor.py path/to/file   # diagnose a file
+"""
+
+import sys
+
+from repro import LalrAnalysis, build_lalr_table, classify, load_grammar_file
+from repro.automaton import LR0Automaton
+from repro.baselines import SlrAnalysis
+from repro.grammars import corpus
+
+
+def diagnose(grammar) -> None:
+    grammar = grammar.augmented()
+    print(f"=== {grammar.name or 'grammar'} ===")
+    automaton = LR0Automaton(grammar)
+    analysis = LalrAnalysis(grammar, automaton)
+
+    verdict = classify(grammar)
+    print(f"class: {verdict.grammar_class}"
+          f"  (LR(0):{_yn(verdict.is_lr0)} SLR(1):{_yn(verdict.is_slr1)}"
+          f" LALR(1):{_yn(verdict.is_lalr1)} LR(1):{_yn(verdict.is_lr1)})")
+
+    if analysis.not_lr_k:
+        print("reads-relation cycles found -> NOT LR(k) for ANY k:")
+        for component in analysis.reads_sccs:
+            members = ", ".join(f"({p},{a.name})" for p, a in component)
+            print(f"  cycle through: {members}")
+
+    table = build_lalr_table(grammar, automaton, analysis.lookahead_table())
+    if table.unresolved_conflicts:
+        from repro.tables.explain import explain_conflict
+
+        print(f"{len(table.unresolved_conflicts)} LALR(1) conflict(s):")
+        for conflict in table.unresolved_conflicts:
+            print(f"  {conflict.describe(grammar)}")
+            witness = explain_conflict(automaton, conflict)
+            if witness is not None:
+                print(f"  example input: {witness.describe()}")
+            print("  state items:")
+            for line in automaton.format_state(conflict.state).splitlines()[1:]:
+                print(f"  {line}")
+        # Is the grammar actually ambiguous, or just hard to parse
+        # deterministically?  The tree-counting oracle can often tell.
+        from repro.analysis import ambiguity_report
+        from repro.grammar.errors import GrammarValidationError
+
+        user_grammar = corpus_or_user_view(grammar)
+        if user_grammar is not None and len(user_grammar.productions) <= 40:
+            try:
+                report = ambiguity_report(user_grammar, 6)
+            except GrammarValidationError:
+                report = None
+            if report is not None:
+                if report.verdict == "ambiguous":
+                    print(f"ambiguous: e.g. {report.witness.words()!r} has "
+                          f"{report.witness.tree_count} parse trees")
+                elif report.verdict == "cyclic":
+                    print("cyclic (A =>+ A): infinitely ambiguous")
+                else:
+                    print(f"no ambiguity among the {report.sentences_checked} "
+                          f"sentences of length <= {report.bound} "
+                          f"(may be deterministic-hard, like palindromes)")
+    else:
+        print("no LALR(1) conflicts")
+
+    # Where does LALR beat SLR on this grammar?
+    slr = SlrAnalysis(grammar, automaton)
+    improvements = []
+    for site, lalr_la in analysis.lookahead_table().items():
+        slr_la = slr.lookahead(*site)
+        if lalr_la != slr_la:
+            improvements.append((site, lalr_la, slr_la))
+    if improvements:
+        print(f"{len(improvements)} site(s) where per-state Follow is sharper than FOLLOW:")
+        for (state, production_index), lalr_la, slr_la in improvements[:8]:
+            production = grammar.productions[production_index]
+            extra = ", ".join(sorted(t.name for t in slr_la - lalr_la))
+            print(f"  state {state}, {production}: FOLLOW adds spurious {{{extra}}}")
+        if len(improvements) > 8:
+            print(f"  ... and {len(improvements) - 8} more")
+    else:
+        print("SLR's FOLLOW equals the LALR look-aheads everywhere here")
+    print()
+
+
+def corpus_or_user_view(grammar):
+    """The non-augmented view of *grammar* (ambiguity counts user trees)."""
+    if not grammar.is_augmented:
+        return grammar
+    from repro.grammar import load_grammar, write_arrow
+
+    try:
+        return load_grammar(write_arrow(grammar))
+    except Exception:
+        return None
+
+
+def _yn(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        for path in sys.argv[1:]:
+            diagnose(load_grammar_file(path))
+        return
+    for name in ("expr", "lvalue", "lalr_not_slr", "lr1_not_lalr",
+                 "dangling_else", "reads_cycle"):
+        diagnose(corpus.load(name))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+/* An ambiguous calculator grammar disambiguated by precedence —
+   try: python -m repro classify examples/grammars/calc.y --use-precedence */
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%start expr
+%%
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '-' expr %prec UMINUS
+     | '(' expr ')'
+     | NUM
+     ;

@@ -1,0 +1,11 @@
+/* A statement language with a deliberate dangling-else conflict —
+   try: python -m repro conflicts examples/grammars/statements.y --explain */
+%token ID NUM
+%start stmts
+%%
+stmts : stmt | stmts stmt ;
+stmt : ID '=' NUM ';'
+     | if '(' ID ')' stmt
+     | if '(' ID ')' stmt else stmt
+     | '{' stmts '}'
+     ;

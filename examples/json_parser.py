@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A JSON parser: realistic grammar, parse trees, tree-to-value walking.
+
+Uses the corpus JSON grammar, tokenises real JSON text, parses it with an
+LALR(1) table, and converts the parse tree into Python objects — then
+cross-checks against the standard library's ``json``.
+
+Run:  python examples/json_parser.py
+"""
+
+import json
+
+from repro import Lexer, Node, Parser, build_lalr_table
+from repro.grammars import corpus
+
+SAMPLE = """
+{
+  "paper": "Efficient computation of LALR(1) look-ahead sets",
+  "venue": "PLDI",
+  "year": 1979,
+  "lalr": true,
+  "lookaheads": ["DR", "reads", "includes", "lookback"],
+  "nested": {"digraph": {"scc": true}, "cost": [1, 2.5, -3e2]},
+  "nothing": null,
+  "empty_obj": {},
+  "empty_arr": []
+}
+"""
+
+
+def build_json_parser():
+    grammar = corpus.load("json").augmented()
+    table = build_lalr_table(grammar)
+    assert table.is_deterministic
+    lexer = (
+        Lexer(grammar)
+        .skip(r"\s+")
+        .token("STRING", r'"(\\.|[^"\\])*"', convert=lambda s: json.loads(s))
+        .token("NUMBER", r"-?\d+(\.\d+)?([eE][+-]?\d+)?",
+               convert=lambda s: float(s) if any(c in s for c in ".eE") else int(s))
+        .keywords("true", "false", "null")
+        .with_literals("{", "}", "[", "]", ",", ":")
+    )
+    return Parser(table), lexer
+
+
+def to_value(node: Node):
+    """Fold a parse tree into the Python value it denotes."""
+    name = node.symbol.name
+    if node.is_leaf:
+        return {"true": True, "false": False, "null": None}.get(name, node.value)
+    children = node.children
+    if name == "value":
+        return to_value(children[0])
+    if name == "object":
+        return dict(_members(children[1]))
+    if name == "array":
+        return list(_elements(children[1]))
+    raise AssertionError(f"unexpected node {name}")
+
+
+def _members(node: Node):
+    if not node.children:            # members -> %empty
+        return
+    yield from _member_list(node.children[0])
+
+
+def _member_list(node: Node):
+    if len(node.children) == 1:      # member_list -> member
+        yield _member(node.children[0])
+    else:                            # member_list -> member_list ',' member
+        yield from _member_list(node.children[0])
+        yield _member(node.children[2])
+
+
+def _member(node: Node):
+    return node.children[0].value, to_value(node.children[2])
+
+
+def _elements(node: Node):
+    if not node.children:            # elements -> %empty
+        return
+    yield from _element_list(node.children[0])
+
+
+def _element_list(node: Node):
+    if len(node.children) == 1:      # element_list -> value
+        yield to_value(node.children[0])
+    else:                            # element_list -> element_list ',' value
+        yield from _element_list(node.children[0])
+        yield to_value(node.children[2])
+
+
+def parse_json(text: str):
+    parser, lexer = build_json_parser()
+    return to_value(parser.parse(lexer.tokenize(text)))
+
+
+def main() -> None:
+    value = parse_json(SAMPLE)
+    expected = json.loads(SAMPLE)
+    print(json.dumps(value, indent=2, sort_keys=True))
+    assert value == expected, "mismatch against the standard library!"
+    print("\nmatches the standard library json module: yes")
+
+
+if __name__ == "__main__":
+    main()

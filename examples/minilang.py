@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""A complete mini-language front end: lex -> LALR parse -> AST -> run.
+
+The most "downstream user"-shaped example: a small imperative language
+(assignments, if/else, while, print, arithmetic & comparisons) whose
+grammar is LALR(1) by construction (matched/unmatched statements solve
+dangling-else grammatically), parsed with the DeRemer-Pennello-powered
+table, folded into an AST by semantic actions, and executed by a tiny
+tree-walking interpreter.
+
+Run:  python examples/minilang.py              # runs the demo program
+      python examples/minilang.py path/to/file # runs your program
+"""
+
+import sys
+
+from repro import Lexer, Parser, build_lalr_table, classify, load_grammar
+
+GRAMMAR = """
+%token NUM ID
+%start program
+%%
+program : stmts ;
+stmts : %empty | stmts stmt ;
+stmt : matched | unmatched ;
+matched : ID '=' expr ';'
+        | print expr ';'
+        | '{' stmts '}'
+        | if '(' expr ')' matched else matched
+        | while '(' expr ')' matched
+        ;
+unmatched : if '(' expr ')' stmt
+          | if '(' expr ')' matched else unmatched
+          | while '(' expr ')' unmatched
+          ;
+expr : sum
+     | sum '<' sum
+     | sum '>' sum
+     | sum '==' sum
+     ;
+sum : term | sum '+' term | sum '-' term ;
+term : factor | term '*' factor | term '/' factor ;
+factor : NUM | ID | '(' expr ')' | '-' factor ;
+"""
+
+DEMO = """
+// greatest common divisor, then a countdown
+a = 252; b = 105;
+while (a > 0) {
+    if (a < b) { t = a; a = b; b = t; }
+    a = a - b;
+}
+print b;
+
+n = 5; total = 0;
+while (n > 0) { total = total + n * n; n = n - 1; }
+print total;          // 55
+if (total == 55) print 1; else print 0;
+"""
+
+
+# -- AST -----------------------------------------------------------------
+
+class Assign:
+    def __init__(self, name, expr):
+        self.name, self.expr = name, expr
+
+
+class Print:
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class Block:
+    def __init__(self, stmts):
+        self.stmts = stmts
+
+
+class If:
+    def __init__(self, cond, then, otherwise=None):
+        self.cond, self.then, self.otherwise = cond, then, otherwise
+
+
+class While:
+    def __init__(self, cond, body):
+        self.cond, self.body = cond, body
+
+
+class BinOp:
+    def __init__(self, op, left, right):
+        self.op, self.left, self.right = op, left, right
+
+
+class Neg:
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class Num:
+    def __init__(self, value):
+        self.value = value
+
+
+class Var:
+    def __init__(self, name):
+        self.name = name
+
+
+# -- front end -------------------------------------------------------------
+
+def build_frontend():
+    grammar = load_grammar(GRAMMAR, name="minilang").augmented()
+    verdict = classify(grammar)
+    assert verdict.is_lalr1, verdict  # the grammar is LALR(1) by design
+    table = build_lalr_table(grammar)
+    assert table.is_deterministic
+    lexer = (
+        Lexer(grammar)
+        .skip(r"\s+")
+        .skip(r"//[^\n]*")
+        .token("NUM", r"\d+", convert=int)
+        .keywords("if", "else", "while", "print")
+        .token("ID", r"[A-Za-z_][A-Za-z0-9_]*")
+        .with_literals()
+    )
+    return Parser(table), lexer
+
+
+def to_ast(production, children):
+    """Semantic action: fold one reduction into an AST node."""
+    shape = [s.name for s in production.rhs]
+    head = production.lhs.name
+    if head == "program":
+        return Block(children[0])
+    if head == "stmts":
+        return [] if not children else children[0] + [children[1]]
+    if shape == ["NUM"]:
+        return Num(children[0])
+    if shape == ["ID"] and head == "factor":
+        return Var(children[0])
+    if head in ("stmt", "expr", "sum", "term", "factor") and len(children) == 1:
+        return children[0]
+    if shape == ["ID", "=", "expr", ";"]:
+        return Assign(children[0], children[2])
+    if shape == ["print", "expr", ";"]:
+        return Print(children[1])
+    if shape == ["{", "stmts", "}"]:
+        return Block(children[1])
+    if shape[:1] == ["if"] and "else" in shape:
+        return If(children[2], children[4], children[6])
+    if shape[:1] == ["if"]:
+        return If(children[2], children[4])
+    if shape[:1] == ["while"]:
+        return While(children[2], children[4])
+    if len(shape) == 3 and shape[0] == "(":
+        return children[1]
+    if len(shape) == 3:  # binary operator
+        return BinOp(production.rhs[1].name, children[0], children[2])
+    if shape == ["-", "factor"]:
+        return Neg(children[1])
+    if shape == ["NUM"]:
+        return Num(children[0])
+    if shape == ["ID"]:
+        return Var(children[0])
+    raise AssertionError(f"unhandled production {production}")
+
+
+# -- interpreter -----------------------------------------------------------
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b,
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "==": lambda a, b: int(a == b),
+}
+
+
+def evaluate(node, env):
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Var):
+        if node.name not in env:
+            raise NameError(f"undefined variable {node.name!r}")
+        return env[node.name]
+    if isinstance(node, Neg):
+        return -evaluate(node.expr, env)
+    if isinstance(node, BinOp):
+        return _OPS[node.op](evaluate(node.left, env), evaluate(node.right, env))
+    raise AssertionError(node)
+
+
+def execute(node, env, output):
+    if isinstance(node, Block):
+        for stmt in node.stmts:
+            execute(stmt, env, output)
+    elif isinstance(node, Assign):
+        env[node.name] = evaluate(node.expr, env)
+    elif isinstance(node, Print):
+        output.append(evaluate(node.expr, env))
+    elif isinstance(node, If):
+        if evaluate(node.cond, env):
+            execute(node.then, env, output)
+        elif node.otherwise is not None:
+            execute(node.otherwise, env, output)
+    elif isinstance(node, While):
+        while evaluate(node.cond, env):
+            execute(node.body, env, output)
+    else:
+        raise AssertionError(node)
+
+
+def run_program(source: str):
+    """Parse and execute *source*; returns the list of printed values."""
+    parser, lexer = build_frontend()
+    ast = parser.parse_with_actions(lexer.tokenize(source), to_ast)
+    output = []
+    execute(ast, {}, output)
+    return output
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            source = handle.read()
+    else:
+        source = DEMO
+    for value in run_program(source):
+        print(value)
+
+
+if __name__ == "__main__":
+    main()

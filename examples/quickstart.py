@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: from grammar text to LALR(1) look-ahead sets to a parse.
+
+Covers the 60-second tour of the library:
+1. parse a grammar,
+2. run the DeRemer-Pennello analysis and inspect LA sets,
+3. build the LALR(1) table,
+4. parse a sentence with it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LalrAnalysis, Parser, build_lalr_table, classify, load_grammar
+
+GRAMMAR = """
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+"""
+
+
+def main() -> None:
+    # 1. Parse the grammar (arrow format; yacc format also works) and
+    #    augment it with S' -> E $end, as every LR construction expects.
+    grammar = load_grammar(GRAMMAR, name="expr").augmented()
+    print("Grammar:")
+    for production in grammar.productions:
+        print(f"  {production.index}: {production}")
+
+    # 2. The paper's algorithm: LALR(1) look-ahead sets straight from the
+    #    LR(0) automaton, no LR(1) items anywhere.
+    analysis = LalrAnalysis(grammar)
+    print(f"\nLR(0) automaton: {len(analysis.automaton)} states")
+    print("LALR(1) look-ahead sets (state, production -> LA):")
+    for (state, production_index), lookaheads in sorted(
+        analysis.lookahead_table().items()
+    ):
+        production = grammar.productions[production_index]
+        names = ", ".join(sorted(t.name for t in lookaheads))
+        print(f"  LA({state:2d}, {production})  =  {{{names}}}")
+
+    # Diagnostics come free: a cycle in `reads` would prove not-LR(k).
+    print(f"\nnot LR(k)? {analysis.not_lr_k}")
+    print(f"grammar class: {classify(grammar).grammar_class}")
+
+    # 3. Build the LALR(1) parse table from those sets.
+    table = build_lalr_table(grammar)
+    print(f"\nLALR(1) table: {table.n_states} states, "
+          f"{len(table.unresolved_conflicts)} conflicts")
+
+    # 4. Parse something.
+    parser = Parser(table)
+    sentence = "id + id * ( id + id )".split()
+    tree = parser.parse(sentence)
+    print(f"\nparse of {' '.join(sentence)!r}:")
+    print(tree.format(indent="  "))
+
+
+if __name__ == "__main__":
+    main()

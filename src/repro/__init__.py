@@ -1,0 +1,71 @@
+"""repro — Efficient computation of LALR(1) look-ahead sets.
+
+A full reproduction of DeRemer & Pennello (PLDI 1979 / TOPLAS 1982): the
+Digraph-based LALR(1) look-ahead algorithm, the baselines it was measured
+against (SLR, canonical-LR(1) merging, yacc-style propagation), and the
+surrounding parser-generator substrate (grammars, LR automata, parse
+tables, a shift-reduce engine).
+
+Quickstart:
+    >>> from repro import load_grammar, LalrAnalysis
+    >>> g = load_grammar("E -> E + T | T\\nT -> id").augmented()
+    >>> analysis = LalrAnalysis(g)
+    >>> sorted(t.name for t in analysis.lookahead_table().popitem()[1])  # doctest: +SKIP
+"""
+
+from .analysis import FirstSets, FollowSets, SentenceGenerator
+from .baselines import MergedLr1Analysis, PropagationAnalysis, SlrAnalysis
+from .core import LalrAnalysis, compute_lookaheads, digraph
+from .grammar import (
+    Grammar,
+    GrammarBuilder,
+    GrammarError,
+    grammar_from_rules,
+    load_grammar,
+    load_grammar_file,
+)
+from .automaton import LR0Automaton, LR1Automaton
+from .parser import Lexer, Node, ParseError, Parser, Token
+from .tables import (
+    GrammarClass,
+    ParseTable,
+    build_clr_table,
+    build_lalr_table,
+    build_lr0_table,
+    build_slr_table,
+    classify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FirstSets",
+    "FollowSets",
+    "Grammar",
+    "GrammarBuilder",
+    "GrammarClass",
+    "GrammarError",
+    "LR0Automaton",
+    "LR1Automaton",
+    "LalrAnalysis",
+    "Lexer",
+    "MergedLr1Analysis",
+    "Node",
+    "ParseError",
+    "ParseTable",
+    "Parser",
+    "PropagationAnalysis",
+    "SentenceGenerator",
+    "SlrAnalysis",
+    "Token",
+    "build_clr_table",
+    "build_lalr_table",
+    "build_lr0_table",
+    "build_slr_table",
+    "classify",
+    "compute_lookaheads",
+    "digraph",
+    "grammar_from_rules",
+    "load_grammar",
+    "load_grammar_file",
+]

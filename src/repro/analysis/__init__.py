@@ -1,0 +1,33 @@
+"""Classical grammar analyses: nullable, FIRST, FOLLOW, sentence generation."""
+
+from .ambiguity import AmbiguityReport, AmbiguityWitness, TreeCounter, ambiguity_report, find_ambiguity
+from .enumerate import (
+    all_strings,
+    bounded_language_equal,
+    enumerate_language,
+    yield_sets,
+)
+from .derive import SentenceGenerator, leftmost_derivation, min_yield_lengths, shortest_sentence
+from .first import FirstSets
+from .follow import FollowSets
+from .nullable import is_nullable_sequence, nullable_nonterminals
+
+__all__ = [
+    "AmbiguityReport",
+    "AmbiguityWitness",
+    "FirstSets",
+    "TreeCounter",
+    "ambiguity_report",
+    "find_ambiguity",
+    "all_strings",
+    "bounded_language_equal",
+    "enumerate_language",
+    "yield_sets",
+    "FollowSets",
+    "SentenceGenerator",
+    "is_nullable_sequence",
+    "leftmost_derivation",
+    "min_yield_lengths",
+    "nullable_nonterminals",
+    "shortest_sentence",
+]

@@ -1,0 +1,111 @@
+"""Exhaustive enumeration of L(G) up to a length bound.
+
+Where the random :class:`~repro.analysis.derive.SentenceGenerator` samples
+sentences, this module enumerates **all** of them up to a given length —
+the strongest possible oracle for language-preservation claims:
+
+- the ε-removal transform must keep ``L ∩ Σ^{≤k}`` intact (minus ε),
+- the LR parser must accept exactly the enumerated set and reject every
+  other string over the alphabet (exhaustively checkable for tiny k),
+- two grammars can be compared for bounded language equality.
+
+The enumeration is a bottom-up fixpoint over "yield sets": for each
+nonterminal, the set of terminal strings of length ≤ k it derives.
+Sentential concatenation is pruned at the length bound, so the cost is
+bounded by the number of distinct short strings, not by derivation count
+(ambiguity does not blow it up).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+
+#: A sentence as a tuple of terminal symbols.
+Sentence = Tuple[Symbol, ...]
+
+
+def enumerate_language(grammar: Grammar, max_length: int) -> "FrozenSet[Sentence]":
+    """All sentences of L(G) with length ≤ *max_length*."""
+    yields = yield_sets(grammar, max_length)
+    return frozenset(yields.get(grammar.original_start, frozenset()))
+
+
+def yield_sets(
+    grammar: Grammar, max_length: int
+) -> "Dict[Symbol, FrozenSet[Sentence]]":
+    """For every nonterminal, its derivable terminal strings of length ≤ k."""
+    current: Dict[Symbol, Set[Sentence]] = {nt: set() for nt in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            target = current[production.lhs]
+            for sentence in _concatenations(production.rhs, current, max_length):
+                if sentence not in target:
+                    target.add(sentence)
+                    changed = True
+    return {nt: frozenset(strings) for nt, strings in current.items()}
+
+
+def _concatenations(
+    rhs: Tuple[Symbol, ...],
+    current: Dict[Symbol, Set[Sentence]],
+    max_length: int,
+) -> Iterable[Sentence]:
+    """All ≤-max_length terminal strings obtainable from *rhs* using the
+    per-nonterminal yield sets accumulated so far."""
+    partials: List[Sentence] = [()]
+    for symbol in rhs:
+        next_partials: List[Sentence] = []
+        if symbol.is_terminal:
+            for partial in partials:
+                if len(partial) + 1 <= max_length:
+                    next_partials.append(partial + (symbol,))
+        else:
+            choices = current[symbol]
+            for partial in partials:
+                budget = max_length - len(partial)
+                for piece in choices:
+                    if len(piece) <= budget:
+                        next_partials.append(partial + piece)
+        if not next_partials:
+            return []
+        # Deduplicate aggressively: ambiguity can produce each partial
+        # many times over.
+        partials = list(set(next_partials))
+    return partials
+
+
+def all_strings(terminals: "List[Symbol]", max_length: int) -> Iterable[Sentence]:
+    """Every string over *terminals* with length ≤ *max_length* (the
+    complement side of exhaustive acceptance checks)."""
+    for length in range(max_length + 1):
+        for combo in product(terminals, repeat=length):
+            yield combo
+
+
+def bounded_language_equal(
+    left: Grammar, right: Grammar, max_length: int, ignore_epsilon: bool = False
+) -> bool:
+    """Do two grammars generate the same sentences up to *max_length*?
+
+    Symbols are compared **by name** (the grammars own distinct symbol
+    tables).  With *ignore_epsilon*, the empty sentence is excluded from
+    the comparison — the contract of epsilon-removal.
+    """
+    left_names = {
+        tuple(s.name for s in sentence)
+        for sentence in enumerate_language(left, max_length)
+    }
+    right_names = {
+        tuple(s.name for s in sentence)
+        for sentence in enumerate_language(right, max_length)
+    }
+    if ignore_epsilon:
+        left_names.discard(())
+        right_names.discard(())
+    return left_names == right_names

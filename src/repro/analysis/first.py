@@ -1,0 +1,90 @@
+"""FIRST sets.
+
+``FIRST(alpha) = { t | alpha =>* t beta }`` — the terminals that can begin
+a string derived from ``alpha``.  The canonical LR(1) baseline needs FIRST
+of arbitrary sentential forms (item tails), so :class:`FirstSets` exposes
+both per-nonterminal sets and a sequence query.
+
+Nullability is tracked separately (see :mod:`repro.analysis.nullable`)
+rather than by putting an epsilon pseudo-symbol inside the sets; the sets
+here contain terminals only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Set, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .nullable import nullable_nonterminals
+
+
+class FirstSets:
+    """FIRST sets for one grammar, computed eagerly at construction."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.nullable: FrozenSet[Symbol] = nullable_nonterminals(grammar)
+        self._first: Dict[Symbol, Set[Symbol]] = {
+            nt: set() for nt in grammar.nonterminals
+        }
+        self._compute()
+        self.first: Dict[Symbol, FrozenSet[Symbol]] = {
+            nt: frozenset(terminals) for nt, terminals in self._first.items()
+        }
+
+    def _compute(self) -> None:
+        first = self._first
+        nullable = self.nullable
+        changed = True
+        while changed:
+            changed = False
+            for production in self.grammar.productions:
+                target = first[production.lhs]
+                before = len(target)
+                for symbol in production.rhs:
+                    if symbol.is_terminal:
+                        target.add(symbol)
+                        break
+                    target |= first[symbol]
+                    if symbol not in nullable:
+                        break
+                if len(target) != before:
+                    changed = True
+
+    def __getitem__(self, symbol: Symbol) -> FrozenSet[Symbol]:
+        """FIRST of a single symbol (a terminal's FIRST is itself)."""
+        if symbol.is_terminal:
+            return frozenset((symbol,))
+        return self.first[symbol]
+
+    def of_sequence(
+        self, symbols: Sequence[Symbol]
+    ) -> Tuple[FrozenSet[Symbol], bool]:
+        """FIRST of a sentential form.
+
+        Returns ``(terminals, all_nullable)`` where *all_nullable* is True
+        iff the entire sequence derives epsilon.
+        """
+        result: Set[Symbol] = set()
+        for symbol in symbols:
+            if symbol.is_terminal:
+                result.add(symbol)
+                return frozenset(result), False
+            result |= self.first[symbol]
+            if symbol not in self.nullable:
+                return frozenset(result), False
+        return frozenset(result), True
+
+    def first_plus(
+        self, symbols: Sequence[Symbol], continuation: Iterable[Symbol]
+    ) -> FrozenSet[Symbol]:
+        """FIRST(symbols · continuation-terminals): the LR(1) closure helper.
+
+        *continuation* is a set of terminals standing for what may follow;
+        it is folded in only when *symbols* is entirely nullable.
+        """
+        terminals, all_nullable = self.of_sequence(symbols)
+        if not all_nullable:
+            return terminals
+        return frozenset(set(terminals) | set(continuation))

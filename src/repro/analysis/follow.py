@@ -1,0 +1,73 @@
+"""FOLLOW sets.
+
+``FOLLOW(A) = { t | S =>* alpha A t beta }`` — the terminals that can
+appear immediately after A in some sentential form.  For an augmented
+grammar the end marker ``$end`` enters FOLLOW naturally through the
+production ``S' -> S $end``; for a non-augmented grammar no end marker is
+invented (callers that need one should augment first — the SLR baseline
+does).
+
+FOLLOW is exactly the *grammar-global* approximation that SLR(1) uses where
+LALR(1) uses the per-state Follow(p, A) sets of DeRemer & Pennello; keeping
+the two implementations separate makes the SLR-vs-LALR comparison in the
+benchmark suite an apples-to-apples one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .first import FirstSets
+
+
+class FollowSets:
+    """FOLLOW sets for one grammar, computed eagerly at construction."""
+
+    def __init__(self, grammar: Grammar, first_sets: "FirstSets | None" = None):
+        self.grammar = grammar
+        self.first_sets = first_sets or FirstSets(grammar)
+        self._follow: Dict[Symbol, Set[Symbol]] = {
+            nt: set() for nt in grammar.nonterminals
+        }
+        self._compute()
+        self.follow: Dict[Symbol, FrozenSet[Symbol]] = {
+            nt: frozenset(terminals) for nt, terminals in self._follow.items()
+        }
+
+    def _compute(self) -> None:
+        follow = self._follow
+        first = self.first_sets
+        nullable = first.nullable
+        # Constraint graph: follow[A] ⊇ follow[B] edges, discovered once.
+        superset_edges: Dict[Symbol, Set[Symbol]] = {
+            nt: set() for nt in self.grammar.nonterminals
+        }
+        for production in self.grammar.productions:
+            rhs = production.rhs
+            for i, symbol in enumerate(rhs):
+                if symbol.is_terminal:
+                    continue
+                tail = rhs[i + 1 :]
+                terminals, all_nullable = first.of_sequence(tail)
+                follow[symbol] |= terminals
+                if all_nullable:
+                    # follow[symbol] ⊇ follow[lhs]
+                    superset_edges[production.lhs].add(symbol)
+        # Propagate to fixpoint over the (static) constraint graph.
+        changed = True
+        while changed:
+            changed = False
+            for source, targets in superset_edges.items():
+                source_set = follow[source]
+                if not source_set:
+                    continue
+                for target in targets:
+                    before = len(follow[target])
+                    follow[target] |= source_set
+                    if len(follow[target]) != before:
+                        changed = True
+
+    def __getitem__(self, nonterminal: Symbol) -> FrozenSet[Symbol]:
+        return self.follow[nonterminal]

@@ -1,0 +1,63 @@
+"""Nullable-nonterminal computation.
+
+``NULLABLE = { A | A =>* epsilon }`` — the foundation of everything else:
+FIRST/FOLLOW, and in the DeRemer–Pennello machinery the `reads` and
+`includes` relations are both defined in terms of nullable suffixes.
+
+The implementation is the counting algorithm: each production keeps a count
+of not-yet-known-nullable rhs symbols; when it hits zero the lhs becomes
+nullable and is propagated through an occurrence index.  This is O(total
+grammar size), unlike the naive fixpoint which can be quadratic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+
+
+def nullable_nonterminals(grammar: Grammar) -> FrozenSet[Symbol]:
+    """The set of nonterminals deriving the empty string."""
+    # occurrences[B] = productions in which B appears (with multiplicity).
+    occurrences: Dict[Symbol, List[int]] = {}
+    remaining: List[int] = []
+    lhs_of: List[Symbol] = []
+    nullable: Set[Symbol] = set()
+    worklist: List[Symbol] = []
+
+    for slot, production in enumerate(grammar.productions):
+        count = 0
+        for symbol in production.rhs:
+            if symbol.is_terminal:
+                count = -1  # can never become nullable
+                break
+            count += 1
+            occurrences.setdefault(symbol, []).append(slot)
+        remaining.append(count)
+        lhs_of.append(production.lhs)
+        if count == 0 and production.lhs not in nullable:
+            nullable.add(production.lhs)
+            worklist.append(production.lhs)
+
+    while worklist:
+        symbol = worklist.pop()
+        for slot in occurrences.get(symbol, ()):
+            if remaining[slot] <= 0:
+                continue
+            remaining[slot] -= 1
+            if remaining[slot] == 0:
+                lhs = lhs_of[slot]
+                if lhs not in nullable:
+                    nullable.add(lhs)
+                    worklist.append(lhs)
+
+    return frozenset(nullable)
+
+
+def is_nullable_sequence(
+    symbols: Tuple[Symbol, ...], nullable: "FrozenSet[Symbol] | Set[Symbol]"
+) -> bool:
+    """True iff every symbol of *symbols* is a nullable nonterminal."""
+    return all(s.is_nonterminal and s in nullable for s in symbols)

@@ -1,0 +1,22 @@
+"""LR automata: LR(0) canonical collection and canonical LR(1) collection."""
+
+from .dot import automaton_to_dot, includes_to_dot, reads_to_dot
+from .items import Item, Item1, format_item, is_final, item_production, next_symbol
+from .lr0 import LR0Automaton, LR0State
+from .lr1 import LR1Automaton, LR1State
+
+__all__ = [
+    "Item",
+    "automaton_to_dot",
+    "includes_to_dot",
+    "reads_to_dot",
+    "Item1",
+    "LR0Automaton",
+    "LR0State",
+    "LR1Automaton",
+    "LR1State",
+    "format_item",
+    "is_final",
+    "item_production",
+    "next_symbol",
+]

@@ -1,0 +1,107 @@
+"""Graphviz (DOT) rendering of LR automata and the DP relations.
+
+Visual debugging surface: dump the LR(0) automaton with item sets per
+state, or the `reads`/`includes` relation graphs over nonterminal
+transitions (SCCs are where the interesting diagnostics live, and they
+are much easier to spot drawn than printed).
+
+The output is plain DOT text; no graphviz dependency is needed to
+produce it (only to render it).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .items import format_item
+from .lr0 import LR0Automaton
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def automaton_to_dot(
+    automaton: LR0Automaton,
+    kernel_only: bool = True,
+    rankdir: str = "LR",
+) -> str:
+    """The LR(0) automaton as a DOT digraph (one record node per state)."""
+    grammar = automaton.grammar
+    lines: List[str] = [
+        "digraph lr0 {",
+        f"  rankdir={rankdir};",
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+    ]
+    for state in automaton.states:
+        items = sorted(state.kernel) if kernel_only else list(state.closure)
+        body = "\\l".join(_escape(format_item(grammar, item)) for item in items)
+        label = f"state {state.state_id}\\n{body}\\l"
+        lines.append(f'  s{state.state_id} [label="{label}"];')
+    for state in automaton.states:
+        for symbol, successor in sorted(
+            state.transitions.items(), key=lambda kv: kv[0].index
+        ):
+            style = "" if symbol.is_terminal else ", style=bold"
+            lines.append(
+                f'  s{state.state_id} -> s{successor} '
+                f'[label="{_escape(symbol.name)}"{style}];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def relation_to_dot(
+    nodes: "Iterable[tuple[int, Symbol]]",
+    edges: "dict",
+    name: str = "relation",
+    highlight_sccs: "List[tuple] | None" = None,
+) -> str:
+    """A DP relation (reads/includes) over nonterminal transitions as DOT.
+
+    *edges* maps each node to its successors; *highlight_sccs* (e.g. from
+    :class:`~repro.core.lalr.LalrAnalysis`) colours nontrivial components.
+    """
+    in_scc = set()
+    for component in highlight_sccs or ():
+        in_scc.update(component)
+
+    def node_id(node) -> str:
+        state, symbol = node
+        return f"n{state}_{symbol.index}"
+
+    lines: List[str] = [
+        f"digraph {name} {{",
+        '  node [shape=ellipse, fontname="monospace", fontsize=10];',
+    ]
+    for node in nodes:
+        state, symbol = node
+        colour = ', style=filled, fillcolor="#ffcccc"' if node in in_scc else ""
+        lines.append(
+            f'  {node_id(node)} [label="({state}, {_escape(symbol.name)})"{colour}];'
+        )
+    for node, successors in edges.items():
+        for successor in successors:
+            lines.append(f"  {node_id(node)} -> {node_id(successor)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def reads_to_dot(analysis) -> str:
+    """The `reads` relation of a LalrAnalysis, SCCs highlighted."""
+    return relation_to_dot(
+        analysis.relations.transitions,
+        analysis.relations.reads,
+        name="reads",
+        highlight_sccs=analysis.reads_sccs,
+    )
+
+
+def includes_to_dot(analysis) -> str:
+    """The `includes` relation of a LalrAnalysis, SCCs highlighted."""
+    return relation_to_dot(
+        analysis.relations.transitions,
+        analysis.relations.includes,
+        name="includes",
+        highlight_sccs=analysis.includes_sccs,
+    )

@@ -1,0 +1,220 @@
+"""The LR(0) automaton (canonical collection of LR(0) item sets).
+
+This is the substrate the DeRemer–Pennello algorithm runs on: all four of
+its relations (DR, reads, includes, lookback) are defined purely in terms
+of this automaton's states and transitions plus grammar nullability.
+
+States are identified by dense integer ids; state 0 is the start state
+(kernel ``{S' -> . S $end}``).  Kernels are deduplicated by frozenset
+identity, so construction is the standard worklist algorithm and runs in
+time proportional to the total number of items across states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..grammar.errors import GrammarValidationError
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .items import Item, format_item, next_symbol
+
+
+class LR0State:
+    """One state of the LR(0) automaton.
+
+    Attributes:
+        state_id: Dense integer id.
+        kernel: The kernel items (start item or items with dot > 0).
+        closure: Kernel plus all derived ``B -> . gamma`` items.
+        transitions: Outgoing edges, symbol -> successor state id.
+        reductions: Final items, i.e. productions this state may reduce by.
+    """
+
+    __slots__ = ("state_id", "kernel", "closure", "transitions", "reductions")
+
+    def __init__(
+        self,
+        state_id: int,
+        kernel: FrozenSet[Item],
+        closure: Tuple[Item, ...],
+        reductions: Tuple[Item, ...],
+    ):
+        self.state_id = state_id
+        self.kernel = kernel
+        self.closure = closure
+        self.transitions: Dict[Symbol, int] = {}
+        self.reductions = reductions
+
+    def __repr__(self) -> str:
+        return f"LR0State({self.state_id}, kernel={len(self.kernel)} items)"
+
+
+class LR0Automaton:
+    """Canonical LR(0) collection for an augmented grammar."""
+
+    def __init__(self, grammar: Grammar):
+        if not grammar.is_augmented:
+            grammar = grammar.augmented()
+        self.grammar = grammar
+        self.states: List[LR0State] = []
+        self._kernel_index: Dict[FrozenSet[Item], int] = {}
+        self._build()
+        # predecessors[q][X] = sorted tuple of states p with goto(p, X) = q.
+        self._predecessors: Dict[int, Dict[Symbol, Tuple[int, ...]]] = {}
+        self._index_predecessors()
+
+    # -- construction ------------------------------------------------------
+
+    def _closure(self, kernel: Iterable[Item]) -> Tuple[Item, ...]:
+        grammar = self.grammar
+        items = list(kernel)
+        seen = set(items)
+        added_nonterminals = set()
+        i = 0
+        while i < len(items):
+            item = items[i]
+            i += 1
+            symbol = next_symbol(grammar, item)
+            if symbol is None or symbol.is_terminal:
+                continue
+            if symbol in added_nonterminals:
+                continue
+            added_nonterminals.add(symbol)
+            for production in grammar.productions_for(symbol):
+                fresh = Item(production.index, 0)
+                if fresh not in seen:
+                    seen.add(fresh)
+                    items.append(fresh)
+        return tuple(items)
+
+    def _intern(self, kernel: FrozenSet[Item]) -> int:
+        existing = self._kernel_index.get(kernel)
+        if existing is not None:
+            return existing
+        state_id = len(self.states)
+        closure = self._closure(sorted(kernel))
+        reductions = tuple(
+            item for item in closure if next_symbol(self.grammar, item) is None
+        )
+        state = LR0State(state_id, kernel, closure, reductions)
+        self.states.append(state)
+        self._kernel_index[kernel] = state_id
+        return state_id
+
+    def _build(self) -> None:
+        start_kernel = frozenset((Item(0, 0),))
+        self._intern(start_kernel)
+        worklist = [0]
+        while worklist:
+            state = self.states[worklist.pop()]
+            by_symbol: Dict[Symbol, List[Item]] = {}
+            for item in state.closure:
+                symbol = next_symbol(self.grammar, item)
+                if symbol is not None:
+                    by_symbol.setdefault(symbol, []).append(item.advanced())
+            # Deterministic successor order: symbol table order.
+            for symbol in sorted(by_symbol, key=lambda s: s.index):
+                kernel = frozenset(by_symbol[symbol])
+                known = kernel in self._kernel_index
+                successor = self._intern(kernel)
+                state.transitions[symbol] = successor
+                if not known:
+                    worklist.append(successor)
+        # worklist order above is LIFO which still enumerates everything;
+        # ids are assigned at intern time so numbering is deterministic.
+
+    def _index_predecessors(self) -> None:
+        collect: Dict[int, Dict[Symbol, List[int]]] = {}
+        for state in self.states:
+            for symbol, successor in state.transitions.items():
+                collect.setdefault(successor, {}).setdefault(symbol, []).append(
+                    state.state_id
+                )
+        self._predecessors = {
+            q: {symbol: tuple(sorted(ps)) for symbol, ps in per_symbol.items()}
+            for q, per_symbol in collect.items()
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def goto(self, state_id: int, symbol: Symbol) -> Optional[int]:
+        """Successor of *state_id* on *symbol*, or None."""
+        return self.states[state_id].transitions.get(symbol)
+
+    def goto_sequence(self, state_id: int, symbols: Sequence[Symbol]) -> Optional[int]:
+        """Walk the goto function along *symbols*; None if the path dies."""
+        current: Optional[int] = state_id
+        for symbol in symbols:
+            if current is None:
+                return None
+            current = self.states[current].transitions.get(symbol)
+        return current
+
+    def predecessors(self, state_id: int, symbol: Symbol) -> Tuple[int, ...]:
+        """All states p with ``goto(p, symbol) == state_id``."""
+        return self._predecessors.get(state_id, {}).get(symbol, ())
+
+    def predecessors_along(
+        self, state_id: int, symbols: Sequence[Symbol]
+    ) -> Tuple[int, ...]:
+        """All states p with ``p --symbols--> state_id`` (walk backwards).
+
+        This implements the ``p --omega--> q`` spelling lookup used by the
+        `includes` and `lookback` relations without any forward search.
+        """
+        frontier = [state_id]
+        for symbol in reversed(symbols):
+            next_frontier: List[int] = []
+            for q in frontier:
+                next_frontier.extend(self.predecessors(q, symbol))
+            if not next_frontier:
+                return ()
+            frontier = next_frontier
+        return tuple(sorted(set(frontier)))
+
+    @property
+    def nonterminal_transitions(self) -> List[Tuple[int, Symbol]]:
+        """All (state, nonterminal) transition pairs — the node set of the
+        DeRemer–Pennello relations."""
+        pairs: List[Tuple[int, Symbol]] = []
+        for state in self.states:
+            for symbol in state.transitions:
+                if symbol.is_nonterminal:
+                    pairs.append((state.state_id, symbol))
+        return pairs
+
+    @property
+    def accept_state(self) -> int:
+        """The state reached after shifting ``S $end`` from the start."""
+        p0 = self.grammar.productions[0]
+        state = self.goto_sequence(0, p0.rhs)
+        if state is None:  # pragma: no cover - impossible on augmented grammars
+            raise GrammarValidationError("automaton lacks an accept state")
+        return state
+
+    def format_state(self, state_id: int, kernel_only: bool = False) -> str:
+        """Multi-line human-readable dump of one state."""
+        state = self.states[state_id]
+        items = sorted(state.kernel) if kernel_only else list(state.closure)
+        lines = [f"state {state_id}"]
+        lines.extend(f"  {format_item(self.grammar, item)}" for item in items)
+        for symbol, target in sorted(
+            state.transitions.items(), key=lambda kv: kv[0].index
+        ):
+            lines.append(f"  {symbol.name} => state {target}")
+        return "\n".join(lines)
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics for the benchmark harness."""
+        return {
+            "states": len(self.states),
+            "kernel_items": sum(len(s.kernel) for s in self.states),
+            "closure_items": sum(len(s.closure) for s in self.states),
+            "transitions": sum(len(s.transitions) for s in self.states),
+            "nonterminal_transitions": len(self.nonterminal_transitions),
+            "reductions": sum(len(s.reductions) for s in self.states),
+        }

@@ -1,0 +1,169 @@
+"""The canonical LR(1) automaton (Knuth's construction).
+
+This is the expensive construction that DeRemer & Pennello's algorithm
+avoids.  It serves two roles here:
+
+1. **Baseline**: merging same-core LR(1) states yields LALR(1) lookaheads
+   ("the conversion method" the paper compares against) — see
+   :mod:`repro.baselines.merge_lr1`.
+2. **Ground truth**: the canonical-LR(1) parse table decides LR(1)-ness in
+   the grammar classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..analysis.first import FirstSets
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .items import Item, Item1, next_symbol
+
+
+class LR1State:
+    """One state of the canonical LR(1) automaton.
+
+    The kernel is stored core-first: ``kernel[core] = frozenset of
+    lookaheads`` — equivalent to a set of Item1 but cheaper to merge and
+    compare.
+    """
+
+    __slots__ = ("state_id", "kernel", "closure", "transitions")
+
+    def __init__(
+        self,
+        state_id: int,
+        kernel: "FrozenSet[Tuple[Item, FrozenSet[Symbol]]]",
+        closure: Dict[Item, FrozenSet[Symbol]],
+    ):
+        self.state_id = state_id
+        self.kernel = kernel
+        self.closure = closure
+        self.transitions: Dict[Symbol, int] = {}
+
+    @property
+    def core(self) -> FrozenSet[Item]:
+        """The LR(0) core of the kernel (drops lookaheads)."""
+        return frozenset(item for item, _ in self.kernel)
+
+    def items(self) -> Iterable[Item1]:
+        """All LR(1) items of the closure, flattened."""
+        for item, lookaheads in self.closure.items():
+            for lookahead in lookaheads:
+                yield Item1(item.production, item.dot, lookahead)
+
+    def __repr__(self) -> str:
+        return f"LR1State({self.state_id}, kernel={len(self.kernel)} cores)"
+
+
+class LR1Automaton:
+    """Canonical collection of LR(1) item sets for an augmented grammar."""
+
+    def __init__(self, grammar: Grammar, first_sets: "FirstSets | None" = None):
+        if not grammar.is_augmented:
+            grammar = grammar.augmented()
+        self.grammar = grammar
+        self.first_sets = first_sets or FirstSets(grammar)
+        self.states: List[LR1State] = []
+        self._kernel_index: Dict[
+            FrozenSet[Tuple[Item, FrozenSet[Symbol]]], int
+        ] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _closure(
+        self, kernel: Iterable[Tuple[Item, FrozenSet[Symbol]]]
+    ) -> Dict[Item, FrozenSet[Symbol]]:
+        grammar = self.grammar
+        first = self.first_sets
+        lookaheads: Dict[Item, Set[Symbol]] = {}
+        worklist: List[Item] = []
+        for item, las in kernel:
+            lookaheads[item] = set(las)
+            worklist.append(item)
+        while worklist:
+            item = worklist.pop()
+            symbol = next_symbol(grammar, item)
+            if symbol is None or symbol.is_terminal:
+                continue
+            production = grammar.productions[item.production]
+            tail = production.rhs[item.dot + 1 :]
+            spawned = first.first_plus(tail, lookaheads[item])
+            for target in grammar.productions_for(symbol):
+                fresh = Item(target.index, 0)
+                existing = lookaheads.get(fresh)
+                if existing is None:
+                    lookaheads[fresh] = set(spawned)
+                    worklist.append(fresh)
+                elif not spawned <= existing:
+                    existing.update(spawned)
+                    worklist.append(fresh)
+        return {item: frozenset(las) for item, las in lookaheads.items()}
+
+    def _intern(self, kernel: "FrozenSet[Tuple[Item, FrozenSet[Symbol]]]") -> int:
+        existing = self._kernel_index.get(kernel)
+        if existing is not None:
+            return existing
+        state_id = len(self.states)
+        closure = self._closure(sorted(kernel))
+        state = LR1State(state_id, kernel, closure)
+        self.states.append(state)
+        self._kernel_index[kernel] = state_id
+        return state_id
+
+    def _build(self) -> None:
+        eof = self.grammar.eof
+        # The start item's own lookahead never matters (production 0 ends in
+        # $end already); we seed with $end for definiteness.
+        start_kernel = frozenset(((Item(0, 0), frozenset((eof,))),))
+        self._intern(start_kernel)
+        worklist = [0]
+        while worklist:
+            state = self.states[worklist.pop()]
+            by_symbol: Dict[Symbol, Dict[Item, Set[Symbol]]] = {}
+            for item, las in state.closure.items():
+                symbol = next_symbol(self.grammar, item)
+                if symbol is None:
+                    continue
+                advanced = item.advanced()
+                bucket = by_symbol.setdefault(symbol, {})
+                bucket.setdefault(advanced, set()).update(las)
+            for symbol in sorted(by_symbol, key=lambda s: s.index):
+                kernel = frozenset(
+                    (item, frozenset(las)) for item, las in by_symbol[symbol].items()
+                )
+                known = kernel in self._kernel_index
+                successor = self._intern(kernel)
+                state.transitions[symbol] = successor
+                if not known:
+                    worklist.append(successor)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def goto(self, state_id: int, symbol: Symbol) -> Optional[int]:
+        """Successor of *state_id* on *symbol*, or None."""
+        return self.states[state_id].transitions.get(symbol)
+
+    def reductions(self, state_id: int) -> List[Tuple[int, FrozenSet[Symbol]]]:
+        """(production index, lookahead set) for each final item of a state."""
+        state = self.states[state_id]
+        result = []
+        for item, las in state.closure.items():
+            if next_symbol(self.grammar, item) is None:
+                result.append((item.production, las))
+        return result
+
+    def stats(self) -> Dict[str, int]:
+        """Size statistics (the Table 1/3 inputs for the CLR side)."""
+        return {
+            "states": len(self.states),
+            "kernel_cores": sum(len(s.kernel) for s in self.states),
+            "closure_items": sum(
+                len(las) for s in self.states for las in s.closure.values()
+            ),
+            "transitions": sum(len(s.transitions) for s in self.states),
+        }

@@ -1,0 +1,17 @@
+"""Baseline LALR(1)/SLR(1) lookahead methods the paper compares against."""
+
+from .nqlalr import NqlalrAnalysis, nqlalr_overapproximation_sites
+from .merge_lr1 import MergedLr1Analysis, compute_merged_lookaheads
+from .propagation import PropagationAnalysis, compute_propagated_lookaheads
+from .slr import SlrAnalysis, compute_slr_lookaheads
+
+__all__ = [
+    "MergedLr1Analysis",
+    "NqlalrAnalysis",
+    "PropagationAnalysis",
+    "SlrAnalysis",
+    "compute_merged_lookaheads",
+    "compute_propagated_lookaheads",
+    "compute_slr_lookaheads",
+    "nqlalr_overapproximation_sites",
+]

@@ -1,0 +1,113 @@
+"""Baseline 4 — NQLALR(1), the "Not Quite LALR" approximation.
+
+Section 7 of DeRemer & Pennello analyses a shortcut several contemporary
+generators took: attach Follow sets to *goto target states* instead of to
+nonterminal transitions.  Where the exact method keeps ``Follow(p, A)``
+and ``Follow(p', A)`` apart, NQLALR merges them whenever
+``goto(p, A) == goto(p', A)`` — i.e. its node set is
+``{(goto(p, A), A)}`` instead of ``{(p, A)}``.
+
+The merged sets are always **supersets** of the true LALR(1) look-aheads
+(never unsound-in-the-accept-direction, but imprecise), so NQLALR can
+report conflicts on perfectly good LALR(1) grammars — the paper's reason
+for rejecting the shortcut despite its simplicity.  This module exists to
+reproduce that finding (Table 5 in EXPERIMENTS.md).
+
+Implementation: project the exact relations through the node merge and
+run the same Digraph machinery — which makes the comparison pure: same
+traversal, same set representation, only the node identification differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..automaton.lr0 import LR0Automaton
+from ..core.digraph import DigraphStats, digraph
+from ..core.relations import LalrRelations, ReductionSite, Transition
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+
+#: An NQLALR node: (goto target state, nonterminal).
+NqNode = Tuple[int, Symbol]
+
+
+class NqlalrAnalysis:
+    """NQLALR(1) look-ahead sets (a strict superset approximation)."""
+
+    def __init__(self, grammar: Grammar, automaton: "LR0Automaton | None" = None):
+        if automaton is None:
+            automaton = LR0Automaton(grammar)
+        self.automaton = automaton
+        self.grammar = automaton.grammar
+        self.relations = LalrRelations(automaton)
+        self.vocabulary = self.relations.vocabulary
+        self.stats = DigraphStats()
+
+        # Node merge: transition (p, A) -> nq node (goto(p, A), A).
+        self._node_of: Dict[Transition, NqNode] = {}
+        for transition in self.relations.transitions:
+            state, symbol = transition
+            target = automaton.goto(state, symbol)
+            self._node_of[transition] = (target, symbol)
+
+        nodes = sorted(set(self._node_of.values()), key=lambda n: (n[0], n[1].index))
+
+        # Project DR and the relations through the merge (unioning edges
+        # and initial sets of merged transitions).
+        dr: Dict[NqNode, int] = {node: 0 for node in nodes}
+        reads_edges: Dict[NqNode, "set[NqNode]"] = {node: set() for node in nodes}
+        includes_edges: Dict[NqNode, "set[NqNode]"] = {node: set() for node in nodes}
+        for transition in self.relations.transitions:
+            node = self._node_of[transition]
+            dr[node] |= self.relations.dr[transition]
+            for successor in self.relations.reads[transition]:
+                reads_edges[node].add(self._node_of[successor])
+            for successor in self.relations.includes[transition]:
+                includes_edges[node].add(self._node_of[successor])
+
+        read_sets, _ = digraph(
+            nodes, lambda n: reads_edges[n], lambda n: dr[n], self.stats
+        )
+        self.follow_sets, self.includes_sccs = digraph(
+            nodes, lambda n: includes_edges[n], lambda n: read_sets[n], self.stats
+        )
+
+        self.la_masks: Dict[ReductionSite, int] = {}
+        for site, lookbacks in self.relations.lookback.items():
+            mask = 0
+            for transition in lookbacks:
+                mask |= self.follow_sets[self._node_of[transition]]
+            self.la_masks[site] = mask
+
+    def lookahead(self, state_id: int, production_index: int) -> FrozenSet[Symbol]:
+        return self.vocabulary.symbols(self.la_masks[(state_id, production_index)])
+
+    def lookahead_table(self) -> Dict[ReductionSite, FrozenSet[Symbol]]:
+        return {
+            site: self.vocabulary.symbols(mask)
+            for site, mask in self.la_masks.items()
+        }
+
+    def merged_node_count(self) -> Tuple[int, int]:
+        """(nq nodes, exact transitions) — how much merging happened."""
+        return len(set(self._node_of.values())), len(self.relations.transitions)
+
+
+def nqlalr_overapproximation_sites(
+    grammar: Grammar, automaton: "LR0Automaton | None" = None
+) -> "List[Tuple[ReductionSite, FrozenSet[Symbol]]]":
+    """Reduction sites where NQLALR's LA strictly exceeds the exact LA,
+    with the spurious terminals — the paper's §7 evidence, computable."""
+    from ..core.lalr import LalrAnalysis
+
+    if automaton is None:
+        automaton = LR0Automaton(grammar)
+    exact = LalrAnalysis(grammar, automaton).lookahead_table()
+    loose = NqlalrAnalysis(grammar, automaton).lookahead_table()
+    out = []
+    for site, exact_la in exact.items():
+        extra = loose[site] - exact_la
+        if extra:
+            out.append((site, frozenset(extra)))
+    return out

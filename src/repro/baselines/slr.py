@@ -1,0 +1,59 @@
+"""Baseline 1 — SLR(1) lookaheads (DeRemer's "Simple LR", 1971).
+
+SLR approximates LA(q, A -> ω) by the grammar-global FOLLOW(A), ignoring
+the state ``q`` entirely.  It is the cheapest method (one FOLLOW
+computation, no relations) and the weakest: whenever the same nonterminal
+is reduced in two left contexts with different viable lookaheads, FOLLOW
+smears them together and may manufacture conflicts that LALR(1) avoids.
+The paper positions its algorithm as giving LALR precision at close to SLR
+cost; Table 2/Table 4 of EXPERIMENTS.md quantify both halves of that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from ..analysis.first import FirstSets
+from ..analysis.follow import FollowSets
+from ..automaton.lr0 import LR0Automaton
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from ..core.relations import ReductionSite
+
+
+class SlrAnalysis:
+    """FOLLOW-based lookaheads arranged site-by-site like LalrAnalysis."""
+
+    def __init__(self, grammar: Grammar, automaton: "LR0Automaton | None" = None):
+        if automaton is None:
+            automaton = LR0Automaton(grammar)
+        self.automaton = automaton
+        self.grammar = automaton.grammar
+        self.first_sets = FirstSets(self.grammar)
+        self.follow_sets = FollowSets(self.grammar, self.first_sets)
+
+    def lookahead(self, state_id: int, production_index: int) -> FrozenSet[Symbol]:
+        """LA_SLR(q, A -> ω) = FOLLOW(A), independent of q."""
+        production = self.grammar.productions[production_index]
+        return self.follow_sets[production.lhs]
+
+    def lookahead_table(self) -> Dict[ReductionSite, FrozenSet[Symbol]]:
+        """FOLLOW lookaheads for every reduction site of the automaton,
+        shaped identically to ``LalrAnalysis.lookahead_table()`` so the
+        two can be diffed directly."""
+        table: Dict[ReductionSite, FrozenSet[Symbol]] = {}
+        for state in self.automaton.states:
+            for item in state.reductions:
+                if item.production == 0:
+                    continue  # the augmented production reduces via accept
+                table[(state.state_id, item.production)] = self.lookahead(
+                    state.state_id, item.production
+                )
+        return table
+
+
+def compute_slr_lookaheads(
+    grammar: Grammar, automaton: "LR0Automaton | None" = None
+) -> Dict[ReductionSite, FrozenSet[Symbol]]:
+    """Convenience one-shot mirror of :func:`repro.core.lalr.compute_lookaheads`."""
+    return SlrAnalysis(grammar, automaton).lookahead_table()

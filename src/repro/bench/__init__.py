@@ -1,0 +1,27 @@
+"""Benchmark harness: timing, operation counting, and report formatting."""
+
+from .harness import (
+    METHODS,
+    Timer,
+    cost_row,
+    grammar_row,
+    measure_methods,
+    speedup,
+    sweep,
+    time_callable,
+)
+from .report import dict_rows, format_series, format_table
+
+__all__ = [
+    "METHODS",
+    "Timer",
+    "cost_row",
+    "dict_rows",
+    "format_series",
+    "format_table",
+    "grammar_row",
+    "measure_methods",
+    "speedup",
+    "sweep",
+    "time_callable",
+]

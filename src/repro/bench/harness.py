@@ -1,0 +1,122 @@
+"""Measurement utilities for the experiment suite.
+
+The paper reports per-grammar rows (timings on 1979 hardware plus
+derived counts).  Wall-clock numbers do not transfer across 45 years of
+hardware, so every experiment here reports **both**:
+
+- wall time via ``time.perf_counter`` (median of repeats), and
+- machine-independent operation counts (set unions, relation edges,
+  automaton sizes) exposed by the analyses themselves.
+
+The *shape* — which method is cheapest, how ratios move with grammar
+size — is the reproducible claim; EXPERIMENTS.md records it.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..automaton.lr0 import LR0Automaton
+from ..baselines.merge_lr1 import MergedLr1Analysis
+from ..baselines.propagation import PropagationAnalysis
+from ..baselines.slr import SlrAnalysis
+from ..core.lalr import LalrAnalysis
+from ..grammar.grammar import Grammar
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Median wall-clock seconds of *fn* over *repeats* runs."""
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+#: The lookahead methods compared throughout: name -> analysis factory.
+#: Each factory takes (grammar, shared LR(0) automaton) so the automaton
+#: cost — common to all LR(0)-based methods — is excluded, exactly as the
+#: paper charges only the lookahead phase to each method.
+METHODS: "Dict[str, Callable[[Grammar, LR0Automaton], object]]" = {
+    "deremer_pennello": lambda g, a: LalrAnalysis(g, a),
+    "propagation": lambda g, a: PropagationAnalysis(g, a),
+    "lr1_merge": lambda g, a: MergedLr1Analysis(g, a),
+    "slr_follow": lambda g, a: SlrAnalysis(g, a).lookahead_table(),
+}
+
+
+def measure_methods(
+    grammar: Grammar,
+    methods: "Sequence[str] | None" = None,
+    repeats: int = 5,
+) -> Dict[str, float]:
+    """Median lookahead-computation time per method for one grammar."""
+    grammar = grammar.augmented()
+    automaton = LR0Automaton(grammar)
+    chosen = methods or list(METHODS)
+    return {
+        name: time_callable(lambda n=name: METHODS[n](grammar, automaton), repeats)
+        for name in chosen
+    }
+
+
+def grammar_row(grammar: Grammar) -> Dict[str, int]:
+    """The Table-1 row for one grammar: sizes of everything."""
+    grammar = grammar.augmented()
+    automaton = LR0Automaton(grammar)
+    analysis = LalrAnalysis(grammar, automaton)
+    row: Dict[str, int] = {}
+    row.update(grammar.stats())
+    row.update(automaton.stats())
+    row.update(analysis.relations.stats())
+    row["reads_sccs"] = len(analysis.reads_sccs)
+    row["includes_sccs"] = len(analysis.includes_sccs)
+    return row
+
+
+def cost_row(grammar: Grammar) -> Dict[str, int]:
+    """The Table-2 operation-count row for one grammar."""
+    grammar = grammar.augmented()
+    automaton = LR0Automaton(grammar)
+    dp = LalrAnalysis(grammar, automaton)
+    prop = PropagationAnalysis(grammar, automaton)
+    merge = MergedLr1Analysis(grammar, automaton)
+    lr1_states, lalr_states = merge.merged_state_count()
+    return {
+        "dp_unions": dp.stats.unions,
+        "dp_edges": dp.stats.edges,
+        "prop_links": prop.cost_summary()["propagation_links"],
+        "prop_sweeps": prop.sweeps,
+        "prop_unions": prop.unions,
+        "lr1_states": lr1_states,
+        "lalr_states": lalr_states,
+    }
+
+
+def speedup(times: Dict[str, float], baseline: str, method: str) -> float:
+    """times[baseline] / times[method] — >1 means *method* is faster."""
+    return times[baseline] / times[method] if times[method] else float("inf")
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def sweep(
+    sizes: Sequence[int],
+    family: Callable[[int], Grammar],
+    measure: Callable[[Grammar], Dict[str, float]],
+) -> "List[Tuple[int, Dict[str, float]]]":
+    """Run *measure* over *family* at each size (the Figure workloads)."""
+    return [(n, measure(family(n))) for n in sizes]

@@ -1,0 +1,71 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Each benchmark prints the same kind of rows the paper's tables carry;
+these helpers keep the formatting consistent (and the outputs diffable
+against EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Align *rows* under *headers*; numbers are right-aligned."""
+    rendered: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for original, row in zip(rows, rendered):
+        padded = []
+        for i, text in enumerate(row):
+            if isinstance(original[i], (int, float)) and not isinstance(original[i], bool):
+                padded.append(text.rjust(widths[i]))
+            else:
+                padded.append(text.ljust(widths[i]))
+        lines.append("  ".join(padded).rstrip())
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: "Dict[str, List[float]]",
+    xs: Sequence[object],
+    title: str = "",
+) -> str:
+    """Render figure data as one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def dict_rows(
+    entries: "Sequence[Tuple[str, Dict[str, object]]]", columns: Sequence[str]
+) -> "List[List[object]]":
+    """[(name, metrics), ...] -> rows selecting *columns* from each dict."""
+    return [[name] + [metrics.get(c, "") for c in columns] for name, metrics in entries]

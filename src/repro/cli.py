@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command> <grammar-file>``.
+
+Commands:
+    classify   Report the grammar's LR-hierarchy class and diagnostics.
+    la         Print every LALR(1) look-ahead set (DeRemer-Pennello).
+    table      Print the parse table for a chosen construction.
+    states     Dump the LR(0) automaton's item sets.
+    conflicts  Describe every conflict for a chosen construction.
+    parse      Parse whitespace-separated terminals from --input.
+    stats      Grammar/automaton/relation size statistics.
+    generate   Emit a standalone Python parser module.
+    dot        Emit Graphviz DOT for the automaton or a DP relation.
+    lint       Report grammar hygiene findings (yacc-style warnings).
+    ambiguity  Search for an ambiguous sentence up to a length bound.
+
+Grammar files use either supported format (see repro.grammar.reader).
+Corpus grammars can be used anywhere a file is expected via
+``corpus:<name>`` (e.g. ``corpus:expr``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .automaton import LR0Automaton
+from .bench import format_table, grammar_row
+from .core import LalrAnalysis
+from .grammar import Grammar, load_grammar_file
+from .grammars import corpus
+from .parser import ParseError, Parser
+from .tables import (
+    build_clr_table,
+    build_lalr_table,
+    build_lr0_table,
+    build_slr_table,
+    classify,
+    generate_parser_module,
+)
+
+_BUILDERS = {
+    "lr0": build_lr0_table,
+    "slr1": build_slr_table,
+    "lalr1": build_lalr_table,
+    "clr1": build_clr_table,
+}
+
+
+def _load(spec: str) -> Grammar:
+    if spec.startswith("corpus:"):
+        return corpus.load(spec.split(":", 1)[1])
+    return load_grammar_file(spec)
+
+
+def _cmd_classify(grammar: Grammar, args) -> int:
+    verdict = classify(grammar, ignore_precedence=not args.use_precedence)
+    print(f"class: {verdict.grammar_class}")
+    print(f"LR(0): {verdict.is_lr0}")
+    print(f"SLR(1): {verdict.is_slr1}")
+    print(f"LALR(1): {verdict.is_lalr1}")
+    print(f"LR(1): {verdict.is_lr1}")
+    print(f"not LR(k) (reads cycle): {verdict.not_lr_k}")
+    for method, count in verdict.conflict_counts.items():
+        rendered = "n/a" if count < 0 else str(count)
+        print(f"conflicts[{method}]: {rendered}")
+    return 0
+
+
+def _cmd_la(grammar: Grammar, args) -> int:
+    analysis = LalrAnalysis(grammar.augmented())
+    print(analysis.describe())
+    return 0
+
+
+def _cmd_table(grammar: Grammar, args) -> int:
+    table = _BUILDERS[args.method](grammar.augmented())
+    print(table.format(max_states=args.max_states))
+    summary = table.conflict_summary()
+    print(
+        f"\n{table.n_states} states, "
+        f"{summary['shift_reduce']} shift/reduce, "
+        f"{summary['reduce_reduce']} reduce/reduce, "
+        f"{summary['resolved']} resolved by precedence"
+    )
+    return 0 if table.is_deterministic else 1
+
+
+def _cmd_states(grammar: Grammar, args) -> int:
+    automaton = LR0Automaton(grammar.augmented())
+    for state in automaton.states:
+        print(automaton.format_state(state.state_id, kernel_only=args.kernel))
+        print()
+    return 0
+
+
+def _cmd_conflicts(grammar: Grammar, args) -> int:
+    from .tables.explain import explain_conflict
+
+    augmented = grammar.augmented()
+    automaton = LR0Automaton(augmented)
+    table = _BUILDERS[args.method](augmented)
+    if not table.conflicts:
+        print("no conflicts")
+        return 0
+    for conflict in table.conflicts:
+        print(conflict.describe(table.grammar))
+        if args.explain and not conflict.resolved_by_precedence and args.method != "clr1":
+            example = explain_conflict(automaton, conflict)
+            if example is not None:
+                print(f"  example: {example.describe()}")
+    return 0 if table.is_deterministic else 1
+
+
+def _cmd_parse(grammar: Grammar, args) -> int:
+    table = _BUILDERS[args.method](grammar.augmented())
+    parser = Parser(table)
+    tokens = args.input.split()
+    try:
+        tree = parser.parse(tokens)
+    except ParseError as error:
+        print(f"invalid: {error}")
+        return 1
+    print("valid")
+    if args.tree:
+        print(tree.format())
+    return 0
+
+
+def _cmd_generate(grammar: Grammar, args) -> int:
+    table = _BUILDERS[args.method](grammar.augmented())
+    source = generate_parser_module(table, name=grammar.name)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source, end="")
+    return 0
+
+
+def _cmd_dot(grammar: Grammar, args) -> int:
+    from .automaton import LR0Automaton, automaton_to_dot, includes_to_dot, reads_to_dot
+    from .core import LalrAnalysis
+
+    augmented = grammar.augmented()
+    if args.graph == "automaton":
+        print(automaton_to_dot(LR0Automaton(augmented), kernel_only=not args.closure))
+    else:
+        analysis = LalrAnalysis(augmented)
+        renderer = reads_to_dot if args.graph == "reads" else includes_to_dot
+        print(renderer(analysis))
+    return 0
+
+
+def _cmd_stats(grammar: Grammar, args) -> int:
+    row = grammar_row(grammar)
+    print(format_table(["metric", "value"], sorted(row.items())))
+    return 0
+
+
+def _cmd_ambiguity(grammar: Grammar, args) -> int:
+    from .analysis import ambiguity_report
+
+    report = ambiguity_report(grammar, args.bound)
+    print(f"verdict: {report.verdict} (bound {report.bound}, "
+          f"{report.sentences_checked} sentences checked)")
+    if report.witness is not None:
+        print(f"witness: {report.witness.words()!r} "
+              f"({report.witness.tree_count} parse trees)")
+    return 1 if report.verdict in ("ambiguous", "cyclic") else 0
+
+
+def _cmd_lint(grammar: Grammar, args) -> int:
+    from .grammar import lint, lint_report
+
+    print(lint_report(grammar))
+    findings = lint(grammar)
+    return 1 if any(w.severity == "error" for w in findings) else 0
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """Entry point: parse *argv* (default sys.argv) and run the command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LALR(1) look-ahead sets (DeRemer & Pennello) — grammar tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **extra_args):
+        command = sub.add_parser(name, help=fn.__doc__)
+        command.add_argument("grammar", help="grammar file or corpus:<name>")
+        command.set_defaults(fn=fn)
+        return command
+
+    add("classify", _cmd_classify).add_argument(
+        "--use-precedence", action="store_true",
+        help="honour %%left/%%right declarations when judging conflicts",
+    )
+    add("la", _cmd_la)
+
+    table_cmd = add("table", _cmd_table)
+    table_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    table_cmd.add_argument("--max-states", type=int, default=0)
+
+    states_cmd = add("states", _cmd_states)
+    states_cmd.add_argument("--kernel", action="store_true")
+
+    conflicts_cmd = add("conflicts", _cmd_conflicts)
+    conflicts_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    conflicts_cmd.add_argument("--explain", action="store_true",
+                               help="print an example input reaching each conflict")
+
+    parse_cmd = add("parse", _cmd_parse)
+    parse_cmd.add_argument("--input", required=True,
+                           help="whitespace-separated terminal names")
+    parse_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    parse_cmd.add_argument("--tree", action="store_true")
+
+    add("stats", _cmd_stats)
+
+    generate_cmd = add("generate", _cmd_generate)
+    generate_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    generate_cmd.add_argument("--output", "-o", default="",
+                              help="write to file instead of stdout")
+
+    dot_cmd = add("dot", _cmd_dot)
+    dot_cmd.add_argument("--graph", choices=["automaton", "reads", "includes"],
+                         default="automaton")
+    dot_cmd.add_argument("--closure", action="store_true",
+                         help="show full closures, not just kernels")
+
+    add("lint", _cmd_lint)
+
+    ambiguity_cmd = add("ambiguity", _cmd_ambiguity)
+    ambiguity_cmd.add_argument("--bound", type=int, default=6,
+                               help="max sentence length to search (default 6)")
+
+    args = parser.parse_args(argv)
+    grammar = _load(args.grammar)
+    return args.fn(grammar, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""The paper's contribution: DeRemer-Pennello LALR(1) look-ahead sets."""
+
+from .bitset import TerminalVocabulary
+from .digraph import DigraphStats, digraph, naive_closure
+from .lalr import LalrAnalysis, compute_lookaheads
+from .relations import LalrRelations
+
+__all__ = [
+    "DigraphStats",
+    "LalrAnalysis",
+    "LalrRelations",
+    "TerminalVocabulary",
+    "compute_lookaheads",
+    "digraph",
+    "naive_closure",
+]

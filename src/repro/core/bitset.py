@@ -1,0 +1,68 @@
+"""Terminal sets as machine integers.
+
+The DeRemer–Pennello pipeline unions many small sets of terminals.  The
+paper's implementation used bit vectors; in Python the natural equivalent
+is arbitrary-precision ``int`` used as a bitmask, which makes union a
+single ``|`` — the cheapest set operation the interpreter offers.
+
+:class:`TerminalVocabulary` fixes the bit position of every terminal of a
+grammar and converts between masks and symbol sets.  Masks are plain ints,
+so they stay hashable, comparable and allocation-light; only at the API
+boundary (LA sets returned to users, table construction) are they widened
+back to frozensets of :class:`~repro.grammar.symbols.Symbol`.
+
+The ablation benchmark ``bench_ablation_bitset`` measures this choice
+against a frozenset-based implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+
+EMPTY = 0
+
+
+class TerminalVocabulary:
+    """Bidirectional mapping terminal <-> bit position for one grammar."""
+
+    def __init__(self, grammar: Grammar):
+        self.terminals: List[Symbol] = list(grammar.terminals)
+        self._bit_of: Dict[Symbol, int] = {
+            terminal: position for position, terminal in enumerate(self.terminals)
+        }
+
+    def __len__(self) -> int:
+        return len(self.terminals)
+
+    def bit(self, terminal: Symbol) -> int:
+        """The single-bit mask for *terminal*."""
+        return 1 << self._bit_of[terminal]
+
+    def mask(self, terminals: Iterable[Symbol]) -> int:
+        """The mask with the bits of all *terminals* set."""
+        result = 0
+        for terminal in terminals:
+            result |= 1 << self._bit_of[terminal]
+        return result
+
+    def symbols(self, mask: int) -> FrozenSet[Symbol]:
+        """The set of terminals whose bits are set in *mask*."""
+        return frozenset(self.iter_symbols(mask))
+
+    def iter_symbols(self, mask: int) -> Iterator[Symbol]:
+        position = 0
+        while mask:
+            if mask & 1:
+                yield self.terminals[position]
+            mask >>= 1
+            position += 1
+
+    def count(self, mask: int) -> int:
+        """Number of terminals in *mask* (popcount)."""
+        return bin(mask).count("1")
+
+    def contains(self, mask: int, terminal: Symbol) -> bool:
+        return bool(mask >> self._bit_of[terminal] & 1)

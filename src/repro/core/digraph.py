@@ -1,0 +1,203 @@
+"""The Digraph algorithm of DeRemer & Pennello.
+
+Given a set of nodes ``X``, a relation ``R ⊆ X × X`` and an initial set
+function ``F: X -> sets``, Digraph computes the smallest function ``F*``
+satisfying::
+
+    F*(x) = F(x) ∪ ⋃ { F*(y) : x R y }
+
+i.e. the union of F over everything reachable from x.  The paper evaluates
+both its `reads` and `includes` unions with this single primitive.
+
+The algorithm is a depth-first traversal that detects strongly connected
+components on the fly (in the manner of Tarjan / Eve & Kurki-Suonio): all
+nodes of an SCC necessarily share one result set, so the set is computed
+once per component and assigned to every member.  Each edge of R is
+inspected exactly once, which is what makes the overall look-ahead
+computation linear in the size of the relations (plus set-union work) —
+the paper's headline efficiency claim.
+
+Sets here are **int bitmasks** (see :mod:`repro.core.bitset`); callers that
+want Python sets wrap the result.  The traversal is iterative so deep
+relation chains cannot overflow Python's recursion limit (relation chains
+grow with grammar size in e.g. the nullable-chain benchmark family).
+
+The companion :func:`naive_closure` is the same specification computed by
+repeated relaxation; it exists purely as the ablation baseline
+(``bench_ablation_digraph``) and as an oracle for property tests.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+Node = TypeVar("Node", bound=Hashable)
+
+#: Sentinel "visited, finished" depth — any real stack depth is smaller.
+_INFINITY = float("inf")
+
+
+class DigraphStats:
+    """Operation counters for the machine-independent cost reporting."""
+
+    __slots__ = ("nodes", "edges", "unions", "nontrivial_sccs", "scc_members")
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.edges = 0
+        self.unions = 0
+        self.nontrivial_sccs = 0
+        self.scc_members = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "unions": self.unions,
+            "nontrivial_sccs": self.nontrivial_sccs,
+            "scc_members": self.scc_members,
+        }
+
+
+def digraph(
+    nodes: Sequence[Node],
+    relation: Callable[[Node], Iterable[Node]],
+    initial: Callable[[Node], int],
+    stats: "DigraphStats | None" = None,
+) -> Tuple[Dict[Node, int], List[Tuple[Node, ...]]]:
+    """Run the Digraph algorithm.
+
+    Args:
+        nodes: All nodes of X (the traversal starts from each unvisited one).
+        relation: ``relation(x)`` yields the successors of x under R.
+            It may be called more than once per node; results must be
+            stable.
+        initial: ``initial(x)`` is F(x) as an int bitmask.
+        stats: Optional operation counter to fill in.
+
+    Returns:
+        ``(result, nontrivial_sccs)`` where ``result[x]`` is the bitmask
+        F*(x) and *nontrivial_sccs* lists every SCC of R with more than one
+        node or a self-loop.  (The paper's LR(k)/LALR(1) diagnostics hang
+        off these components.)
+    """
+    depth: Dict[Node, float] = {}
+    result: Dict[Node, int] = {}
+    stack: List[Node] = []
+    nontrivial: List[Tuple[Node, ...]] = []
+
+    if stats is not None:
+        stats.nodes += len(nodes)
+
+    for root in nodes:
+        if root in depth:
+            continue
+        # Iterative DFS.  Each frame is [node, successor_iterator].
+        stack.append(root)
+        depth[root] = len(stack)
+        result[root] = initial(root)
+        frames: List[List] = [[root, iter(relation(root)), len(stack), False]]
+        while frames:
+            frame = frames[-1]
+            node, successors, node_depth = frame[0], frame[1], frame[2]
+            advanced = False
+            for successor in successors:
+                if stats is not None:
+                    stats.edges += 1
+                if successor == node:
+                    frame[3] = True  # self-loop: still a nontrivial SCC
+                if successor not in depth:
+                    stack.append(successor)
+                    depth[successor] = len(stack)
+                    result[successor] = initial(successor)
+                    frames.append(
+                        [successor, iter(relation(successor)), len(stack), False]
+                    )
+                    advanced = True
+                    break
+                # Finished nodes have depth _INFINITY, which never lowers
+                # ours; active ones propagate their stack depth.
+                if depth[successor] < depth[node]:
+                    depth[node] = depth[successor]
+                result[node] |= result[successor]
+                if stats is not None:
+                    stats.unions += 1
+            if advanced:
+                continue
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                if depth[node] < depth[parent]:
+                    depth[parent] = depth[node]
+                result[parent] |= result[node]
+                if stats is not None:
+                    stats.unions += 1
+            if depth[node] == node_depth:
+                # node is the root of an SCC: everything above it on the
+                # stack (inclusive) is one component sharing result[node].
+                component: List[Node] = []
+                shared = result[node]
+                while True:
+                    member = stack.pop()
+                    depth[member] = _INFINITY
+                    result[member] = shared
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or frame[3]:
+                    nontrivial.append(tuple(component))
+                    if stats is not None:
+                        stats.nontrivial_sccs += 1
+                        stats.scc_members += len(component)
+    return result, nontrivial
+
+
+def naive_closure(
+    nodes: Sequence[Node],
+    relation: Callable[[Node], Iterable[Node]],
+    initial: Callable[[Node], int],
+    stats: "DigraphStats | None" = None,
+    reverse_edges: bool = False,
+) -> Dict[Node, int]:
+    """Relaxation-to-fixpoint evaluation of the same specification.
+
+    This is how pre-Digraph implementations evaluated the unions: keep
+    sweeping ``F*(x) |= F*(y) for x R y`` until nothing changes.  Worst
+    case it re-scans the whole relation once per "level" of the relation
+    graph, i.e. O(edges × diameter) unions versus Digraph's O(edges).
+    Used as the ablation baseline and as a test oracle.
+
+    The sweep cost depends on how the edge order aligns with the flow
+    direction; *reverse_edges* flips the scan order so benchmarks can
+    bracket the best case (aligned: 2 sweeps) against the adversarial
+    case (anti-aligned: one sweep per propagation level).
+    """
+    result: Dict[Node, int] = {node: initial(node) for node in nodes}
+    edges: List[Tuple[Node, Node]] = [
+        (x, y) for x in nodes for y in relation(x)
+    ]
+    if reverse_edges:
+        edges.reverse()
+    if stats is not None:
+        stats.nodes += len(nodes)
+        stats.edges += len(edges)
+    changed = True
+    while changed:
+        changed = False
+        for x, y in edges:
+            merged = result[x] | result[y]
+            if stats is not None:
+                stats.unions += 1
+            if merged != result[x]:
+                result[x] = merged
+                changed = True
+    return result

@@ -1,0 +1,158 @@
+"""The DeRemer–Pennello LALR(1) look-ahead computation, end to end.
+
+Pipeline (section 3 of DESIGN.md)::
+
+    LR(0) automaton
+        -> relations (DR, reads, includes, lookback)
+        -> Read  = Digraph(reads,    DR)
+        -> Follow = Digraph(includes, Read)
+        -> LA(q, A -> ω) = ⋃ Follow(p, A) over lookback
+
+:class:`LalrAnalysis` runs the pipeline once at construction and exposes
+the LA sets plus the paper's diagnostics:
+
+- ``not_lr_k`` / ``reads_sccs``: a nontrivial SCC in `reads` proves the
+  grammar is **not LR(k) for any k** (the paper's Theorem — two nullable
+  nonterminals reading each other make the automaton loop without
+  consuming input).
+- ``includes_sccs``: nontrivial `includes` components are legal (the
+  shared Follow set is still correct for LALR(1)) but they are exactly
+  where LALR's merging collapses left context, so they are surfaced for
+  grammar debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from ..automaton.lr0 import LR0Automaton
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .bitset import TerminalVocabulary
+from .digraph import DigraphStats, digraph
+from .relations import LalrRelations, ReductionSite, Transition
+
+
+class LalrAnalysis:
+    """LALR(1) look-ahead sets for one grammar, via DeRemer–Pennello.
+
+    Args:
+        grammar: Any grammar; it is augmented if necessary.
+        automaton: Optionally, a pre-built LR(0) automaton to reuse.
+
+    Attributes:
+        automaton: The LR(0) automaton everything is computed on.
+        relations: The constructed relations (sizes, for inspection).
+        read_sets / follow_sets: Per nonterminal-transition bitmasks.
+        la_masks: ``(state, production index) -> bitmask``.
+        stats: Digraph operation counters for the cost benchmarks.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        automaton: "LR0Automaton | None" = None,
+    ):
+        if automaton is None:
+            automaton = LR0Automaton(grammar)
+        self.automaton = automaton
+        self.grammar = automaton.grammar
+        self.vocabulary = TerminalVocabulary(self.grammar)
+        self.relations = LalrRelations(automaton, self.vocabulary)
+        self.stats = DigraphStats()
+
+        transitions = self.relations.transitions
+
+        # Phase 1: Read = Digraph over `reads`, seeded with DR.
+        self.read_sets, self.reads_sccs = digraph(
+            transitions,
+            lambda t: self.relations.reads[t],
+            lambda t: self.relations.dr[t],
+            self.stats,
+        )
+
+        # Phase 2: Follow = Digraph over `includes`, seeded with Read.
+        self.follow_sets, self.includes_sccs = digraph(
+            transitions,
+            lambda t: self.relations.includes[t],
+            lambda t: self.read_sets[t],
+            self.stats,
+        )
+
+        # Phase 3: LA = union of Follow over `lookback`.
+        self.la_masks: Dict[ReductionSite, int] = {}
+        for site, lookback_edges in self.relations.lookback.items():
+            mask = 0
+            for transition in lookback_edges:
+                mask |= self.follow_sets[transition]
+                self.stats.unions += 1
+            self.la_masks[site] = mask
+
+    # -- diagnostics -----------------------------------------------------
+
+    @property
+    def not_lr_k(self) -> bool:
+        """True when the grammar is provably not LR(k) for any k
+        (nontrivial cycle in `reads`)."""
+        return bool(self.reads_sccs)
+
+    # -- queries -----------------------------------------------------------
+
+    def lookahead(self, state_id: int, production_index: int) -> FrozenSet[Symbol]:
+        """LA(q, A -> ω) as a set of terminals.
+
+        For the augmented production 0 the LA set is empty by construction
+        (its reduction is the accept action and is never taken by
+        lookahead); a query for a (state, production) pair that is not a
+        reduction site raises KeyError.
+        """
+        return self.vocabulary.symbols(self.la_masks[(state_id, production_index)])
+
+    def lookahead_table(self) -> Dict[ReductionSite, FrozenSet[Symbol]]:
+        """All LA sets, widened to symbol sets."""
+        return {
+            site: self.vocabulary.symbols(mask)
+            for site, mask in self.la_masks.items()
+        }
+
+    def read_set(self, transition: Transition) -> FrozenSet[Symbol]:
+        return self.vocabulary.symbols(self.read_sets[transition])
+
+    def follow_set(self, transition: Transition) -> FrozenSet[Symbol]:
+        return self.vocabulary.symbols(self.follow_sets[transition])
+
+    def dr_set(self, transition: Transition) -> FrozenSet[Symbol]:
+        return self.vocabulary.symbols(self.relations.dr[transition])
+
+    # -- reporting -----------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line report of all Follow and LA sets (debugging aid)."""
+        lines: List[str] = []
+        for transition in self.relations.transitions:
+            state, symbol = transition
+            follow = sorted(t.name for t in self.follow_set(transition))
+            lines.append(f"Follow({state}, {symbol.name}) = {{{', '.join(follow)}}}")
+        for (state, production_index), mask in sorted(self.la_masks.items()):
+            production = self.grammar.productions[production_index]
+            la = sorted(t.name for t in self.vocabulary.symbols(mask))
+            lines.append(f"LA({state}, {production}) = {{{', '.join(la)}}}")
+        if self.not_lr_k:
+            lines.append(
+                f"grammar is not LR(k): {len(self.reads_sccs)} nontrivial reads-SCC(s)"
+            )
+        return "\n".join(lines)
+
+    def cost_summary(self) -> Dict[str, int]:
+        """Machine-independent cost counters (Table 2 of EXPERIMENTS.md)."""
+        summary = dict(self.relations.stats())
+        summary.update(self.stats.as_dict())
+        summary["lr0_states"] = len(self.automaton)
+        return summary
+
+
+def compute_lookaheads(
+    grammar: Grammar, automaton: "LR0Automaton | None" = None
+) -> Dict[ReductionSite, FrozenSet[Symbol]]:
+    """Convenience one-shot: LA sets for every reduction site of *grammar*."""
+    return LalrAnalysis(grammar, automaton).lookahead_table()

@@ -1,0 +1,155 @@
+"""The four relations of DeRemer & Pennello: DR, reads, includes, lookback.
+
+All are defined over *nonterminal transitions* of the LR(0) automaton —
+pairs ``(p, A)`` such that ``goto(p, A)`` is defined:
+
+- ``DR(p, A)``: terminals directly readable after traversing the
+  transition: ``{ t : goto(goto(p,A), t) defined }``.
+- ``(p, A) reads (r, C)``: with ``r = goto(p, A)``, the automaton can hop
+  over a nullable ``C`` out of ``r`` and keep reading — so whatever can be
+  read after ``(r, C)`` can also follow ``(p, A)``.
+- ``(p, A) includes (p', B)``: there is a production ``B -> β A γ`` with
+  ``γ =>* ε`` and ``p' --β--> p``; a reduction context for ``B`` at ``p'``
+  is therefore also one for this ``A`` transition.
+- ``(q, A -> ω) lookback (p, A)``: ``p --ω--> q``; when state ``q``
+  reduces by ``A -> ω`` the automaton pops back to some such ``p`` and
+  takes its ``A`` transition, so LA(q, A -> ω) collects Follow(p, A).
+
+`includes` and `lookback` are computed together by a single forward walk
+along each production's right-hand side from each transition source — the
+same trick later adopted by Bison's implementation of this paper.
+
+Everything here is pure relation *construction*; the unions over the
+relations happen in :mod:`repro.core.lalr` via the Digraph algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..analysis.nullable import nullable_nonterminals
+from ..automaton.lr0 import LR0Automaton
+from ..grammar.symbols import Symbol
+from .bitset import TerminalVocabulary
+
+#: A nonterminal transition: (source state id, nonterminal symbol).
+Transition = Tuple[int, Symbol]
+
+#: A reduction site: (state id, production index).
+ReductionSite = Tuple[int, int]
+
+
+class LalrRelations:
+    """All relations needed for the LALR(1) look-ahead computation.
+
+    Construction walks the LR(0) automaton once; the resulting adjacency
+    maps are immutable-by-convention and consumed by
+    :class:`repro.core.lalr.LalrAnalysis`.
+
+    Attributes:
+        transitions: All nonterminal transitions, in deterministic order.
+        dr: ``dr[(p, A)]`` — the DR set as a terminal bitmask.
+        reads: ``reads[(p, A)]`` — successor transitions under `reads`.
+        includes: ``includes[(p, A)]`` — successor transitions under
+            `includes`.
+        lookback: ``lookback[(q, prod)]`` — the transitions whose Follow
+            sets feed LA(q, prod).
+    """
+
+    def __init__(self, automaton: LR0Automaton, vocabulary: "TerminalVocabulary | None" = None):
+        self.automaton = automaton
+        self.grammar = automaton.grammar
+        self.vocabulary = vocabulary or TerminalVocabulary(self.grammar)
+        self.nullable: FrozenSet[Symbol] = nullable_nonterminals(self.grammar)
+
+        self.transitions: List[Transition] = list(automaton.nonterminal_transitions)
+        self._transition_set = set(self.transitions)
+
+        self.dr: Dict[Transition, int] = {}
+        self.reads: Dict[Transition, Tuple[Transition, ...]] = {}
+        self.includes: Dict[Transition, List[Transition]] = {
+            t: [] for t in self.transitions
+        }
+        self.lookback: Dict[ReductionSite, List[Transition]] = {}
+
+        self._compute_dr_and_reads()
+        self._compute_includes_and_lookback()
+
+    # -- DR and reads --------------------------------------------------
+
+    def _compute_dr_and_reads(self) -> None:
+        automaton = self.automaton
+        vocabulary = self.vocabulary
+        nullable = self.nullable
+        for transition in self.transitions:
+            state, symbol = transition
+            successor = automaton.goto(state, symbol)
+            assert successor is not None
+            successor_state = automaton.states[successor]
+            mask = 0
+            reads_edges: List[Transition] = []
+            for out_symbol in successor_state.transitions:
+                if out_symbol.is_terminal:
+                    mask |= vocabulary.bit(out_symbol)
+                elif out_symbol in nullable:
+                    reads_edges.append((successor, out_symbol))
+            self.dr[transition] = mask
+            self.reads[transition] = tuple(reads_edges)
+
+    # -- includes and lookback ---------------------------------------------
+
+    def _compute_includes_and_lookback(self) -> None:
+        """One forward walk per (transition, production of its nonterminal).
+
+        From ``(p', B)`` and production ``B -> x1 ... xn`` we walk states
+        ``p' = s0 --x1--> s1 --x2--> ... --xn--> sn``.  At position i where
+        ``x_{i+1}`` is a nonterminal and ``x_{i+2} ... xn`` are all
+        nullable, ``(s_i, x_{i+1}) includes (p', B)``.  At the end,
+        ``(s_n, B -> x1...xn) lookback (p', B)``.
+        """
+        automaton = self.automaton
+        grammar = self.grammar
+        nullable = self.nullable
+
+        # nullable_suffix[i] of a rhs: True iff rhs[i:] =>* epsilon.
+        for transition in self.transitions:
+            source, lhs = transition
+            for production in grammar.productions_for(lhs):
+                rhs = production.rhs
+                suffix_nullable = [False] * (len(rhs) + 1)
+                suffix_nullable[len(rhs)] = True
+                for i in range(len(rhs) - 1, -1, -1):
+                    suffix_nullable[i] = (
+                        rhs[i].is_nonterminal
+                        and rhs[i] in nullable
+                        and suffix_nullable[i + 1]
+                    )
+
+                state = source
+                for i, symbol in enumerate(rhs):
+                    if symbol.is_nonterminal and suffix_nullable[i + 1]:
+                        edge = (state, symbol)
+                        # goto(state, symbol) is defined whenever the walk
+                        # continues, but guard for robustness.
+                        if edge in self._transition_set:
+                            self.includes[edge].append(transition)
+                    next_state = automaton.goto(state, symbol)
+                    assert next_state is not None, (
+                        "automaton is missing a transition the closure implies"
+                    )
+                    state = next_state
+                self.lookback.setdefault((state, production.index), []).append(
+                    transition
+                )
+
+    # -- reporting -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nonterminal_transitions": len(self.transitions),
+            "dr_bits": sum(self.vocabulary.count(m) for m in self.dr.values()),
+            "reads_edges": sum(len(e) for e in self.reads.values()),
+            "includes_edges": sum(len(e) for e in self.includes.values()),
+            "lookback_edges": sum(len(e) for e in self.lookback.values()),
+            "reduction_sites": len(self.lookback),
+        }

@@ -1,0 +1,51 @@
+"""Context-free grammar substrate: symbols, productions, I/O, transforms."""
+
+from .cnf import CnfGrammar, is_cnf, to_cnf
+from .lint import LintWarning, lint, lint_report
+from .builder import GrammarBuilder, grammar_from_rules
+from .errors import (
+    GrammarError,
+    GrammarSyntaxError,
+    GrammarValidationError,
+    ProductionError,
+    SymbolError,
+)
+from .grammar import Assoc, Grammar, Precedence
+from .production import Production
+from .reader import load_grammar, load_grammar_file
+from .refactor import left_factor, remove_left_recursion
+from .symbols import EOF_NAME, EPSILON_NAME, Symbol, SymbolTable
+from .transforms import reduce_grammar, remove_epsilon_rules
+from .writer import write_arrow, write_yacc
+
+__all__ = [
+    "Assoc",
+    "EOF_NAME",
+    "EPSILON_NAME",
+    "Grammar",
+    "GrammarBuilder",
+    "CnfGrammar",
+    "LintWarning",
+    "lint",
+    "lint_report",
+    "is_cnf",
+    "to_cnf",
+    "GrammarError",
+    "GrammarSyntaxError",
+    "GrammarValidationError",
+    "Precedence",
+    "Production",
+    "ProductionError",
+    "Symbol",
+    "SymbolError",
+    "SymbolTable",
+    "grammar_from_rules",
+    "load_grammar",
+    "load_grammar_file",
+    "left_factor",
+    "remove_left_recursion",
+    "reduce_grammar",
+    "remove_epsilon_rules",
+    "write_arrow",
+    "write_yacc",
+]

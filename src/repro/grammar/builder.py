@@ -1,0 +1,159 @@
+"""Fluent programmatic construction of grammars.
+
+Example:
+    >>> from repro.grammar.builder import GrammarBuilder
+    >>> b = GrammarBuilder("expr")
+    >>> b.rule("E", ["E", "+", "T"])
+    >>> b.rule("E", ["T"])
+    >>> b.rule("T", ["id"])
+    >>> g = b.build(start="E")
+
+Symbols are classified automatically: any name that ever appears on a
+left-hand side is a nonterminal; every other name is a terminal.  This
+matches the convention of most parser-generator input languages and avoids
+a separate declaration step for quick experiments.  Use
+:meth:`GrammarBuilder.declare_terminal` to force a name to be a terminal
+(the builder will then reject rules that use it as a lhs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import GrammarValidationError, SymbolError
+from .grammar import Assoc, Grammar, Precedence
+from .production import Production
+from .symbols import SymbolTable
+
+
+class GrammarBuilder:
+    """Accumulates rules as plain strings, then materialises a Grammar."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._rules: List[Tuple[str, Tuple[str, ...], Optional[str]]] = []
+        self._declared_terminals: "set[str]" = set()
+        self._precedence: Dict[str, Precedence] = {}
+        self._next_prec_level = 1
+        self._start: Optional[str] = None
+
+    # -- declarations --------------------------------------------------
+
+    def declare_terminal(self, *names: str) -> "GrammarBuilder":
+        """Force *names* to be terminals even if never used on a rhs."""
+        self._declared_terminals.update(names)
+        return self
+
+    def left(self, *names: str) -> "GrammarBuilder":
+        """Declare a left-associative precedence level (like yacc %left)."""
+        return self._prec_level(names, Assoc.LEFT)
+
+    def right(self, *names: str) -> "GrammarBuilder":
+        """Declare a right-associative precedence level (like yacc %right)."""
+        return self._prec_level(names, Assoc.RIGHT)
+
+    def nonassoc(self, *names: str) -> "GrammarBuilder":
+        """Declare a non-associative precedence level (like yacc %nonassoc)."""
+        return self._prec_level(names, Assoc.NONASSOC)
+
+    def _prec_level(self, names: Sequence[str], assoc: Assoc) -> "GrammarBuilder":
+        level = self._next_prec_level
+        self._next_prec_level += 1
+        for name in names:
+            self._declared_terminals.add(name)
+            self._precedence[name] = Precedence(level, assoc)
+        return self
+
+    def start(self, name: str) -> "GrammarBuilder":
+        """Set the start symbol (may also be passed to :meth:`build`)."""
+        self._start = name
+        return self
+
+    # -- rules -----------------------------------------------------------
+
+    def rule(
+        self,
+        lhs: str,
+        rhs: Iterable[str],
+        prec: Optional[str] = None,
+    ) -> "GrammarBuilder":
+        """Add one production.  *rhs* may be empty for an epsilon rule.
+
+        *prec* names a terminal whose precedence the production should take,
+        overriding the default rightmost-terminal rule (yacc's %prec).
+        """
+        if lhs in self._declared_terminals:
+            raise SymbolError(f"{lhs!r} was declared terminal; cannot use as lhs")
+        self._rules.append((lhs, tuple(rhs), prec))
+        return self
+
+    def rules(self, lhs: str, *alternatives: Iterable[str]) -> "GrammarBuilder":
+        """Add several alternatives for the same lhs at once."""
+        for alternative in alternatives:
+            self.rule(lhs, alternative)
+        return self
+
+    # -- materialisation ---------------------------------------------------
+
+    def build(self, start: Optional[str] = None, augment: bool = False) -> Grammar:
+        """Create the Grammar.
+
+        Args:
+            start: Start symbol name; defaults to the declared start or the
+                lhs of the first rule.
+            augment: If true, return the augmented grammar directly.
+        """
+        if not self._rules:
+            raise GrammarValidationError("no rules were added")
+        start_name = start or self._start or self._rules[0][0]
+
+        lhs_names = {lhs for lhs, _, _ in self._rules}
+        bad = lhs_names & self._declared_terminals
+        if bad:
+            raise SymbolError(f"declared terminals used as lhs: {sorted(bad)}")
+
+        table = SymbolTable()
+        # Intern nonterminals first, in first-appearance order of lhs.
+        for lhs, _, _ in self._rules:
+            table.nonterminal(lhs)
+        for name in sorted(self._declared_terminals):
+            table.terminal(name)
+        # Remaining rhs names become terminals.
+        for _, rhs, _ in self._rules:
+            for name in rhs:
+                if name not in table:
+                    table.terminal(name)
+        for _, _, prec in self._rules:
+            if prec is not None and prec not in table:
+                table.terminal(prec)
+
+        if start_name not in table:
+            raise GrammarValidationError(f"start symbol {start_name!r} does not appear in any rule")
+
+        productions = []
+        for index, (lhs, rhs, prec) in enumerate(self._rules):
+            prec_symbol = None
+            if prec is not None:
+                prec_symbol = table[prec]
+                if prec_symbol.is_nonterminal:
+                    raise SymbolError(f"%prec symbol {prec!r} must be a terminal")
+            productions.append(
+                Production(index, table[lhs], [table[n] for n in rhs], prec_symbol)
+            )
+
+        precedence = {table[name]: prec for name, prec in self._precedence.items()}
+        grammar = Grammar(table, productions, table[start_name], precedence, self.name)
+        return grammar.augmented() if augment else grammar
+
+
+def grammar_from_rules(
+    rules: Sequence[Tuple[str, Sequence[str]]],
+    start: Optional[str] = None,
+    name: str = "",
+    augment: bool = False,
+) -> Grammar:
+    """Shorthand: build a grammar from ``[(lhs, [rhs...]), ...]`` pairs."""
+    builder = GrammarBuilder(name)
+    for lhs, rhs in rules:
+        builder.rule(lhs, rhs)
+    return builder.build(start=start, augment=augment)

@@ -1,0 +1,172 @@
+"""Chomsky-normal-form conversion.
+
+CNF is the substrate for the CYK recogniser
+(:mod:`repro.parser.cyk`), which the test suite uses as an
+*LR-independent membership oracle*: CYK accepts exactly L(G) for any CFG,
+ambiguous or not, so LR-parser acceptance can be cross-validated against
+it on bounded inputs.
+
+Pipeline (standard, Hopcroft & Ullman):
+    1. remove ε-rules (remembering whether ε ∈ L(G)),
+    2. remove unit productions A -> B,
+    3. lift terminals out of long right-hand sides (``T_a -> a``),
+    4. binarise right-hand sides longer than 2.
+
+The result's language equals ``L(G) - {ε}``; ``CnfGrammar.accepts_epsilon``
+carries the ε bit separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+from .grammar import Grammar
+from .production import Production
+from .symbols import Symbol, SymbolTable
+from .transforms import nullable_from_productions, reduce_grammar, remove_epsilon_rules
+
+
+class CnfGrammar(NamedTuple):
+    """A grammar in Chomsky normal form plus the ε-membership bit.
+
+    ``grammar`` is None when ``L(G) ⊆ {ε}`` — CNF cannot express a
+    grammar with no non-empty sentences, so the (at most one) sentence
+    lives entirely in ``accepts_epsilon``.
+    """
+
+    grammar: "Grammar | None"
+    accepts_epsilon: bool
+
+
+def is_cnf(grammar: Grammar) -> bool:
+    """True iff every production is ``A -> B C`` or ``A -> a``."""
+    for production in grammar.productions:
+        rhs = production.rhs
+        if len(rhs) == 1 and rhs[0].is_terminal:
+            continue
+        if len(rhs) == 2 and rhs[0].is_nonterminal and rhs[1].is_nonterminal:
+            continue
+        return False
+    return True
+
+
+def to_cnf(grammar: Grammar) -> CnfGrammar:
+    """Convert *grammar* to Chomsky normal form.
+
+    The input must be reduced enough to generate something; useless
+    symbols are stripped first so the conversion never carries dead
+    weight.
+    """
+    if grammar.is_augmented:
+        raise ValueError("convert the user grammar, not its augmented form")
+    grammar = reduce_grammar(grammar)
+    nullable = nullable_from_productions(grammar.productions)
+    accepts_epsilon = grammar.start in nullable
+
+    grammar = remove_epsilon_rules(grammar)
+    # remove_epsilon_rules may add S' -> S | %empty when ε ∈ L; drop the
+    # ε alternative (the bit is carried separately) and re-reduce, since
+    # erasing a nullable-only nonterminal's rules can strand others.
+    productions = [p for p in grammar.productions if p.rhs]
+    if not productions:
+        return CnfGrammar(None, accepts_epsilon)
+    grammar = Grammar(grammar.symbols, _renumber(productions), grammar.start,
+                      grammar.precedence, grammar.name)
+    from .errors import GrammarValidationError
+
+    try:
+        grammar = reduce_grammar(grammar)
+    except GrammarValidationError:
+        return CnfGrammar(None, accepts_epsilon)  # L(G) was exactly {ε} or ∅
+    grammar = _remove_unit_productions(grammar)
+
+    table = SymbolTable()
+    start = table.nonterminal(grammar.start.name)
+    for nonterminal in grammar.nonterminals:
+        if any(p.lhs is nonterminal for p in grammar.productions):
+            table.nonterminal(nonterminal.name)
+    for terminal in grammar.terminals:
+        table.terminal(terminal.name)
+
+    fresh_counter = [0]
+
+    def fresh(base: str) -> Symbol:
+        while True:
+            name = f"{base}#{fresh_counter[0]}"
+            fresh_counter[0] += 1
+            if name not in table:
+                return table.nonterminal(name)
+
+    terminal_proxy: Dict[Symbol, Symbol] = {}
+    new_rules: List[Tuple[Symbol, Tuple[Symbol, ...]]] = []
+    seen: Set[Tuple[Symbol, Tuple[Symbol, ...]]] = set()
+
+    def emit(lhs: Symbol, rhs: Tuple[Symbol, ...]) -> None:
+        key = (lhs, rhs)
+        if key not in seen:
+            seen.add(key)
+            new_rules.append(key)
+
+    def proxy_for(terminal: Symbol) -> Symbol:
+        proxy = terminal_proxy.get(terminal)
+        if proxy is None:
+            proxy = fresh("T")
+            terminal_proxy[terminal] = proxy
+            emit(proxy, (terminal,))
+        return proxy
+
+    for production in grammar.productions:
+        lhs = table[production.lhs.name]
+        rhs = [table[s.name] for s in production.rhs]
+        if len(rhs) == 1:
+            # After unit removal a length-1 rhs must be a terminal.
+            emit(lhs, tuple(rhs))
+            continue
+        # Lift terminals, then binarise.
+        lifted = [s if s.is_nonterminal else proxy_for(s) for s in rhs]
+        while len(lifted) > 2:
+            helper = fresh("B")
+            emit(helper, (lifted[-2], lifted[-1]))
+            lifted = lifted[:-2] + [helper]
+        emit(lhs, tuple(lifted))
+
+    productions = [Production(i, lhs, rhs) for i, (lhs, rhs) in enumerate(new_rules)]
+    cnf = Grammar(table, productions, start, name=grammar.name)
+    return CnfGrammar(cnf, accepts_epsilon)
+
+
+def _remove_unit_productions(grammar: Grammar) -> Grammar:
+    """Replace A -> B chains by inlining B's non-unit alternatives."""
+    # unit_reach[A] = all B with A =>* B via unit productions (incl. A).
+    unit_reach: Dict[Symbol, Set[Symbol]] = {
+        nt: {nt} for nt in grammar.nonterminals
+    }
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if len(production.rhs) == 1 and production.rhs[0].is_nonterminal:
+                for source, reach in unit_reach.items():
+                    if production.lhs in reach and production.rhs[0] not in reach:
+                        reach.add(production.rhs[0])
+                        changed = True
+    new_rules: List[Tuple[Symbol, Tuple[Symbol, ...]]] = []
+    seen: Set[Tuple[Symbol, Tuple[Symbol, ...]]] = set()
+    for source, reach in unit_reach.items():
+        for target in reach:
+            for production in grammar.productions_for(target):
+                if len(production.rhs) == 1 and production.rhs[0].is_nonterminal:
+                    continue
+                key = (source, production.rhs)
+                if key not in seen:
+                    seen.add(key)
+                    new_rules.append(key)
+    productions = [Production(i, lhs, rhs) for i, (lhs, rhs) in enumerate(new_rules)]
+    return Grammar(grammar.symbols, productions, grammar.start,
+                   grammar.precedence, grammar.name)
+
+
+def _renumber(productions: List[Production]) -> List[Production]:
+    return [
+        Production(i, p.lhs, p.rhs, p.prec_symbol) for i, p in enumerate(productions)
+    ]

@@ -1,0 +1,35 @@
+"""Exceptions raised by the grammar subpackage."""
+
+from __future__ import annotations
+
+
+class GrammarError(Exception):
+    """Base class for all grammar-related errors."""
+
+
+class SymbolError(GrammarError):
+    """A symbol was used inconsistently (e.g. terminal on a left-hand side)."""
+
+
+class ProductionError(GrammarError):
+    """A production is malformed or refers to unknown symbols."""
+
+
+class GrammarSyntaxError(GrammarError):
+    """The textual grammar description could not be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token, if known.
+        column: 1-based column number of the offending token, if known.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class GrammarValidationError(GrammarError):
+    """The grammar is structurally invalid (no start symbol, empty, ...)."""

@@ -1,0 +1,203 @@
+"""Tokenizer for the textual grammar formats understood by the reader.
+
+Produces a flat token stream with line/column positions.  Both supported
+formats (yacc-like and arrow notation) share this lexer; the reader decides
+how to interpret the stream.
+
+Token kinds:
+    IDENT       bare word (identifier or any punctuation-free symbol name)
+    CHARLIT     quoted character/string literal: '+' or "=="
+    DIRECTIVE   %token %left %right %nonassoc %start %prec %empty %name
+    COLON       :
+    SEMI        ;
+    PIPE        |
+    ARROW       ->  (also accepts the Unicode arrow)
+    MARK        %%
+    NEWLINE     end of a (non-empty) line; meaningful in arrow format
+    EOF         end of input
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from .errors import GrammarSyntaxError
+
+IDENT = "IDENT"
+CHARLIT = "CHARLIT"
+DIRECTIVE = "DIRECTIVE"
+COLON = "COLON"
+SEMI = "SEMI"
+PIPE = "PIPE"
+ARROW = "ARROW"
+MARK = "MARK"
+NEWLINE = "NEWLINE"
+EOF = "EOF"
+
+_KNOWN_DIRECTIVES = {
+    "%token",
+    "%left",
+    "%right",
+    "%nonassoc",
+    "%start",
+    "%prec",
+    "%empty",
+    "%name",
+    "%type",
+}
+
+# Characters that terminate a bare symbol name.
+_STOP_CHARS = set(" \t\r\n:;|'\"")
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, returning a list ending with an EOF token."""
+    return list(iter_tokens(source))
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    emitted_on_line = False
+
+    def make(kind: str, text: str, start_col: int) -> Token:
+        return Token(kind, text, line, start_col)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            if emitted_on_line:
+                yield make(NEWLINE, "\n", col)
+            emitted_on_line = False
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise GrammarSyntaxError("unterminated comment", line, col)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+
+        start_col = col
+        emitted_on_line = True
+
+        if source.startswith("%%", i):
+            yield make(MARK, "%%", start_col)
+            i += 2
+            col += 2
+            continue
+
+        if ch == "%":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            if word not in _KNOWN_DIRECTIVES:
+                raise GrammarSyntaxError(f"unknown directive {word!r}", line, start_col)
+            yield make(DIRECTIVE, word, start_col)
+            col += j - i
+            i = j
+            continue
+
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise GrammarSyntaxError("unterminated literal", line, start_col)
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(_unescape(source[j + 1]))
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise GrammarSyntaxError("unterminated literal", line, start_col)
+            text = "".join(buf)
+            if not text:
+                raise GrammarSyntaxError("empty literal", line, start_col)
+            yield make(CHARLIT, text, start_col)
+            col += (j + 1) - i
+            i = j + 1
+            continue
+
+        if ch == ":":
+            yield make(COLON, ":", start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == ";":
+            yield make(SEMI, ";", start_col)
+            i += 1
+            col += 1
+            continue
+        if ch == "|":
+            yield make(PIPE, "|", start_col)
+            i += 1
+            col += 1
+            continue
+        if source.startswith("->", i):
+            yield make(ARROW, "->", start_col)
+            i += 2
+            col += 2
+            continue
+        if ch == "→":  # Unicode rightwards arrow
+            yield make(ARROW, "->", start_col)
+            i += 1
+            col += 1
+            continue
+
+        # Bare symbol name: read until a stop character.  This permits
+        # names like `id`, `NUM`, `(`, `+`, `==`, `expr_list`.
+        j = i
+        while j < n and source[j] not in _STOP_CHARS and source[j] != "→":
+            # `->` terminates a name so `a->b` splits correctly, but a
+            # lone `-` (e.g. the minus terminal) is a valid name char.
+            if j > i and (source.startswith("->", j) or source[j] in "#%"):
+                break
+            j += 1
+        if j == i:
+            raise GrammarSyntaxError(f"unexpected character {ch!r}", line, start_col)
+        yield make(IDENT, source[i:j], start_col)
+        col += j - i
+        i = j
+
+    yield Token(EOF, "", line, col)
+
+
+def _unescape(ch: str) -> str:
+    return {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}.get(ch, ch)

@@ -1,0 +1,143 @@
+"""Grammar linting: the warnings a practical generator emits.
+
+Collects, in one pass, the diagnostics yacc/bison print at build time:
+
+- ``unused-terminal``: declared but never used on any right-hand side
+  (excluding pure %prec handles, which are reported separately);
+- ``unreachable``: nonterminal not derivable from the start symbol;
+- ``non-generating``: nonterminal deriving no terminal string;
+- ``never-reduced``: production that no parse can ever use (its lhs is
+  useless, or the production references useless symbols);
+- ``derivation-cycle``: ``A =>+ A`` (the grammar is ambiguous and cannot
+  be LR(k));
+- ``duplicate-production``: textually identical productions;
+- ``prec-only-terminal``: terminal used only as a %prec handle (usually
+  intended, reported informationally).
+
+Each finding is a :class:`LintWarning` with a machine-readable code, so
+tools can filter; ``lint(grammar)`` returns them most-severe first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Set, Tuple
+
+from .grammar import Grammar
+from .production import Production
+from .properties import cyclic_nonterminals
+from .symbols import Symbol
+from .transforms import generating_nonterminals, reachable_symbols
+
+#: Severity order (index = rank; lower is more severe).
+_SEVERITIES = ["error", "warning", "info"]
+
+
+class LintWarning(NamedTuple):
+    code: str
+    severity: str  # "error" | "warning" | "info"
+    message: str
+    symbol: "Symbol | None" = None
+    production: "Production | None" = None
+
+    def __str__(self) -> str:
+        return f"{self.severity}: [{self.code}] {self.message}"
+
+
+def lint(grammar: Grammar) -> List[LintWarning]:
+    """All findings for *grammar*, most severe first (stable otherwise)."""
+    if grammar.is_augmented:
+        # Lint the user's view: augmentation artifacts are not findings.
+        user_productions = grammar.productions[1:]
+    else:
+        user_productions = grammar.productions
+
+    findings: List[LintWarning] = []
+    generating = generating_nonterminals(grammar)
+    reachable = reachable_symbols(grammar)
+    cyclic = cyclic_nonterminals(grammar)
+
+    prec_handles: Set[Symbol] = set()
+    used_in_rhs: Set[Symbol] = set()
+    for production in user_productions:
+        used_in_rhs.update(production.rhs)
+        if production.prec_symbol is not None:
+            prec_handles.add(production.prec_symbol)
+    prec_handles.update(grammar.precedence)
+
+    for nonterminal in grammar.nonterminals:
+        if grammar.is_augmented and nonterminal is grammar.start:
+            continue
+        if nonterminal not in generating:
+            findings.append(LintWarning(
+                "non-generating", "error",
+                f"nonterminal {nonterminal.name!r} derives no terminal string",
+                symbol=nonterminal,
+            ))
+        if nonterminal not in reachable:
+            findings.append(LintWarning(
+                "unreachable", "warning",
+                f"nonterminal {nonterminal.name!r} is unreachable from the start symbol",
+                symbol=nonterminal,
+            ))
+        if nonterminal in cyclic:
+            findings.append(LintWarning(
+                "derivation-cycle", "error",
+                f"nonterminal {nonterminal.name!r} derives itself "
+                f"(the grammar is ambiguous and cannot be LR(k))",
+                symbol=nonterminal,
+            ))
+
+    for terminal in grammar.terminals:
+        if terminal.is_eof:
+            continue
+        if terminal in used_in_rhs:
+            continue
+        if terminal in prec_handles:
+            findings.append(LintWarning(
+                "prec-only-terminal", "info",
+                f"terminal {terminal.name!r} is used only as a %prec handle",
+                symbol=terminal,
+            ))
+        else:
+            findings.append(LintWarning(
+                "unused-terminal", "warning",
+                f"terminal {terminal.name!r} is never used",
+                symbol=terminal,
+            ))
+
+    useful = {
+        nt for nt in grammar.nonterminals if nt in generating and nt in reachable
+    }
+    for production in user_productions:
+        if production.lhs not in useful or any(
+            s.is_nonterminal and s not in useful for s in production.rhs
+        ):
+            findings.append(LintWarning(
+                "never-reduced", "warning",
+                f"production [{production}] can never take part in a parse",
+                production=production,
+            ))
+
+    seen: Dict[Tuple[Symbol, Tuple[Symbol, ...]], Production] = {}
+    for production in user_productions:
+        key = (production.lhs, production.rhs)
+        if key in seen:
+            findings.append(LintWarning(
+                "duplicate-production", "warning",
+                f"production [{production}] duplicates production "
+                f"{seen[key].index}",
+                production=production,
+            ))
+        else:
+            seen[key] = production
+
+    findings.sort(key=lambda w: _SEVERITIES.index(w.severity))
+    return findings
+
+
+def lint_report(grammar: Grammar) -> str:
+    """Human-readable lint report ('clean' when nothing found)."""
+    findings = lint(grammar)
+    if not findings:
+        return "clean: no lint findings"
+    return "\n".join(str(w) for w in findings)

@@ -1,0 +1,72 @@
+"""Productions (rewrite rules) of a context-free grammar."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .errors import ProductionError
+from .symbols import Symbol
+
+
+class Production:
+    """A single rewrite rule ``lhs -> rhs[0] rhs[1] ... rhs[n-1]``.
+
+    Productions are immutable.  ``index`` is the production's position in
+    its grammar's production list; index 0 is reserved for the augmented
+    start production once the grammar has been augmented.
+
+    Attributes:
+        index: Dense index in the owning grammar.
+        lhs: Left-hand-side nonterminal.
+        rhs: Tuple of symbols; empty tuple for an epsilon production.
+        prec_symbol: Terminal whose precedence governs this production for
+            conflict resolution (explicit ``%prec`` or the rightmost
+            terminal of the rhs); None when no precedence applies.
+    """
+
+    __slots__ = ("index", "lhs", "rhs", "prec_symbol")
+
+    def __init__(
+        self,
+        index: int,
+        lhs: Symbol,
+        rhs: Sequence[Symbol],
+        prec_symbol: Optional[Symbol] = None,
+    ):
+        if lhs.is_terminal:
+            raise ProductionError(f"left-hand side {lhs.name!r} must be a nonterminal")
+        self.index = index
+        self.lhs = lhs
+        self.rhs: Tuple[Symbol, ...] = tuple(rhs)
+        if prec_symbol is None:
+            prec_symbol = self._rightmost_terminal(self.rhs)
+        self.prec_symbol = prec_symbol
+
+    @staticmethod
+    def _rightmost_terminal(rhs: Tuple[Symbol, ...]) -> Optional[Symbol]:
+        for symbol in reversed(rhs):
+            if symbol.is_terminal:
+                return symbol
+        return None
+
+    def __len__(self) -> int:
+        return len(self.rhs)
+
+    @property
+    def is_epsilon(self) -> bool:
+        return not self.rhs
+
+    def __repr__(self) -> str:
+        return f"Production({self.index}, {self})"
+
+    def __str__(self) -> str:
+        rhs = " ".join(s.name for s in self.rhs) if self.rhs else "%empty"
+        return f"{self.lhs.name} -> {rhs}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Production):
+            return NotImplemented
+        return self.index == other.index and self.lhs is other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.index, id(self.lhs), tuple(id(s) for s in self.rhs)))

@@ -1,0 +1,204 @@
+"""Structural predicates over grammars (reduced, cyclic, recursive, ...).
+
+These feed the grammar corpus's self-checks and the classifier's
+diagnostics; cycle detection in particular matters to the LALR pipeline
+because a grammar with ``A =>+ A`` cycles is ambiguous and can never be
+LR(k).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .grammar import Grammar
+from .symbols import Symbol
+from .transforms import (
+    generating_nonterminals,
+    nullable_from_productions,
+    reachable_symbols,
+)
+
+
+def is_reduced(grammar: Grammar) -> bool:
+    """True iff every symbol is both generating and reachable."""
+    generating = generating_nonterminals(grammar)
+    if any(nt not in generating for nt in grammar.nonterminals):
+        return False
+    reachable = reachable_symbols(grammar)
+    return all(s in reachable for s in grammar.symbols)
+
+
+def is_epsilon_free(grammar: Grammar) -> bool:
+    """True iff no production (other than an augmented start's) is epsilon."""
+    productions = grammar.productions[1:] if grammar.is_augmented else grammar.productions
+    return all(p.rhs for p in productions)
+
+
+def unit_derivation_graph(grammar: Grammar) -> Dict[Symbol, Set[Symbol]]:
+    """Edges ``A -> B`` whenever ``A => alpha B beta`` with alpha,beta
+    nullable — i.e. A derives B alone in one step (modulo erasures)."""
+    nullable = nullable_from_productions(grammar.productions)
+    graph: Dict[Symbol, Set[Symbol]] = {nt: set() for nt in grammar.nonterminals}
+    for production in grammar.productions:
+        non_nullable = [s for s in production.rhs if s not in nullable]
+        if len(non_nullable) == 1 and non_nullable[0].is_nonterminal:
+            graph[production.lhs].add(non_nullable[0])
+        elif not non_nullable:
+            for symbol in production.rhs:
+                if symbol.is_nonterminal:
+                    graph[production.lhs].add(symbol)
+    return graph
+
+
+def has_cycles(grammar: Grammar) -> bool:
+    """True iff some nonterminal derives itself: ``A =>+ A``."""
+    return bool(cyclic_nonterminals(grammar))
+
+
+def cyclic_nonterminals(grammar: Grammar) -> Set[Symbol]:
+    """All nonterminals on a derivation cycle ``A =>+ A``."""
+    graph = unit_derivation_graph(grammar)
+    cyclic: Set[Symbol] = set()
+    for scc in strongly_connected_components(graph):
+        if len(scc) > 1:
+            cyclic.update(scc)
+        else:
+            (only,) = scc
+            if only in graph[only]:
+                cyclic.add(only)
+    return cyclic
+
+
+def is_proper(grammar: Grammar) -> bool:
+    """True iff the grammar is reduced, cycle-free, and epsilon-free."""
+    return is_reduced(grammar) and not has_cycles(grammar) and is_epsilon_free(grammar)
+
+
+def left_recursive_nonterminals(grammar: Grammar) -> Set[Symbol]:
+    """Nonterminals A with ``A =>+ A gamma`` (immediate or indirect),
+    accounting for nullable prefixes."""
+    nullable = nullable_from_productions(grammar.productions)
+    graph: Dict[Symbol, Set[Symbol]] = {nt: set() for nt in grammar.nonterminals}
+    for production in grammar.productions:
+        for symbol in production.rhs:
+            if symbol.is_terminal:
+                break
+            graph[production.lhs].add(symbol)
+            if symbol not in nullable:
+                break
+    recursive: Set[Symbol] = set()
+    for scc in strongly_connected_components(graph):
+        if len(scc) > 1:
+            recursive.update(scc)
+        else:
+            (only,) = scc
+            if only in graph[only]:
+                recursive.add(only)
+    return recursive
+
+
+def right_recursive_nonterminals(grammar: Grammar) -> Set[Symbol]:
+    """Nonterminals A with ``A =>+ gamma A`` (immediate or indirect)."""
+    nullable = nullable_from_productions(grammar.productions)
+    graph: Dict[Symbol, Set[Symbol]] = {nt: set() for nt in grammar.nonterminals}
+    for production in grammar.productions:
+        for symbol in reversed(production.rhs):
+            if symbol.is_terminal:
+                break
+            graph[production.lhs].add(symbol)
+            if symbol not in nullable:
+                break
+    recursive: Set[Symbol] = set()
+    for scc in strongly_connected_components(graph):
+        if len(scc) > 1:
+            recursive.update(scc)
+        else:
+            (only,) = scc
+            if only in graph[only]:
+                recursive.add(only)
+    return recursive
+
+
+def is_finite_language(grammar: Grammar) -> bool:
+    """True iff L(G) is finite — i.e. no *useful* nonterminal is recursive.
+
+    Recursion through useless symbols does not make the language infinite,
+    so the check runs on the reachable, generating core of the grammar.
+    """
+    generating = generating_nonterminals(grammar)
+    reachable = reachable_symbols(grammar)
+    useful = {
+        nt for nt in grammar.nonterminals if nt in generating and nt in reachable
+    }
+    graph: Dict[Symbol, Set[Symbol]] = {nt: set() for nt in useful}
+    for production in grammar.productions:
+        if production.lhs not in useful:
+            continue
+        if not all(s.is_terminal or s in useful for s in production.rhs):
+            continue
+        for symbol in production.rhs:
+            if symbol.is_nonterminal:
+                graph[production.lhs].add(symbol)
+    for scc in strongly_connected_components(graph):
+        if len(scc) > 1:
+            return False
+        (only,) = scc
+        if only in graph[only]:
+            return False
+    return True
+
+
+def strongly_connected_components(
+    graph: Dict[Symbol, Set[Symbol]]
+) -> List[Tuple[Symbol, ...]]:
+    """Tarjan's algorithm, iterative, over an adjacency-set mapping.
+
+    Returned components are in reverse topological order (a component is
+    emitted only after all components it can reach).
+    """
+    index: Dict[Symbol, int] = {}
+    lowlink: Dict[Symbol, int] = {}
+    on_stack: Set[Symbol] = set()
+    stack: List[Symbol] = []
+    result: List[Tuple[Symbol, ...]] = []
+    counter = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[Symbol, "list"]] = [(root, list(graph.get(root, ())))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            while edges:
+                succ = edges.pop()
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, list(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node:
+                        break
+                result.append(tuple(component))
+    return result

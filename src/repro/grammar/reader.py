@@ -1,0 +1,339 @@
+"""Parsing of textual grammar descriptions.
+
+Two formats are accepted, distinguished automatically:
+
+**Yacc-like format** (the format used by yacc/bison and, modulo actions,
+by Menhir) — recognised by the presence of a ``%%`` section mark::
+
+    %token NUM ID
+    %left '+' '-'
+    %left '*' '/'
+    %start expr
+    %%
+    expr : expr '+' expr
+         | expr '*' expr
+         | NUM
+         | %empty
+         ;
+
+Declarations: ``%token``, ``%left``, ``%right``, ``%nonassoc``, ``%start``,
+``%name`` (grammar name).  Inside rules, ``%prec TERMINAL`` overrides the
+production's precedence and ``%empty`` denotes an epsilon alternative.  The
+terminating ``;`` is optional before another rule or the end of input.
+A second ``%%`` and anything after it (the yacc code section) is ignored.
+
+**Arrow format** — one rule per line, alternatives separated by ``|``::
+
+    # a comment
+    E -> E + T | T
+    T -> T * F | F
+    F -> ( E ) | id
+    A -> %empty
+
+``%start``/``%name``/``%token``/``%left``/``%right``/``%nonassoc`` lines are
+also accepted in this format.  Any name that never appears on a left-hand
+side is a terminal.
+
+**EBNF suffix sugar** (both formats): a bare rhs name may carry one
+suffix — ``X?`` (optional), ``X*`` (possibly-empty list), ``X+``
+(non-empty list).  Each desugars once into a fresh nonterminal
+(``X_opt`` / ``X_list`` / ``X_nonempty``) with left-recursive rules, the
+LALR-friendly shape.  Quoted literals are exempt, so a terminal *named*
+``x*`` stays expressible as ``'x*'``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from .builder import GrammarBuilder
+from .errors import GrammarSyntaxError
+from .grammar import Grammar
+from .lexer import (
+    ARROW,
+    CHARLIT,
+    COLON,
+    DIRECTIVE,
+    EOF,
+    IDENT,
+    MARK,
+    NEWLINE,
+    PIPE,
+    SEMI,
+    Token,
+    tokenize,
+)
+
+
+def load_grammar(text: str, name: str = "", augment: bool = False) -> Grammar:
+    """Parse *text* into a :class:`Grammar` (auto-detecting the format)."""
+    tokens = tokenize(text)
+    if any(t.kind == MARK for t in tokens):
+        parser = _YaccParser(tokens, name)
+    else:
+        parser = _ArrowParser(tokens, name)
+    return parser.parse().build(augment=augment)
+
+
+def load_grammar_file(path: "str | os.PathLike", augment: bool = False) -> Grammar:
+    """Read a grammar description from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    default_name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return load_grammar(text, name=default_name, augment=augment)
+
+
+#: EBNF suffix -> (generated-name suffix, rule templates).  Desugarings
+#: are left-recursive on purpose: right recursion costs LR parsers stack
+#: depth, and left-recursive lists are the LALR idiom.
+_EBNF_SUFFIXES = {"?": "_opt", "*": "_list", "+": "_nonempty"}
+
+
+class _ParserBase:
+    """Shared token-stream plumbing for the two format parsers."""
+
+    def __init__(self, tokens: List[Token], name: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.builder = GrammarBuilder(name)
+        self.saw_rule = False
+        # EBNF sugar bookkeeping: (base symbol, op) -> generated name.
+        self._ebnf_generated: "dict[tuple[str, str], str]" = {}
+
+    def maybe_desugar(self, token: Token) -> str:
+        """Resolve EBNF suffix sugar on a bare IDENT rhs symbol.
+
+        ``X?`` / ``X*`` / ``X+`` become fresh nonterminals with the
+        standard optional / possibly-empty-list / non-empty-list rules
+        (generated once per base-and-op).  Quoted literals are exempt, so
+        a terminal *named* ``x*`` is still expressible as ``'x*'``.
+        """
+        text = token.text
+        if token.kind != IDENT or len(text) < 2 or text[-1] not in _EBNF_SUFFIXES:
+            return text
+        base, op = text[:-1], text[-1]
+        if base[-1] in _EBNF_SUFFIXES:
+            raise self.error(f"stacked EBNF suffixes in {text!r} are not supported")
+        key = (base, op)
+        generated = self._ebnf_generated.get(key)
+        if generated is not None:
+            return generated
+        generated = f"{base}{_EBNF_SUFFIXES[op]}"
+        self._ebnf_generated[key] = generated
+        if op == "?":
+            self.builder.rule(generated, [])
+            self.builder.rule(generated, [base])
+        elif op == "*":
+            self.builder.rule(generated, [])
+            self.builder.rule(generated, [generated, base])
+        else:  # +
+            self.builder.rule(generated, [base])
+            self.builder.rule(generated, [generated, base])
+        return generated
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> "GrammarSyntaxError":
+        t = self.current
+        return GrammarSyntaxError(f"{message} (got {t.kind} {t.text!r})", t.line, t.column)
+
+    def skip_newlines(self) -> None:
+        while self.current.kind == NEWLINE:
+            self.advance()
+
+    def symbol_name(self) -> str:
+        """Consume an IDENT or CHARLIT and return the symbol name."""
+        token = self.current
+        if token.kind not in (IDENT, CHARLIT):
+            raise self.error("expected a symbol name")
+        self.advance()
+        return token.text
+
+    def handle_declaration(self, directive: str) -> None:
+        """Process a %token/%left/%right/%nonassoc/%start/%name/%type line.
+
+        Yacc value-type tags (``%token <num> NUM``) are skipped, and
+        ``%type`` lines — pure semantic-type metadata — are ignored
+        wholesale, so real-world .y files load unmodified.
+        """
+        names: List[str] = []
+        while self.current.kind in (IDENT, CHARLIT):
+            text = self.advance().text
+            if text.startswith("<") and text.endswith(">"):
+                continue  # value-type tag, not a symbol
+            names.append(text)
+        if directive == "%type":
+            return
+        if directive == "%start":
+            if len(names) != 1:
+                raise self.error("%start expects exactly one name")
+            self.builder.start(names[0])
+        elif directive == "%name":
+            if len(names) != 1:
+                raise self.error("%name expects exactly one name")
+            self.builder.name = names[0]
+        elif directive == "%token":
+            self.builder.declare_terminal(*names)
+        elif directive == "%left":
+            self.builder.left(*names)
+        elif directive == "%right":
+            self.builder.right(*names)
+        elif directive == "%nonassoc":
+            self.builder.nonassoc(*names)
+        else:  # pragma: no cover - lexer only emits known directives
+            raise self.error(f"unexpected directive {directive}")
+
+
+class _YaccParser(_ParserBase):
+    def parse(self) -> GrammarBuilder:
+        self._declarations()
+        self._rules()
+        if not self.saw_rule:
+            raise self.error("no rules found after %%")
+        return self.builder
+
+    def _declarations(self) -> None:
+        while True:
+            self.skip_newlines()
+            token = self.current
+            if token.kind == MARK:
+                self.advance()
+                return
+            if token.kind == EOF:
+                raise self.error("expected %% before rules")
+            if token.kind == DIRECTIVE:
+                self.advance()
+                self.handle_declaration(token.text)
+            else:
+                raise self.error("expected a declaration or %%")
+
+    def _rules(self) -> None:
+        while True:
+            self.skip_newlines()
+            token = self.current
+            if token.kind == EOF:
+                return
+            if token.kind == MARK:  # start of ignored code section
+                return
+            if token.kind != IDENT:
+                raise self.error("expected a rule left-hand side")
+            lhs = self.advance().text
+            if not self.saw_rule and self.builder._start is None:
+                self.builder.start(lhs)
+            self.skip_newlines()
+            if self.current.kind != COLON:
+                raise self.error(f"expected ':' after rule head {lhs!r}")
+            self.advance()
+            self._alternatives(lhs)
+            self.saw_rule = True
+
+    def _alternatives(self, lhs: str) -> None:
+        while True:
+            rhs, prec = self._alternative()
+            self.builder.rule(lhs, rhs, prec=prec)
+            self.skip_newlines()
+            if self.current.kind == PIPE:
+                self.advance()
+                continue
+            if self.current.kind == SEMI:
+                self.advance()
+            return
+
+    def _alternative(self) -> Tuple[List[str], Optional[str]]:
+        rhs: List[str] = []
+        prec: Optional[str] = None
+        explicit_empty = False
+        while True:
+            self.skip_newlines()
+            token = self.current
+            if token.kind in (IDENT, CHARLIT):
+                # An IDENT followed by ':' begins the next rule; stop here.
+                if token.kind == IDENT and self._next_significant_is_colon():
+                    break
+                rhs.append(self.maybe_desugar(self.advance()))
+            elif token.kind == DIRECTIVE and token.text == "%empty":
+                self.advance()
+                explicit_empty = True
+            elif token.kind == DIRECTIVE and token.text == "%prec":
+                self.advance()
+                prec = self.symbol_name()
+            else:
+                break
+        if explicit_empty and rhs:
+            raise self.error("%empty cannot be mixed with symbols")
+        return rhs, prec
+
+    def _next_significant_is_colon(self) -> bool:
+        index = self.pos + 1
+        while self.tokens[index].kind == NEWLINE:
+            index += 1
+        return self.tokens[index].kind == COLON
+
+
+class _ArrowParser(_ParserBase):
+    def parse(self) -> GrammarBuilder:
+        while True:
+            self.skip_newlines()
+            token = self.current
+            if token.kind == EOF:
+                break
+            if token.kind == DIRECTIVE:
+                self.advance()
+                self.handle_declaration(token.text)
+                continue
+            self._rule_line()
+        if not self.saw_rule:
+            raise self.error("no rules found")
+        return self.builder
+
+    def _rule_line(self) -> None:
+        if self.current.kind not in (IDENT, CHARLIT):
+            raise self.error("expected a rule left-hand side")
+        lhs = self.advance().text
+        if not self.saw_rule and self.builder._start is None:
+            self.builder.start(lhs)
+        if self.current.kind not in (ARROW, COLON):
+            raise self.error(f"expected '->' after {lhs!r}")
+        self.advance()
+        while True:
+            rhs, prec = self._alternative()
+            self.builder.rule(lhs, rhs, prec=prec)
+            if self.current.kind == PIPE:
+                self.advance()
+                continue
+            break
+        if self.current.kind == SEMI:
+            self.advance()
+        self.saw_rule = True
+
+    def _alternative(self) -> Tuple[List[str], Optional[str]]:
+        rhs: List[str] = []
+        prec: Optional[str] = None
+        explicit_empty = False
+        while True:
+            token = self.current
+            if token.kind in (IDENT, CHARLIT):
+                rhs.append(self.maybe_desugar(self.advance()))
+            elif token.kind == DIRECTIVE and token.text == "%empty":
+                self.advance()
+                explicit_empty = True
+            elif token.kind == DIRECTIVE and token.text == "%prec":
+                self.advance()
+                prec = self.symbol_name()
+            else:
+                break
+        if explicit_empty and rhs:
+            raise self.error("%empty cannot be mixed with symbols")
+        if not rhs and not explicit_empty and prec is None:
+            # Allow `A -> |` style?  No: demand explicit %empty for clarity.
+            raise self.error("empty alternative; write %empty explicitly")
+        return rhs, prec

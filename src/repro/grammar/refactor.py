@@ -1,0 +1,182 @@
+"""LL-enabling grammar refactorings: left-recursion removal, left factoring.
+
+The LR side of this library *likes* left recursion (constant stack) and
+the LL side cannot tolerate it at all, so a grammar workbench needs the
+classical transforms that move a grammar toward LL(1):
+
+- :func:`remove_left_recursion` — Paull's algorithm (the dragon-book
+  ordering): eliminate indirect left recursion by substitution, then
+  immediate left recursion by introducing tail nonterminals
+  (``A -> A α | β`` becomes ``A -> β A'; A' -> α A' | ε``).
+  Requires a proper-ish input: cycle-free and ε-free (run
+  :func:`~repro.grammar.transforms.remove_epsilon_rules` first if
+  needed); raises otherwise.
+- :func:`left_factor` — repeatedly pull maximal common prefixes of a
+  nonterminal's alternatives into fresh nonterminals
+  (``A -> x β | x γ`` becomes ``A -> x A'; A' -> β | γ``).
+
+Both preserve the language exactly (property-tested against bounded
+enumeration) but not derivation trees — they are *recognition*
+transforms, as in every compiler text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .errors import GrammarValidationError
+from .grammar import Grammar
+from .production import Production
+from .properties import has_cycles
+from .symbols import Symbol, SymbolTable
+from .transforms import nullable_from_productions
+
+Rhs = Tuple[Symbol, ...]
+
+
+def remove_left_recursion(grammar: Grammar) -> Grammar:
+    """An equivalent grammar with no left recursion (immediate or indirect)."""
+    if grammar.is_augmented:
+        raise GrammarValidationError("refactor the user grammar, not its augmented form")
+    if has_cycles(grammar):
+        raise GrammarValidationError(
+            "left-recursion removal requires a cycle-free grammar (A =>+ A found)"
+        )
+    if any(not p.rhs for p in grammar.productions):
+        nullable = nullable_from_productions(grammar.productions)
+        # ε-rules are tolerable only when they can never expose left
+        # recursion through a nullable prefix; demanding ε-freeness keeps
+        # the classical precondition and the proof simple.
+        if nullable:
+            raise GrammarValidationError(
+                "left-recursion removal requires an epsilon-free grammar; "
+                "apply remove_epsilon_rules first"
+            )
+
+    table = SymbolTable()
+    for nonterminal in grammar.nonterminals:
+        table.nonterminal(nonterminal.name)
+    for terminal in grammar.terminals:
+        table.terminal(terminal.name)
+
+    order: List[Symbol] = [table[nt.name] for nt in grammar.nonterminals]
+    rules: Dict[Symbol, List[Rhs]] = {nt: [] for nt in order}
+    for production in grammar.productions:
+        rules[table[production.lhs.name]].append(
+            tuple(table[s.name] for s in production.rhs)
+        )
+
+    def fresh(base: Symbol) -> Symbol:
+        return table.fresh_nonterminal(base.name)
+
+    new_order = list(order)
+    for i, a_i in enumerate(order):
+        # 1. substitute earlier nonterminals at the front.
+        changed = True
+        while changed:
+            changed = False
+            expanded: List[Rhs] = []
+            for rhs in rules[a_i]:
+                if rhs and rhs[0] in order[:i]:
+                    head = rhs[0]
+                    for replacement in rules[head]:
+                        expanded.append(tuple(replacement) + tuple(rhs[1:]))
+                    changed = True
+                else:
+                    expanded.append(tuple(rhs))
+            rules[a_i] = expanded
+        # 2. eliminate immediate left recursion on a_i.
+        recursive = [rhs[1:] for rhs in rules[a_i] if rhs and rhs[0] is a_i]
+        if not recursive:
+            continue
+        non_recursive = [rhs for rhs in rules[a_i] if not rhs or rhs[0] is not a_i]
+        if not non_recursive:
+            raise GrammarValidationError(
+                f"nonterminal {a_i.name!r} is only left-recursive; "
+                f"it generates nothing"
+            )
+        tail = fresh(a_i)
+        new_order.append(tail)
+        rules[a_i] = [tuple(rhs) + (tail,) for rhs in non_recursive]
+        rules[tail] = [tuple(alpha) + (tail,) for alpha in recursive] + [()]
+
+    return _materialise(grammar, table, new_order, rules)
+
+
+def left_factor(grammar: Grammar) -> Grammar:
+    """An equivalent grammar whose alternatives share no common prefix."""
+    if grammar.is_augmented:
+        raise GrammarValidationError("refactor the user grammar, not its augmented form")
+
+    table = SymbolTable()
+    for nonterminal in grammar.nonterminals:
+        table.nonterminal(nonterminal.name)
+    for terminal in grammar.terminals:
+        table.terminal(terminal.name)
+
+    rules: Dict[Symbol, List[Rhs]] = {}
+    worklist: List[Symbol] = []
+    for nonterminal in grammar.nonterminals:
+        mapped = table[nonterminal.name]
+        rules[mapped] = [
+            tuple(table[s.name] for s in p.rhs)
+            for p in grammar.productions_for(nonterminal)
+        ]
+        worklist.append(mapped)
+
+    order = list(worklist)
+    while worklist:
+        nonterminal = worklist.pop(0)
+        groups: Dict[Symbol, List[Rhs]] = {}
+        for rhs in rules[nonterminal]:
+            if rhs:
+                groups.setdefault(rhs[0], []).append(rhs)
+        factored = False
+        new_alternatives: List[Rhs] = [r for r in rules[nonterminal] if not r]
+        for head, group in groups.items():
+            if len(group) == 1:
+                new_alternatives.append(group[0])
+                continue
+            # maximal common prefix of the group
+            prefix = list(group[0])
+            for rhs in group[1:]:
+                k = 0
+                while k < len(prefix) and k < len(rhs) and prefix[k] is rhs[k]:
+                    k += 1
+                prefix = prefix[:k]
+            assert prefix, "grouped by first symbol, prefix cannot be empty"
+            tail = table.fresh_nonterminal(nonterminal.name)
+            order.append(tail)
+            rules[tail] = [tuple(rhs[len(prefix):]) for rhs in group]
+            new_alternatives.append(tuple(prefix) + (tail,))
+            worklist.append(tail)  # the tails may share prefixes again
+            factored = True
+        rules[nonterminal] = new_alternatives
+        if factored and nonterminal not in worklist:
+            worklist.append(nonterminal)
+
+    return _materialise(grammar, table, order, rules)
+
+
+def _materialise(
+    source: Grammar,
+    table: SymbolTable,
+    order: List[Symbol],
+    rules: Dict[Symbol, List[Rhs]],
+) -> Grammar:
+    productions: List[Production] = []
+    seen = set()
+    for nonterminal in order:
+        for rhs in rules.get(nonterminal, []):
+            key = (nonterminal, tuple(rhs))
+            if key in seen:
+                continue
+            seen.add(key)
+            productions.append(Production(len(productions), nonterminal, rhs))
+    precedence = {
+        table[s.name]: prec for s, prec in source.precedence.items()
+        if s.name in table
+    }
+    return Grammar(
+        table, productions, table[source.start.name], precedence, source.name
+    )

@@ -1,0 +1,177 @@
+"""Grammar transformations: reduction, epsilon-rule removal.
+
+These are classical substrate algorithms (Hopcroft & Ullman).  They are not
+part of the DeRemer–Pennello pipeline itself — LR constructions work on any
+grammar — but the benchmark corpus and property tests use them to normalise
+randomly generated grammars, and they mirror the operations any practical
+grammar-analysis tool ships with.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Sequence, Set, Tuple
+
+from .errors import GrammarValidationError
+from .grammar import Grammar
+from .production import Production
+from .symbols import Symbol, SymbolTable
+
+
+def generating_nonterminals(grammar: Grammar) -> Set[Symbol]:
+    """Nonterminals that derive at least one terminal string (the paper
+    corpus calls these *normed* or *generating* symbols)."""
+    generating: Set[Symbol] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar.productions:
+            if production.lhs in generating:
+                continue
+            if all(s.is_terminal or s in generating for s in production.rhs):
+                generating.add(production.lhs)
+                changed = True
+    return generating
+
+
+def reachable_symbols(grammar: Grammar) -> Set[Symbol]:
+    """Symbols reachable from the start symbol via productions."""
+    reachable: Set[Symbol] = {grammar.start}
+    worklist = [grammar.start]
+    while worklist:
+        current = worklist.pop()
+        for production in grammar.productions_for(current):
+            for symbol in production.rhs:
+                if symbol not in reachable:
+                    reachable.add(symbol)
+                    if symbol.is_nonterminal:
+                        worklist.append(symbol)
+    return reachable
+
+
+def reduce_grammar(grammar: Grammar) -> Grammar:
+    """Return an equivalent grammar without useless symbols.
+
+    Removes (1) non-generating nonterminals, then (2) symbols unreachable
+    from the start symbol.  The two passes must run in that order.  Raises
+    GrammarValidationError if the language is empty (the start symbol
+    generates nothing).
+    """
+    generating = generating_nonterminals(grammar)
+    if grammar.start not in generating:
+        raise GrammarValidationError(
+            f"start symbol {grammar.start.name!r} generates no terminal string; language is empty"
+        )
+    surviving = [
+        p
+        for p in grammar.productions
+        if p.lhs in generating
+        and all(s.is_terminal or s in generating for s in p.rhs)
+    ]
+    intermediate = _rebuild(grammar, surviving, grammar.start)
+
+    reachable = reachable_symbols(intermediate)
+    final = [
+        p
+        for p in intermediate.productions
+        if p.lhs in reachable and all(s in reachable for s in p.rhs)
+    ]
+    return _rebuild(intermediate, final, intermediate.start)
+
+
+def nullable_from_productions(productions: Sequence[Production]) -> Set[Symbol]:
+    """Nonterminals that derive epsilon, computed from a production list.
+
+    (The analysis subpackage has the Grammar-level variant; this one is
+    needed mid-transform when no Grammar object exists yet.)
+    """
+    nullable: Set[Symbol] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in productions:
+            if production.lhs in nullable:
+                continue
+            if all(s in nullable for s in production.rhs):
+                nullable.add(production.lhs)
+                changed = True
+    return nullable
+
+
+def remove_epsilon_rules(grammar: Grammar) -> Grammar:
+    """Return a grammar without epsilon productions generating
+    ``L(G) - {epsilon}`` — plus, if epsilon was in L(G), a fresh start
+    symbol ``S'`` with ``S' -> S | %empty`` so the language is preserved
+    exactly.
+    """
+    if grammar.is_augmented:
+        raise GrammarValidationError("epsilon removal expects a non-augmented grammar")
+    nullable = nullable_from_productions(grammar.productions)
+
+    new_rules: List[Tuple[Symbol, Tuple[Symbol, ...]]] = []
+    seen: Set[Tuple[Symbol, Tuple[Symbol, ...]]] = set()
+    for production in grammar.productions:
+        nullable_positions = [
+            i for i, s in enumerate(production.rhs) if s in nullable
+        ]
+        # Every subset of nullable occurrences may be dropped.
+        for r in range(len(nullable_positions) + 1):
+            for dropped in combinations(nullable_positions, r):
+                dropped_set = set(dropped)
+                rhs = tuple(
+                    s for i, s in enumerate(production.rhs) if i not in dropped_set
+                )
+                if not rhs:
+                    continue  # never introduce a new epsilon rule
+                key = (production.lhs, rhs)
+                if key not in seen:
+                    seen.add(key)
+                    new_rules.append(key)
+
+    start = grammar.start
+    productions = [
+        Production(i, lhs, rhs) for i, (lhs, rhs) in enumerate(new_rules)
+    ]
+    if grammar.start in nullable:
+        # epsilon is in the language: add S' -> S | %empty with a fresh S'.
+        fresh = grammar.symbols.fresh_nonterminal(grammar.start.name)
+        productions = (
+            [
+                Production(0, fresh, (grammar.start,)),
+                Production(1, fresh, ()),
+            ]
+            + [Production(i + 2, p.lhs, p.rhs) for i, p in enumerate(productions)]
+        )
+        start = fresh
+    return Grammar(grammar.symbols, productions, start, grammar.precedence, grammar.name)
+
+
+def _rebuild(grammar: Grammar, productions: Sequence[Production], start: Symbol) -> Grammar:
+    """Re-number productions and rebuild the symbol table from survivors."""
+    table = SymbolTable()
+    start_new = table.nonterminal(start.name)
+    for production in productions:
+        table.nonterminal(production.lhs.name)
+    for production in productions:
+        for symbol in production.rhs:
+            if symbol.is_terminal:
+                table.terminal(symbol.name)
+            else:
+                table.nonterminal(symbol.name)
+    renumbered = [
+        Production(
+            i,
+            table[p.lhs.name],
+            [table[s.name] for s in p.rhs],
+            table.get(p.prec_symbol.name) if p.prec_symbol else None,
+        )
+        for i, p in enumerate(productions)
+    ]
+    precedence = {
+        table[s.name]: prec
+        for s, prec in grammar.precedence.items()
+        if s.name in table
+    }
+    if not renumbered:
+        raise GrammarValidationError("reduction removed every production")
+    return Grammar(table, renumbered, start_new, precedence, grammar.name)

@@ -1,0 +1,102 @@
+"""Serialisation of grammars back to text (round-trips with the reader)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .grammar import Assoc, Grammar
+from .symbols import EOF_NAME, Symbol
+
+_BARE_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$")
+
+
+def _spell(symbol: Symbol) -> str:
+    """Quote a terminal name when it would not survive bare tokenisation."""
+    name = symbol.name
+    if symbol.is_terminal and not all(c in _BARE_SAFE for c in name):
+        escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    return name
+
+
+def _user_view(grammar: Grammar) -> "tuple[list, Symbol]":
+    """Productions and start symbol with any augmentation stripped."""
+    if grammar.is_augmented:
+        return list(grammar.productions[1:]), grammar.original_start
+    return list(grammar.productions), grammar.start
+
+
+def write_arrow(grammar: Grammar) -> str:
+    """Render *grammar* in arrow format."""
+    productions, start = _user_view(grammar)
+    lines: List[str] = []
+    if grammar.name:
+        lines.append(f"%name {grammar.name}")
+    lines.extend(_precedence_lines(grammar))
+    lines.append(f"%start {start.name}")
+    # Declare terminals that never appear on a rhs (they would otherwise be
+    # lost) and all terminals with unusual names used only via quoting.
+    used = {s for p in productions for s in p.rhs}
+    unused_terminals = [t for t in grammar.terminals if t not in used and t.name != EOF_NAME]
+    if unused_terminals:
+        lines.append("%token " + " ".join(_spell(t) for t in unused_terminals))
+    for production in productions:
+        rhs = " ".join(_spell(s) for s in production.rhs) if production.rhs else "%empty"
+        suffix = _prec_suffix(production)
+        lines.append(f"{production.lhs.name} -> {rhs}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def write_yacc(grammar: Grammar) -> str:
+    """Render *grammar* in yacc-like format."""
+    productions, start = _user_view(grammar)
+    lines: List[str] = []
+    if grammar.name:
+        lines.append(f"%name {grammar.name}")
+    plain_terminals = [
+        t
+        for t in grammar.terminals
+        if t not in grammar.precedence and t.name != EOF_NAME
+    ]
+    if plain_terminals:
+        lines.append("%token " + " ".join(_spell(t) for t in plain_terminals))
+    lines.extend(_precedence_lines(grammar))
+    lines.append(f"%start {start.name}")
+    lines.append("%%")
+    by_lhs: Dict[Symbol, List] = {}
+    order: List[Symbol] = []
+    for production in productions:
+        if production.lhs not in by_lhs:
+            by_lhs[production.lhs] = []
+            order.append(production.lhs)
+        by_lhs[production.lhs].append(production)
+    for lhs in order:
+        alts = by_lhs[lhs]
+        head = f"{lhs.name} :"
+        for i, production in enumerate(alts):
+            rhs = " ".join(_spell(s) for s in production.rhs) if production.rhs else "%empty"
+            lead = head if i == 0 else " " * (len(lhs.name) + 1) + "|"
+            lines.append(f"{lead} {rhs}{_prec_suffix(production)}")
+        lines.append(" " * (len(lhs.name) + 1) + ";")
+    return "\n".join(lines) + "\n"
+
+
+def _prec_suffix(production) -> str:
+    """Emit %prec only when it differs from the rightmost-terminal default."""
+    default = production._rightmost_terminal(production.rhs)
+    if production.prec_symbol is not None and production.prec_symbol is not default:
+        return f" %prec {_spell(production.prec_symbol)}"
+    return ""
+
+
+def _precedence_lines(grammar: Grammar) -> List[str]:
+    levels: Dict[int, List[Symbol]] = {}
+    assoc_of: Dict[int, Assoc] = {}
+    for symbol, prec in grammar.precedence.items():
+        levels.setdefault(prec.level, []).append(symbol)
+        assoc_of[prec.level] = prec.assoc
+    lines = []
+    for level in sorted(levels):
+        names = " ".join(_spell(s) for s in sorted(levels[level], key=lambda s: s.name))
+        lines.append(f"%{assoc_of[level].value} {names}")
+    return lines

@@ -1,0 +1,31 @@
+"""Grammar corpus, scalable families, and random grammar generation."""
+
+from . import corpus, families
+from .corpus import CorpusEntry, all_entries, load, load_all
+from .families import (
+    context_family,
+    expression_family,
+    family_sweep,
+    keyword_statement_family,
+    nullable_chain_family,
+    unit_chain_family,
+)
+from .random_gen import random_grammar, random_grammar_batch, random_token_stream
+
+__all__ = [
+    "CorpusEntry",
+    "all_entries",
+    "context_family",
+    "corpus",
+    "expression_family",
+    "families",
+    "family_sweep",
+    "keyword_statement_family",
+    "load",
+    "load_all",
+    "nullable_chain_family",
+    "random_grammar",
+    "random_grammar_batch",
+    "random_token_stream",
+    "unit_chain_family",
+]

@@ -1,0 +1,475 @@
+"""The named grammar corpus used by tests, examples and benchmarks.
+
+Each entry records the grammar text (in one of the reader's formats), a
+description, the grammar's expected position in the LR hierarchy, and
+tags.  ``load(name)`` parses the text on demand; ``all_entries()`` is the
+iteration order used by the benchmark tables, mirroring how the paper
+reports per-grammar rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+from ..grammar.grammar import Grammar
+from ..grammar.reader import load_grammar
+from ..tables.classify import GrammarClass
+
+
+class CorpusEntry(NamedTuple):
+    name: str
+    description: str
+    text: str
+    expected_class: GrammarClass
+    #: expected result of the reads-SCC "not LR(k)" quick test
+    expected_not_lr_k: bool
+    tags: "tuple[str, ...]" = ()
+
+
+_ENTRIES: "Dict[str, CorpusEntry]" = {}
+
+
+def _register(entry: CorpusEntry) -> None:
+    assert entry.name not in _ENTRIES, f"duplicate corpus entry {entry.name}"
+    _ENTRIES[entry.name] = entry
+
+
+def names() -> List[str]:
+    return list(_ENTRIES)
+
+def all_entries() -> Iterator[CorpusEntry]:
+    return iter(_ENTRIES.values())
+
+
+def entry(name: str) -> CorpusEntry:
+    return _ENTRIES[name]
+
+
+def load(name: str, augment: bool = False) -> Grammar:
+    """Parse and return the corpus grammar called *name*."""
+    item = _ENTRIES[name]
+    return load_grammar(item.text, name=item.name, augment=augment)
+
+
+def load_all(tag: "Optional[str]" = None) -> "List[Grammar]":
+    """All corpus grammars, optionally filtered by tag."""
+    return [
+        load(item.name)
+        for item in _ENTRIES.values()
+        if tag is None or tag in item.tags
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Small classics
+# ---------------------------------------------------------------------------
+
+_register(CorpusEntry(
+    name="lr0_demo",
+    description="S -> A A; A -> a A | b — the textbook LR(0) grammar",
+    text="""
+S -> A A
+A -> a A | b
+""",
+    expected_class=GrammarClass.LR0,
+    expected_not_lr_k=False,
+    tags=("tiny", "classic"),
+))
+
+_register(CorpusEntry(
+    name="slr_not_lr0",
+    description="S -> a | a b — needs one token of lookahead, FOLLOW suffices",
+    text="""
+S -> a | a b
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("tiny",),
+))
+
+_register(CorpusEntry(
+    name="expr",
+    description="The classic unambiguous expression grammar (dragon-book 4.1)",
+    text="""
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("classic", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="lalr_not_slr",
+    description="FOLLOW merges contexts that per-state Follow keeps apart",
+    text="""
+S -> A a | b A c | d c | b d a
+A -> d
+""",
+    expected_class=GrammarClass.LALR1,
+    expected_not_lr_k=False,
+    tags=("classic", "boundary"),
+))
+
+_register(CorpusEntry(
+    name="lr1_not_lalr",
+    description="Merging LR(1) states manufactures a reduce/reduce conflict",
+    text="""
+S -> a A d | b B d | a B e | b A e
+A -> c
+B -> c
+""",
+    expected_class=GrammarClass.LR1,
+    expected_not_lr_k=False,
+    tags=("classic", "boundary"),
+))
+
+_register(CorpusEntry(
+    name="dangling_else",
+    description="The ambiguous if/then/else grammar — not LR(1)",
+    text="""
+S -> if S then_else | other
+then_else -> %empty | else S
+""",
+    expected_class=GrammarClass.NOT_LR1,
+    expected_not_lr_k=False,
+    tags=("ambiguous",),
+))
+
+_register(CorpusEntry(
+    name="palindrome",
+    description="Even-length palindromes: unambiguous yet not LR(k) for any k "
+                "(the handle's middle cannot be found deterministically) — "
+                "but with an acyclic reads relation, so the quick test stays quiet",
+    text="""
+S -> a S a | b S b | %empty
+""",
+    expected_class=GrammarClass.NOT_LR1,
+    expected_not_lr_k=False,
+    tags=("boundary",),
+))
+
+_register(CorpusEntry(
+    name="reads_cycle",
+    description="Nullable transitions loop in the goto graph: the reads "
+                "relation has a nontrivial SCC, proving not-LR(k) (paper's Theorem)",
+    text="""
+X -> A B X | %empty
+A -> a | %empty
+B -> b | %empty
+""",
+    expected_class=GrammarClass.NOT_LR1,
+    expected_not_lr_k=True,
+    tags=("pathological",),
+))
+
+_register(CorpusEntry(
+    name="epsilon_heavy",
+    description="Optional-clause soup: long nullable chains stress DR/reads",
+    text="""
+decl -> opt_static opt_const type opt_init ;
+opt_static -> static | %empty
+opt_const -> const | %empty
+opt_init -> = id | %empty
+type -> int | bool
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("nullable", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="unit_chain",
+    description="Deep unit-production chain: long includes chains, LALR == SLR",
+    text="""
+A0 -> A1 | A0 + A1
+A1 -> A2 | A1 - A2
+A2 -> A3 | A2 * A3
+A3 -> A4 | A3 / A4
+A4 -> A5 | A4 '%' A5
+A5 -> id | ( A0 )
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("classic", "parseable"),
+))
+
+
+# ---------------------------------------------------------------------------
+# Realistic language grammars
+# ---------------------------------------------------------------------------
+
+_register(CorpusEntry(
+    name="json",
+    description="JSON (ECMA-404 shape): values, objects, arrays",
+    text="""
+%token STRING NUMBER
+%start value
+%%
+value : object | array | STRING | NUMBER | true | false | null ;
+object : '{' members '}' ;
+members : %empty | member_list ;
+member_list : member | member_list ',' member ;
+member : STRING ':' value ;
+array : '[' elements ']' ;
+elements : %empty | element_list ;
+element_list : value | element_list ',' value ;
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("realistic", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="mini_pascal",
+    description="A Pascal-like language: declarations, statements, expressions",
+    text="""
+%token ID NUM
+%start prog
+%%
+prog : prog_head block '.' ;
+prog_head : program ID ';' ;
+block : decl_part compound ;
+decl_part : %empty | var_part ;
+var_part : var var_decl_list ;
+var_decl_list : var_decl ';' | var_decl_list var_decl ';' ;
+var_decl : id_list ':' type_spec ;
+id_list : ID | id_list ',' ID ;
+type_spec : integer | boolean | array '[' NUM ']' of type_spec ;
+compound : begin stmt_list end ;
+stmt_list : stmt | stmt_list ';' stmt ;
+stmt : %empty
+     | ID ':=' expr
+     | compound
+     | if expr then stmt
+     | if expr then stmt else stmt
+     | while expr do stmt
+     ;
+expr : simple_expr
+     | simple_expr relop simple_expr
+     ;
+relop : '=' | '<' | '>' ;
+simple_expr : term
+            | simple_expr '+' term
+            | simple_expr '-' term
+            ;
+term : factor
+     | term '*' factor
+     | term div factor
+     ;
+factor : ID | NUM | '(' expr ')' | not factor ;
+""",
+    # The if/then/else pair makes this ambiguous -> shift/reduce conflict.
+    expected_class=GrammarClass.NOT_LR1,
+    expected_not_lr_k=False,
+    tags=("realistic",),
+))
+
+_register(CorpusEntry(
+    name="mini_pascal_det",
+    description="mini_pascal with matched/unmatched statements: conflict-free",
+    text="""
+%token ID NUM
+%start prog
+%%
+prog : prog_head block '.' ;
+prog_head : program ID ';' ;
+block : decl_part compound ;
+decl_part : %empty | var_part ;
+var_part : var var_decl_list ;
+var_decl_list : var_decl ';' | var_decl_list var_decl ';' ;
+var_decl : id_list ':' type_spec ;
+id_list : ID | id_list ',' ID ;
+type_spec : integer | boolean | array '[' NUM ']' of type_spec ;
+compound : begin stmt_list end ;
+stmt_list : stmt | stmt_list ';' stmt ;
+stmt : matched | unmatched ;
+matched : %empty
+        | ID ':=' expr
+        | compound
+        | if expr then matched else matched
+        | while expr do matched
+        ;
+unmatched : if expr then stmt
+          | if expr then matched else unmatched
+          | while expr do unmatched
+          ;
+expr : simple_expr
+     | simple_expr relop simple_expr
+     ;
+relop : '=' | '<' | '>' ;
+simple_expr : term
+            | simple_expr '+' term
+            | simple_expr '-' term
+            ;
+term : factor
+     | term '*' factor
+     | term div factor
+     ;
+factor : ID | NUM | '(' expr ')' | not factor ;
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("realistic", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="mini_c",
+    description="A C-like language core: functions, statements, expressions "
+                "with a full precedence ladder expressed grammatically",
+    text="""
+%token ID NUM
+%start translation_unit
+%%
+translation_unit : external_decl | translation_unit external_decl ;
+external_decl : function_def | declaration ;
+function_def : type_name ID '(' param_list ')' compound_stmt ;
+param_list : %empty | params ;
+params : param | params ',' param ;
+param : type_name ID ;
+type_name : int | char | void ;
+declaration : type_name init_decl_list ';' ;
+init_decl_list : init_decl | init_decl_list ',' init_decl ;
+init_decl : ID | ID '=' assign_expr ;
+compound_stmt : '{' block_items '}' ;
+block_items : %empty | block_items block_item ;
+block_item : declaration | stmt ;
+stmt : expr_stmt
+     | compound_stmt
+     | if '(' expr ')' stmt
+     | if '(' expr ')' stmt else stmt
+     | while '(' expr ')' stmt
+     | return expr ';'
+     | return ';'
+     ;
+expr_stmt : expr ';' | ';' ;
+expr : assign_expr | expr ',' assign_expr ;
+assign_expr : cond_expr | unary_expr '=' assign_expr ;
+cond_expr : or_expr | or_expr '?' expr ':' cond_expr ;
+or_expr : and_expr | or_expr '||' and_expr ;
+and_expr : eq_expr | and_expr '&&' eq_expr ;
+eq_expr : rel_expr | eq_expr '==' rel_expr | eq_expr '!=' rel_expr ;
+rel_expr : add_expr | rel_expr '<' add_expr | rel_expr '>' add_expr ;
+add_expr : mul_expr | add_expr '+' mul_expr | add_expr '-' mul_expr ;
+mul_expr : unary_expr | mul_expr '*' unary_expr | mul_expr '/' unary_expr ;
+unary_expr : postfix_expr | '-' unary_expr | '!' unary_expr | '*' unary_expr ;
+postfix_expr : primary_expr | postfix_expr '(' arg_list ')' ;
+arg_list : %empty | args ;
+args : assign_expr | args ',' assign_expr ;
+primary_expr : ID | NUM | '(' expr ')' ;
+""",
+    # dangling else again -> one classic shift/reduce conflict.
+    expected_class=GrammarClass.NOT_LR1,
+    expected_not_lr_k=False,
+    tags=("realistic",),
+))
+
+_register(CorpusEntry(
+    name="toy_java",
+    description="A Java-like language (classes, methods, statements, full "
+                "expression ladder): 95 productions, LALR(1) but not SLR(1) - "
+                "the realistic grammar class the paper targets",
+    text="%token ID NUM STRING\n%start compilation_unit\n%%\ncompilation_unit : type_decls ;\ntype_decls : %empty | type_decls class_decl ;\nclass_decl : class ID opt_extends '{' members '}' ;\nopt_extends : %empty | extends ID ;\nmembers : %empty | members member ;\nmember : field_decl | method_decl ;\nfield_decl : type ID ';' | type ID '=' expr ';' ;\nmethod_decl : type ID '(' params ')' block\n            | void ID '(' params ')' block\n            ;\nparams : %empty | param_list ;\nparam_list : param | param_list ',' param ;\nparam : type ID ;\ntype : base_type | type '[' ']' ;\nbase_type : int | boolean | ID ;\nblock : '{' stmts '}' ;\nstmts : %empty | stmts stmt ;\nstmt : matched | unmatched ;\nmatched : expr_stmt\n        | block\n        | if '(' expr ')' matched else matched\n        | while '(' expr ')' matched\n        | for '(' opt_expr ';' opt_expr ';' opt_expr ')' matched\n        | return opt_expr ';'\n        | break ';'\n        | continue ';'\n        | local_decl\n        ;\nunmatched : if '(' expr ')' stmt\n          | if '(' expr ')' matched else unmatched\n          | while '(' expr ')' unmatched\n          | for '(' opt_expr ';' opt_expr ';' opt_expr ')' unmatched\n          ;\nlocal_decl : base_type ID ';' | base_type ID '=' expr ';' ;\nexpr_stmt : expr ';' | ';' ;\nopt_expr : %empty | expr ;\nexpr : assignment ;\nassignment : conditional | unary '=' assignment ;\nconditional : logical_or | logical_or '?' expr ':' conditional ;\nlogical_or : logical_and | logical_or '||' logical_and ;\nlogical_and : equality | logical_and '&&' equality ;\nequality : relational | equality '==' relational | equality '!=' relational ;\nrelational : additive\n           | relational '<' additive\n           | relational '>' additive\n           | relational '<=' additive\n           | relational '>=' additive\n           ;\nadditive : multiplicative\n         | additive '+' multiplicative\n         | additive '-' multiplicative\n         ;\nmultiplicative : unary\n               | multiplicative '*' unary\n               | multiplicative '/' unary\n               | multiplicative '%' unary\n               ;\nunary : postfix | '-' unary | '!' unary | new_expr ;\nnew_expr : new base_type '(' args ')' | new base_type '[' expr ']' ;\npostfix : primary\n        | postfix '.' ID\n        | postfix '.' ID '(' args ')'\n        | postfix '[' expr ']'\n        ;\nargs : %empty | arg_list ;\narg_list : expr | arg_list ',' expr ;\nprimary : ID | NUM | STRING | true | false | null | this | '(' expr ')' | ID '(' args ')' ;\n",
+    expected_class=GrammarClass.LALR1,
+    expected_not_lr_k=False,
+    tags=("realistic", "boundary", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="algol_like",
+    description="An ALGOL-60-flavoured language (blocks, for-lists, "
+                "switch/goto, conditional expressions): the language family "
+                "the paper's own evaluation used; LALR(1) but not SLR(1)",
+    text="%token ID NUM STRINGLIT\n%start program\n%%\nprogram : block_stmt ;\nblock_stmt : begin_kw decl_seq stmt_seq end_kw ;\nbegin_kw : begin ;\nend_kw : end ;\ndecl_seq : %empty | decl_seq decl ';' ;\ndecl : type_kw id_group\n     | array type_kw ID '[' bound ':' bound ']'\n     | procedure ID formals ';' stmt\n     | switch ID ':=' designator_group\n     ;\ntype_kw : integer | real | boolean ;\nid_group : ID | id_group ',' ID ;\nbound : NUM | '-' NUM ;\nformals : %empty | '(' id_group ')' ;\ndesignator_group : designator | designator_group ',' designator ;\ndesignator : ID ;\nstmt_seq : stmt | stmt_seq ';' stmt ;\nstmt : matched | unmatched ;\nmatched : basic_stmt\n        | if_clause then_kw matched else_kw matched\n        | for_clause do matched\n        ;\nunmatched : if_clause then_kw stmt\n          | if_clause then_kw matched else_kw unmatched\n          | for_clause do unmatched\n          ;\nbasic_stmt : %empty\n           | variable ':=' expr\n           | goto designator\n           | ID actuals\n           | block_stmt\n           ;\nactuals : %empty | '(' expr_group ')' ;\nexpr_group : expr | expr_group ',' expr ;\nthen_kw : then ;\nelse_kw : else ;\nif_clause : if expr ;\nfor_clause : for variable ':=' for_list ;\nfor_list : for_elem | for_list ',' for_elem ;\nfor_elem : expr\n         | expr step expr until expr\n         | expr while expr\n         ;\nvariable : ID | ID '[' expr_group ']' ;\nexpr : simple_expr\n     | simple_expr relop simple_expr\n     | if_clause then_kw simple_expr else_kw expr\n     ;\nrelop : '<' | '<=' | '=' | '>=' | '>' | '!=' ;\nsimple_expr : term_chain\n            | sign term_chain\n            | simple_expr or_kw term_chain\n            ;\nor_kw : or ;\nsign : '+' | '-' ;\nterm_chain : term | term_chain and_kw term ;\nand_kw : and ;\nterm : factor | term mulop factor ;\nmulop : '*' | '/' | div | mod ;\nfactor : primary | factor '^' primary ;\nprimary : NUM\n        | STRINGLIT\n        | variable\n        | ID '(' expr_group ')'\n        | '(' expr ')'\n        | not_kw primary\n        ;\nnot_kw : not ;\n",
+    expected_class=GrammarClass.LALR1,
+    expected_not_lr_k=False,
+    tags=("realistic", "boundary", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="expr_prec",
+    description="Ambiguous expression grammar disambiguated by %left/%right "
+                "declarations (the yacc idiom)",
+    text="""
+%token NUM
+%left '+' '-'
+%left '*' '/'
+%right UMINUS
+%start expr
+%%
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '-' expr %prec UMINUS
+     | '(' expr ')'
+     | NUM
+     ;
+""",
+    # Raw (precedence ignored) the grammar is ambiguous.
+    expected_class=GrammarClass.NOT_LR1,
+    expected_not_lr_k=False,
+    tags=("ambiguous", "precedence", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="lua_like_chunks",
+    description="Statement-list language with optional terminators (nullable-"
+                "heavy, Lua-flavoured): exercises Read sets over real shapes",
+    text="""
+%token NAME NUMBER
+%start chunk
+%%
+chunk : stmts ;
+stmts : %empty | stmts stmt opt_semi ;
+opt_semi : %empty | ';' ;
+stmt : NAME '=' exp
+     | do chunk end
+     | while exp do chunk end
+     | if exp then chunk elseifs opt_else end
+     | function NAME '(' opt_names ')' chunk end
+     ;
+elseifs : %empty | elseifs elseif exp then chunk ;
+opt_else : %empty | else chunk ;
+opt_names : %empty | names ;
+names : NAME | names ',' NAME ;
+exp : NUMBER | NAME | exp '+' exp_r | '(' exp ')' | function_call ;
+exp_r : NUMBER | NAME | '(' exp ')' | function_call ;
+function_call : NAME '(' opt_args ')' ;
+opt_args : %empty | args ;
+args : exp | args ',' exp ;
+""",
+    expected_class=GrammarClass.SLR1,
+    expected_not_lr_k=False,
+    tags=("realistic", "nullable", "parseable"),
+))
+
+_register(CorpusEntry(
+    name="nqlalr_trap",
+    description="LALR(1)-clean, but the NQLALR shortcut (Follow sets merged "
+                "per goto-target state, paper \u00a77) manufactures a spurious "
+                "reduce/reduce conflict through the unit production A -> B",
+    text="""
+S -> A x A | %empty
+A -> B
+B -> a | %empty
+""",
+    expected_class=GrammarClass.LALR1,
+    expected_not_lr_k=False,
+    tags=("boundary", "pathological"),
+))
+
+_register(CorpusEntry(
+    name="lvalue",
+    description="Assignments with pointer lvalues (dragon-book 4.20): the "
+                "canonical *realistic* LALR(1)-but-not-SLR(1) grammar",
+    text="""
+S -> L = R | R
+L -> * R | id
+R -> L
+""",
+    expected_class=GrammarClass.LALR1,
+    expected_not_lr_k=False,
+    tags=("classic", "boundary", "parseable"),
+))

@@ -1,0 +1,108 @@
+"""Scalable grammar families for the scaling figures.
+
+Each family maps a size parameter ``n`` to a grammar whose relevant
+structure (states, relation edges, nullable chains, LR(1)/LALR state
+ratio) grows with ``n`` in a controlled way.  These are the synthetic
+stand-ins for the graded grammar suites the paper timed (see the
+substitution table in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..grammar.builder import GrammarBuilder
+from ..grammar.grammar import Grammar
+
+
+def expression_family(n: int) -> Grammar:
+    """An expression grammar with *n* precedence levels.
+
+    ``E0 -> E0 op0 E1 | E1; ...; En -> ( E0 ) | id``.  Grammar size, LR(0)
+    states, and includes-chain depth all grow linearly in *n*; the family
+    is SLR(1) for every *n*.  This is the Figure-1 workload.
+    """
+    if n < 1:
+        raise ValueError("expression_family needs n >= 1")
+    builder = GrammarBuilder(f"expr_family_{n}")
+    for level in range(n):
+        builder.rule(f"E{level}", [f"E{level}", f"op{level}", f"E{level + 1}"])
+        builder.rule(f"E{level}", [f"E{level + 1}"])
+    builder.rule(f"E{n}", ["(", "E0", ")"])
+    builder.rule(f"E{n}", ["id"])
+    return builder.build(start="E0")
+
+
+def nullable_chain_family(n: int) -> Grammar:
+    """``S -> X1 ... Xn t; Xi -> ai | %empty`` — a length-*n* nullable run.
+
+    Every prefix transition can "read through" the rest of the chain, so
+    `reads` forms an O(n)-long path per state and Read-set computation
+    touches O(n^2) relation structure overall.  This is the Figure-2
+    workload.
+    """
+    if n < 1:
+        raise ValueError("nullable_chain_family needs n >= 1")
+    builder = GrammarBuilder(f"nullable_chain_{n}")
+    builder.rule("S", [f"X{i}" for i in range(1, n + 1)] + ["t"])
+    for i in range(1, n + 1):
+        builder.rule(f"X{i}", [f"a{i}"])
+        builder.rule(f"X{i}", [])
+    return builder.build(start="S")
+
+
+def unit_chain_family(n: int) -> Grammar:
+    """``A0 -> A1 | A0 s0 A1; ... ; An -> id | ( A0 )`` — depth-*n* unit
+    chains, producing includes-chains of length *n* (Follow propagation
+    distance grows linearly; the propagation baseline needs ~n sweeps)."""
+    if n < 1:
+        raise ValueError("unit_chain_family needs n >= 1")
+    builder = GrammarBuilder(f"unit_chain_{n}")
+    for i in range(n):
+        builder.rule(f"A{i}", [f"A{i + 1}"])
+        builder.rule(f"A{i}", [f"A{i}", f"s{i}", f"A{i + 1}"])
+    builder.rule(f"A{n}", ["id"])
+    builder.rule(f"A{n}", ["(", "A0", ")"])
+    return builder.build(start="A0")
+
+
+def context_family(n: int) -> Grammar:
+    """*n* distinct contexts around one recursive nonterminal.
+
+    ``S -> k_i A e_i`` for i in 1..n, with ``A -> m A | t``.  The canonical
+    LR(1) automaton must copy the whole A-chain once per distinct follower
+    ``e_i``, while LR(0)/LALR shares it — the state-ratio workload for
+    Table 3 (the size gap the paper's method exists to avoid paying).
+    """
+    if n < 1:
+        raise ValueError("context_family needs n >= 1")
+    builder = GrammarBuilder(f"context_{n}")
+    for i in range(1, n + 1):
+        builder.rule("S", [f"k{i}", "A", f"e{i}"])
+    builder.rule("A", ["m", "A"])
+    builder.rule("A", ["t"])
+    return builder.build(start="S")
+
+
+def keyword_statement_family(n: int) -> Grammar:
+    """A flat statement language with *n* keyword-introduced forms —
+    models "wide" real grammars (many alternatives, shallow nesting)."""
+    if n < 1:
+        raise ValueError("keyword_statement_family needs n >= 1")
+    builder = GrammarBuilder(f"keywords_{n}")
+    builder.rule("program", ["stmt"])
+    builder.rule("program", ["program", "stmt"])
+    for i in range(1, n + 1):
+        builder.rule("stmt", [f"kw{i}", "(", "args", ")", ";"])
+    builder.rule("args", [])
+    builder.rule("args", ["arg_list"])
+    builder.rule("arg_list", ["id"])
+    builder.rule("arg_list", ["arg_list", ",", "id"])
+    return builder.build(start="program")
+
+
+def family_sweep(
+    family: "callable", sizes: "List[int]"
+) -> "List[Tuple[int, Grammar]]":
+    """Materialise a family at several sizes: ``[(n, grammar), ...]``."""
+    return [(n, family(n)) for n in sizes]

@@ -1,0 +1,13 @@
+"""LL(1) analysis: predictive parse tables, conflicts, and a driver.
+
+An orthogonal axis to the LR hierarchy (LL(1) is incomparable with the
+LR classes), included because any practical grammar workbench answers
+"is this grammar LL(1), and if not, why?" — and because the PREDICT-set
+machinery is a two-line corollary of the FIRST/FOLLOW substrate this
+library already ships.
+"""
+
+from .analysis import Ll1Analysis, LlConflict, predict_set
+from .parser import LlParser
+
+__all__ = ["Ll1Analysis", "LlConflict", "LlParser", "predict_set"]

@@ -1,0 +1,164 @@
+"""LL(1) PREDICT sets, parse table, and conflict detection.
+
+``PREDICT(A -> α)`` is the set of terminals on which a predictive parser
+should choose that production:
+
+    PREDICT(A -> α) = FIRST(α)            when α is not nullable
+                    = FIRST(α) ∪ FOLLOW(A) when α =>* ε
+
+A grammar is LL(1) iff for every nonterminal the PREDICT sets of its
+alternatives are pairwise disjoint.  Overlaps classify as:
+
+- **FIRST/FIRST** — two alternatives can start with the same terminal;
+- **FIRST/FOLLOW** — a nullable alternative's FOLLOW intersects another
+  alternative's FIRST (the classic hidden conflict).
+
+The analysis works on the augmented grammar so FOLLOW carries the ``$end``
+marker, mirroring the LR side's conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional
+
+from ..analysis.first import FirstSets
+from ..analysis.follow import FollowSets
+from ..grammar.grammar import Grammar
+from ..grammar.production import Production
+from ..grammar.symbols import Symbol
+
+
+def predict_set(
+    production: Production,
+    first_sets: FirstSets,
+    follow_sets: FollowSets,
+) -> FrozenSet[Symbol]:
+    """PREDICT of one production (see module docstring)."""
+    first, all_nullable = first_sets.of_sequence(production.rhs)
+    if not all_nullable:
+        return first
+    return frozenset(set(first) | set(follow_sets[production.lhs]))
+
+
+class LlConflict(NamedTuple):
+    """An LL(1) conflict between two alternatives of one nonterminal."""
+
+    nonterminal: Symbol
+    kind: str  # "FIRST/FIRST" or "FIRST/FOLLOW"
+    left: Production
+    right: Production
+    terminals: FrozenSet[Symbol]
+
+    def describe(self) -> str:
+        names = ", ".join(sorted(t.name for t in self.terminals))
+        return (
+            f"{self.nonterminal.name}: {self.kind} conflict between "
+            f"[{self.left}] and [{self.right}] on {{{names}}}"
+        )
+
+
+class Ll1Analysis:
+    """The LL(1) view of a grammar: PREDICT sets, table, conflicts."""
+
+    def __init__(self, grammar: Grammar):
+        if not grammar.is_augmented:
+            grammar = grammar.augmented()
+        self.grammar = grammar
+        self.first_sets = FirstSets(grammar)
+        self.follow_sets = FollowSets(grammar, self.first_sets)
+
+        #: PREDICT per production index (production 0 excluded: it is the
+        #: augmentation artifact, never predicted by user input).
+        self.predict: Dict[int, FrozenSet[Symbol]] = {}
+        for production in grammar.productions[1:]:
+            self.predict[production.index] = predict_set(
+                production, self.first_sets, self.follow_sets
+            )
+
+        self.conflicts: List[LlConflict] = []
+        #: table[nonterminal][terminal] -> production index (first writer
+        #: wins on conflicts, which are recorded).
+        self.table: Dict[Symbol, Dict[Symbol, int]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        nullable = self.first_sets.nullable
+        for nonterminal in self.grammar.nonterminals:
+            if nonterminal is self.grammar.start:
+                continue
+            alternatives = self.grammar.productions_for(nonterminal)
+            row: Dict[Symbol, int] = {}
+            for production in alternatives:
+                for terminal in self.predict[production.index]:
+                    if terminal in row:
+                        self._record_conflict(
+                            nonterminal,
+                            self.grammar.productions[row[terminal]],
+                            production,
+                            terminal,
+                            nullable,
+                        )
+                    else:
+                        row[terminal] = production.index
+            self.table[nonterminal] = row
+
+    def _record_conflict(
+        self,
+        nonterminal: Symbol,
+        left: Production,
+        right: Production,
+        terminal: Symbol,
+        nullable,
+    ) -> None:
+        # Classify: if either alternative is nullable and the overlap came
+        # through its FOLLOW, it is FIRST/FOLLOW; otherwise FIRST/FIRST.
+        def first_only(production: Production) -> FrozenSet[Symbol]:
+            first, _ = self.first_sets.of_sequence(production.rhs)
+            return first
+
+        in_left_first = terminal in first_only(left)
+        in_right_first = terminal in first_only(right)
+        kind = "FIRST/FIRST" if (in_left_first and in_right_first) else "FIRST/FOLLOW"
+        # Merge with an existing record for the same pair if present.
+        for i, existing in enumerate(self.conflicts):
+            if (
+                existing.nonterminal is nonterminal
+                and existing.left is left
+                and existing.right is right
+                and existing.kind == kind
+            ):
+                self.conflicts[i] = existing._replace(
+                    terminals=existing.terminals | {terminal}
+                )
+                return
+        self.conflicts.append(
+            LlConflict(nonterminal, kind, left, right, frozenset((terminal,)))
+        )
+
+    @property
+    def is_ll1(self) -> bool:
+        return not self.conflicts
+
+    def production_for(
+        self, nonterminal: Symbol, lookahead: Symbol
+    ) -> Optional[Production]:
+        """The production the predictive parser picks, or None (error)."""
+        index = self.table.get(nonterminal, {}).get(lookahead)
+        return None if index is None else self.grammar.productions[index]
+
+    def format_table(self) -> str:
+        """Render the LL(1) table with production indices as cells."""
+        terminals = [t for t in self.grammar.terminals]
+        header = ["nonterminal"] + [t.name for t in terminals]
+        rows: List[List[str]] = [header]
+        for nonterminal, row in self.table.items():
+            cells = [nonterminal.name]
+            for terminal in terminals:
+                index = row.get(terminal)
+                cells.append("" if index is None else str(index))
+            rows.append(cells)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        return "\n".join(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+            for row in rows
+        )

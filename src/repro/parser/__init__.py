@@ -1,0 +1,10 @@
+"""LR parsing engine, parse trees, and a lexer for building token streams."""
+
+from .cyk import CykRecognizer
+from .recovery import RecoveringParser
+from .engine import Parser, Token
+from .errors import LexError, ParseError
+from .lexer import Lexer
+from .tree import Node, count_nodes
+
+__all__ = ["CykRecognizer", "RecoveringParser", "Lexer", "LexError", "Node", "ParseError", "Parser", "Token", "count_nodes"]

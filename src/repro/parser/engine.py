@@ -1,0 +1,191 @@
+"""The LR shift-reduce parsing engine.
+
+Drives any :class:`~repro.tables.table.ParseTable` — LR(0), SLR(1),
+LALR(1) or CLR(1) — over a token stream.  The engine is the consumer that
+makes look-ahead quality *observable*: identical code, different tables,
+and only the reduce decisions differ.
+
+Tokens may be given as :class:`~repro.grammar.symbols.Symbol` objects, as
+terminal name strings, or as :class:`Token` (symbol + semantic value).
+The end marker must *not* be included; the engine appends it.
+
+Semantic actions: ``parse()`` builds a :class:`~repro.parser.tree.Node`
+tree; ``parse_with_actions()`` instead folds a callback over reductions,
+which is how the calculator example evaluates on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, NamedTuple, Sequence, Union
+
+from ..grammar.grammar import Grammar
+from ..grammar.production import Production
+from ..grammar.symbols import Symbol
+from ..tables.table import ParseTable
+from .errors import ParseError
+from .tree import Node
+
+
+class Token(NamedTuple):
+    """A terminal plus its semantic value (e.g. NUM with value 42)."""
+
+    symbol: Symbol
+    value: object = None
+
+
+TokenLike = Union[Token, Symbol, str]
+
+
+class Parser:
+    """An LR parser for one grammar/table pair."""
+
+    def __init__(self, table: ParseTable):
+        self.table = table
+        self.grammar: Grammar = table.grammar
+        if not self.grammar.is_augmented:
+            raise ValueError("parse tables must be built over an augmented grammar")
+        self._eof = self.grammar.eof
+
+    # -- public API ---------------------------------------------------
+
+    def parse(self, tokens: Iterable[TokenLike]) -> Node:
+        """Parse *tokens* and return the parse tree rooted at the user's
+        start symbol.  Raises ParseError on invalid input."""
+
+        def build(production: Production, children: Sequence[Node]) -> Node:
+            return Node(production.lhs, list(children), production=production)
+
+        def leaf(token: Token) -> Node:
+            return Node(token.symbol, value=token.value)
+
+        return self._run(tokens, reduce_fn=build, shift_fn=leaf)
+
+    def parse_with_actions(
+        self,
+        tokens: Iterable[TokenLike],
+        reduce_fn: Callable[[Production, Sequence[object]], object],
+        shift_fn: "Callable[[Token], object] | None" = None,
+    ) -> object:
+        """Parse, folding *reduce_fn* over reductions (syntax-directed
+        translation).  *shift_fn* maps a token to its initial semantic
+        value (defaults to the token's own value)."""
+        if shift_fn is None:
+            shift_fn = lambda token: token.value
+        return self._run(tokens, reduce_fn=reduce_fn, shift_fn=shift_fn)
+
+    def accepts(self, tokens: Iterable[TokenLike]) -> bool:
+        """True iff *tokens* is a sentence of the grammar."""
+        try:
+            self.parse(tokens)
+        except ParseError:
+            return False
+        return True
+
+    def trace(self, tokens: Iterable[TokenLike]) -> List[str]:
+        """Parse while recording one line per action — a teaching aid and
+        the fixture for the engine's unit tests."""
+        log: List[str] = []
+
+        def build(production: Production, children: Sequence[object]) -> object:
+            log.append(f"reduce {production}")
+            return None
+
+        def leaf(token: Token) -> object:
+            log.append(f"shift {token.symbol.name}")
+            return None
+
+        self._run(tokens, reduce_fn=build, shift_fn=leaf)
+        log.append("accept")
+        return log
+
+    # -- engine ---------------------------------------------------------
+
+    def _normalise(self, token: TokenLike, position: int) -> Token:
+        if isinstance(token, Token):
+            return token
+        if isinstance(token, Symbol):
+            return Token(token, token.name)
+        if isinstance(token, str):
+            symbol = self.grammar.symbols.get(token)
+            if symbol is None or symbol.is_nonterminal:
+                raise ParseError(
+                    f"unknown terminal {token!r} at position {position}",
+                    position,
+                    None,
+                    state=-1,
+                    expected=[],
+                )
+            return Token(symbol, token)
+        raise TypeError(f"cannot interpret token {token!r}")
+
+    def _run(
+        self,
+        tokens: Iterable[TokenLike],
+        reduce_fn: Callable[[Production, Sequence[object]], object],
+        shift_fn: Callable[[Token], object],
+    ) -> object:
+        table = self.table
+        state_stack: List[int] = [0]
+        value_stack: List[object] = []
+
+        stream = list(tokens)
+        position = 0
+        limit = len(stream)
+
+        while True:
+            if position < limit:
+                token = self._normalise(stream[position], position)
+            else:
+                token = Token(self._eof, None)
+            lookahead = token.symbol
+
+            action = table.action(state_stack[-1], lookahead)
+            if action is None:
+                raise self._syntax_error(position, token, state_stack[-1])
+            if action.kind == "shift":
+                value_stack.append(shift_fn(token))
+                state_stack.append(action.state)
+                position += 1
+                continue
+            if action.kind == "reduce":
+                production = self.grammar.productions[action.production]
+                arity = len(production.rhs)
+                if arity:
+                    children = value_stack[-arity:]
+                    del value_stack[-arity:]
+                    del state_stack[-arity:]
+                else:
+                    children = []
+                value_stack.append(reduce_fn(production, children))
+                goto = table.goto(state_stack[-1], production.lhs)
+                if goto is None:  # pragma: no cover - tables are consistent
+                    raise self._syntax_error(position, token, state_stack[-1])
+                state_stack.append(goto)
+                continue
+            # accept: the value stack holds exactly the start symbol's value.
+            assert action.kind == "accept"
+            if lookahead is not self._eof:  # pragma: no cover - table invariant
+                raise self._syntax_error(position, token, state_stack[-1])
+            if len(value_stack) != 1:  # pragma: no cover - table invariant
+                raise ParseError(
+                    "internal error: value stack not a singleton at accept",
+                    position,
+                    lookahead,
+                    state_stack[-1],
+                    [],
+                )
+            return value_stack[0]
+
+    def _syntax_error(self, position: int, token: Token, state: int) -> ParseError:
+        expected = sorted(
+            (t for t in self.table.actions[state]), key=lambda s: s.name
+        )
+        names = ", ".join(t.name for t in expected) or "<nothing>"
+        what = token.symbol.name if token.symbol is not self._eof else "end of input"
+        return ParseError(
+            f"syntax error at position {position}: unexpected {what}; expected one of: {names}",
+            position,
+            token.symbol,
+            state,
+            expected,
+        )

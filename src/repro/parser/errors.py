@@ -1,0 +1,40 @@
+"""Parse-time errors."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..grammar.symbols import Symbol
+
+
+class ParseError(Exception):
+    """Raised when the input is not a sentence of the grammar.
+
+    Attributes:
+        position: 0-based index of the offending token in the input.
+        token: The offending terminal (the end marker for premature EOF).
+        state: The parser state in which the error was detected.
+        expected: Terminals that would have been acceptable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int,
+        token: Optional[Symbol],
+        state: int,
+        expected: "List[Symbol]",
+    ):
+        super().__init__(message)
+        self.position = position
+        self.token = token
+        self.state = state
+        self.expected = expected
+
+
+class LexError(Exception):
+    """Raised by the example lexer on unrecognisable input text."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(message)
+        self.position = position

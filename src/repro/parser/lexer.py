@@ -1,0 +1,113 @@
+"""A small regex-driven lexer for turning text into grammar tokens.
+
+The examples (calculator, JSON, mini-Pascal) need real token streams, and
+any downstream user of the library needs the same glue, so it ships as a
+proper component.  A :class:`Lexer` is a list of rules; each rule maps a
+regex to a terminal of a grammar (or to ``None`` to skip whitespace and
+comments).  Literal terminals of the grammar — names like ``+`` or ``(``
+— can be auto-registered with :meth:`Lexer.with_literals`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterator, List, NamedTuple, Optional, Pattern
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .engine import Token
+from .errors import LexError
+
+
+class Rule(NamedTuple):
+    """One lexer rule: regex, target terminal (None = skip), converter."""
+
+    pattern: Pattern
+    terminal: Optional[Symbol]
+    convert: Optional[Callable[[str], object]]
+
+
+class Lexer:
+    """Longest-declaration-first tokeniser bound to one grammar."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.rules: List[Rule] = []
+
+    def token(
+        self,
+        terminal_name: str,
+        pattern: str,
+        convert: "Callable[[str], object] | None" = None,
+    ) -> "Lexer":
+        """Map *pattern* to the grammar terminal *terminal_name*.
+
+        *convert* turns the matched text into the token's semantic value
+        (e.g. ``int`` for number literals).
+        """
+        symbol = self.grammar.symbols[terminal_name]
+        if symbol.is_nonterminal:
+            raise ValueError(f"{terminal_name!r} is a nonterminal")
+        self.rules.append(Rule(re.compile(pattern), symbol, convert))
+        return self
+
+    def skip(self, pattern: str) -> "Lexer":
+        """Skip text matching *pattern* (whitespace, comments)."""
+        self.rules.append(Rule(re.compile(pattern), None, None))
+        return self
+
+    def with_literals(self, *names: str) -> "Lexer":
+        """Register each name as a literal token for the same-named
+        terminal; with no arguments, registers every terminal whose name
+        is not a word (so ``+``, ``(``, ``==``, ... all match themselves).
+
+        Longer literals are registered first so ``==`` wins over ``=``.
+        """
+        if names:
+            literals = list(names)
+        else:
+            literals = [
+                t.name
+                for t in self.grammar.terminals
+                if not t.name[0].isalnum() and t.name[0] not in "_$"
+            ]
+        for name in sorted(literals, key=len, reverse=True):
+            self.token(name, re.escape(name))
+        return self
+
+    def keywords(self, *names: str) -> "Lexer":
+        """Register word-like literal terminals (``if``, ``while``, ...)
+        with word-boundary anchoring so ``if`` does not eat ``iffy``."""
+        for name in sorted(names, key=len, reverse=True):
+            self.token(name, re.escape(name) + r"(?![A-Za-z0-9_])")
+        return self
+
+    def tokens(self, text: str) -> Iterator[Token]:
+        """Tokenise *text*, yielding :class:`Token` items.
+
+        Rules are tried in declaration order at each position; the first
+        match wins.  Raises LexError when nothing matches.
+        """
+        position = 0
+        length = len(text)
+        while position < length:
+            for rule in self.rules:
+                match = rule.pattern.match(text, position)
+                if match is None or match.end() == position:
+                    continue
+                lexeme = match.group()
+                position = match.end()
+                if rule.terminal is not None:
+                    value = rule.convert(lexeme) if rule.convert else lexeme
+                    yield Token(rule.terminal, value)
+                break
+            else:
+                raise LexError(
+                    f"cannot tokenise input at position {position}: "
+                    f"{text[position:position + 10]!r}...",
+                    position,
+                )
+
+    def tokenize(self, text: str) -> List[Token]:
+        """Eager version of :meth:`tokens`."""
+        return list(self.tokens(text))

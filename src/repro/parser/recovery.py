@@ -1,0 +1,111 @@
+"""Panic-mode error recovery: report many syntax errors in one pass.
+
+The plain engine stops at the first error.  For a batch "check this file"
+workflow (every real parser generator grows one), panic mode continues:
+
+1. record the error,
+2. discard input up to the next *synchronising* token (e.g. ``;``),
+3. pop parser states until one can act on that token again,
+4. resume.
+
+Without error productions no parse tree can be produced for invalid
+input, so the result is the list of errors (empty = the input parsed).
+The recovery is deliberately conservative: if no synchronisation point
+works, it stops rather than loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..grammar.symbols import Symbol
+from .engine import Parser, Token, TokenLike
+from .errors import ParseError
+
+
+class RecoveringParser:
+    """Wraps a Parser with panic-mode multi-error checking."""
+
+    def __init__(self, parser: Parser, sync_tokens: Iterable[str]):
+        self.parser = parser
+        self.grammar = parser.grammar
+        self.sync: List[Symbol] = []
+        for name in sync_tokens:
+            symbol = self.grammar.symbols[name]
+            if symbol.is_nonterminal:
+                raise ValueError(f"sync token {name!r} must be a terminal")
+            self.sync.append(symbol)
+
+    def check(self, tokens: "Sequence[TokenLike]", max_errors: int = 25) -> List[ParseError]:
+        """Parse *tokens*, recovering at sync points; returns all errors."""
+        table = self.parser.table
+        eof = self.grammar.eof
+        stream = [self.parser._normalise(t, i) for i, t in enumerate(tokens)]
+        stream.append(Token(eof, None))
+
+        errors: List[ParseError] = []
+        state_stack: List[int] = [0]
+        position = 0
+
+        while True:
+            token = stream[position]
+            action = table.action(state_stack[-1], token.symbol)
+
+            if action is None:
+                error = self.parser._syntax_error(position, token, state_stack[-1])
+                errors.append(error)
+                if len(errors) >= max_errors:
+                    return errors
+                recovered = self._recover(state_stack, stream, position)
+                if recovered is None:
+                    return errors
+                position = recovered
+                continue
+
+            if action.kind == "shift":
+                state_stack.append(action.state)
+                position += 1
+                continue
+            if action.kind == "reduce":
+                production = self.grammar.productions[action.production]
+                if len(production.rhs):
+                    del state_stack[-len(production.rhs):]
+                goto = table.goto(state_stack[-1], production.lhs)
+                if goto is None:
+                    # Recovery left the stack in a dead configuration.
+                    return errors
+                state_stack.append(goto)
+                continue
+            return errors  # accept
+
+    def _recover(
+        self,
+        state_stack: List[int],
+        stream: "List[Token]",
+        position: int,
+    ) -> Optional[int]:
+        """Panic: skip to a sync token, pop states until it is actionable.
+
+        Returns the position to resume at, or None when unrecoverable.
+        """
+        table = self.parser.table
+        index = position
+        while index < len(stream):
+            token = stream[index]
+            if token.symbol is self.grammar.eof:
+                return None  # nothing left to resynchronise on
+            if token.symbol in self.sync:
+                # Resume AFTER the sync token: pop to the shallowest state
+                # that can act on the follower (a fresh-context restart);
+                # when none can, hard-reset to the start state and let the
+                # parser re-derive the next error.  Either way the resume
+                # position strictly advances, so recovery always terminates.
+                follower = stream[index + 1]
+                for depth in range(len(state_stack)):
+                    if table.action(state_stack[depth], follower.symbol) is not None:
+                        del state_stack[depth + 1 :]
+                        return index + 1
+                del state_stack[1:]
+                return index + 1
+            index += 1
+        return None

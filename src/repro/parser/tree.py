@@ -1,0 +1,115 @@
+"""Parse trees produced by the LR engine."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..grammar.production import Production
+from ..grammar.symbols import Symbol
+
+
+class Node:
+    """A parse-tree node.
+
+    Leaves wrap a shifted terminal (and the token's semantic *value*, when
+    the token stream supplied one).  Interior nodes wrap the production
+    used for the reduction and the children in left-to-right order.
+    """
+
+    __slots__ = ("symbol", "children", "value", "production")
+
+    def __init__(
+        self,
+        symbol: Symbol,
+        children: "Optional[List[Node]]" = None,
+        value: object = None,
+        production: Optional[Production] = None,
+    ):
+        self.symbol = symbol
+        self.children: List[Node] = children if children is not None else []
+        self.value = value
+        self.production = production
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for terminal (token) nodes."""
+        return self.symbol.is_terminal
+
+    def leaves(self) -> "Iterator[Node]":
+        """Left-to-right terminal leaves (the fringe)."""
+        if self.is_leaf:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def fringe(self) -> List[Symbol]:
+        """The terminal symbols of the fringe — re-derives the input."""
+        return [leaf.symbol for leaf in self.leaves()]
+
+    def walk(self) -> "Iterator[Node]":
+        """Pre-order traversal of all nodes."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def derivation(self) -> List[Production]:
+        """The rightmost derivation (in forward order) this tree encodes."""
+        out: List[Production] = []
+
+        def visit(node: "Node") -> None:
+            if node.is_leaf:
+                return
+            assert node.production is not None
+            out.append(node.production)
+            # Rightmost derivation expands the rightmost nonterminal first.
+            for child in node.children:
+                visit(child)
+
+        visit(self)
+        return out
+
+    def format(self, indent: str = "") -> str:
+        """Multi-line indented rendering."""
+        if self.is_leaf:
+            label = self.symbol.name
+            if self.value is not None and str(self.value) != label:
+                label += f" ({self.value!r})"
+            return f"{indent}{label}"
+        lines = [f"{indent}{self.symbol.name}"]
+        lines.extend(child.format(indent + "  ") for child in self.children)
+        return "\n".join(lines)
+
+    def sexpr(self) -> str:
+        """Compact s-expression rendering, handy in tests."""
+        if self.is_leaf:
+            return self.symbol.name
+        inner = " ".join(child.sexpr() for child in self.children)
+        return f"({self.symbol.name} {inner})" if inner else f"({self.symbol.name})"
+
+    def __repr__(self) -> str:
+        return f"Node({self.sexpr()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return (
+            self.symbol is other.symbol
+            and self.value == other.value
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - trees rarely hashed
+        return hash((id(self.symbol), self.value, tuple(map(hash, self.children))))
+
+
+def count_nodes(node: Node) -> Tuple[int, int]:
+    """(interior nodes, leaves) in the tree rooted at *node*."""
+    interior = 0
+    leaves = 0
+    for current in node.walk():
+        if current.is_leaf:
+            leaves += 1
+        else:
+            interior += 1
+    return interior, leaves

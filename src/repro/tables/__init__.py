@@ -1,0 +1,41 @@
+"""Parse tables, conflicts, precedence resolution, and classification."""
+
+from .build import build_clr_table, build_lalr_table, build_lr0_table, build_slr_table
+from .serialize import load_table, save_table, table_from_dict, table_to_dict
+from .explain import ConflictExample, explain_conflict, explain_table_conflicts
+from .codegen import generate_parser_module, write_parser_module
+from .compress import CompressedTable, compress, compression_ratio
+from .classify import Classification, GrammarClass, class_at_most, classify
+from .conflicts import Conflict, resolve_shift_reduce
+from .table import ACCEPT, Accept, Action, ParseTable, Reduce, Shift
+
+__all__ = [
+    "ACCEPT",
+    "Accept",
+    "Action",
+    "Classification",
+    "CompressedTable",
+    "ConflictExample",
+    "explain_conflict",
+    "explain_table_conflicts",
+    "load_table",
+    "save_table",
+    "table_from_dict",
+    "table_to_dict",
+    "generate_parser_module",
+    "write_parser_module",
+    "compress",
+    "compression_ratio",
+    "Conflict",
+    "GrammarClass",
+    "ParseTable",
+    "Reduce",
+    "Shift",
+    "build_clr_table",
+    "build_lalr_table",
+    "build_lr0_table",
+    "build_slr_table",
+    "class_at_most",
+    "classify",
+    "resolve_shift_reduce",
+]

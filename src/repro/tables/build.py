@@ -1,0 +1,219 @@
+"""Parse-table construction for the four LR variants.
+
+All four builders share one cell-filling engine and differ only in *which
+lookaheads gate each reduction*:
+
+- **LR(0)**: every terminal (reduce regardless of lookahead);
+- **SLR(1)**: FOLLOW(lhs) — :class:`repro.baselines.slr.SlrAnalysis`;
+- **LALR(1)**: the DeRemer–Pennello LA sets (default) or any baseline's
+  equivalent table;
+- **CLR(1)**: per-LR(1)-state item lookaheads (the table lives on the
+  canonical LR(1) automaton, so it is typically much larger).
+
+The accept action is installed on ``$end`` in any state containing the
+item ``S' -> S . $end``; the reduction by production 0 therefore never
+fires and carries no lookaheads anywhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from ..automaton.lr0 import LR0Automaton
+from ..automaton.lr1 import LR1Automaton
+from ..baselines.slr import SlrAnalysis
+from ..core.lalr import LalrAnalysis
+from ..core.relations import ReductionSite
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .conflicts import Conflict, resolve_shift_reduce
+from .table import ACCEPT, Action, ParseTable, Reduce, Shift
+
+
+def build_lr0_table(
+    grammar: Grammar, automaton: "LR0Automaton | None" = None
+) -> ParseTable:
+    """The LR(0) table: final items reduce on *every* terminal."""
+    if automaton is None:
+        automaton = LR0Automaton(grammar)
+    all_terminals = frozenset(automaton.grammar.terminals)
+
+    def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
+        return all_terminals
+
+    return _fill_lr0_based(automaton, "lr0", lookaheads)
+
+
+def build_slr_table(
+    grammar: Grammar, automaton: "LR0Automaton | None" = None
+) -> ParseTable:
+    """The SLR(1) table: reduce on FOLLOW of the production's lhs."""
+    if automaton is None:
+        automaton = LR0Automaton(grammar)
+    analysis = SlrAnalysis(grammar, automaton)
+
+    def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
+        return analysis.lookahead(*site)
+
+    return _fill_lr0_based(automaton, "slr1", lookaheads)
+
+
+def build_lalr_table(
+    grammar: Grammar,
+    automaton: "LR0Automaton | None" = None,
+    lookahead_table: "Dict[ReductionSite, FrozenSet[Symbol]] | None" = None,
+) -> ParseTable:
+    """The LALR(1) table.
+
+    By default lookaheads come from the DeRemer–Pennello analysis; pass
+    *lookahead_table* (e.g. from a baseline) to build from other sources —
+    the classifier and the equivalence tests use this hook.
+    """
+    if automaton is None:
+        automaton = LR0Automaton(grammar)
+    if lookahead_table is None:
+        lookahead_table = LalrAnalysis(grammar, automaton).lookahead_table()
+
+    def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
+        return lookahead_table.get(site, frozenset())
+
+    return _fill_lr0_based(automaton, "lalr1", lookaheads)
+
+
+def _fill_lr0_based(
+    automaton: LR0Automaton,
+    method: str,
+    lookaheads_for: "callable",
+) -> ParseTable:
+    grammar = automaton.grammar
+    eof = grammar.eof
+    actions: List[Dict[Symbol, Action]] = []
+    gotos: List[Dict[Symbol, int]] = []
+    conflicts: List[Conflict] = []
+
+    for state in automaton.states:
+        action_row: Dict[Symbol, Action] = {}
+        goto_row: Dict[Symbol, int] = {}
+        for symbol, successor in state.transitions.items():
+            if symbol.is_nonterminal:
+                goto_row[symbol] = successor
+            elif symbol is eof:
+                # goto on $end exists only from the item S' -> S . $end.
+                action_row[eof] = ACCEPT
+            else:
+                action_row[symbol] = Shift(successor)
+        for item in state.reductions:
+            if item.production == 0:
+                continue
+            reduce_action = Reduce(item.production)
+            for terminal in lookaheads_for((state.state_id, item.production)):
+                _place(
+                    grammar,
+                    actions_row=action_row,
+                    state_id=state.state_id,
+                    terminal=terminal,
+                    new_action=reduce_action,
+                    conflicts=conflicts,
+                )
+        actions.append(action_row)
+        gotos.append(goto_row)
+    return ParseTable(grammar, method, actions, gotos, conflicts)
+
+
+def build_clr_table(
+    grammar: Grammar, lr1: "LR1Automaton | None" = None
+) -> ParseTable:
+    """The canonical LR(1) table (Knuth), on the LR(1) automaton's states."""
+    if lr1 is None:
+        lr1 = LR1Automaton(grammar.augmented() if not grammar.is_augmented else grammar)
+    grammar = lr1.grammar
+    eof = grammar.eof
+    actions: List[Dict[Symbol, Action]] = []
+    gotos: List[Dict[Symbol, int]] = []
+    conflicts: List[Conflict] = []
+
+    for state in lr1.states:
+        action_row: Dict[Symbol, Action] = {}
+        goto_row: Dict[Symbol, int] = {}
+        for symbol, successor in state.transitions.items():
+            if symbol.is_nonterminal:
+                goto_row[symbol] = successor
+            elif symbol is eof:
+                action_row[eof] = ACCEPT
+            else:
+                action_row[symbol] = Shift(successor)
+        for production_index, lookahead_set in lr1.reductions(state.state_id):
+            if production_index == 0:
+                continue
+            reduce_action = Reduce(production_index)
+            for terminal in lookahead_set:
+                _place(
+                    grammar,
+                    actions_row=action_row,
+                    state_id=state.state_id,
+                    terminal=terminal,
+                    new_action=reduce_action,
+                    conflicts=conflicts,
+                )
+        actions.append(action_row)
+        gotos.append(goto_row)
+    return ParseTable(grammar, "clr1", actions, gotos, conflicts)
+
+
+def _place(
+    grammar: Grammar,
+    actions_row: Dict[Symbol, Action],
+    state_id: int,
+    terminal: Symbol,
+    new_action: Action,
+    conflicts: List[Conflict],
+) -> None:
+    """Install *new_action* into a cell, resolving/recording conflicts."""
+    existing = actions_row.get(terminal)
+    if existing is None:
+        actions_row[terminal] = new_action
+        return
+    if existing == new_action:
+        return
+    if existing.kind == "shift" and new_action.kind == "reduce":
+        winner, resolved = resolve_shift_reduce(grammar, terminal, existing, new_action)
+        conflicts.append(
+            Conflict(state_id, terminal, "shift/reduce", [existing, new_action], winner, resolved)
+        )
+        if winner is None:
+            del actions_row[terminal]
+        else:
+            actions_row[terminal] = winner
+        return
+    if existing.kind == "reduce" and new_action.kind == "reduce":
+        # yacc rule: the earlier production wins; never precedence-resolved.
+        winner = existing if existing.production <= new_action.production else new_action
+        conflicts.append(
+            Conflict(state_id, terminal, "reduce/reduce", [existing, new_action], winner, False)
+        )
+        actions_row[terminal] = winner
+        return
+    # reduce placed first, then shift discovered — normalise the ordering.
+    if existing.kind == "reduce" and new_action.kind == "shift":
+        winner, resolved = resolve_shift_reduce(grammar, terminal, new_action, existing)
+        conflicts.append(
+            Conflict(state_id, terminal, "shift/reduce", [new_action, existing], winner, resolved)
+        )
+        if winner is None:
+            del actions_row[terminal]
+        else:
+            actions_row[terminal] = winner
+        return
+    if existing.kind == "accept" or new_action.kind == "accept":
+        # Only cyclic grammars (S =>+ S) can pit accept against a reduce;
+        # keep accept and report it as an unresolved shift/reduce-style
+        # conflict so the classifier rejects such grammars.
+        winner = existing if existing.kind == "accept" else new_action
+        conflicts.append(
+            Conflict(state_id, terminal, "shift/reduce", [existing, new_action], winner, False)
+        )
+        actions_row[terminal] = winner
+        return
+    raise AssertionError(
+        f"impossible action pair in state {state_id}: {existing!r} vs {new_action!r}"
+    )

@@ -1,0 +1,147 @@
+"""Grammar classification within the LR hierarchy.
+
+``LR(0) ⊂ SLR(1) ⊂ LALR(1) ⊂ LR(1)`` — a grammar's class is the weakest
+construction whose table is conflict-free (precedence declarations are
+deliberately ignored here: classification is a property of the grammar,
+not of its disambiguation hints).
+
+The classifier also surfaces the DeRemer–Pennello quick negative: a
+nontrivial SCC in the `reads` relation proves the grammar is not LR(k)
+for *any* k, without building any LR(1) machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, NamedTuple
+
+from ..automaton.lr0 import LR0Automaton
+from ..automaton.lr1 import LR1Automaton
+from ..core.lalr import LalrAnalysis
+from ..grammar.grammar import Grammar
+from .build import build_clr_table, build_lalr_table, build_lr0_table, build_slr_table
+from .table import ParseTable
+
+
+class GrammarClass(enum.Enum):
+    """The weakest LR construction that handles the grammar without
+    conflicts (NOT_LR1 = none of them do)."""
+
+    LR0 = "LR(0)"
+    SLR1 = "SLR(1)"
+    LALR1 = "LALR(1)"
+    LR1 = "LR(1)"
+    NOT_LR1 = "not LR(1)"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_ORDER = [
+    GrammarClass.LR0,
+    GrammarClass.SLR1,
+    GrammarClass.LALR1,
+    GrammarClass.LR1,
+    GrammarClass.NOT_LR1,
+]
+
+
+def class_at_most(lower: GrammarClass, upper: GrammarClass) -> bool:
+    """True iff *lower* is at-or-below *upper* in the hierarchy."""
+    return _ORDER.index(lower) <= _ORDER.index(upper)
+
+
+class Classification(NamedTuple):
+    """Full classification result.
+
+    Attributes:
+        grammar_class: The weakest conflict-free construction.
+        is_lr0 / is_slr1 / is_lalr1 / is_lr1: Individual verdicts.
+        not_lr_k: True when the reads-SCC theorem proves the grammar
+            cannot be LR(k) for any k.
+        conflict_counts: Per-method unresolved-conflict counts.
+    """
+
+    grammar_class: GrammarClass
+    is_lr0: bool
+    is_slr1: bool
+    is_lalr1: bool
+    is_lr1: bool
+    not_lr_k: bool
+    conflict_counts: Dict[str, int]
+
+
+def _strip_precedence(grammar: Grammar) -> Grammar:
+    """A copy of *grammar* with precedence declarations removed, so that
+    classification reflects raw conflicts."""
+    if not grammar.precedence and not any(
+        p.prec_symbol is not None for p in grammar.productions
+    ):
+        return grammar
+    from ..grammar.production import Production
+
+    productions = [
+        Production(p.index, p.lhs, p.rhs, prec_symbol=None) for p in grammar.productions
+    ]
+    # Zeroing prec_symbol would re-derive the rightmost terminal; build
+    # Production with an explicit override instead.
+    for original, rebuilt in zip(grammar.productions, productions):
+        rebuilt.prec_symbol = None
+    stripped = Grammar(
+        grammar.symbols, productions, grammar.start, precedence=None, name=grammar.name
+    )
+    return stripped
+
+
+def classify(grammar: Grammar, ignore_precedence: bool = True) -> Classification:
+    """Classify *grammar* in the LR hierarchy.
+
+    With *ignore_precedence* (the default) the grammar's %left/%right
+    declarations are stripped first; pass False to classify the grammar
+    as disambiguated (useful to confirm a precedence scheme removes all
+    conflicts).
+    """
+    working = _strip_precedence(grammar) if ignore_precedence else grammar
+    working = working.augmented()
+    automaton = LR0Automaton(working)
+    lalr_analysis = LalrAnalysis(working, automaton)
+
+    tables: List[ParseTable] = [
+        build_lr0_table(working, automaton),
+        build_slr_table(working, automaton),
+        build_lalr_table(working, automaton, lalr_analysis.lookahead_table()),
+    ]
+    verdicts = [table.is_deterministic for table in tables]
+    conflict_counts = {
+        table.method: len(table.unresolved_conflicts) for table in tables
+    }
+
+    is_lalr1 = verdicts[2]
+    if is_lalr1:
+        # LALR(1) implies LR(1); skip the expensive canonical construction.
+        is_lr1 = True
+        conflict_counts["clr1"] = 0
+    elif lalr_analysis.not_lr_k:
+        is_lr1 = False
+        conflict_counts["clr1"] = -1  # not constructed; provably conflicted
+    else:
+        clr_table = build_clr_table(working, LR1Automaton(working))
+        is_lr1 = clr_table.is_deterministic
+        conflict_counts["clr1"] = len(clr_table.unresolved_conflicts)
+
+    flags = [verdicts[0], verdicts[1], is_lalr1, is_lr1]
+    grammar_class = GrammarClass.NOT_LR1
+    for flag, cls in zip(flags, _ORDER):
+        if flag:
+            grammar_class = cls
+            break
+
+    return Classification(
+        grammar_class=grammar_class,
+        is_lr0=verdicts[0],
+        is_slr1=verdicts[1],
+        is_lalr1=is_lalr1,
+        is_lr1=is_lr1,
+        not_lr_k=lalr_analysis.not_lr_k,
+        conflict_counts=conflict_counts,
+    )

@@ -1,0 +1,163 @@
+"""Standalone-parser code generation.
+
+What makes a library a parser *generator*: emit a self-contained Python
+module — tables plus a driver, no ``repro`` import — from any
+:class:`~repro.tables.table.ParseTable`.  The emitted module exposes:
+
+- ``parse(tokens, reduce_fn=None, shift_fn=None)`` — the LR driver;
+  tokens are ``(terminal_name, value)`` pairs or bare terminal names.
+  Without callbacks it returns nested ``(production_index, children...)``
+  tuples; leaves are the token values.
+- ``PRODUCTIONS`` — ``(lhs_name, rhs_length, rhs_names)`` per production,
+  so reduce callbacks can dispatch.
+- ``ACTIONS`` / ``GOTOS`` — the raw tables (dicts keyed by terminal /
+  nonterminal name).
+- ``SyntaxErrorLR`` — the error type, carrying position and expected set.
+
+The emitted text is deterministic for a given table, making generated
+parsers diff-friendly — and letting the test suite assert reproducibility.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List
+
+from .table import ParseTable
+
+_DRIVER = '''
+class SyntaxErrorLR(Exception):
+    """Raised on invalid input: position, offending name, expected names."""
+
+    def __init__(self, position, token_name, expected):
+        super().__init__(
+            "syntax error at position %d: unexpected %s; expected one of: %s"
+            % (position, token_name, ", ".join(sorted(expected)) or "<nothing>")
+        )
+        self.position = position
+        self.token_name = token_name
+        self.expected = expected
+
+
+def parse(tokens, reduce_fn=None, shift_fn=None):
+    """Parse a token iterable; see the module docstring for conventions."""
+    if reduce_fn is None:
+        reduce_fn = lambda production_index, children: tuple(
+            [production_index] + list(children)
+        )
+    if shift_fn is None:
+        shift_fn = lambda name, value: value
+
+    stream = []
+    for token in tokens:
+        if isinstance(token, str):
+            stream.append((token, token))
+        else:
+            name, value = token
+            stream.append((name, value))
+    stream.append((END, None))
+
+    state_stack = [0]
+    value_stack = []
+    position = 0
+    while True:
+        name, value = stream[position]
+        action = ACTIONS[state_stack[-1]].get(name)
+        if action is None:
+            raise SyntaxErrorLR(
+                position,
+                name if name != END else "end of input",
+                set(ACTIONS[state_stack[-1]]),
+            )
+        kind = action[0]
+        if kind == "s":
+            value_stack.append(shift_fn(name, value))
+            state_stack.append(action[1])
+            position += 1
+        elif kind == "r":
+            production_index = action[1]
+            _, arity, _ = PRODUCTIONS[production_index]
+            if arity:
+                children = value_stack[-arity:]
+                del value_stack[-arity:]
+                del state_stack[-arity:]
+            else:
+                children = []
+            value_stack.append(reduce_fn(production_index, children))
+            state_stack.append(GOTOS[state_stack[-1]][PRODUCTIONS[production_index][0]])
+        else:  # accept
+            return value_stack[0]
+
+
+def accepts(tokens):
+    """True iff the token iterable is a sentence of the grammar."""
+    try:
+        parse(tokens)
+    except SyntaxErrorLR:
+        return False
+    return True
+'''
+
+
+def generate_parser_module(table: ParseTable, name: str = "") -> str:
+    """Render *table* as standalone Python source text."""
+    grammar = table.grammar
+    if not grammar.is_augmented:
+        raise ValueError("code generation expects a table over an augmented grammar")
+    if table.unresolved_conflicts:
+        raise ValueError(
+            f"refusing to generate from a table with "
+            f"{len(table.unresolved_conflicts)} unresolved conflicts"
+        )
+
+    out = io.StringIO()
+    title = name or grammar.name or "grammar"
+    out.write(f'"""LR parser for {title!r} — GENERATED, do not edit.\n\n')
+    out.write(f"method: {table.method}; states: {table.n_states}; ")
+    out.write(f"productions: {len(grammar.productions)}.\n")
+    out.write('"""\n\n')
+    out.write(f"END = {grammar.eof.name!r}\n\n")
+
+    out.write("PRODUCTIONS = [\n")
+    for production in grammar.productions:
+        rhs_names = tuple(s.name for s in production.rhs)
+        out.write(
+            f"    ({production.lhs.name!r}, {len(production.rhs)}, {rhs_names!r}),\n"
+        )
+    out.write("]\n\n")
+
+    out.write("ACTIONS = [\n")
+    for state in range(table.n_states):
+        cells: List[str] = []
+        for terminal, action in sorted(
+            table.actions[state].items(), key=lambda kv: kv[0].name
+        ):
+            if action.kind == "shift":
+                cells.append(f"{terminal.name!r}: ('s', {action.state})")
+            elif action.kind == "reduce":
+                cells.append(f"{terminal.name!r}: ('r', {action.production})")
+            else:
+                cells.append(f"{terminal.name!r}: ('a',)")
+        out.write("    {" + ", ".join(cells) + "},\n")
+    out.write("]\n\n")
+
+    out.write("GOTOS = [\n")
+    for state in range(table.n_states):
+        cells = [
+            f"{nonterminal.name!r}: {target}"
+            for nonterminal, target in sorted(
+                table.gotos[state].items(), key=lambda kv: kv[0].name
+            )
+        ]
+        out.write("    {" + ", ".join(cells) + "},\n")
+    out.write("]\n\n")
+
+    out.write(_DRIVER.lstrip("\n"))
+    return out.getvalue()
+
+
+def write_parser_module(table: ParseTable, path: str, name: str = "") -> None:
+    """Generate and write the module to *path*."""
+    source = generate_parser_module(table, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(source)

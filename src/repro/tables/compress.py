@@ -1,0 +1,99 @@
+"""Parse-table compression: default reductions.
+
+A classic generator optimisation (yacc, Bison): in each ACTION row, the
+most common reduce action becomes the row's *default*; its explicit cells
+are dropped, and the parser takes the default whenever the lookahead has
+no entry.  Rows that contain only one distinct reduce shrink to a single
+default cell.
+
+Consequence (and the reason it is safe): erroneous input may trigger a
+few extra reductions before the error is detected — but never an extra
+*shift*, so no input is ever wrongly accepted, and the error position can
+move only past reductions, never past consumed tokens.  This is the same
+contract Bison documents; the test suite checks both halves (acceptance
+unchanged; detection possibly delayed but consumption identical).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from ..grammar.symbols import Symbol
+from .table import Action, ParseTable, Reduce
+
+
+class CompressedTable:
+    """A ParseTable plus per-state default reduce actions.
+
+    Exposes the same ``action``/``goto`` interface as ParseTable, so the
+    parse engine can drive either interchangeably.
+    """
+
+    def __init__(self, table: ParseTable):
+        self.grammar = table.grammar
+        self.method = table.method + "+default-reductions"
+        self.gotos = table.gotos
+        self.conflicts = table.conflicts
+        self.defaults: List[Optional[Reduce]] = []
+        self.actions: List[Dict[Symbol, Action]] = []
+        self._compress(table)
+
+    def _compress(self, table: ParseTable) -> None:
+        for row in table.actions:
+            reduces = Counter(
+                action for action in row.values() if action.kind == "reduce"
+            )
+            if not reduces:
+                self.defaults.append(None)
+                self.actions.append(dict(row))
+                continue
+            default, _count = reduces.most_common(1)[0]
+            kept = {
+                terminal: action
+                for terminal, action in row.items()
+                if action != default
+            }
+            self.defaults.append(default)
+            self.actions.append(kept)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.actions)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return not self.unresolved_conflicts
+
+    @property
+    def unresolved_conflicts(self):
+        return [c for c in self.conflicts if not c.resolved_by_precedence]
+
+    def action(self, state: int, terminal: Symbol) -> Optional[Action]:
+        explicit = self.actions[state].get(terminal)
+        if explicit is not None:
+            return explicit
+        return self.defaults[state]
+
+    def goto(self, state: int, nonterminal: Symbol) -> Optional[int]:
+        return self.gotos[state].get(nonterminal)
+
+    def size_cells(self) -> int:
+        """Populated cells after compression (defaults count as one each)."""
+        return (
+            sum(len(row) for row in self.actions)
+            + sum(len(row) for row in self.gotos)
+            + sum(1 for default in self.defaults if default is not None)
+        )
+
+
+def compress(table: ParseTable) -> CompressedTable:
+    """Apply default-reduction compression to *table*."""
+    return CompressedTable(table)
+
+
+def compression_ratio(table: ParseTable) -> float:
+    """Original cells / compressed cells (>1 means savings)."""
+    compressed = compress(table)
+    original = table.size_cells()
+    return original / compressed.size_cells() if compressed.size_cells() else 1.0

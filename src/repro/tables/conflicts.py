@@ -1,0 +1,108 @@
+"""Conflict records and precedence-based resolution (yacc semantics).
+
+When two actions land in one ACTION cell the builder consults the
+grammar's precedence declarations:
+
+shift/reduce on terminal ``t`` against production ``P``:
+    - ``prec(P) > prec(t)``  -> reduce
+    - ``prec(P) < prec(t)``  -> shift
+    - equal level, %left     -> reduce
+    - equal level, %right    -> shift
+    - equal level, %nonassoc -> error (the cell is emptied)
+    - either side unprecedented -> unresolved; shift wins (yacc default)
+
+reduce/reduce:
+    never resolved by precedence; the production declared first wins and
+    the conflict is reported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from ..grammar.grammar import Assoc, Grammar
+from ..grammar.symbols import Symbol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .table import Action
+
+
+class Conflict:
+    """One conflicted ACTION cell.
+
+    Attributes:
+        state: State id of the cell.
+        terminal: Lookahead terminal of the cell.
+        kind: ``"shift/reduce"`` or ``"reduce/reduce"``.
+        actions: The competing actions, in discovery order.
+        chosen: The action kept in the table (None = cell erased, which
+            happens only for %nonassoc resolutions).
+        resolved_by_precedence: True when precedence/associativity settled
+            the cell (not counted as a real conflict, as in yacc).
+    """
+
+    def __init__(
+        self,
+        state: int,
+        terminal: Symbol,
+        kind: str,
+        actions: "List[Action]",
+        chosen: "Optional[Action]",
+        resolved_by_precedence: bool,
+    ):
+        self.state = state
+        self.terminal = terminal
+        self.kind = kind
+        self.actions = actions
+        self.chosen = chosen
+        self.resolved_by_precedence = resolved_by_precedence
+
+    def describe(self, grammar: Grammar) -> str:
+        parts = []
+        for action in self.actions:
+            if action.kind == "reduce":
+                production = grammar.productions[action.production]
+                parts.append(f"reduce {production}")
+            elif action.kind == "shift":
+                parts.append(f"shift -> {action.state}")
+            else:  # pragma: no cover - accept never conflicts in practice
+                parts.append("accept")
+        status = "resolved by precedence" if self.resolved_by_precedence else "UNRESOLVED"
+        return (
+            f"state {self.state}, lookahead {self.terminal.name!r}: "
+            f"{self.kind} between {' and '.join(parts)} ({status})"
+        )
+
+    def __repr__(self) -> str:
+        return f"Conflict(state={self.state}, terminal={self.terminal.name!r}, kind={self.kind!r})"
+
+
+def resolve_shift_reduce(
+    grammar: Grammar,
+    terminal: Symbol,
+    shift_action: "Action",
+    reduce_action: "Action",
+) -> "tuple[Optional[Action], bool]":
+    """Apply yacc precedence rules to a shift/reduce pair.
+
+    Returns ``(winner_or_None, resolved_by_precedence)``.  ``None`` means
+    the cell must be erased (%nonassoc at equal level).
+    """
+    production = grammar.productions[reduce_action.production]
+    token_prec = grammar.precedence.get(terminal)
+    production_prec = (
+        grammar.precedence.get(production.prec_symbol)
+        if production.prec_symbol is not None
+        else None
+    )
+    if token_prec is None or production_prec is None:
+        return shift_action, False  # yacc default: shift, report conflict
+    if production_prec.level > token_prec.level:
+        return reduce_action, True
+    if production_prec.level < token_prec.level:
+        return shift_action, True
+    if token_prec.assoc is Assoc.LEFT:
+        return reduce_action, True
+    if token_prec.assoc is Assoc.RIGHT:
+        return shift_action, True
+    return None, True  # NONASSOC: sequence is a syntax error

@@ -1,0 +1,128 @@
+"""Conflict explanation: concrete inputs that reach a conflict.
+
+A conflict report like "state 41, lookahead `else`: shift/reduce" is
+useless to a grammar author who cannot see state 41.  This module turns
+it into evidence: a **terminal prefix** that drives the parser exactly
+into the conflicted state, followed by the conflicting lookahead.  For
+the dangling-else grammar the explanation reads::
+
+    if other · else        (shift/reduce on 'else')
+
+Construction: breadth-first search over the LR(0) automaton's transitions
+from the start state, expanding nonterminal edges into their *minimal
+terminal yields* (via :func:`repro.analysis.derive.min_yield_lengths`),
+taking the first (hence shortest-by-symbols) path to the target state.
+Because the path follows real automaton transitions, replaying the
+returned prefix through the engine provably reaches the state — a fact
+the test suite checks by instrumenting the engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional
+
+from ..analysis.derive import min_yield_lengths, minimal_production_map
+from ..automaton.lr0 import LR0Automaton
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .conflicts import Conflict
+from .table import ParseTable
+
+
+class ConflictExample(NamedTuple):
+    """A concrete witness for one conflict.
+
+    Attributes:
+        conflict: The conflict being explained.
+        prefix: Terminals that drive the parser into the conflict state.
+        lookahead: The conflicted terminal (comes next in the input).
+    """
+
+    conflict: Conflict
+    prefix: List[Symbol]
+    lookahead: Symbol
+
+    def describe(self) -> str:
+        words = " ".join(s.name for s in self.prefix)
+        return (
+            f"{self.conflict.kind} on {self.lookahead.name!r} after reading: "
+            f"{words or '<nothing>'} · {self.lookahead.name}"
+        )
+
+
+def symbol_path_to_state(automaton: LR0Automaton, target: int) -> "Optional[List[Symbol]]":
+    """The shortest symbol sequence (grammar symbols, not yet terminals)
+    from state 0 to *target*, or None if unreachable."""
+    if target == 0:
+        return []
+    parents: Dict[int, "tuple[int, Symbol]"] = {}
+    queue = deque([0])
+    while queue:
+        state = queue.popleft()
+        for symbol, successor in automaton.states[state].transitions.items():
+            if successor in parents or successor == 0:
+                continue
+            parents[successor] = (state, symbol)
+            if successor == target:
+                path: List[Symbol] = []
+                current = target
+                while current != 0:
+                    current, symbol = parents[current]
+                    path.append(symbol)
+                path.reverse()
+                return path
+            queue.append(successor)
+    return None
+
+
+def terminalise(grammar: Grammar, symbols: List[Symbol]) -> List[Symbol]:
+    """Expand each nonterminal of *symbols* into its minimal terminal yield."""
+    lengths = min_yield_lengths(grammar)
+    minimal = minimal_production_map(grammar, lengths)
+    output: List[Symbol] = []
+    for symbol in symbols:
+        if symbol.is_terminal:
+            output.append(symbol)
+            continue
+        pending = [symbol]
+        while pending:
+            current = pending.pop(0)
+            if current.is_terminal:
+                output.append(current)
+            else:
+                pending[0:0] = list(minimal[current].rhs)
+    return output
+
+
+def explain_conflict(
+    automaton: LR0Automaton, conflict: Conflict
+) -> Optional[ConflictExample]:
+    """Build a witness input for *conflict*, or None when the conflict
+    state is unreachable (cannot happen for conflicts reported by the
+    table builders, but the API stays total)."""
+    grammar = automaton.grammar
+    path = symbol_path_to_state(automaton, conflict.state)
+    if path is None:
+        return None
+    prefix = terminalise(grammar, path)
+    return ConflictExample(conflict, prefix, conflict.terminal)
+
+
+def explain_table_conflicts(
+    table: ParseTable, automaton: "LR0Automaton | None" = None
+) -> List[ConflictExample]:
+    """Witnesses for every *unresolved* conflict of an LR(0)-based table.
+
+    (CLR tables live on LR(1) states, which this explainer does not walk;
+    classify first and explain on the LALR table, where the same conflicts
+    surface with LR(0)-state coordinates.)
+    """
+    if automaton is None:
+        automaton = LR0Automaton(table.grammar)
+    examples = []
+    for conflict in table.unresolved_conflicts:
+        example = explain_conflict(automaton, conflict)
+        if example is not None:
+            examples.append(example)
+    return examples

@@ -1,0 +1,116 @@
+"""Parse-table (de)serialisation — the generator's cache format.
+
+Real parser generators persist their tables so application startup skips
+the construction.  :func:`table_to_dict` / :func:`table_from_dict` give a
+JSON-safe round-trip for any LR(0)-based table, guarded by a **grammar
+fingerprint**: loading against a grammar whose rules changed raises
+instead of silently mis-parsing.
+
+Only deterministic information is stored (actions, gotos, method); the
+conflict log is reconstruction metadata and is not carried — serialise
+conflict-free tables (the normal case for a cached production parser).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List
+
+from ..grammar.grammar import Grammar
+from .table import ACCEPT, Action, ParseTable, Reduce, Shift
+
+FORMAT_VERSION = 1
+
+
+def grammar_fingerprint(grammar: Grammar) -> str:
+    """A stable hash of the grammar's rules, start symbol and precedence."""
+    payload = {
+        "start": grammar.start.name,
+        "productions": [
+            [p.lhs.name, [s.name for s in p.rhs],
+             p.prec_symbol.name if p.prec_symbol else None]
+            for p in grammar.productions
+        ],
+        "precedence": sorted(
+            (s.name, prec.level, prec.assoc.value)
+            for s, prec in grammar.precedence.items()
+        ),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _encode_action(action: Action) -> "List":
+    if action.kind == "shift":
+        return ["s", action.state]
+    if action.kind == "reduce":
+        return ["r", action.production]
+    return ["a"]
+
+
+def _decode_action(encoded: "List") -> Action:
+    kind = encoded[0]
+    if kind == "s":
+        return Shift(encoded[1])
+    if kind == "r":
+        return Reduce(encoded[1])
+    if kind == "a":
+        return ACCEPT
+    raise ValueError(f"unknown action encoding {encoded!r}")
+
+
+def table_to_dict(table: ParseTable) -> Dict:
+    """A JSON-safe dict capturing *table* (conflicts must be resolved)."""
+    if table.unresolved_conflicts:
+        raise ValueError(
+            f"refusing to serialise a table with "
+            f"{len(table.unresolved_conflicts)} unresolved conflicts"
+        )
+    return {
+        "format": FORMAT_VERSION,
+        "method": table.method,
+        "fingerprint": grammar_fingerprint(table.grammar),
+        "actions": [
+            {terminal.name: _encode_action(action) for terminal, action in row.items()}
+            for row in table.actions
+        ],
+        "gotos": [
+            {nonterminal.name: target for nonterminal, target in row.items()}
+            for row in table.gotos
+        ],
+    }
+
+
+def table_from_dict(data: Dict, grammar: Grammar) -> ParseTable:
+    """Rebuild a ParseTable against *grammar*, verifying the fingerprint."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported table format {data.get('format')!r}")
+    fingerprint = grammar_fingerprint(grammar)
+    if data.get("fingerprint") != fingerprint:
+        raise ValueError(
+            "grammar fingerprint mismatch: the table was built from a "
+            "different grammar (rebuild instead of loading the cache)"
+        )
+    symbols = grammar.symbols
+    actions = [
+        {symbols[name]: _decode_action(encoded) for name, encoded in row.items()}
+        for row in data["actions"]
+    ]
+    gotos = [
+        {symbols[name]: target for name, target in row.items()}
+        for row in data["gotos"]
+    ]
+    return ParseTable(grammar, data["method"], actions, gotos, conflicts=[])
+
+
+def save_table(table: ParseTable, path: str) -> None:
+    """Serialise *table* as JSON to *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(table_to_dict(table), handle)
+
+
+def load_table(path: str, grammar: Grammar) -> ParseTable:
+    """Load a table cached by :func:`save_table` for *grammar*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return table_from_dict(json.load(handle), grammar)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+
+EXPR_TEXT = """
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+"""
+
+
+@pytest.fixture
+def expr_grammar():
+    """The classic expression grammar, not augmented."""
+    return load_grammar(EXPR_TEXT, name="expr")
+
+
+@pytest.fixture
+def expr_augmented(expr_grammar):
+    return expr_grammar.augmented()
+
+
+@pytest.fixture
+def expr_automaton(expr_augmented):
+    return LR0Automaton(expr_augmented)
+
+
+@pytest.fixture(params=[e.name for e in corpus.all_entries()])
+def corpus_entry(request):
+    """Parametrised over every corpus grammar."""
+    return corpus.entry(request.param)
+
+
+@pytest.fixture
+def corpus_grammar(corpus_entry):
+    return corpus.load(corpus_entry.name)
+
+
+def make(text: str, **kwargs):
+    """Terse grammar-from-text helper used across test files."""
+    return load_grammar(text, **kwargs)

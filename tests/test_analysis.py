@@ -1,0 +1,161 @@
+"""Unit tests: nullable, FIRST, FOLLOW."""
+
+from repro.analysis import FirstSets, FollowSets, nullable_nonterminals
+from repro.analysis.nullable import is_nullable_sequence
+from repro.grammar import load_grammar
+
+
+def names(symbols):
+    return sorted(s.name for s in symbols)
+
+
+class TestNullable:
+    def test_direct(self):
+        grammar = load_grammar("S -> a | %empty")
+        assert names(nullable_nonterminals(grammar)) == ["S"]
+
+    def test_transitive_chain(self):
+        grammar = load_grammar("A -> B\nB -> C\nC -> %empty")
+        assert names(nullable_nonterminals(grammar)) == ["A", "B", "C"]
+
+    def test_requires_all_rhs_nullable(self):
+        grammar = load_grammar("S -> A B\nA -> %empty\nB -> b")
+        assert names(nullable_nonterminals(grammar)) == ["A"]
+
+    def test_terminal_blocks_nullability(self):
+        grammar = load_grammar("S -> A a A\nA -> %empty")
+        assert names(nullable_nonterminals(grammar)) == ["A"]
+
+    def test_repeated_symbol_multiplicity(self):
+        # B appears twice; both occurrences must be discharged.
+        grammar = load_grammar("S -> B B\nB -> b | %empty")
+        assert names(nullable_nonterminals(grammar)) == ["B", "S"]
+
+    def test_none_nullable(self):
+        grammar = load_grammar("S -> a S | b")
+        assert names(nullable_nonterminals(grammar)) == []
+
+    def test_is_nullable_sequence(self):
+        grammar = load_grammar("S -> A B c\nA -> %empty\nB -> %empty")
+        nullable = nullable_nonterminals(grammar)
+        a, b = grammar.symbols["A"], grammar.symbols["B"]
+        c = grammar.symbols["c"]
+        assert is_nullable_sequence((a, b), nullable)
+        assert is_nullable_sequence((), nullable)
+        assert not is_nullable_sequence((a, c), nullable)
+
+
+class TestFirst:
+    def test_terminal_first_is_itself(self):
+        grammar = load_grammar("S -> a")
+        first = FirstSets(grammar)
+        a = grammar.symbols["a"]
+        assert first[a] == frozenset((a,))
+
+    def test_simple(self):
+        grammar = load_grammar("S -> a S | b")
+        first = FirstSets(grammar)
+        assert names(first[grammar.symbols["S"]]) == ["a", "b"]
+
+    def test_through_nullable(self):
+        grammar = load_grammar("S -> A b\nA -> a | %empty")
+        first = FirstSets(grammar)
+        assert names(first[grammar.symbols["S"]]) == ["a", "b"]
+
+    def test_left_recursion_converges(self):
+        grammar = load_grammar("E -> E + T | T\nT -> x")
+        first = FirstSets(grammar)
+        assert names(first[grammar.symbols["E"]]) == ["x"]
+
+    def test_textbook_example(self):
+        # The thesis demo grammar (section 5.2 shape).
+        grammar = load_grammar("""
+S -> C $
+A -> b | %empty
+B -> + S | %empty
+C -> A ( C ) | a B
+""")
+        first = FirstSets(grammar)
+        assert names(first[grammar.symbols["S"]]) == ["(", "a", "b"]
+        assert names(first[grammar.symbols["A"]]) == ["b"]
+        assert names(first[grammar.symbols["B"]]) == ["+"]
+        assert names(first[grammar.symbols["C"]]) == ["(", "a", "b"]
+
+    def test_of_sequence_stops_at_non_nullable(self):
+        grammar = load_grammar("S -> A B\nA -> a\nB -> b")
+        first = FirstSets(grammar)
+        a, b = grammar.symbols["A"], grammar.symbols["B"]
+        terminals, all_nullable = first.of_sequence((a, b))
+        assert names(terminals) == ["a"]
+        assert not all_nullable
+
+    def test_of_sequence_spans_nullables(self):
+        grammar = load_grammar("S -> A B\nA -> a | %empty\nB -> b | %empty")
+        first = FirstSets(grammar)
+        a, b = grammar.symbols["A"], grammar.symbols["B"]
+        terminals, all_nullable = first.of_sequence((a, b))
+        assert names(terminals) == ["a", "b"]
+        assert all_nullable
+
+    def test_of_empty_sequence(self):
+        grammar = load_grammar("S -> a")
+        terminals, all_nullable = FirstSets(grammar).of_sequence(())
+        assert terminals == frozenset() and all_nullable
+
+    def test_first_plus_folds_continuation(self):
+        grammar = load_grammar("S -> A b\nA -> a | %empty")
+        first = FirstSets(grammar)
+        a = grammar.symbols["A"]
+        b = grammar.symbols["b"]
+        assert names(first.first_plus((a,), (b,))) == ["a", "b"]
+        assert names(first.first_plus((b,), (a,))) == ["b"]
+
+
+class TestFollow:
+    def test_textbook_follow(self):
+        grammar = load_grammar("""
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+""").augmented()
+        follow = FollowSets(grammar)
+        e = grammar.symbols["E"]
+        t = grammar.symbols["T"]
+        f = grammar.symbols["F"]
+        assert names(follow[e]) == ["$end", ")", "+"]
+        assert names(follow[t]) == ["$end", ")", "*", "+"]
+        assert names(follow[f]) == ["$end", ")", "*", "+"]
+
+    def test_end_marker_via_augmentation(self):
+        grammar = load_grammar("S -> a").augmented()
+        assert "$end" in names(FollowSets(grammar)[grammar.symbols["S"]])
+
+    def test_follow_through_nullable_tail(self):
+        grammar = load_grammar("S -> A B d\nA -> a\nB -> b | %empty").augmented()
+        follow = FollowSets(grammar)
+        assert names(follow[grammar.symbols["A"]]) == ["b", "d"]
+
+    def test_follow_of_last_symbol_inherits_lhs(self):
+        grammar = load_grammar("S -> a A\nA -> b").augmented()
+        follow = FollowSets(grammar)
+        assert names(follow[grammar.symbols["A"]]) == names(
+            follow[grammar.symbols["S"]]
+        )
+
+    def test_thesis_follow_demo(self):
+        # Section 5.3 of the supplied thesis text (sanity anchor only).
+        grammar = load_grammar("""
+S -> A B C | a S b
+A -> a A b | c | C
+B -> B a b B | A A
+C -> %empty | b a C a b
+""").augmented()
+        follow = FollowSets(grammar)
+        assert names(follow[grammar.symbols["B"]]) == ["$end", "a", "b"]
+
+    def test_non_augmented_has_no_end_marker(self):
+        # Nothing ever follows S here, and without augmentation no $end is
+        # invented either.
+        grammar = load_grammar("S -> a S | b")
+        follow = FollowSets(grammar)
+        assert names(follow[grammar.symbols["S"]]) == []

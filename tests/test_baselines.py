@@ -1,0 +1,168 @@
+"""Unit tests: the SLR, LR(1)-merge, and propagation baselines."""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.baselines import (
+    MergedLr1Analysis,
+    PropagationAnalysis,
+    SlrAnalysis,
+    compute_merged_lookaheads,
+    compute_propagated_lookaheads,
+    compute_slr_lookaheads,
+)
+from repro.core import LalrAnalysis
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+
+
+class TestSlr:
+    def test_lookahead_is_follow(self):
+        grammar = load_grammar("S -> A b\nA -> a").augmented()
+        analysis = SlrAnalysis(grammar)
+        production = next(p for p in grammar.productions if p.lhs.name == "A")
+        # FOLLOW(A) = {b}, regardless of state.
+        for site, las in analysis.lookahead_table().items():
+            if site[1] == production.index:
+                assert {t.name for t in las} == {"b"}
+
+    def test_state_independent(self):
+        grammar = corpus.load("lalr_not_slr").augmented()
+        analysis = SlrAnalysis(grammar)
+        table = analysis.lookahead_table()
+        by_production = {}
+        for (state, production_index), las in table.items():
+            by_production.setdefault(production_index, set()).add(las)
+        for las_variants in by_production.values():
+            assert len(las_variants) == 1
+
+    def test_superset_of_lalr(self, corpus_entry):
+        grammar = corpus.load(corpus_entry.name).augmented()
+        automaton = LR0Automaton(grammar)
+        slr = SlrAnalysis(grammar, automaton).lookahead_table()
+        lalr = LalrAnalysis(grammar, automaton).lookahead_table()
+        assert slr.keys() == lalr.keys()
+        for site in lalr:
+            assert lalr[site] <= slr[site], site
+
+    def test_strictly_larger_on_lalr_not_slr(self):
+        grammar = corpus.load("lalr_not_slr").augmented()
+        automaton = LR0Automaton(grammar)
+        slr = SlrAnalysis(grammar, automaton).lookahead_table()
+        lalr = LalrAnalysis(grammar, automaton).lookahead_table()
+        assert any(lalr[site] < slr[site] for site in lalr)
+
+    def test_one_shot_helper(self):
+        grammar = load_grammar("S -> a").augmented()
+        assert compute_slr_lookaheads(grammar) == SlrAnalysis(grammar).lookahead_table()
+
+
+class TestMergedLr1:
+    def test_merged_state_count(self):
+        grammar = corpus.load("lr1_not_lalr").augmented()
+        analysis = MergedLr1Analysis(grammar)
+        lr1_states, lalr_states = analysis.merged_state_count()
+        assert lr1_states > lalr_states
+
+    def test_no_split_when_lalr_equals_lr0_shape(self):
+        grammar = load_grammar("S -> a S | b").augmented()
+        analysis = MergedLr1Analysis(grammar)
+        lr1_states, lalr_states = analysis.merged_state_count()
+        assert lr1_states == lalr_states
+
+    def test_merge_unions_lookaheads(self):
+        # In lr1_not_lalr, the merged c-state's LA(A->c) is {d, e} even
+        # though each LR(1) state had only one of them.
+        grammar = corpus.load("lr1_not_lalr").augmented()
+        analysis = MergedLr1Analysis(grammar)
+        a_to_c = next(p for p in grammar.productions if str(p) == "A -> c")
+        las = [
+            las
+            for (state, production_index), las in analysis.lookahead_table().items()
+            if production_index == a_to_c.index
+        ]
+        assert len(las) == 1
+        assert {t.name for t in las[0]} == {"d", "e"}
+
+    def test_one_shot_helper(self):
+        grammar = load_grammar("S -> a").augmented()
+        assert (
+            compute_merged_lookaheads(grammar)
+            == MergedLr1Analysis(grammar).lookahead_table()
+        )
+
+
+class TestPropagation:
+    def test_sweeps_counted(self):
+        grammar = corpus.load("expr").augmented()
+        analysis = PropagationAnalysis(grammar)
+        assert analysis.sweeps >= 1
+        assert analysis.unions > 0
+
+    def test_cost_summary_keys(self):
+        grammar = load_grammar("S -> a").augmented()
+        summary = PropagationAnalysis(grammar).cost_summary()
+        assert set(summary) == {
+            "kernel_slots", "propagation_links", "sweeps", "unions",
+            "closure_ops", "total_ops",
+        }
+
+    def test_total_work_exceeds_digraph(self):
+        # Propagation pays a dummy LR(1) closure per kernel item (plus the
+        # link sweeps); DP pays one relation walk plus one traversal per
+        # relation.  On a deep unit chain the totals separate clearly —
+        # this is the Table-2 cost gap in machine-independent form.
+        from repro.grammars.families import unit_chain_family
+
+        grammar = unit_chain_family(12).augmented()
+        automaton = LR0Automaton(grammar)
+        propagation = PropagationAnalysis(grammar, automaton)
+        dp = LalrAnalysis(grammar, automaton)
+        propagation_total = propagation.unions + propagation.closure_ops
+        dp_total = dp.stats.unions + dp.stats.edges
+        assert propagation_total > 2 * dp_total
+
+    def test_epsilon_reductions_covered(self):
+        grammar = load_grammar("S -> A b\nA -> %empty").augmented()
+        analysis = PropagationAnalysis(grammar)
+        epsilon = next(p for p in grammar.productions if p.is_epsilon)
+        assert {t.name for t in analysis.lookahead(0, epsilon.index)} == {"b"}
+
+    def test_one_shot_helper(self):
+        grammar = load_grammar("S -> a").augmented()
+        assert (
+            compute_propagated_lookaheads(grammar)
+            == PropagationAnalysis(grammar).lookahead_table()
+        )
+
+
+class TestThreeWayEquivalence:
+    """The reproduction's central invariant, on every corpus grammar."""
+
+    def test_equivalence(self, corpus_entry):
+        grammar = corpus.load(corpus_entry.name).augmented()
+        automaton = LR0Automaton(grammar)
+        dp = LalrAnalysis(grammar, automaton).lookahead_table()
+        merged = MergedLr1Analysis(grammar, automaton).lookahead_table()
+        propagated = PropagationAnalysis(grammar, automaton).lookahead_table()
+        assert dp.keys() == merged.keys() == propagated.keys()
+        for site in dp:
+            assert dp[site] == merged[site], (corpus_entry.name, site)
+            assert dp[site] == propagated[site], (corpus_entry.name, site)
+
+    def test_equivalence_on_families(self):
+        from repro.grammars.families import (
+            context_family,
+            expression_family,
+            nullable_chain_family,
+            unit_chain_family,
+        )
+
+        for family in (expression_family, nullable_chain_family,
+                       unit_chain_family, context_family):
+            grammar = family(4).augmented()
+            automaton = LR0Automaton(grammar)
+            dp = LalrAnalysis(grammar, automaton).lookahead_table()
+            merged = MergedLr1Analysis(grammar, automaton).lookahead_table()
+            propagated = PropagationAnalysis(grammar, automaton).lookahead_table()
+            assert dp == merged == propagated, family.__name__

@@ -1,0 +1,72 @@
+"""Unit tests: terminal bitmask vocabulary."""
+
+from repro.core.bitset import EMPTY, TerminalVocabulary
+from repro.grammar import load_grammar
+
+
+def vocab():
+    grammar = load_grammar("S -> a b c d")
+    return grammar, TerminalVocabulary(grammar)
+
+
+class TestBits:
+    def test_each_terminal_distinct_bit(self):
+        grammar, v = vocab()
+        bits = [v.bit(t) for t in grammar.terminals]
+        assert len(set(bits)) == len(bits)
+        for bit in bits:
+            assert bit & (bit - 1) == 0  # power of two
+
+    def test_len(self):
+        grammar, v = vocab()
+        assert len(v) == 4
+
+    def test_mask_is_union_of_bits(self):
+        grammar, v = vocab()
+        a, b = grammar.symbols["a"], grammar.symbols["b"]
+        assert v.mask([a, b]) == v.bit(a) | v.bit(b)
+
+    def test_empty_mask(self):
+        grammar, v = vocab()
+        assert v.mask([]) == EMPTY
+
+
+class TestRoundTrip:
+    def test_symbols_inverts_mask(self):
+        grammar, v = vocab()
+        chosen = frozenset(grammar.terminals[1:3])
+        assert v.symbols(v.mask(chosen)) == chosen
+
+    def test_all_subsets_round_trip(self):
+        grammar, v = vocab()
+        from itertools import combinations
+
+        terminals = grammar.terminals
+        for size in range(len(terminals) + 1):
+            for subset in combinations(terminals, size):
+                mask = v.mask(subset)
+                assert v.symbols(mask) == frozenset(subset)
+                assert v.count(mask) == size
+
+    def test_iter_symbols_order(self):
+        grammar, v = vocab()
+        mask = v.mask(grammar.terminals)
+        assert list(v.iter_symbols(mask)) == grammar.terminals
+
+
+class TestQueries:
+    def test_contains(self):
+        grammar, v = vocab()
+        a, b = grammar.symbols["a"], grammar.symbols["b"]
+        mask = v.bit(a)
+        assert v.contains(mask, a)
+        assert not v.contains(mask, b)
+
+    def test_count_empty(self):
+        grammar, v = vocab()
+        assert v.count(EMPTY) == 0
+
+    def test_union_via_or(self):
+        grammar, v = vocab()
+        a, b, c = (grammar.symbols[n] for n in "abc")
+        assert v.symbols(v.mask([a, b]) | v.mask([b, c])) == frozenset((a, b, c))

@@ -1,0 +1,139 @@
+"""Unit tests: the fluent GrammarBuilder."""
+
+import pytest
+
+from repro.grammar import (
+    GrammarBuilder,
+    GrammarValidationError,
+    SymbolError,
+    grammar_from_rules,
+)
+
+
+class TestClassification:
+    def test_lhs_names_become_nonterminals(self):
+        grammar = grammar_from_rules([("S", ["a", "B"]), ("B", ["b"])])
+        assert grammar.symbols["S"].is_nonterminal
+        assert grammar.symbols["B"].is_nonterminal
+
+    def test_other_names_become_terminals(self):
+        grammar = grammar_from_rules([("S", ["a", "B"]), ("B", ["b"])])
+        assert grammar.symbols["a"].is_terminal
+        assert grammar.symbols["b"].is_terminal
+
+    def test_declared_terminal_forced(self):
+        builder = GrammarBuilder()
+        builder.declare_terminal("UNUSED")
+        builder.rule("S", ["a"])
+        grammar = builder.build()
+        assert grammar.symbols["UNUSED"].is_terminal
+
+    def test_declared_terminal_as_lhs_rejected_eagerly(self):
+        builder = GrammarBuilder()
+        builder.declare_terminal("T")
+        with pytest.raises(SymbolError):
+            builder.rule("T", ["a"])
+
+    def test_declared_terminal_as_lhs_rejected_at_build(self):
+        builder = GrammarBuilder()
+        builder.rule("T", ["a"])
+        builder.declare_terminal("T")
+        with pytest.raises(SymbolError):
+            builder.build()
+
+
+class TestStartSymbol:
+    def test_default_is_first_lhs(self):
+        grammar = grammar_from_rules([("A", ["x"]), ("B", ["y"])])
+        assert grammar.start.name == "A"
+
+    def test_explicit_start_method(self):
+        builder = GrammarBuilder()
+        builder.rule("A", ["x"])
+        builder.rule("B", ["y"])
+        builder.start("B")
+        assert builder.build().start.name == "B"
+
+    def test_build_start_argument_wins(self):
+        builder = GrammarBuilder()
+        builder.rule("A", ["x"])
+        builder.rule("B", ["y"])
+        builder.start("A")
+        assert builder.build(start="B").start.name == "B"
+
+    def test_unknown_start_rejected(self):
+        builder = GrammarBuilder()
+        builder.rule("A", ["x"])
+        with pytest.raises(GrammarValidationError):
+            builder.build(start="Z")
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(GrammarValidationError):
+            GrammarBuilder().build()
+
+
+class TestRules:
+    def test_epsilon_rule(self):
+        grammar = grammar_from_rules([("S", ["a"]), ("S", [])])
+        assert any(p.is_epsilon for p in grammar.productions)
+
+    def test_rules_shorthand(self):
+        builder = GrammarBuilder()
+        builder.rules("S", ["a"], ["b"], [])
+        grammar = builder.build()
+        assert len(grammar.productions) == 3
+
+    def test_fluent_chaining(self):
+        grammar = (
+            GrammarBuilder("chained")
+            .rule("S", ["a", "S"])
+            .rule("S", ["b"])
+            .build()
+        )
+        assert grammar.name == "chained"
+        assert len(grammar.productions) == 2
+
+    def test_production_order_preserved(self):
+        grammar = grammar_from_rules(
+            [("S", ["a"]), ("S", ["b"]), ("S", ["c"])]
+        )
+        rhs_names = [p.rhs[0].name for p in grammar.productions]
+        assert rhs_names == ["a", "b", "c"]
+
+
+class TestPrec:
+    def test_explicit_prec_symbol(self):
+        builder = GrammarBuilder()
+        builder.right("UMINUS")
+        builder.rule("E", ["-", "E"], prec="UMINUS")
+        builder.rule("E", ["x"])
+        grammar = builder.build()
+        production = grammar.productions[0]
+        assert production.prec_symbol.name == "UMINUS"
+
+    def test_prec_creates_terminal_if_needed(self):
+        builder = GrammarBuilder()
+        builder.rule("E", ["-", "E"], prec="PHANTOM")
+        builder.rule("E", ["x"])
+        grammar = builder.build()
+        assert grammar.symbols["PHANTOM"].is_terminal
+
+    def test_prec_nonterminal_rejected(self):
+        builder = GrammarBuilder()
+        builder.rule("E", ["-", "E"], prec="F")
+        builder.rule("F", ["x"])
+        builder.rule("E", ["x"])
+        with pytest.raises(SymbolError):
+            builder.build()
+
+    def test_assoc_declares_terminals(self):
+        builder = GrammarBuilder()
+        builder.nonassoc("<")
+        builder.rule("E", ["E", "<", "E"])
+        builder.rule("E", ["x"])
+        grammar = builder.build()
+        assert grammar.symbols["<"].is_terminal
+
+    def test_build_augment_flag(self):
+        grammar = grammar_from_rules([("S", ["a"])], augment=True)
+        assert grammar.is_augmented

@@ -1,0 +1,87 @@
+"""Unit + integration tests: the LR-hierarchy classifier."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.tables import GrammarClass, class_at_most, classify
+
+
+class TestCorpusExpectations:
+    """Every corpus entry carries its ground-truth class; the classifier
+    must reproduce all of them (this is Table 4's correctness half)."""
+
+    def test_expected_class(self, corpus_entry):
+        verdict = classify(corpus.load(corpus_entry.name))
+        assert verdict.grammar_class == corpus_entry.expected_class
+
+    def test_expected_not_lr_k(self, corpus_entry):
+        verdict = classify(corpus.load(corpus_entry.name))
+        assert verdict.not_lr_k == corpus_entry.expected_not_lr_k
+
+
+class TestHierarchyConsistency:
+    def test_flags_monotone(self, corpus_entry):
+        verdict = classify(corpus.load(corpus_entry.name))
+        flags = [verdict.is_lr0, verdict.is_slr1, verdict.is_lalr1, verdict.is_lr1]
+        # Once a construction succeeds, every stronger one must too.
+        first_true = flags.index(True) if True in flags else len(flags)
+        assert all(flags[first_true:]), flags
+
+    def test_not_lr_k_implies_not_lr1(self, corpus_entry):
+        verdict = classify(corpus.load(corpus_entry.name))
+        if verdict.not_lr_k:
+            assert not verdict.is_lr1
+
+    def test_conflict_counts_shape(self, corpus_entry):
+        verdict = classify(corpus.load(corpus_entry.name))
+        assert {"lr0", "slr1", "lalr1", "clr1"} <= set(verdict.conflict_counts)
+
+    def test_class_at_most_ordering(self):
+        assert class_at_most(GrammarClass.LR0, GrammarClass.LALR1)
+        assert class_at_most(GrammarClass.LALR1, GrammarClass.LALR1)
+        assert not class_at_most(GrammarClass.LR1, GrammarClass.SLR1)
+
+
+class TestPrecedenceHandling:
+    def test_precedence_ignored_by_default(self):
+        grammar = corpus.load("expr_prec")
+        verdict = classify(grammar)
+        assert verdict.grammar_class is GrammarClass.NOT_LR1
+
+    def test_precedence_honoured_when_asked(self):
+        grammar = corpus.load("expr_prec")
+        verdict = classify(grammar, ignore_precedence=False)
+        # With %left/%right honoured, every conflict resolves: the grammar
+        # is usable at LALR(1) strength (and below, down to wherever the
+        # resolved table is conflict-free).
+        assert verdict.is_lalr1
+
+    def test_stripping_does_not_mutate_original(self):
+        grammar = corpus.load("expr_prec")
+        before = dict(grammar.precedence)
+        classify(grammar)
+        assert grammar.precedence == before
+
+
+class TestSmallVerdicts:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("S -> a S b | c", GrammarClass.LR0),
+            ("S -> a S b | %empty", GrammarClass.SLR1),
+            ("S -> a | a b", GrammarClass.SLR1),
+            ("S -> A a | b A c | d c | b d a\nA -> d", GrammarClass.LALR1),
+            ("S -> a A d | b B d | a B e | b A e\nA -> c\nB -> c", GrammarClass.LR1),
+            ("S -> a S a | a", GrammarClass.NOT_LR1),
+        ],
+    )
+    def test_verdict(self, text, expected):
+        assert classify(load_grammar(text)).grammar_class == expected
+
+    def test_epsilon_reduce_breaks_lr0(self):
+        # S -> a S b | %empty: state 0 holds both `shift a` and the
+        # epsilon reduce, so LR(0) conflicts; one token of FOLLOW fixes it.
+        verdict = classify(load_grammar("S -> a S b | %empty"))
+        assert not verdict.is_lr0
+        assert verdict.is_slr1

@@ -1,0 +1,195 @@
+"""Integration tests: the command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        code = main(argv)
+    return code, captured.getvalue()
+
+
+@pytest.fixture
+def grammar_file(tmp_path):
+    path = tmp_path / "g.cfg"
+    path.write_text("E -> E + T | T\nT -> id\n")
+    return str(path)
+
+
+class TestClassify:
+    def test_corpus_spec(self):
+        code, output = run(["classify", "corpus:expr"])
+        assert code == 0
+        assert "class: SLR(1)" in output
+
+    def test_file_spec(self, grammar_file):
+        # Without the * level and parentheses this little grammar is LR(0).
+        code, output = run(["classify", grammar_file])
+        assert code == 0
+        assert "class: LR(0)" in output
+
+    def test_not_lr_k_reported(self):
+        code, output = run(["classify", "corpus:reads_cycle"])
+        assert "not LR(k) (reads cycle): True" in output
+        assert "conflicts[clr1]: n/a" in output
+
+    def test_use_precedence_flag(self):
+        code, output = run(["classify", "corpus:expr_prec", "--use-precedence"])
+        assert "LALR(1): True" in output
+
+
+class TestLa:
+    def test_prints_la_sets(self, grammar_file):
+        code, output = run(["la", grammar_file])
+        assert code == 0
+        assert "LA(" in output and "Follow(" in output
+
+
+class TestTable:
+    def test_lalr_table_clean(self, grammar_file):
+        code, output = run(["table", grammar_file])
+        assert code == 0
+        assert "acc" in output
+        assert "0 shift/reduce" in output
+
+    def test_exit_code_on_conflicts(self):
+        code, output = run(["table", "corpus:dangling_else"])
+        assert code == 1
+        assert "1 shift/reduce" in output
+
+    def test_method_selection(self, grammar_file):
+        code, output = run(["table", grammar_file, "--method", "clr1"])
+        assert code == 0
+
+    def test_max_states(self, grammar_file):
+        code, output = run(["table", grammar_file, "--max-states", "2"])
+        assert "more states" in output
+
+
+class TestStatesAndConflicts:
+    def test_states_dump(self, grammar_file):
+        code, output = run(["states", grammar_file])
+        assert code == 0
+        assert "state 0" in output and "·" in output
+
+    def test_states_kernel_only_smaller(self, grammar_file):
+        _, full = run(["states", grammar_file])
+        _, kernel = run(["states", grammar_file, "--kernel"])
+        assert len(kernel) < len(full)
+
+    def test_conflicts_clean(self, grammar_file):
+        code, output = run(["conflicts", grammar_file])
+        assert code == 0
+        assert "no conflicts" in output
+
+    def test_conflicts_reported(self):
+        code, output = run(["conflicts", "corpus:lr1_not_lalr"])
+        assert code == 1
+        assert "reduce/reduce" in output
+
+
+class TestParse:
+    def test_valid(self, grammar_file):
+        code, output = run(["parse", grammar_file, "--input", "id + id"])
+        assert code == 0
+        assert "valid" in output
+
+    def test_invalid(self, grammar_file):
+        code, output = run(["parse", grammar_file, "--input", "id +"])
+        assert code == 1
+        assert "invalid" in output
+
+    def test_tree_flag(self, grammar_file):
+        code, output = run(["parse", grammar_file, "--input", "id", "--tree"])
+        assert "E" in output and "id" in output
+
+
+class TestStats:
+    def test_metrics_listed(self, grammar_file):
+        code, output = run(["stats", grammar_file])
+        assert code == 0
+        assert "states" in output and "includes_edges" in output
+
+
+class TestGenerateAndDot:
+    def test_generate_stdout(self, grammar_file):
+        code, output = run(["generate", grammar_file])
+        assert code == 0
+        assert "GENERATED" in output and "def parse(" in output
+
+    def test_generate_to_file_and_use(self, grammar_file, tmp_path):
+        out_path = tmp_path / "gen_parser.py"
+        code, output = run(["generate", grammar_file, "-o", str(out_path)])
+        assert code == 0 and "wrote" in output
+        import types
+
+        module = types.ModuleType("g")
+        exec(compile(out_path.read_text(), str(out_path), "exec"), module.__dict__)
+        assert module.accepts("id + id".split())
+        assert not module.accepts("id +".split())
+
+    def test_generate_refuses_conflicted(self):
+        with pytest.raises(ValueError):
+            run(["generate", "corpus:dangling_else"])
+
+    def test_dot_automaton(self, grammar_file):
+        code, output = run(["dot", grammar_file])
+        assert code == 0
+        assert output.startswith("digraph lr0 {")
+
+    def test_dot_reads_highlights(self):
+        code, output = run(["dot", "corpus:reads_cycle", "--graph", "reads"])
+        assert code == 0
+        assert "fillcolor" in output
+
+    def test_dot_includes(self, grammar_file):
+        code, output = run(["dot", grammar_file, "--graph", "includes"])
+        assert code == 0
+        assert output.startswith("digraph includes {")
+
+
+class TestConflictExplain:
+    def test_explain_flag(self):
+        code, output = run(["conflicts", "corpus:dangling_else", "--explain"])
+        assert code == 1
+        assert "example:" in output
+        assert "if other · else" in output
+
+    def test_explain_silent_when_clean(self, grammar_file):
+        code, output = run(["conflicts", grammar_file, "--explain"])
+        assert code == 0 and "example" not in output
+
+
+class TestLintCommand:
+    def test_clean_grammar(self, grammar_file):
+        code, output = run(["lint", grammar_file])
+        assert code == 0 and "clean" in output
+
+    def test_error_exit_code(self):
+        code, output = run(["lint", "corpus:reads_cycle"])
+        assert code == 1
+        assert "derivation-cycle" in output
+
+
+class TestAmbiguityCommand:
+    def test_ambiguous_grammar(self):
+        code, output = run(["ambiguity", "corpus:dangling_else"])
+        assert code == 1
+        assert "verdict: ambiguous" in output and "witness:" in output
+
+    def test_unambiguous_within_bound(self, grammar_file):
+        code, output = run(["ambiguity", grammar_file, "--bound", "5"])
+        assert code == 0
+        assert "unambiguous-within" in output
+
+    def test_cyclic_reported(self, tmp_path):
+        path = tmp_path / "cyc.cfg"
+        path.write_text("A -> B | a\nB -> A\n")
+        code, output = run(["ambiguity", str(path)])
+        assert code == 1 and "cyclic" in output

@@ -1,0 +1,151 @@
+"""Unit + integration tests: CNF conversion and the CYK oracle."""
+
+import pytest
+
+from repro.analysis import SentenceGenerator
+from repro.analysis.enumerate import all_strings, bounded_language_equal, enumerate_language
+from repro.grammar import load_grammar
+from repro.grammar.cnf import CnfGrammar, is_cnf, to_cnf
+from repro.grammars import corpus, random_grammar
+from repro.parser import Parser
+from repro.parser.cyk import CykRecognizer
+from repro.tables import build_clr_table
+
+
+class TestIsCnf:
+    def test_accepts_cnf(self):
+        grammar = load_grammar("S -> A B | a\nA -> a\nB -> b")
+        assert is_cnf(grammar)
+
+    def test_rejects_long_rhs(self):
+        assert not is_cnf(load_grammar("S -> a b c"))
+
+    def test_rejects_unit(self):
+        assert not is_cnf(load_grammar("S -> A\nA -> a"))
+
+    def test_rejects_epsilon(self):
+        assert not is_cnf(load_grammar("S -> a | %empty"))
+
+    def test_rejects_mixed_pair(self):
+        assert not is_cnf(load_grammar("S -> a S | a"))
+
+
+class TestToCnf:
+    def test_result_is_cnf(self):
+        converted = to_cnf(load_grammar("S -> a S b S | c | %empty"))
+        assert is_cnf(converted.grammar)
+
+    def test_epsilon_bit(self):
+        assert to_cnf(load_grammar("S -> a | %empty")).accepts_epsilon
+        assert not to_cnf(load_grammar("S -> a")).accepts_epsilon
+        assert to_cnf(load_grammar("S -> A A\nA -> a | %empty")).accepts_epsilon
+
+    def test_language_preserved(self):
+        grammar = load_grammar("S -> a S b | %empty")
+        converted = to_cnf(grammar)
+        assert bounded_language_equal(
+            grammar, converted.grammar, 6, ignore_epsilon=True
+        )
+
+    def test_language_preserved_with_units_and_epsilons(self):
+        grammar = load_grammar("""
+S -> A | S + A
+A -> B
+B -> a | ( S ) | %empty
+""")
+        converted = to_cnf(grammar)
+        assert bounded_language_equal(
+            grammar, converted.grammar, 5, ignore_epsilon=True
+        )
+
+    def test_language_preserved_on_random_grammars(self):
+        for seed in range(10):
+            grammar = random_grammar(seed, epsilon_weight=0.25)
+            converted = to_cnf(grammar)
+            assert bounded_language_equal(
+                grammar, converted.grammar, 4, ignore_epsilon=True
+            ), seed
+
+    def test_augmented_rejected(self):
+        with pytest.raises(ValueError):
+            to_cnf(load_grammar("S -> a").augmented())
+
+    def test_returns_named_tuple(self):
+        converted = to_cnf(load_grammar("S -> a"))
+        assert isinstance(converted, CnfGrammar)
+
+
+class TestCykBasics:
+    def test_simple_accept_reject(self):
+        cyk = CykRecognizer(load_grammar("S -> a S b | a b"))
+        assert cyk.accepts("a b".split())
+        assert cyk.accepts("a a b b".split())
+        assert not cyk.accepts("a b b".split())
+        assert not cyk.accepts("b a".split())
+
+    def test_empty_string(self):
+        assert CykRecognizer(load_grammar("S -> a | %empty")).accepts([])
+        assert not CykRecognizer(load_grammar("S -> a")).accepts([])
+
+    def test_unknown_terminal_rejected(self):
+        cyk = CykRecognizer(load_grammar("S -> a"))
+        assert not cyk.accepts(["zzz"])
+
+    def test_symbol_tokens(self):
+        grammar = load_grammar("S -> a b")
+        cyk = CykRecognizer(grammar)
+        assert cyk.accepts([grammar.symbols["a"], grammar.symbols["b"]])
+
+    def test_ambiguous_grammar_fine(self):
+        cyk = CykRecognizer(load_grammar("S -> S S | a"))
+        assert cyk.accepts(["a"] * 5)
+        assert not cyk.accepts([])
+
+    def test_palindrome_membership(self):
+        cyk = CykRecognizer(load_grammar("S -> a S a | b S b | %empty"))
+        assert cyk.accepts("a b b a".split())
+        assert not cyk.accepts("a b a b".split())
+
+
+class TestCykAsOracle:
+    """CYK acceptance == grammar language == LR acceptance."""
+
+    def test_exhaustive_against_enumeration(self):
+        grammar = load_grammar("S -> a S b | a b | c")
+        cyk = CykRecognizer(grammar)
+        language = {
+            tuple(s.name for s in sentence)
+            for sentence in enumerate_language(grammar, 6)
+        }
+        for candidate in all_strings(grammar.terminals, 6):
+            names = tuple(s.name for s in candidate)
+            assert cyk.accepts(names) == (names in language), names
+
+    def test_agrees_with_lr_parser_on_corpus(self):
+        for name in ("expr", "json", "lr0_demo"):
+            grammar = corpus.load(name, augment=True)
+            parser = Parser(build_clr_table(grammar))
+            cyk = CykRecognizer(corpus.load(name))
+            generator = SentenceGenerator(grammar, seed=9)
+            for sentence in generator.sentences(15, budget=10):
+                assert cyk.accepts(sentence), (name, sentence)
+                assert parser.accepts(sentence)
+
+    def test_agrees_with_lr_on_random_grammars_and_fuzz(self):
+        from repro.grammars.random_gen import random_token_stream
+
+        checked = 0
+        for seed in range(25):
+            grammar = random_grammar(seed)
+            augmented = grammar.augmented()
+            table = build_clr_table(augmented)
+            if not table.is_deterministic:
+                continue  # LR acceptance undefined under conflicts
+            parser = Parser(table)
+            cyk = CykRecognizer(grammar)
+            for sub_seed in range(6):
+                tokens, _ = random_token_stream(augmented, seed * 100 + sub_seed, 8)
+                names = [t.name for t in tokens]
+                assert parser.accepts(tokens) == cyk.accepts(names), (seed, names)
+                checked += 1
+        assert checked > 30

@@ -1,0 +1,147 @@
+"""Integration tests: standalone-parser code generation."""
+
+import types
+
+import pytest
+
+from repro.analysis import SentenceGenerator
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.parser import Parser
+from repro.tables import build_lalr_table
+from repro.tables.codegen import generate_parser_module, write_parser_module
+
+
+def load_generated(source: str):
+    """exec the generated source into a fresh module object."""
+    module = types.ModuleType("generated_parser")
+    exec(compile(source, "<generated>", "exec"), module.__dict__)
+    return module
+
+
+def module_for(grammar_text_or_name):
+    if grammar_text_or_name in corpus.names():
+        grammar = corpus.load(grammar_text_or_name, augment=True)
+    else:
+        grammar = load_grammar(grammar_text_or_name).augmented()
+    table = build_lalr_table(grammar)
+    return grammar, table, load_generated(generate_parser_module(table))
+
+
+class TestGeneration:
+    def test_deterministic_output(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        assert generate_parser_module(table) == generate_parser_module(table)
+
+    def test_refuses_conflicted_tables(self):
+        grammar = corpus.load("dangling_else", augment=True)
+        with pytest.raises(ValueError, match="conflicts"):
+            generate_parser_module(build_lalr_table(grammar))
+
+    def test_refuses_non_augmented(self):
+        from repro.tables.table import ParseTable
+
+        grammar = load_grammar("S -> a")
+        fake = ParseTable(grammar, "lalr1", [{}], [{}], [])
+        with pytest.raises(ValueError, match="augmented"):
+            generate_parser_module(fake)
+
+    def test_write_to_file(self, tmp_path):
+        grammar = load_grammar("S -> a b").augmented()
+        path = tmp_path / "parser_gen.py"
+        write_parser_module(build_lalr_table(grammar), str(path), name="ab")
+        source = path.read_text()
+        assert "GENERATED" in source and "'ab'" in source
+
+    def test_no_repro_imports_in_output(self):
+        grammar = load_grammar("S -> a").augmented()
+        source = generate_parser_module(build_lalr_table(grammar))
+        assert "import repro" not in source
+        assert "from repro" not in source
+
+
+class TestGeneratedBehaviour:
+    def test_accepts_matches_engine(self):
+        grammar, table, module = module_for("expr")
+        engine = Parser(table)
+        good = ["id", "id + id * id", "( id + id ) * id"]
+        bad = ["", "id +", "( id", "id id"]
+        for sentence in good:
+            assert module.accepts(sentence.split()), sentence
+            assert engine.accepts(sentence.split())
+        for sentence in bad:
+            assert not module.accepts(sentence.split()), sentence
+
+    def test_agreement_on_generated_sentences(self):
+        grammar, table, module = module_for("json")
+        engine = Parser(table)
+        generator = SentenceGenerator(grammar, seed=6)
+        for sentence in generator.sentences(20, budget=15):
+            names = [s.name for s in sentence]
+            assert module.accepts(names)
+            assert engine.accepts(sentence)
+
+    def test_default_tree_shape(self):
+        grammar, table, module = module_for("S -> S a | b")
+        # b a a => (p, (p, (p, 'b'), 'a'), 'a') with production indices.
+        tree = module.parse(["b", "a", "a"])
+        recursive = next(
+            p.index for p in grammar.productions
+            if p.index > 0 and len(p.rhs) == 2
+        )
+        base = next(
+            p.index for p in grammar.productions
+            if len(p.rhs) == 1 and p.rhs[0].is_terminal
+        )
+        assert tree == (recursive, (recursive, (base, "b"), "a"), "a")
+
+    def test_token_value_pairs(self):
+        grammar, table, module = module_for("S -> NUM")
+        result = module.parse([("NUM", 42)])
+        assert result[1] == 42
+
+    def test_semantic_actions(self):
+        grammar, table, module = module_for(
+            "E -> E + T | T\nT -> NUM"
+        )
+
+        def reduce_fn(production_index, children):
+            lhs, arity, rhs = module.PRODUCTIONS[production_index]
+            if rhs == ("E", "+", "T"):
+                return children[0] + children[2]
+            return children[0]
+
+        tokens = [("NUM", 1), ("+", None), ("NUM", 2), ("+", None), ("NUM", 39)]
+        assert module.parse(tokens, reduce_fn=reduce_fn) == 42
+
+    def test_shift_fn(self):
+        grammar, table, module = module_for("S -> a a")
+        result = module.parse(
+            ["a", "a"],
+            reduce_fn=lambda i, children: sum(children),
+            shift_fn=lambda name, value: 21,
+        )
+        assert result == 42
+
+    def test_error_reporting(self):
+        grammar, table, module = module_for("S -> a b")
+        with pytest.raises(module.SyntaxErrorLR) as info:
+            module.parse(["a", "a"])
+        assert info.value.position == 1
+        assert info.value.expected == {"b"}
+
+    def test_error_at_eof(self):
+        grammar, table, module = module_for("S -> a b")
+        with pytest.raises(module.SyntaxErrorLR, match="end of input"):
+            module.parse(["a"])
+
+    def test_exhaustive_agreement_small_grammar(self):
+        from repro.analysis.enumerate import all_strings
+
+        grammar, table, module = module_for("S -> a S b | %empty")
+        engine = Parser(table)
+        terminals = [t for t in grammar.terminals if not t.is_eof]
+        for candidate in all_strings(terminals, 6):
+            names = [s.name for s in candidate]
+            assert module.accepts(names) == engine.accepts(list(candidate)), names

@@ -1,0 +1,204 @@
+"""Unit tests: table compression, panic-mode recovery, DOT export."""
+
+import pytest
+
+from repro.analysis import SentenceGenerator
+from repro.automaton import LR0Automaton
+from repro.automaton.dot import automaton_to_dot, includes_to_dot, reads_to_dot
+from repro.core import LalrAnalysis
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.parser import Parser
+from repro.parser.recovery import RecoveringParser
+from repro.tables import build_lalr_table
+from repro.tables.compress import compress, compression_ratio
+
+
+class TestCompression:
+    @pytest.fixture
+    def tables(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        return grammar, table, compress(table)
+
+    def test_cells_shrink(self, tables):
+        grammar, table, compressed = tables
+        assert compressed.size_cells() < table.size_cells()
+        assert compression_ratio(table) > 1.0
+
+    def test_action_semantics_identical_on_valid_cells(self, tables):
+        grammar, table, compressed = tables
+        for state in range(table.n_states):
+            for terminal in grammar.terminals:
+                original = table.action(state, terminal)
+                if original is not None:
+                    assert compressed.action(state, terminal) == original
+
+    def test_default_may_fire_on_error_cells(self, tables):
+        grammar, table, compressed = tables
+        fired = 0
+        for state in range(table.n_states):
+            for terminal in grammar.terminals:
+                if table.action(state, terminal) is None:
+                    replacement = compressed.action(state, terminal)
+                    if replacement is not None:
+                        assert replacement.kind == "reduce"
+                        fired += 1
+        assert fired > 0  # compression actually generalised some rows
+
+    def test_acceptance_unchanged(self, tables):
+        grammar, table, compressed = tables
+        exact = Parser(table)
+        compact = Parser(compressed)
+        generator = SentenceGenerator(grammar, seed=4)
+        for sentence in generator.sentences(25, budget=12):
+            assert compact.accepts(sentence)
+            assert compact.parse(sentence).sexpr() == exact.parse(sentence).sexpr()
+
+    def test_rejection_unchanged(self, tables):
+        grammar, table, compressed = tables
+        compact = Parser(compressed)
+        for bad in ("id +", "+ id", "( id", "id id", "id ) id"):
+            assert not compact.accepts(bad.split()), bad
+
+    def test_error_detection_never_consumes_extra_tokens(self, tables):
+        from repro.parser import ParseError
+
+        grammar, table, compressed = tables
+        exact = Parser(table)
+        compact = Parser(compressed)
+        for bad in ("id + + id", "( id + )", "id * ( )"):
+            with pytest.raises(ParseError) as exact_info:
+                exact.parse(bad.split())
+            with pytest.raises(ParseError) as compact_info:
+                compact.parse(bad.split())
+            # Defaults may delay detection past reductions but never past
+            # a consumed token.
+            assert compact_info.value.position == exact_info.value.position
+
+    def test_rows_with_single_reduce_become_default_only(self):
+        grammar = load_grammar("S -> a").augmented()
+        compressed = compress(build_lalr_table(grammar))
+        reduce_rows = [
+            i for i, default in enumerate(compressed.defaults) if default
+        ]
+        assert reduce_rows
+        for i in reduce_rows:
+            assert compressed.actions[i] == {}
+
+
+class TestRecovery:
+    @pytest.fixture
+    def recovering(self):
+        grammar = load_grammar("""
+%token ID
+%start stmts
+%%
+stmts : stmt | stmts stmt ;
+stmt : ID '=' ID ';' ;
+""").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        return RecoveringParser(parser, sync_tokens=[";"])
+
+    def test_clean_input_no_errors(self, recovering):
+        tokens = "ID = ID ; ID = ID ;".split()
+        assert recovering.check(tokens) == []
+
+    def test_single_error_reported_once(self, recovering):
+        tokens = "ID = = ID ; ID = ID ;".split()
+        errors = recovering.check(tokens)
+        assert len(errors) == 1
+        assert errors[0].position == 2
+
+    def test_multiple_errors_all_reported(self, recovering):
+        tokens = "ID = ; ID ID ; ID = ID ;".split()
+        errors = recovering.check(tokens)
+        assert len(errors) == 2
+
+    def test_error_positions_increase(self, recovering):
+        tokens = "= ; ID = ; ID ID ID ;".split()
+        errors = recovering.check(tokens)
+        positions = [e.position for e in errors]
+        assert positions == sorted(positions)
+        assert len(positions) >= 2
+
+    def test_max_errors_cap(self, recovering):
+        tokens = "= ; " * 30
+        errors = recovering.check(tokens.split(), max_errors=5)
+        assert len(errors) == 5
+
+    def test_unrecoverable_tail(self, recovering):
+        errors = recovering.check("ID = ID".split())  # missing final ;
+        assert len(errors) == 1
+
+    def test_nonterminal_sync_rejected(self, recovering):
+        with pytest.raises(ValueError):
+            RecoveringParser(recovering.parser, sync_tokens=["stmt"])
+
+
+class TestDot:
+    def test_automaton_dot_structure(self):
+        import re
+
+        automaton = LR0Automaton(corpus.load("expr", augment=True))
+        dot = automaton_to_dot(automaton)
+        assert dot.startswith("digraph lr0 {") and dot.endswith("}")
+        edges = re.findall(r"^\s*s\d+ -> s\d+", dot, re.MULTILINE)
+        assert len(edges) == sum(len(s.transitions) for s in automaton.states)
+        assert 's0 [label="state 0' in dot
+
+    def test_full_closure_mode_bigger(self):
+        automaton = LR0Automaton(corpus.load("expr", augment=True))
+        kernel = automaton_to_dot(automaton, kernel_only=True)
+        full = automaton_to_dot(automaton, kernel_only=False)
+        assert len(full) > len(kernel)
+
+    def test_reads_dot_highlights_sccs(self):
+        analysis = LalrAnalysis(corpus.load("reads_cycle", augment=True))
+        dot = reads_to_dot(analysis)
+        assert "fillcolor" in dot  # the cycle is highlighted
+
+    def test_includes_dot_renders(self):
+        analysis = LalrAnalysis(corpus.load("expr", augment=True))
+        dot = includes_to_dot(analysis)
+        assert dot.startswith("digraph includes {")
+        assert "fillcolor" not in dot  # no SCCs in expr's includes
+
+    def test_quotes_escaped(self):
+        grammar = load_grammar("S -> '\"' a").augmented()
+        dot = automaton_to_dot(LR0Automaton(grammar))
+        assert '\\"' in dot
+
+
+class TestCompressedRecoveryCombo:
+    def test_recovery_over_compressed_table(self):
+        """Panic-mode checking drives a compressed table identically."""
+        from repro.grammar import load_grammar
+        from repro.tables.compress import compress
+
+        grammar = load_grammar("""
+%token ID
+%start stmts
+%%
+stmts : stmt | stmts stmt ;
+stmt : ID '=' ID ';' ;
+""").augmented()
+        table = build_lalr_table(grammar)
+        plain = RecoveringParser(Parser(table), [";"])
+        compact = RecoveringParser(Parser(compress(table)), [";"])
+        tokens = "ID = ; ID ID ; ID = ID ;".split()
+        plain_positions = [e.position for e in plain.check(tokens)]
+        compact_positions = [e.position for e in compact.check(tokens)]
+        # Compression may delay detection past reductions but never past
+        # consumed input: positions match on this workload.
+        assert compact_positions == plain_positions
+
+    def test_compressed_lr0_table(self):
+        from repro.grammars import corpus
+        from repro.tables import build_lr0_table
+        from repro.tables.compress import compress
+
+        grammar = corpus.load("lr0_demo", augment=True)
+        compact = Parser(compress(build_lr0_table(grammar)))
+        assert compact.accepts("a a b b".split())
+        assert not compact.accepts("a b a".split())

@@ -1,0 +1,118 @@
+"""Unit tests: sentence generation."""
+
+import pytest
+
+from repro.analysis import (
+    SentenceGenerator,
+    leftmost_derivation,
+    min_yield_lengths,
+    shortest_sentence,
+)
+from repro.grammar import GrammarValidationError, load_grammar
+
+
+def words(symbols):
+    return " ".join(s.name for s in symbols)
+
+
+class TestMinYieldLengths:
+    def test_simple(self):
+        grammar = load_grammar("S -> a b | c")
+        lengths = min_yield_lengths(grammar)
+        assert lengths[grammar.symbols["S"]] == 1
+
+    def test_recursive(self):
+        grammar = load_grammar("S -> a S | b")
+        assert min_yield_lengths(grammar)[grammar.symbols["S"]] == 1
+
+    def test_nullable_is_zero(self):
+        grammar = load_grammar("S -> A a\nA -> x | %empty")
+        assert min_yield_lengths(grammar)[grammar.symbols["A"]] == 0
+
+    def test_nongenerating_is_infinite(self):
+        grammar = load_grammar("S -> a | X\nX -> X x")
+        assert min_yield_lengths(grammar)[grammar.symbols["X"]] == float("inf")
+
+    def test_composite(self):
+        grammar = load_grammar("S -> A A A\nA -> a a | b")
+        assert min_yield_lengths(grammar)[grammar.symbols["S"]] == 3
+
+
+class TestShortestSentence:
+    def test_deterministic_minimal(self):
+        grammar = load_grammar("S -> a S b | c")
+        assert words(shortest_sentence(grammar)) == "c"
+
+    def test_picks_min_alternative(self):
+        grammar = load_grammar("S -> a a a | b b | c")
+        assert words(shortest_sentence(grammar)) == "c"
+
+    def test_works_on_augmented_without_end_marker(self):
+        grammar = load_grammar("S -> x").augmented()
+        assert words(shortest_sentence(grammar)) == "x"
+
+    def test_empty_language_rejected(self):
+        grammar = load_grammar("S -> S a")
+        with pytest.raises(GrammarValidationError):
+            shortest_sentence(grammar)
+
+    def test_epsilon_only_language(self):
+        grammar = load_grammar("S -> %empty")
+        assert shortest_sentence(grammar) == []
+
+
+class TestSentenceGenerator:
+    def test_deterministic_for_seed(self):
+        grammar = load_grammar("S -> a S | b S | c")
+        first = SentenceGenerator(grammar, seed=7).sentences(10)
+        second = SentenceGenerator(grammar, seed=7).sentences(10)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        grammar = load_grammar("S -> a S | b S | c")
+        a = SentenceGenerator(grammar, seed=1).sentences(20)
+        b = SentenceGenerator(grammar, seed=2).sentences(20)
+        assert a != b
+
+    def test_terminates_with_zero_budget(self):
+        grammar = load_grammar("S -> a S | b")
+        sentence = SentenceGenerator(grammar, seed=0).sentence(budget=0)
+        assert words(sentence) == "b"
+
+    def test_sentences_are_terminal_only(self):
+        grammar = load_grammar("S -> a S b | A\nA -> x | y")
+        for sentence in SentenceGenerator(grammar, seed=3).sentences(25):
+            assert all(s.is_terminal for s in sentence)
+
+    def test_avoids_nongenerating_alternatives(self):
+        grammar = load_grammar("S -> a | X\nX -> X x")
+        for sentence in SentenceGenerator(grammar, seed=5).sentences(10):
+            assert words(sentence) == "a"
+
+    def test_rejects_empty_language(self):
+        with pytest.raises(GrammarValidationError):
+            SentenceGenerator(load_grammar("S -> S a"))
+
+
+class TestLeftmostDerivation:
+    def test_replay_choices(self):
+        grammar = load_grammar("S -> a S | b")
+        sentence, consumed = leftmost_derivation(grammar, [0, 0, 1])
+        assert words(sentence) == "a a b"
+        assert consumed
+
+    def test_choices_wrap_modulo(self):
+        grammar = load_grammar("S -> a S | b")
+        sentence, _ = leftmost_derivation(grammar, [2, 3])
+        assert words(sentence) == "a b"
+
+    def test_exhausted_choices_finish_minimally(self):
+        grammar = load_grammar("S -> a S | b")
+        sentence, consumed = leftmost_derivation(grammar, [0, 0, 0, 0])
+        assert sentence[-1].name == "b"
+
+    def test_empty_choices_is_shortest(self):
+        grammar = load_grammar("S -> a S b | c")
+        sentence, consumed = leftmost_derivation(grammar, [])
+        assert words(sentence) == "c"
+        assert consumed

@@ -1,0 +1,175 @@
+"""Unit tests: the Digraph algorithm (the paper's core primitive)."""
+
+import random
+
+from repro.core.digraph import DigraphStats, digraph, naive_closure
+
+
+def run(nodes, edges, initial):
+    """Helper: edges/initial as dicts, returns (result, sccs)."""
+    return digraph(
+        nodes,
+        lambda x: edges.get(x, ()),
+        lambda x: initial.get(x, 0),
+    )
+
+
+class TestAcyclic:
+    def test_no_edges_is_initial(self):
+        result, sccs = run(["a", "b"], {}, {"a": 0b01, "b": 0b10})
+        assert result == {"a": 0b01, "b": 0b10}
+        assert sccs == []
+
+    def test_chain_accumulates(self):
+        result, _ = run(
+            ["a", "b", "c"],
+            {"a": ["b"], "b": ["c"]},
+            {"a": 0b001, "b": 0b010, "c": 0b100},
+        )
+        assert result["c"] == 0b100
+        assert result["b"] == 0b110
+        assert result["a"] == 0b111
+
+    def test_diamond(self):
+        result, _ = run(
+            ["a", "b", "c", "d"],
+            {"a": ["b", "c"], "b": ["d"], "c": ["d"]},
+            {"a": 1, "b": 2, "c": 4, "d": 8},
+        )
+        assert result["a"] == 15
+
+    def test_unreachable_untouched(self):
+        result, _ = run(["a", "b"], {"a": []}, {"a": 1, "b": 2})
+        assert result["b"] == 2
+
+    def test_order_independent(self):
+        edges = {"a": ["b"], "b": ["c"], "c": [], "d": ["a"]}
+        initial = {"a": 1, "b": 2, "c": 4, "d": 8}
+        for order in (["a", "b", "c", "d"], ["d", "c", "b", "a"], ["b", "d", "a", "c"]):
+            result, _ = run(order, edges, initial)
+            assert result == {"a": 7, "b": 6, "c": 4, "d": 15}
+
+
+class TestSccs:
+    def test_two_cycle_shares_set(self):
+        result, sccs = run(["a", "b"], {"a": ["b"], "b": ["a"]}, {"a": 1, "b": 2})
+        assert result["a"] == result["b"] == 3
+        assert len(sccs) == 1
+        assert set(sccs[0]) == {"a", "b"}
+
+    def test_self_loop_is_nontrivial(self):
+        result, sccs = run(["a"], {"a": ["a"]}, {"a": 1})
+        assert result["a"] == 1
+        assert len(sccs) == 1
+
+    def test_trivial_node_not_reported(self):
+        _, sccs = run(["a", "b"], {"a": ["b"]}, {"a": 1, "b": 2})
+        assert sccs == []
+
+    def test_scc_feeding_downstream(self):
+        result, sccs = run(
+            ["a", "b", "c"],
+            {"a": ["b"], "b": ["a", "c"]},
+            {"a": 1, "b": 2, "c": 4},
+        )
+        assert result["a"] == result["b"] == 7
+        assert result["c"] == 4
+        assert len(sccs) == 1
+
+    def test_scc_fed_from_upstream(self):
+        result, sccs = run(
+            ["x", "a", "b"],
+            {"x": ["a"], "a": ["b"], "b": ["a"]},
+            {"x": 8, "a": 1, "b": 2},
+        )
+        assert result["x"] == 11
+        assert result["a"] == result["b"] == 3
+
+    def test_two_separate_sccs(self):
+        _, sccs = run(
+            ["a", "b", "c", "d"],
+            {"a": ["b"], "b": ["a"], "c": ["d"], "d": ["c"]},
+            {n: 1 for n in "abcd"},
+        )
+        assert len(sccs) == 2
+
+
+class TestDeepChains:
+    def test_no_recursion_limit(self):
+        # A 50k-long chain would blow Python's default recursion limit if
+        # the traversal were recursive.
+        n = 50_000
+        nodes = list(range(n))
+        edges = {i: [i + 1] for i in range(n - 1)}
+        result, _ = digraph(nodes, lambda x: edges.get(x, ()), lambda x: 1 << x)
+        assert result[0] == (1 << n) - 1
+
+    def test_long_cycle(self):
+        n = 10_000
+        nodes = list(range(n))
+        edges = {i: [(i + 1) % n] for i in range(n)}
+        result, sccs = digraph(nodes, lambda x: edges[x], lambda x: 1 << x)
+        assert len(sccs) == 1
+        assert all(result[i] == (1 << n) - 1 for i in range(n))
+
+
+class TestAgainstNaiveOracle:
+    def random_case(self, rng, n_nodes, n_edges):
+        nodes = list(range(n_nodes))
+        edges = {x: [] for x in nodes}
+        for _ in range(n_edges):
+            edges[rng.randrange(n_nodes)].append(rng.randrange(n_nodes))
+        initial = {x: rng.getrandbits(8) for x in nodes}
+        return nodes, edges, initial
+
+    def test_random_graphs_match_naive(self):
+        rng = random.Random(42)
+        for _ in range(60):
+            nodes, edges, initial = self.random_case(
+                rng, rng.randint(1, 15), rng.randint(0, 40)
+            )
+            fast, _ = digraph(nodes, lambda x: edges[x], lambda x: initial[x])
+            slow = naive_closure(nodes, lambda x: edges[x], lambda x: initial[x])
+            assert fast == slow, (edges, initial)
+
+
+class TestStats:
+    def test_counters_filled(self):
+        stats = DigraphStats()
+        digraph(
+            ["a", "b"],
+            lambda x: {"a": ["b"]}.get(x, ()),
+            lambda x: 1,
+            stats,
+        )
+        assert stats.nodes == 2
+        assert stats.edges == 1
+        assert stats.unions >= 1
+        assert stats.nontrivial_sccs == 0
+
+    def test_scc_counters(self):
+        stats = DigraphStats()
+        digraph(
+            ["a", "b"],
+            lambda x: {"a": ["b"], "b": ["a"]}[x],
+            lambda x: 1,
+            stats,
+        )
+        assert stats.nontrivial_sccs == 1
+        assert stats.scc_members == 2
+
+    def test_as_dict(self):
+        stats = DigraphStats()
+        assert set(stats.as_dict()) == {
+            "nodes", "edges", "unions", "nontrivial_sccs", "scc_members"
+        }
+
+    def test_naive_counts_more_unions_on_deep_chain(self):
+        n = 40
+        nodes = list(range(n))
+        edges = {i: [i + 1] if i + 1 < n else [] for i in range(n)}
+        # Order the naive sweep against the grain to expose its O(n^2).
+        fast_stats, slow_stats = DigraphStats(), DigraphStats()
+        digraph(nodes, lambda x: edges[x], lambda x: 1 << x, fast_stats)
+        naive_closure(nodes, lambda x: edges[x], lambda x: 1 << x, slow_stats)
+        assert fast_stats.unions <= slow_stats.unions

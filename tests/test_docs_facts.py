@@ -1,0 +1,102 @@
+"""Doc-drift guard: every concrete number/set in docs/ALGORITHM.md is
+asserted here against the implementation, so the walkthrough cannot rot."""
+
+import pytest
+
+from repro.automaton import LR0Automaton, LR1Automaton
+from repro.core import LalrAnalysis
+from repro.grammars import corpus
+
+
+@pytest.fixture(scope="module")
+def lvalue():
+    grammar = corpus.load("lvalue", augment=True)
+    automaton = LR0Automaton(grammar)
+    return grammar, automaton, LalrAnalysis(grammar, automaton)
+
+
+def names(symbols):
+    return sorted(s.name for s in symbols)
+
+
+class TestAlgorithmDoc:
+    def test_state_counts(self, lvalue):
+        grammar, automaton, _ = lvalue
+        assert len(automaton) == 11
+        assert len(LR1Automaton(grammar)) == 15
+
+    def test_seven_nonterminal_transitions(self, lvalue):
+        _, _, analysis = lvalue
+        rendered = {(p, s.name) for p, s in analysis.relations.transitions}
+        assert rendered == {
+            (0, "S"), (0, "L"), (0, "R"), (4, "L"), (4, "R"), (8, "L"), (8, "R")
+        }
+
+    def test_dr_sets(self, lvalue):
+        grammar, _, analysis = lvalue
+        sym = grammar.symbols
+        assert names(analysis.dr_set((0, sym["S"]))) == ["$end"]
+        assert names(analysis.dr_set((0, sym["L"]))) == ["="]
+        assert names(analysis.dr_set((4, sym["L"]))) == []
+
+    def test_reads_empty(self, lvalue):
+        _, _, analysis = lvalue
+        assert all(not e for e in analysis.relations.reads.values())
+
+    def test_includes_edges(self, lvalue):
+        grammar, _, analysis = lvalue
+        sym = grammar.symbols
+        inc = {
+            (t[0], t[1].name): {(q, s.name) for q, s in targets}
+            for t, targets in analysis.relations.includes.items()
+        }
+        assert inc[(0, "L")] == {(0, "R")}
+        assert inc[(0, "R")] == {(0, "S")}
+        assert inc[(8, "R")] == {(0, "S")}
+        assert inc[(4, "R")] == {(0, "L"), (4, "L"), (8, "L")}
+        assert inc[(4, "L")] == {(4, "R")}
+        assert inc[(8, "L")] == {(8, "R")}
+
+    def test_includes_scc(self, lvalue):
+        _, _, analysis = lvalue
+        assert len(analysis.includes_sccs) == 1
+        members = {(p, s.name) for p, s in analysis.includes_sccs[0]}
+        assert members == {(4, "L"), (4, "R")}
+
+    def test_follow_sets(self, lvalue):
+        grammar, _, analysis = lvalue
+        sym = grammar.symbols
+        expected = {
+            (0, "S"): ["$end"],
+            (0, "R"): ["$end"],
+            (0, "L"): ["$end", "="],
+            (8, "R"): ["$end"],
+            (8, "L"): ["$end"],
+            (4, "L"): ["$end", "="],
+            (4, "R"): ["$end", "="],
+        }
+        for (state, name), follow in expected.items():
+            assert names(analysis.follow_set((state, sym[name]))) == follow, (state, name)
+
+    def test_punchline_la_cells(self, lvalue):
+        grammar, _, analysis = lvalue
+        r_to_l = next(p for p in grammar.productions if str(p) == "R -> L")
+        las = {
+            state: names(analysis.lookahead(state, production_index))
+            for (state, production_index) in analysis.la_masks
+            if production_index == r_to_l.index
+        }
+        assert las == {2: ["$end"], 6: ["$end", "="]}
+
+    def test_nqlalr_merges_exactly_one_pair(self, lvalue):
+        from repro.baselines import NqlalrAnalysis
+
+        grammar, automaton, _ = lvalue
+        nq = NqlalrAnalysis(grammar, automaton)
+        nodes, transitions = nq.merged_node_count()
+        assert (nodes, transitions) == (6, 7)
+
+    def test_toy_java_state_ratio(self):
+        grammar = corpus.load("toy_java", augment=True)
+        assert len(LR0Automaton(grammar)) == 178
+        assert len(LR1Automaton(grammar)) == 722

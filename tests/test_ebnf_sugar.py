@@ -1,0 +1,101 @@
+"""Unit tests: EBNF suffix sugar (X?, X*, X+) in the grammar reader."""
+
+import pytest
+
+from repro.analysis.enumerate import enumerate_language
+from repro.grammar import GrammarSyntaxError, load_grammar
+from repro.parser import Parser
+from repro.tables import build_lalr_table
+
+
+def language(text, bound):
+    grammar = load_grammar(text)
+    return {
+        " ".join(s.name for s in sentence)
+        for sentence in enumerate_language(grammar, bound)
+    }
+
+
+class TestDesugaring:
+    def test_optional(self):
+        assert language("S -> a? b", 2) == {"b", "a b"}
+
+    def test_star(self):
+        assert language("S -> a* b", 3) == {"b", "a b", "a a b"}
+
+    def test_plus(self):
+        assert language("S -> a+ b", 3) == {"a b", "a a b"}
+
+    def test_nonterminal_base(self):
+        # ';' must be quoted in arrow format (bare ; terminates a rule).
+        text = "S -> item* ';'\nitem -> x | y"
+        got = language(text, 3)
+        assert got == {";", "x ;", "y ;", "x x ;", "x y ;", "y x ;", "y y ;"}
+
+    def test_generated_names(self):
+        grammar = load_grammar("S -> a? b* c+")
+        names = {nt.name for nt in grammar.nonterminals}
+        assert {"a_opt", "b_list", "c_nonempty"} <= names
+
+    def test_sugar_reused_not_duplicated(self):
+        grammar = load_grammar("S -> a? x a? | a? y")
+        opt_rules = [p for p in grammar.productions if p.lhs.name == "a_opt"]
+        assert len(opt_rules) == 2  # one %empty, one 'a' — generated once
+
+    def test_lists_are_left_recursive(self):
+        grammar = load_grammar("S -> a* b")
+        recursive = next(
+            p for p in grammar.productions
+            if p.lhs.name == "a_list" and len(p.rhs) == 2
+        )
+        assert recursive.rhs[0].name == "a_list"
+
+    def test_start_symbol_not_stolen_by_sugar(self):
+        # The generated helper rules are added before the first user rule;
+        # the default start must still be the user's first lhs.
+        grammar = load_grammar("S -> a* b")
+        assert grammar.start.name == "S"
+
+    def test_start_symbol_yacc_format(self):
+        grammar = load_grammar("%%\ns : a* b ;")
+        assert grammar.start.name == "s"
+
+    def test_quoted_literal_exempt(self):
+        grammar = load_grammar("S -> 'x*' b")
+        assert grammar.symbols["x*"].is_terminal
+
+    def test_bare_suffix_chars_are_plain_terminals(self):
+        grammar = load_grammar("E -> E * F | F\nF -> x")
+        assert grammar.symbols["*"].is_terminal
+
+    def test_stacked_suffixes_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="stacked"):
+            load_grammar("S -> a?* b")
+
+
+class TestSugarParsing:
+    def test_parseable_end_to_end(self):
+        # Sugar applies to bare names only (quoted literals are exempt),
+        # so the optional separator is a named token here.
+        grammar = load_grammar("""
+%token ID comma
+%start call
+%%
+call : ID '(' arg* ')' ;
+arg : ID comma? ;
+""").augmented()
+        table = build_lalr_table(grammar)
+        assert table.is_deterministic
+        parser = Parser(table)
+        assert parser.accepts("ID ( )".split())
+        assert parser.accepts("ID ( ID )".split())
+        assert parser.accepts("ID ( ID comma ID )".split())
+        assert parser.accepts("ID ( ID comma ID comma )".split())
+        assert not parser.accepts("ID ( comma )".split())
+
+    def test_sugar_in_both_formats_equivalent(self):
+        arrow = load_grammar("S -> a+ b?")
+        yacc = load_grammar("%%\nS : a+ b? ;")
+        from repro.analysis.enumerate import bounded_language_equal
+
+        assert bounded_language_equal(arrow, yacc, 4)

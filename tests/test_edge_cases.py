@@ -1,0 +1,133 @@
+"""Edge-case sweep across subsystems: tiny grammars, odd names, extremes."""
+
+import pytest
+
+from repro.automaton import LR0Automaton, LR1Automaton
+from repro.baselines import MergedLr1Analysis, PropagationAnalysis
+from repro.core import LalrAnalysis
+from repro.grammar import load_grammar
+from repro.parser import Parser
+from repro.tables import build_clr_table, build_lalr_table, build_lr0_table, classify
+
+
+class TestTinyGrammars:
+    def test_single_terminal(self):
+        grammar = load_grammar("S -> a").augmented()
+        analysis = LalrAnalysis(grammar)
+        # One reduce site: S -> a in the post-a state, LA = {$end}.
+        ((site, la),) = analysis.lookahead_table().items()
+        assert {t.name for t in la} == {"$end"}
+        assert Parser(build_lalr_table(grammar)).accepts(["a"])
+
+    def test_epsilon_only_grammar(self):
+        grammar = load_grammar("S -> %empty").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        assert parser.accepts([])
+        assert not parser.accepts(["x"]) if "x" in grammar.symbols else True
+
+    def test_epsilon_only_lookahead(self):
+        grammar = load_grammar("S -> %empty").augmented()
+        analysis = LalrAnalysis(grammar)
+        ((_, la),) = analysis.lookahead_table().items()
+        assert {t.name for t in la} == {"$end"}
+
+    def test_single_nonterminal_chain(self):
+        grammar = load_grammar("A -> B\nB -> C\nC -> x").augmented()
+        analysis = LalrAnalysis(grammar)
+        for la in analysis.lookahead_table().values():
+            assert {t.name for t in la} == {"$end"}
+
+    def test_unary_infinite_language(self):
+        grammar = load_grammar("S -> S a | a").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        assert parser.accepts(["a"] * 100)
+        assert not parser.accepts([])
+
+    def test_deep_nesting(self):
+        grammar = load_grammar("S -> ( S ) | x").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        depth = 300
+        tokens = ["("] * depth + ["x"] + [")"] * depth
+        tree = parser.parse(tokens)
+        assert len(list(tree.walk())) == 2 * depth + depth + 2  # sanity: linear
+
+
+class TestOddSymbolNames:
+    def test_unicode_terminal(self):
+        grammar = load_grammar("S -> 'λ' a").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        assert parser.accepts(["λ", "a"])
+
+    def test_dollar_in_name(self):
+        grammar = load_grammar("S -> $x").augmented()
+        assert grammar.symbols["$x"].is_terminal
+
+    def test_numeric_names(self):
+        grammar = load_grammar("S -> 0 1 2").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        assert parser.accepts(["0", "1", "2"])
+
+    def test_long_names(self):
+        name = "t" * 200
+        grammar = load_grammar(f"S -> {name}").augmented()
+        assert Parser(build_lalr_table(grammar)).accepts([name])
+
+
+class TestScaleExtremes:
+    def test_many_alternatives(self):
+        alts = " | ".join(f"k{i}" for i in range(150))
+        grammar = load_grammar(f"S -> {alts}").augmented()
+        verdict = classify(grammar)
+        assert verdict.is_lr0
+        parser = Parser(build_lr0_table(grammar))
+        assert parser.accepts(["k73"])
+
+    def test_long_rhs(self):
+        rhs = " ".join(f"t{i}" for i in range(120))
+        grammar = load_grammar(f"S -> {rhs}").augmented()
+        parser = Parser(build_lalr_table(grammar))
+        assert parser.accepts([f"t{i}" for i in range(120)])
+        assert not parser.accepts([f"t{i}" for i in range(119)])
+
+    def test_wide_nullable_block(self):
+        parts = " ".join(f"O{i}" for i in range(12))
+        rules = "\n".join(f"O{i} -> o{i} | %empty" for i in range(12))
+        grammar = load_grammar(f"S -> {parts} end\n{rules}").augmented()
+        analysis = LalrAnalysis(grammar)
+        assert not analysis.not_lr_k
+        parser = Parser(build_lalr_table(grammar))
+        assert parser.accepts(["end"])
+        assert parser.accepts(["o0", "o5", "o11", "end"])
+        assert not parser.accepts(["o5", "o0", "end"])  # order fixed
+
+    def test_equivalence_on_wide_nullable_block(self):
+        parts = " ".join(f"O{i}" for i in range(8))
+        rules = "\n".join(f"O{i} -> o{i} | %empty" for i in range(8))
+        grammar = load_grammar(f"S -> {parts} end\n{rules}").augmented()
+        automaton = LR0Automaton(grammar)
+        dp = LalrAnalysis(grammar, automaton).lookahead_table()
+        assert dp == MergedLr1Analysis(grammar, automaton).lookahead_table()
+        assert dp == PropagationAnalysis(grammar, automaton).lookahead_table()
+
+
+class TestAutomatonEdgeCases:
+    def test_lr1_on_epsilon_grammar(self):
+        grammar = load_grammar("S -> %empty").augmented()
+        lr1 = LR1Automaton(grammar)
+        assert len(lr1) >= 2
+
+    def test_clr_table_on_trivial_grammar(self):
+        grammar = load_grammar("S -> a").augmented()
+        parser = Parser(build_clr_table(grammar))
+        assert parser.accepts(["a"])
+        assert not parser.accepts([])
+
+    def test_goto_sequence_empty(self):
+        automaton = LR0Automaton(load_grammar("S -> a"))
+        assert automaton.goto_sequence(0, ()) == 0
+
+    def test_state_format_on_every_state(self):
+        automaton = LR0Automaton(load_grammar("S -> a S b | %empty"))
+        for state in automaton.states:
+            text = automaton.format_state(state.state_id)
+            assert f"state {state.state_id}" in text

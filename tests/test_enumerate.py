@@ -1,0 +1,118 @@
+"""Unit tests: bounded language enumeration."""
+
+from repro.analysis.enumerate import (
+    all_strings,
+    bounded_language_equal,
+    enumerate_language,
+    yield_sets,
+)
+from repro.grammar import load_grammar, remove_epsilon_rules
+
+
+def sentences(grammar, k):
+    return {
+        " ".join(s.name for s in sentence)
+        for sentence in enumerate_language(grammar, k)
+    }
+
+
+class TestEnumerate:
+    def test_finite_language_complete(self):
+        grammar = load_grammar("S -> a b | c")
+        assert sentences(grammar, 5) == {"a b", "c"}
+
+    def test_length_bound_respected(self):
+        grammar = load_grammar("S -> a S | a")
+        assert sentences(grammar, 3) == {"a", "a a", "a a a"}
+
+    def test_epsilon_included(self):
+        grammar = load_grammar("S -> a S | %empty")
+        result = sentences(grammar, 2)
+        assert result == {"", "a", "a a"}
+
+    def test_ambiguity_does_not_duplicate(self):
+        grammar = load_grammar("S -> S S | a")
+        result = enumerate_language(grammar, 3)
+        assert len(result) == 3  # a, aa, aaa — as a set
+
+    def test_palindromes(self):
+        grammar = load_grammar("S -> a S a | b S b | %empty")
+        result = sentences(grammar, 4)
+        assert result == {
+            "", "a a", "b b",
+            "a a a a", "a b b a", "b a a b", "b b b b",
+        }
+
+    def test_expression_grammar_counts(self):
+        grammar = load_grammar("E -> E + E | id")
+        # length 1: id; length 3: id+id; length 5: id+id+id (one string).
+        assert sentences(grammar, 5) == {"id", "id + id", "id + id + id"}
+
+    def test_nongenerating_branch_ignored(self):
+        grammar = load_grammar("S -> a | X\nX -> X x")
+        assert sentences(grammar, 4) == {"a"}
+
+    def test_yield_sets_per_nonterminal(self):
+        grammar = load_grammar("S -> A A\nA -> a | b")
+        yields = yield_sets(grammar, 2)
+        a_yields = {
+            " ".join(s.name for s in y) for y in yields[grammar.symbols["A"]]
+        }
+        assert a_yields == {"a", "b"}
+        s_yields = yields[grammar.symbols["S"]]
+        assert len(s_yields) == 4
+
+    def test_works_on_augmented_view(self):
+        grammar = load_grammar("S -> a").augmented()
+        assert sentences(grammar, 2) == {"a"}
+
+
+class TestAllStrings:
+    def test_counts(self):
+        grammar = load_grammar("S -> a b")
+        terminals = grammar.terminals
+        strings = list(all_strings(terminals, 2))
+        # ε + 2 + 4
+        assert len(strings) == 7
+
+    def test_includes_empty(self):
+        grammar = load_grammar("S -> a")
+        assert () in set(all_strings(grammar.terminals, 1))
+
+
+class TestBoundedEquality:
+    def test_identical_grammars(self):
+        a = load_grammar("S -> a S | b")
+        b = load_grammar("S -> a S | b")
+        assert bounded_language_equal(a, b, 5)
+
+    def test_different_languages(self):
+        a = load_grammar("S -> a S | b")
+        b = load_grammar("S -> a S | c")
+        assert not bounded_language_equal(a, b, 3)
+
+    def test_equivalent_shapes(self):
+        left_recursive = load_grammar("S -> S a | a")
+        right_recursive = load_grammar("S -> a S | a")
+        assert bounded_language_equal(left_recursive, right_recursive, 6)
+
+    def test_epsilon_removal_contract(self):
+        grammar = load_grammar("""
+S -> A b A
+A -> a | %empty
+""")
+        stripped = remove_epsilon_rules(grammar)
+        assert bounded_language_equal(grammar, stripped, 5, ignore_epsilon=True)
+
+    def test_epsilon_removal_contract_nullable_start(self):
+        grammar = load_grammar("S -> a S a | %empty")
+        stripped = remove_epsilon_rules(grammar)
+        assert bounded_language_equal(grammar, stripped, 6, ignore_epsilon=True)
+
+    def test_epsilon_removal_on_random_grammars(self):
+        from repro.grammars import random_grammar
+
+        for seed in range(12):
+            grammar = random_grammar(seed, epsilon_weight=0.3)
+            stripped = remove_epsilon_rules(grammar)
+            assert bounded_language_equal(grammar, stripped, 4, ignore_epsilon=True), seed

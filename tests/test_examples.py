@@ -1,0 +1,199 @@
+"""Integration tests: every example must run and produce correct output."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    captured = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + list(argv)
+    try:
+        with redirect_stdout(captured):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return captured.getvalue()
+
+
+class TestQuickstart:
+    def test_runs(self):
+        output = run_example("quickstart.py")
+        assert "LALR(1) look-ahead sets" in output
+        assert "not LR(k)? False" in output
+        assert "0 conflicts" in output
+
+    def test_shows_la_sets(self):
+        output = run_example("quickstart.py")
+        assert "LA(" in output
+        assert "$end" in output
+
+
+class TestCalculator:
+    def test_demo_expressions(self):
+        output = run_example("calculator.py")
+        assert "1 + 2 * 3 = 7.0" in output
+        assert "2 ^ 3 ^ 2 = 512.0" in output
+        assert "10 - 4 - 3 = 3.0" in output
+        assert "-3 ^ 2 = 9.0" in output
+
+    def test_argv_expression(self):
+        output = run_example("calculator.py", ["(2+3)*4"])
+        assert "= 20.0" in output
+
+    def test_evaluate_api(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import calculator
+
+            parser, lexer = calculator.build_calculator()
+            assert calculator.evaluate(parser, lexer, "2^10") == 1024.0
+            assert calculator.evaluate(parser, lexer, "1+2*3-4/2") == 5.0
+        finally:
+            sys.path.remove(str(EXAMPLES))
+
+
+class TestJsonParser:
+    def test_matches_stdlib(self):
+        output = run_example("json_parser.py")
+        assert "matches the standard library json module: yes" in output
+
+    def test_parse_json_api(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import json_parser
+
+            assert json_parser.parse_json('{"a": [1, 2, {"b": null}]}') == {
+                "a": [1, 2, {"b": None}]
+            }
+            assert json_parser.parse_json("[]") == []
+            assert json_parser.parse_json("{}") == {}
+            assert json_parser.parse_json("[true, false]") == [True, False]
+            assert json_parser.parse_json('"x"') == "x"
+            assert json_parser.parse_json("-1.5e3") == -1500.0
+        finally:
+            sys.path.remove(str(EXAMPLES))
+
+
+class TestGrammarDoctor:
+    def test_corpus_tour(self):
+        output = run_example("grammar_doctor.py")
+        assert "class: SLR(1)" in output
+        assert "class: LALR(1)" in output
+        assert "NOT LR(k) for ANY k" in output
+        assert "FOLLOW adds spurious" in output
+        assert "reduce/reduce" in output
+
+    def test_diagnose_file(self, tmp_path):
+        path = tmp_path / "g.cfg"
+        path.write_text("S -> a S b | %empty\n")
+        output = run_example("grammar_doctor.py", [str(path)])
+        assert "class: SLR(1)" in output
+
+
+class TestMinilang:
+    def test_demo_program(self):
+        output = run_example("minilang.py")
+        assert output.splitlines() == ["21", "55", "1"]
+
+    def test_run_program_api(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import minilang
+
+            assert minilang.run_program("print 2 + 3 * 4;") == [14]
+            assert minilang.run_program(
+                "x = 10; while (x > 2) x = x - 3; print x;"
+            ) == [1]
+            assert minilang.run_program(
+                "if (1 < 2) if (2 < 1) print 0; else print 9;"
+            ) == [9]  # else binds to the inner if
+        finally:
+            sys.path.remove(str(EXAMPLES))
+
+    def test_file_argument(self, tmp_path):
+        path = tmp_path / "prog.mini"
+        path.write_text("a = 6; b = 7; print a * b;\n")
+        output = run_example("minilang.py", [str(path)])
+        assert output.strip() == "42"
+
+    def test_undefined_variable(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import minilang
+
+            with pytest.raises(NameError):
+                minilang.run_program("print ghost;")
+        finally:
+            sys.path.remove(str(EXAMPLES))
+
+    def test_parse_error_propagates(self):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import minilang
+            from repro.parser import ParseError
+
+            with pytest.raises(ParseError):
+                minilang.run_program("x = ;")
+        finally:
+            sys.path.remove(str(EXAMPLES))
+
+
+class TestShippedGrammarFiles:
+    GRAMMARS_DIR = EXAMPLES / "grammars"
+
+    def test_files_exist(self):
+        names = {p.name for p in self.GRAMMARS_DIR.iterdir()}
+        assert {"calc.y", "lvalue.cfg", "statements.y"} <= names
+
+    def test_all_files_load(self):
+        from repro.grammar import load_grammar_file
+
+        for path in self.GRAMMARS_DIR.iterdir():
+            grammar = load_grammar_file(path)
+            assert grammar.productions, path.name
+
+    def test_calc_resolves_with_precedence(self):
+        from repro.grammar import load_grammar_file
+        from repro.tables import classify
+
+        grammar = load_grammar_file(self.GRAMMARS_DIR / "calc.y")
+        assert classify(grammar, ignore_precedence=False).is_lalr1
+
+    def test_statements_has_dangling_else(self):
+        from repro.grammar import load_grammar_file
+        from repro.automaton import LR0Automaton
+        from repro.tables import build_lalr_table
+        from repro.tables.explain import explain_table_conflicts
+
+        grammar = load_grammar_file(self.GRAMMARS_DIR / "statements.y").augmented()
+        automaton = LR0Automaton(grammar)
+        table = build_lalr_table(grammar, automaton)
+        examples = explain_table_conflicts(table, automaton)
+        assert any(e.lookahead.name == "else" for e in examples)
+
+    def test_lvalue_file_is_lalr_not_slr(self):
+        from repro.grammar import load_grammar_file
+        from repro.tables import classify, GrammarClass
+
+        grammar = load_grammar_file(self.GRAMMARS_DIR / "lvalue.cfg")
+        assert classify(grammar).grammar_class is GrammarClass.LALR1
+
+
+class TestGrammarDoctorAmbiguity:
+    def test_ambiguity_verdict_in_output(self):
+        output = run_example("grammar_doctor.py")
+        assert "parse trees" in output  # dangling_else witness
+
+    def test_palindrome_reported_deterministic_hard(self, tmp_path):
+        path = tmp_path / "pal.cfg"
+        path.write_text("S -> a S a | b S b | %empty\n")
+        output = run_example("grammar_doctor.py", [str(path)])
+        assert "deterministic-hard" in output

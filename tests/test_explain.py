@@ -1,0 +1,126 @@
+"""Unit tests: conflict counterexample generation."""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.tables import build_lalr_table
+from repro.tables.explain import (
+    explain_conflict,
+    explain_table_conflicts,
+    symbol_path_to_state,
+    terminalise,
+)
+
+
+def states_consulting_lookahead(table, prefix, lookahead):
+    """Parse *prefix*, then keep reducing under *lookahead*; return every
+    state in which the parser consulted *lookahead* (the conflict state
+    must be among them for the witness to be genuine)."""
+    grammar = table.grammar
+    state_stack = [0]
+    position = 0
+    consulted = []
+    stream = list(prefix) + [lookahead]
+    while True:
+        token = stream[position] if position < len(stream) else None
+        if token is None:
+            break
+        if token is lookahead and position == len(prefix):
+            consulted.append(state_stack[-1])
+        action = table.action(state_stack[-1], token)
+        if action is None:
+            # A conflicted cell's arbitrarily-chosen winner may dead-end
+            # after the conflict point; the consultation was still real.
+            assert consulted, (position, token.name)
+            break
+        if action.kind == "shift":
+            if position == len(prefix):
+                break  # lookahead consumed: conflict point passed
+            state_stack.append(action.state)
+            position += 1
+        elif action.kind == "reduce":
+            production = grammar.productions[action.production]
+            if production.rhs:
+                del state_stack[-len(production.rhs):]
+            state_stack.append(table.goto(state_stack[-1], production.lhs))
+        else:
+            break
+    return consulted
+
+
+class TestPathFinding:
+    def test_path_to_start_is_empty(self, expr_automaton):
+        assert symbol_path_to_state(expr_automaton, 0) == []
+
+    def test_paths_reach_their_states(self, expr_automaton):
+        for state in range(len(expr_automaton)):
+            path = symbol_path_to_state(expr_automaton, state)
+            assert path is not None
+            assert expr_automaton.goto_sequence(0, path) == state
+
+    def test_paths_are_shortest_in_symbols(self, expr_automaton):
+        # BFS property: path length == BFS depth; spot-check one state.
+        grammar = expr_automaton.grammar
+        after_id = expr_automaton.goto(0, grammar.symbols["id"])
+        assert symbol_path_to_state(expr_automaton, after_id) == [grammar.symbols["id"]]
+
+
+class TestTerminalise:
+    def test_terminals_pass_through(self, expr_augmented):
+        automaton_symbols = [expr_augmented.symbols["id"], expr_augmented.symbols["+"]]
+        assert terminalise(expr_augmented, automaton_symbols) == automaton_symbols
+
+    def test_nonterminal_expands_minimally(self, expr_augmented):
+        e = expr_augmented.symbols["E"]
+        expansion = terminalise(expr_augmented, [e])
+        assert [s.name for s in expansion] == ["id"]
+
+
+class TestExplanations:
+    def test_dangling_else_witness(self):
+        grammar = corpus.load("dangling_else", augment=True)
+        automaton = LR0Automaton(grammar)
+        table = build_lalr_table(grammar, automaton)
+        (example,) = explain_table_conflicts(table, automaton)
+        assert example.lookahead.name == "else"
+        words = [s.name for s in example.prefix]
+        assert words == ["if", "other"]
+        assert "shift/reduce" in example.describe()
+
+    def test_witness_reaches_conflict_state(self):
+        for name in ("dangling_else", "lr1_not_lalr", "mini_c"):
+            grammar = corpus.load(name, augment=True)
+            automaton = LR0Automaton(grammar)
+            table = build_lalr_table(grammar, automaton)
+            for example in explain_table_conflicts(table, automaton):
+                consulted = states_consulting_lookahead(
+                    table, example.prefix, example.lookahead
+                )
+                assert example.conflict.state in consulted, (
+                    name, example.describe(), consulted
+                )
+
+    def test_witness_lookahead_is_ambiguous_next(self):
+        grammar = corpus.load("lr1_not_lalr", augment=True)
+        automaton = LR0Automaton(grammar)
+        table = build_lalr_table(grammar, automaton)
+        examples = explain_table_conflicts(table, automaton)
+        assert {e.lookahead.name for e in examples} == {"d", "e"}
+        for example in examples:
+            # prefix is a valid viable prefix: a/b then c.
+            words = [s.name for s in example.prefix]
+            assert words in (["a", "c"], ["b", "c"])
+
+    def test_no_conflicts_no_examples(self, expr_augmented):
+        table = build_lalr_table(expr_augmented)
+        assert explain_table_conflicts(table) == []
+
+    def test_explain_single_conflict_api(self):
+        grammar = corpus.load("dangling_else", augment=True)
+        automaton = LR0Automaton(grammar)
+        table = build_lalr_table(grammar, automaton)
+        example = explain_conflict(automaton, table.unresolved_conflicts[0])
+        assert example is not None
+        assert example.conflict is table.unresolved_conflicts[0]

@@ -1,0 +1,148 @@
+"""Unit tests: the grammar-description tokenizer."""
+
+import pytest
+
+from repro.grammar.errors import GrammarSyntaxError
+from repro.grammar.lexer import (
+    ARROW,
+    CHARLIT,
+    COLON,
+    DIRECTIVE,
+    EOF,
+    IDENT,
+    MARK,
+    NEWLINE,
+    PIPE,
+    SEMI,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != EOF]
+
+
+class TestBasicTokens:
+    def test_empty_input(self):
+        assert kinds("") == [EOF]
+
+    def test_single_ident(self):
+        tokens = tokenize("expr")
+        assert tokens[0].kind == IDENT and tokens[0].text == "expr"
+
+    def test_punctuation_kinds(self):
+        assert kinds("a : b ; c | d")[:7] == [
+            IDENT, COLON, IDENT, SEMI, IDENT, PIPE, IDENT
+        ]
+
+    def test_arrow(self):
+        assert kinds("A -> b") == [IDENT, ARROW, IDENT, EOF]
+
+    def test_unicode_arrow(self):
+        assert kinds("A → b") == [IDENT, ARROW, IDENT, EOF]
+
+    def test_arrow_splits_idents(self):
+        assert texts("a->b") == ["a", "->", "b"]
+
+    def test_mark(self):
+        assert kinds("%%") == [MARK, EOF]
+
+    def test_operator_names_are_idents(self):
+        assert texts("+ * ( ) == <=") == ["+", "*", "(", ")", "==", "<="]
+
+    def test_minus_alone_is_ident(self):
+        tokens = tokenize("-")
+        assert tokens[0].kind == IDENT and tokens[0].text == "-"
+
+
+class TestDirectives:
+    @pytest.mark.parametrize(
+        "word",
+        ["%token", "%left", "%right", "%nonassoc", "%start", "%prec", "%empty", "%name"],
+    )
+    def test_known_directives(self, word):
+        tokens = tokenize(word)
+        assert tokens[0].kind == DIRECTIVE and tokens[0].text == word
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="unknown directive"):
+            tokenize("%bogus")
+
+    def test_percent_stops_ident(self):
+        assert texts("a%empty") == ["a", "%empty"]
+
+
+class TestLiterals:
+    def test_single_quoted(self):
+        tokens = tokenize("'+'")
+        assert tokens[0].kind == CHARLIT and tokens[0].text == "+"
+
+    def test_double_quoted(self):
+        tokens = tokenize('"=="')
+        assert tokens[0].kind == CHARLIT and tokens[0].text == "=="
+
+    def test_escape_sequences(self):
+        assert tokenize(r"'\n'")[0].text == "\n"
+        assert tokenize(r"'\\'")[0].text == "\\"
+        assert tokenize(r"'\''")[0].text == "'"
+
+    def test_unterminated_literal(self):
+        with pytest.raises(GrammarSyntaxError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_literal_across_newline_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            tokenize("'a\nb'")
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="empty literal"):
+            tokenize("''")
+
+
+class TestCommentsAndNewlines:
+    def test_hash_comment(self):
+        assert kinds("a # comment\nb") == [IDENT, NEWLINE, IDENT, EOF]
+
+    def test_double_slash_comment(self):
+        assert kinds("a // comment\nb") == [IDENT, NEWLINE, IDENT, EOF]
+
+    def test_block_comment(self):
+        assert texts("a /* hi */ b") == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(GrammarSyntaxError, match="unterminated comment"):
+            tokenize("a /* never ends")
+
+    def test_blank_lines_emit_no_newline_tokens(self):
+        assert kinds("\n\n\na\n\n\n") == [IDENT, NEWLINE, EOF]
+
+    def test_newline_only_after_content(self):
+        assert kinds("a\nb\n") == [IDENT, NEWLINE, IDENT, NEWLINE, EOF]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        idents = [t for t in tokens if t.kind == IDENT]
+        assert [t.line for t in idents] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        idents = [t for t in tokens if t.kind == IDENT]
+        assert [t.column for t in idents] == [1, 4]
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("x\n  %bad")
+        except GrammarSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 3
+        else:  # pragma: no cover
+            pytest.fail("expected GrammarSyntaxError")

@@ -1,0 +1,165 @@
+"""Unit tests: corpus integrity, grammar families, random generation."""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.grammar.properties import is_reduced
+from repro.grammars import (
+    context_family,
+    expression_family,
+    corpus,
+    family_sweep,
+    keyword_statement_family,
+    nullable_chain_family,
+    random_grammar,
+    random_grammar_batch,
+    random_token_stream,
+    unit_chain_family,
+)
+from repro.tables import build_lalr_table, classify
+from repro.parser import Parser
+
+
+class TestCorpusIntegrity:
+    def test_all_load(self, corpus_entry):
+        grammar = corpus.load(corpus_entry.name)
+        assert len(grammar.productions) > 0
+
+    def test_all_reduced(self, corpus_entry):
+        # Corpus grammars must not contain dead symbols (they would make
+        # the benchmark statistics misleading).  Terminals that exist only
+        # as %prec handles (e.g. UMINUS) are exempt: they are not part of
+        # any sentential form by design.
+        from repro.grammar.transforms import (
+            generating_nonterminals,
+            reachable_symbols,
+        )
+
+        grammar = corpus.load(corpus_entry.name)
+        generating = generating_nonterminals(grammar)
+        assert all(nt in generating for nt in grammar.nonterminals), corpus_entry.name
+        reachable = reachable_symbols(grammar)
+        prec_only = {p.prec_symbol for p in grammar.productions if p.prec_symbol}
+        for symbol in grammar.symbols:
+            assert symbol in reachable or symbol in prec_only, (
+                corpus_entry.name, symbol.name)
+
+    def test_names_unique_and_descriptions_present(self):
+        entries = list(corpus.all_entries())
+        assert len({e.name for e in entries}) == len(entries)
+        assert all(e.description for e in entries)
+
+    def test_load_augment_flag(self):
+        assert corpus.load("expr", augment=True).is_augmented
+
+    def test_load_all_filters_by_tag(self):
+        everything = corpus.load_all()
+        classics = corpus.load_all(tag="classic")
+        assert 0 < len(classics) < len(everything)
+
+    def test_names_helper(self):
+        assert "expr" in corpus.names()
+
+    def test_parseable_tag_means_deterministic(self):
+        for entry in corpus.all_entries():
+            if "parseable" not in entry.tags:
+                continue
+            grammar = corpus.load(entry.name, augment=True)
+            table = build_lalr_table(grammar)
+            # expr_prec relies on precedence resolution.
+            assert table.is_deterministic, entry.name
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "family",
+        [expression_family, nullable_chain_family, unit_chain_family,
+         context_family, keyword_statement_family],
+    )
+    def test_sizes_grow(self, family):
+        small = family(2)
+        large = family(8)
+        assert len(large.productions) > len(small.productions)
+
+    @pytest.mark.parametrize(
+        "family",
+        [expression_family, nullable_chain_family, unit_chain_family,
+         context_family, keyword_statement_family],
+    )
+    def test_reduced_and_conflict_free(self, family):
+        grammar = family(3)
+        assert is_reduced(grammar)
+        assert build_lalr_table(grammar.augmented()).is_deterministic
+
+    def test_expression_family_rejects_zero(self):
+        with pytest.raises(ValueError):
+            expression_family(0)
+
+    def test_nullable_chain_reads_edges_grow(self):
+        from repro.core.relations import LalrRelations
+
+        counts = []
+        for n in (2, 6, 10):
+            automaton = LR0Automaton(nullable_chain_family(n).augmented())
+            counts.append(LalrRelations(automaton).stats()["reads_edges"])
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_context_family_lr1_ratio_grows(self):
+        from repro.baselines import MergedLr1Analysis
+
+        ratios = []
+        for n in (2, 6):
+            analysis = MergedLr1Analysis(context_family(n).augmented())
+            lr1, lalr = analysis.merged_state_count()
+            ratios.append(lr1 / lalr)
+        assert ratios[1] > ratios[0]
+
+    def test_family_sweep(self):
+        pairs = family_sweep(expression_family, [1, 3])
+        assert [n for n, _ in pairs] == [1, 3]
+        assert all(g.name.endswith(str(n)) for n, g in pairs)
+
+
+class TestRandomGrammar:
+    def test_deterministic_per_seed(self):
+        a = random_grammar(7)
+        b = random_grammar(7)
+        assert {(p.lhs.name, tuple(s.name for s in p.rhs)) for p in a.productions} == {
+            (p.lhs.name, tuple(s.name for s in p.rhs)) for p in b.productions
+        }
+
+    def test_varies_with_seed(self):
+        shapes = {
+            tuple(sorted(
+                (p.lhs.name, tuple(s.name for s in p.rhs))
+                for p in random_grammar(seed).productions
+            ))
+            for seed in range(12)
+        }
+        assert len(shapes) > 6
+
+    def test_always_reduced(self):
+        for seed in range(30):
+            assert is_reduced(random_grammar(seed)), seed
+
+    def test_batch(self):
+        batch = random_grammar_batch(5, base_seed=100)
+        assert len(batch) == 5
+
+    def test_classifier_handles_random_grammars(self):
+        # Smoke: classification never crashes on arbitrary reduced grammars.
+        for seed in range(15):
+            classify(random_grammar(seed))
+
+    def test_random_token_stream_valid_half(self):
+        grammar = corpus.load("expr", augment=True)
+        parser = Parser(build_lalr_table(grammar))
+        seen_valid = seen_mutated = False
+        for seed in range(30):
+            tokens, claimed_valid = random_token_stream(grammar, seed, 12)
+            if claimed_valid:
+                seen_valid = True
+                assert parser.accepts(tokens)
+            else:
+                seen_mutated = True
+        assert seen_valid and seen_mutated

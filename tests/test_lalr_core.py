@@ -1,0 +1,182 @@
+"""Unit tests: the full DeRemer-Pennello analysis on hand-checked grammars."""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.core import LalrAnalysis, compute_lookaheads
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+
+
+def la_by_production(analysis):
+    """{(state, production str): sorted lookahead names} for readability."""
+    grammar = analysis.grammar
+    return {
+        (state, str(grammar.productions[production_index])): sorted(
+            t.name for t in analysis.lookahead(state, production_index)
+        )
+        for (state, production_index) in analysis.la_masks
+    }
+
+
+class TestExpressionGrammar:
+    """LA sets hand-checked against the dragon-book expression grammar."""
+
+    @pytest.fixture
+    def analysis(self, expr_augmented):
+        return LalrAnalysis(expr_augmented)
+
+    def test_la_e_to_t(self, analysis):
+        table = la_by_production(analysis)
+        las = [v for (s, p), v in table.items() if p == "E -> T"]
+        assert las == [["$end", ")", "+"]]
+
+    def test_la_t_to_f(self, analysis):
+        table = la_by_production(analysis)
+        las = [v for (s, p), v in table.items() if p == "T -> F"]
+        assert las == [["$end", ")", "*", "+"]]
+
+    def test_la_f_to_id(self, analysis):
+        table = la_by_production(analysis)
+        las = [v for (s, p), v in table.items() if p == "F -> id"]
+        assert las == [["$end", ")", "*", "+"]]
+
+    def test_dr_read_follow_ordering(self, analysis):
+        # DR ⊆ Read ⊆ Follow for every nonterminal transition.
+        for transition in analysis.relations.transitions:
+            dr = analysis.relations.dr[transition]
+            read = analysis.read_sets[transition]
+            follow = analysis.follow_sets[transition]
+            assert dr | read == read
+            assert read | follow == follow
+
+    def test_no_sccs_in_either_relation(self, analysis):
+        assert analysis.reads_sccs == []
+        assert analysis.includes_sccs == []
+
+    def test_not_lr_k_false(self, analysis):
+        assert not analysis.not_lr_k
+
+    def test_production_zero_has_no_la_site(self, analysis):
+        assert all(production != 0 for (_, production) in analysis.la_masks)
+
+    def test_describe_mentions_all_sites(self, analysis):
+        text = analysis.describe()
+        assert text.count("LA(") == len(analysis.la_masks)
+        assert "Follow(" in text
+
+
+class TestLvalueGrammar:
+    """Dragon 4.20: S -> L = R | R; L -> * R | id; R -> L.
+
+    The whole point of per-state Follow: in the state after reading L
+    from the start, `=` must be in LA (we might be starting `L = R`), but
+    in the state after `L = R ... * R`-internal L positions, it must not
+    always be — SLR's FOLLOW(R) contains `=` everywhere and conflicts.
+    """
+
+    @pytest.fixture
+    def analysis(self):
+        return LalrAnalysis(corpus.load("lvalue").augmented())
+
+    def test_r_to_l_after_start_excludes_equals(self, analysis):
+        # THE LALR move: in the S -> L . = R / R -> L . state the reduce
+        # lookahead is {$end} only — `=` stays a pure shift.  SLR's global
+        # FOLLOW(R) = {$end, =} would conflict here.
+        grammar = analysis.grammar
+        automaton = analysis.automaton
+        l_sym = grammar.symbols["L"]
+        r_to_l = next(p for p in grammar.productions if str(p) == "R -> L")
+        state_after_l = automaton.goto(0, l_sym)
+        las = analysis.lookahead(state_after_l, r_to_l.index)
+        assert sorted(t.name for t in las) == ["$end"]
+
+    def test_r_to_l_after_star_keeps_equals(self, analysis):
+        grammar = analysis.grammar
+        automaton = analysis.automaton
+        star = grammar.symbols["*"]
+        l_sym = grammar.symbols["L"]
+        r_to_l = next(p for p in grammar.productions if str(p) == "R -> L")
+        star_state = automaton.goto(0, star)
+        state = automaton.goto(star_state, l_sym)
+        las = analysis.lookahead(state, r_to_l.index)
+        # Inside `* R`, R can be followed by = (via L = R) or $end.
+        assert sorted(t.name for t in las) == ["$end", "="]
+
+    def test_is_lalr_but_not_slr(self):
+        from repro.tables import classify, GrammarClass
+
+        verdict = classify(corpus.load("lvalue"))
+        assert verdict.grammar_class is GrammarClass.LALR1
+
+
+class TestNullableMachinery:
+    def test_read_extends_dr_through_nullables(self):
+        grammar = load_grammar("S -> A B c\nA -> a\nB -> b | %empty").augmented()
+        analysis = LalrAnalysis(grammar)
+        a_t = (0, grammar.symbols["A"])
+        # DR(0,A) = {b}; reading through nullable B adds c.
+        assert {t.name for t in analysis.dr_set(a_t)} == {"b"}
+        assert {t.name for t in analysis.read_set(a_t)} == {"b", "c"}
+
+    def test_epsilon_production_lookahead(self):
+        grammar = load_grammar("S -> A b\nA -> %empty").augmented()
+        analysis = LalrAnalysis(grammar)
+        epsilon = next(p for p in grammar.productions if p.is_epsilon)
+        assert {t.name for t in analysis.lookahead(0, epsilon.index)} == {"b"}
+
+    def test_follow_flows_through_includes(self):
+        # B's follow context flows into A's via A at B's rhs end.
+        grammar = load_grammar("S -> B d\nB -> a A\nA -> x").augmented()
+        analysis = LalrAnalysis(grammar)
+        automaton = analysis.automaton
+        mid = automaton.goto(0, grammar.symbols["a"])
+        a_t = (mid, grammar.symbols["A"])
+        assert {t.name for t in analysis.follow_set(a_t)} == {"d"}
+
+
+class TestDiagnostics:
+    def test_reads_cycle_flagged(self):
+        analysis = LalrAnalysis(corpus.load("reads_cycle").augmented())
+        assert analysis.not_lr_k
+        assert len(analysis.reads_sccs) >= 1
+        # Every member of a reads-SCC is a nonterminal transition.
+        for component in analysis.reads_sccs:
+            for state, symbol in component:
+                assert symbol.is_nonterminal
+
+    def test_reads_scc_members_share_read_sets(self):
+        analysis = LalrAnalysis(corpus.load("reads_cycle").augmented())
+        for component in analysis.reads_sccs:
+            masks = {analysis.read_sets[t] for t in component}
+            assert len(masks) == 1
+
+    def test_includes_scc_on_mini_c(self):
+        analysis = LalrAnalysis(corpus.load("mini_c").augmented())
+        # mini_c has includes cycles (left-recursive lists with nullable
+        # tails); they are reported but the grammar is NOT flagged not-LR(k).
+        assert analysis.includes_sccs
+        assert not analysis.not_lr_k
+
+    def test_cost_summary_keys(self):
+        analysis = LalrAnalysis(load_grammar("S -> a").augmented())
+        summary = analysis.cost_summary()
+        for key in ("nodes", "edges", "unions", "lr0_states", "includes_edges"):
+            assert key in summary
+
+
+class TestConvenience:
+    def test_compute_lookaheads_matches_class(self, expr_augmented):
+        automaton = LR0Automaton(expr_augmented)
+        via_fn = compute_lookaheads(expr_augmented, automaton)
+        via_class = LalrAnalysis(expr_augmented, automaton).lookahead_table()
+        assert via_fn == via_class
+
+    def test_lookahead_unknown_site_raises(self, expr_augmented):
+        analysis = LalrAnalysis(expr_augmented)
+        with pytest.raises(KeyError):
+            analysis.lookahead(0, 0)
+
+    def test_auto_augments(self):
+        analysis = LalrAnalysis(load_grammar("S -> a"))
+        assert analysis.grammar.is_augmented

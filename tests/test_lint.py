@@ -1,0 +1,83 @@
+"""Unit tests: grammar linting."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.grammar.lint import lint, lint_report
+from repro.grammars import corpus
+
+
+def codes(grammar):
+    return [w.code for w in lint(grammar)]
+
+
+class TestFindings:
+    def test_clean_grammar(self):
+        assert lint(load_grammar("S -> a S | b")) == []
+        assert "clean" in lint_report(load_grammar("S -> a S | b"))
+
+    def test_unused_terminal(self):
+        grammar = load_grammar("%token GHOST\nS -> a")
+        assert codes(grammar) == ["unused-terminal"]
+
+    def test_prec_only_terminal_is_info(self):
+        grammar = load_grammar("%right NEG\nE -> - E %prec NEG | x")
+        findings = lint(grammar)
+        assert [w.code for w in findings] == ["prec-only-terminal"]
+        assert findings[0].severity == "info"
+
+    def test_unreachable_nonterminal(self):
+        grammar = load_grammar("S -> a\nX -> x")
+        found = codes(grammar)
+        assert "unreachable" in found
+        # X's production is also never reduced.
+        assert "never-reduced" in found
+
+    def test_non_generating(self):
+        grammar = load_grammar("S -> a | B\nB -> B b")
+        found = codes(grammar)
+        assert "non-generating" in found
+        assert "never-reduced" in found
+
+    def test_derivation_cycle(self):
+        grammar = load_grammar("A -> B | a\nB -> A")
+        assert codes(grammar).count("derivation-cycle") == 2
+
+    def test_duplicate_production(self):
+        grammar = load_grammar("S -> a | a")
+        assert "duplicate-production" in codes(grammar)
+
+    def test_severity_ordering(self):
+        grammar = load_grammar("%token GHOST\nS -> a | B\nB -> B b")
+        findings = lint(grammar)
+        ranks = ["error", "warning", "info"]
+        indices = [ranks.index(w.severity) for w in findings]
+        assert indices == sorted(indices)
+
+    def test_augmentation_not_reported(self):
+        grammar = load_grammar("S -> a S | b").augmented()
+        assert lint(grammar) == []
+
+    def test_str_rendering(self):
+        grammar = load_grammar("%token GHOST\nS -> a")
+        (warning,) = lint(grammar)
+        assert "[unused-terminal]" in str(warning)
+        assert "GHOST" in str(warning)
+
+
+class TestCorpusHygiene:
+    @pytest.mark.parametrize("name", [e.name for e in corpus.all_entries()])
+    def test_no_errors_in_corpus(self, name):
+        # Corpus grammars may carry info findings (%prec handles) but no
+        # errors and no warnings — except deliberately pathological
+        # entries, whose defects are the point (reads_cycle's derivation
+        # cycle is exactly what makes it not-LR(k)).
+        if "pathological" in corpus.entry(name).tags:
+            return
+        findings = lint(corpus.load(name))
+        serious = [w for w in findings if w.severity != "info"]
+        assert serious == [], [str(w) for w in serious]
+
+    def test_pathological_entry_flagged(self):
+        findings = lint(corpus.load("reads_cycle"))
+        assert any(w.code == "derivation-cycle" for w in findings)

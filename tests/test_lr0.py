@@ -1,0 +1,163 @@
+"""Unit tests: LR(0) items and the LR(0) automaton."""
+
+import pytest
+
+from repro.automaton import (
+    Item,
+    Item1,
+    LR0Automaton,
+    format_item,
+    is_final,
+    next_symbol,
+)
+from repro.grammar import load_grammar
+
+
+class TestItems:
+    def test_advanced(self):
+        assert Item(3, 1).advanced() == Item(3, 2)
+
+    def test_item1_core(self):
+        grammar = load_grammar("S -> a").augmented()
+        a = grammar.symbols["a"]
+        assert Item1(1, 0, a).core == Item(1, 0)
+
+    def test_next_symbol(self):
+        grammar = load_grammar("S -> a B\nB -> b").augmented()
+        assert next_symbol(grammar, Item(1, 0)).name == "a"
+        assert next_symbol(grammar, Item(1, 1)).name == "B"
+        assert next_symbol(grammar, Item(1, 2)) is None
+
+    def test_is_final(self):
+        grammar = load_grammar("S -> a | %empty").augmented()
+        assert not is_final(grammar, Item(1, 0))
+        assert is_final(grammar, Item(1, 1))
+        assert is_final(grammar, Item(2, 0))  # epsilon production
+
+    def test_format_item(self):
+        grammar = load_grammar("S -> a B\nB -> b").augmented()
+        assert format_item(grammar, Item(1, 1)) == "S -> a · B"
+
+    def test_format_item1_shows_lookahead(self):
+        grammar = load_grammar("S -> a").augmented()
+        a = grammar.symbols["a"]
+        assert format_item(grammar, Item1(1, 1, a)).endswith(", a")
+
+    def test_format_epsilon_item(self):
+        grammar = load_grammar("S -> %empty").augmented()
+        assert format_item(grammar, Item(1, 0)) == "S -> ·"
+
+
+class TestConstruction:
+    def test_expr_grammar_state_count(self, expr_automaton):
+        # 12 classic states + the state reached by shifting $end.
+        assert len(expr_automaton) == 13
+
+    def test_start_state_kernel(self, expr_automaton):
+        assert expr_automaton.states[0].kernel == frozenset((Item(0, 0),))
+
+    def test_closure_of_start(self, expr_automaton):
+        # S' -> .E$ pulls in all E, T, F productions.
+        assert len(expr_automaton.states[0].closure) == 7
+
+    def test_kernels_unique(self, expr_automaton):
+        kernels = [s.kernel for s in expr_automaton.states]
+        assert len(set(kernels)) == len(kernels)
+
+    def test_deterministic_numbering(self, expr_augmented):
+        first = LR0Automaton(expr_augmented)
+        second = LR0Automaton(expr_augmented)
+        assert [s.kernel for s in first.states] == [s.kernel for s in second.states]
+
+    def test_auto_augments(self):
+        grammar = load_grammar("S -> a")
+        automaton = LR0Automaton(grammar)
+        assert automaton.grammar.is_augmented
+
+    def test_lr0_demo_matches_textbook(self):
+        # S -> A A; A -> a A | b: 6 core states (0, A, AA, a·A, b, aA·)
+        # plus the S-kernel state and the $end-shift state = 8 total.
+        automaton = LR0Automaton(load_grammar("S -> A A\nA -> a A | b"))
+        assert len(automaton) == 8
+
+    def test_reductions_listed(self, expr_automaton):
+        grammar = expr_automaton.grammar
+        total = sum(len(s.reductions) for s in expr_automaton.states)
+        # One final item per production (expr grammar has no sharing).
+        assert total == len(grammar.productions)
+
+
+class TestGoto:
+    def test_goto_defined(self, expr_automaton):
+        grammar = expr_automaton.grammar
+        assert expr_automaton.goto(0, grammar.symbols["E"]) is not None
+
+    def test_goto_undefined(self, expr_automaton):
+        grammar = expr_automaton.grammar
+        assert expr_automaton.goto(0, grammar.symbols["+"]) is None
+
+    def test_goto_sequence_full_production(self, expr_automaton):
+        grammar = expr_automaton.grammar
+        production = grammar.productions[1]  # E -> E + T
+        state = expr_automaton.goto_sequence(0, production.rhs)
+        assert state is not None
+        assert Item(1, 3) in expr_automaton.states[state].kernel
+
+    def test_goto_sequence_dead_path(self, expr_automaton):
+        grammar = expr_automaton.grammar
+        plus = grammar.symbols["+"]
+        assert expr_automaton.goto_sequence(0, (plus, plus)) is None
+
+    def test_accept_state(self, expr_automaton):
+        accept = expr_automaton.accept_state
+        assert Item(0, 2) in expr_automaton.states[accept].kernel
+
+
+class TestPredecessors:
+    def test_inverse_of_goto(self, expr_automaton):
+        for state in expr_automaton.states:
+            for symbol, successor in state.transitions.items():
+                assert state.state_id in expr_automaton.predecessors(
+                    successor, symbol
+                )
+
+    def test_predecessors_complete(self, expr_automaton):
+        # Every predecessor relation entry corresponds to a real transition.
+        for state in expr_automaton.states:
+            for symbol in expr_automaton.grammar.symbols:
+                for p in expr_automaton.predecessors(state.state_id, symbol):
+                    assert expr_automaton.goto(p, symbol) == state.state_id
+
+    def test_predecessors_along_empty_is_self(self, expr_automaton):
+        assert expr_automaton.predecessors_along(5, ()) == (5,)
+
+    def test_predecessors_along_inverts_goto_sequence(self, expr_automaton):
+        grammar = expr_automaton.grammar
+        production = grammar.productions[1]  # E -> E + T
+        end = expr_automaton.goto_sequence(0, production.rhs)
+        sources = expr_automaton.predecessors_along(end, production.rhs)
+        assert 0 in sources
+        for source in sources:
+            assert expr_automaton.goto_sequence(source, production.rhs) == end
+
+
+class TestQueriesAndFormat:
+    def test_nonterminal_transitions(self, expr_automaton):
+        pairs = expr_automaton.nonterminal_transitions
+        assert all(symbol.is_nonterminal for _, symbol in pairs)
+        assert (0, expr_automaton.grammar.symbols["E"]) in pairs
+
+    def test_stats_keys(self, expr_automaton):
+        stats = expr_automaton.stats()
+        assert stats["states"] == 13
+        assert stats["transitions"] >= stats["nonterminal_transitions"]
+
+    def test_format_state(self, expr_automaton):
+        text = expr_automaton.format_state(0)
+        assert "state 0" in text
+        assert "·" in text
+
+    def test_format_state_kernel_only(self, expr_automaton):
+        full = expr_automaton.format_state(0)
+        kernel = expr_automaton.format_state(0, kernel_only=True)
+        assert len(kernel.splitlines()) < len(full.splitlines())

@@ -1,0 +1,100 @@
+"""Unit tests: the canonical LR(1) automaton."""
+
+import pytest
+
+from repro.automaton import Item, LR0Automaton, LR1Automaton
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+
+
+class TestConstruction:
+    def test_auto_augments(self):
+        lr1 = LR1Automaton(load_grammar("S -> a"))
+        assert lr1.grammar.is_augmented
+
+    def test_at_least_as_many_states_as_lr0(self, corpus_entry):
+        grammar = corpus.load(corpus_entry.name).augmented()
+        lr0 = LR0Automaton(grammar)
+        lr1 = LR1Automaton(grammar)
+        assert len(lr1) >= len(lr0)
+
+    def test_cores_cover_lr0_states(self, corpus_entry):
+        grammar = corpus.load(corpus_entry.name).augmented()
+        lr0 = LR0Automaton(grammar)
+        lr1 = LR1Automaton(grammar)
+        lr0_kernels = {state.kernel for state in lr0.states}
+        lr1_cores = {state.core for state in lr1.states}
+        assert lr1_cores == lr0_kernels
+
+    def test_lr1_splits_states_for_lr1_not_lalr(self):
+        grammar = corpus.load("lr1_not_lalr").augmented()
+        lr0 = LR0Automaton(grammar)
+        lr1 = LR1Automaton(grammar)
+        # The c-reduction state must be split by context.
+        assert len(lr1) > len(lr0)
+
+    def test_deterministic(self):
+        grammar = load_grammar("S -> a S | b").augmented()
+        first = LR1Automaton(grammar)
+        second = LR1Automaton(grammar)
+        assert [s.kernel for s in first.states] == [s.kernel for s in second.states]
+
+
+class TestLookaheads:
+    def test_start_state_lookahead(self):
+        grammar = load_grammar("S -> a").augmented()
+        lr1 = LR1Automaton(grammar)
+        closure = lr1.states[0].closure
+        s_item = Item(1, 0)
+        assert closure[s_item] == frozenset((grammar.eof,))
+
+    def test_context_specific_lookaheads(self):
+        grammar = load_grammar("S -> a A d | b A e\nA -> c").augmented()
+        lr1 = LR1Automaton(grammar)
+        d = grammar.symbols["d"]
+        e = grammar.symbols["e"]
+        reduce_las = []
+        for state in lr1.states:
+            for production_index, las in lr1.reductions(state.state_id):
+                if grammar.productions[production_index].lhs.name == "A":
+                    reduce_las.append(las)
+        # Two separate contexts, never merged: {d} and {e}.
+        assert sorted(tuple(sorted(t.name for t in las)) for las in reduce_las) == [
+            ("d",),
+            ("e",),
+        ]
+
+    def test_items_flattening(self):
+        grammar = load_grammar("S -> a").augmented()
+        lr1 = LR1Automaton(grammar)
+        flattened = list(lr1.states[0].items())
+        assert len(flattened) == len(lr1.states[0].closure)  # one LA each here
+
+    def test_goto(self):
+        grammar = load_grammar("S -> a b").augmented()
+        lr1 = LR1Automaton(grammar)
+        a = grammar.symbols["a"]
+        assert lr1.goto(0, a) is not None
+        assert lr1.goto(0, grammar.symbols["b"]) is None
+
+    def test_stats_keys(self):
+        lr1 = LR1Automaton(load_grammar("S -> a"))
+        stats = lr1.stats()
+        assert set(stats) == {"states", "kernel_cores", "closure_items", "transitions"}
+
+
+class TestLookaheadPropagationThroughClosure:
+    def test_first_of_tail_becomes_lookahead(self):
+        grammar = load_grammar("S -> A b\nA -> a").augmented()
+        lr1 = LR1Automaton(grammar)
+        b = grammar.symbols["b"]
+        a_item = Item(2, 0)  # A -> . a
+        assert lr1.states[0].closure[a_item] == frozenset((b,))
+
+    def test_nullable_tail_propagates_context(self):
+        grammar = load_grammar("S -> A B\nA -> a\nB -> b | %empty").augmented()
+        lr1 = LR1Automaton(grammar)
+        a_item = Item(2, 0)  # A -> . a
+        las = {t.name for t in lr1.states[0].closure[a_item]}
+        # B can vanish, so $end joins FIRST(B) = {b}.
+        assert las == {"b", "$end"}

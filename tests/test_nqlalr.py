@@ -1,0 +1,88 @@
+"""Unit tests: the NQLALR(1) baseline (paper §7 — why the shortcut fails)."""
+
+import pytest
+
+from repro.automaton import LR0Automaton
+from repro.baselines.nqlalr import NqlalrAnalysis, nqlalr_overapproximation_sites
+from repro.core import LalrAnalysis
+from repro.grammars import corpus, random_grammar
+from repro.tables import build_lalr_table
+
+
+class TestSuperset:
+    def test_nq_superset_of_exact_on_corpus(self, corpus_entry):
+        grammar = corpus.load(corpus_entry.name).augmented()
+        automaton = LR0Automaton(grammar)
+        exact = LalrAnalysis(grammar, automaton).lookahead_table()
+        loose = NqlalrAnalysis(grammar, automaton).lookahead_table()
+        assert exact.keys() == loose.keys()
+        for site in exact:
+            assert exact[site] <= loose[site], (corpus_entry.name, site)
+
+    def test_nq_superset_on_random_grammars(self):
+        for seed in range(25):
+            grammar = random_grammar(seed, epsilon_weight=0.3).augmented()
+            automaton = LR0Automaton(grammar)
+            exact = LalrAnalysis(grammar, automaton).lookahead_table()
+            loose = NqlalrAnalysis(grammar, automaton).lookahead_table()
+            for site in exact:
+                assert exact[site] <= loose[site], seed
+
+    def test_exact_on_expression_grammar(self):
+        # Where no goto-target merging collapses distinct contexts, NQLALR
+        # agrees with LALR exactly.
+        grammar = corpus.load("expr").augmented()
+        automaton = LR0Automaton(grammar)
+        assert (
+            LalrAnalysis(grammar, automaton).lookahead_table()
+            == NqlalrAnalysis(grammar, automaton).lookahead_table()
+        )
+
+
+class TestTrapGrammar:
+    """The corpus `nqlalr_trap` grammar: LALR(1)-clean, NQLALR-conflicted."""
+
+    @pytest.fixture
+    def setting(self):
+        grammar = corpus.load("nqlalr_trap").augmented()
+        return grammar, LR0Automaton(grammar)
+
+    def test_exact_table_clean(self, setting):
+        grammar, automaton = setting
+        assert build_lalr_table(grammar, automaton).is_deterministic
+
+    def test_nq_table_conflicted(self, setting):
+        grammar, automaton = setting
+        loose = NqlalrAnalysis(grammar, automaton).lookahead_table()
+        table = build_lalr_table(grammar, automaton, loose)
+        assert not table.is_deterministic
+        kinds = {c.kind for c in table.unresolved_conflicts}
+        assert "reduce/reduce" in kinds
+
+    def test_overapproximation_sites_nonempty(self, setting):
+        grammar, automaton = setting
+        sites = nqlalr_overapproximation_sites(grammar, automaton)
+        assert sites
+        for _, extra in sites:
+            assert extra  # strictly spurious terminals
+
+    def test_merging_actually_happened(self, setting):
+        grammar, automaton = setting
+        analysis = NqlalrAnalysis(grammar, automaton)
+        nq_nodes, transitions = analysis.merged_node_count()
+        assert nq_nodes < transitions
+
+
+class TestOverapproximationReport:
+    def test_lua_like_has_loose_sites_but_no_conflicts(self):
+        grammar = corpus.load("lua_like_chunks").augmented()
+        automaton = LR0Automaton(grammar)
+        sites = nqlalr_overapproximation_sites(grammar, automaton)
+        assert sites  # looseness exists...
+        loose = NqlalrAnalysis(grammar, automaton).lookahead_table()
+        table = build_lalr_table(grammar, automaton, loose)
+        assert table.is_deterministic  # ...but happens not to conflict here
+
+    def test_no_overapproximation_without_merging_opportunities(self):
+        grammar = corpus.load("lr0_demo").augmented()
+        assert nqlalr_overapproximation_sites(grammar) == []

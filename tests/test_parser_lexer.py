@@ -1,0 +1,145 @@
+"""Unit tests: the regex lexer and parse trees."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.parser import Lexer, LexError, Node
+from repro.parser.tree import count_nodes
+
+
+def expr_lexer():
+    grammar = load_grammar("E -> E + T | T\nT -> NUM | ( E )")
+    lexer = (
+        Lexer(grammar)
+        .skip(r"\s+")
+        .token("NUM", r"\d+", convert=int)
+        .with_literals()
+    )
+    return grammar, lexer
+
+
+class TestLexer:
+    def test_tokenises(self):
+        grammar, lexer = expr_lexer()
+        tokens = lexer.tokenize("12 + (34+5)")
+        assert [t.symbol.name for t in tokens] == [
+            "NUM", "+", "(", "NUM", "+", "NUM", ")"
+        ]
+
+    def test_converts_values(self):
+        grammar, lexer = expr_lexer()
+        tokens = lexer.tokenize("42")
+        assert tokens[0].value == 42
+
+    def test_skip_rules(self):
+        grammar, lexer = expr_lexer()
+        assert lexer.tokenize("  \n\t ") == []
+
+    def test_lex_error_position(self):
+        grammar, lexer = expr_lexer()
+        with pytest.raises(LexError) as info:
+            lexer.tokenize("12 @ 3")
+        assert info.value.position == 3
+
+    def test_unknown_terminal_name_rejected(self):
+        grammar, lexer = expr_lexer()
+        with pytest.raises(Exception):
+            lexer.token("NOPE", r"x")
+
+    def test_nonterminal_rejected(self):
+        grammar, lexer = expr_lexer()
+        with pytest.raises(ValueError):
+            lexer.token("E", r"x")
+
+    def test_longest_literal_wins(self):
+        grammar = load_grammar("S -> '==' | '='")
+        lexer = Lexer(grammar).skip(r"\s+").with_literals()
+        tokens = lexer.tokenize("==")
+        assert [t.symbol.name for t in tokens] == ["=="]
+
+    def test_keywords_respect_word_boundaries(self):
+        grammar = load_grammar("%token ID\nS -> if ID | ID")
+        lexer = (
+            Lexer(grammar)
+            .skip(r"\s+")
+            .keywords("if")
+            .token("ID", r"[a-z]+")
+        )
+        tokens = lexer.tokenize("if iffy")
+        assert [t.symbol.name for t in tokens] == ["if", "ID"]
+        assert tokens[1].value == "iffy"
+
+    def test_rule_order_priority(self):
+        grammar = load_grammar("%token WORD KW\nS -> KW | WORD")
+        lexer = (
+            Lexer(grammar)
+            .skip(r"\s+")
+            .token("KW", r"special(?![a-z])")
+            .token("WORD", r"[a-z]+")
+        )
+        assert lexer.tokenize("special")[0].symbol.name == "KW"
+        assert lexer.tokenize("specials")[0].symbol.name == "WORD"
+
+    def test_tokens_is_lazy(self):
+        grammar, lexer = expr_lexer()
+        iterator = lexer.tokens("1 + @")
+        first = next(iterator)
+        assert first.value == 1
+        next(iterator)  # '+'
+        with pytest.raises(LexError):
+            next(iterator)
+
+
+class TestTree:
+    def _tree(self):
+        grammar = load_grammar("S -> a S | b")
+        a = grammar.symbols["a"]
+        b = grammar.symbols["b"]
+        s = grammar.symbols["S"]
+        p_rec, p_base = grammar.productions
+        inner = Node(s, [Node(b, value="b")], production=p_base)
+        return Node(s, [Node(a, value="a"), inner], production=p_rec), grammar
+
+    def test_leaves(self):
+        tree, _ = self._tree()
+        assert [leaf.symbol.name for leaf in tree.leaves()] == ["a", "b"]
+
+    def test_fringe(self):
+        tree, _ = self._tree()
+        assert [s.name for s in tree.fringe()] == ["a", "b"]
+
+    def test_walk_preorder(self):
+        tree, _ = self._tree()
+        assert [n.symbol.name for n in tree.walk()] == ["S", "a", "S", "b"]
+
+    def test_count_nodes(self):
+        tree, _ = self._tree()
+        assert count_nodes(tree) == (2, 2)
+
+    def test_sexpr(self):
+        tree, _ = self._tree()
+        assert tree.sexpr() == "(S a (S b))"
+
+    def test_format_indents(self):
+        tree, _ = self._tree()
+        lines = tree.format().splitlines()
+        assert lines[0] == "S"
+        assert lines[1] == "  a"
+
+    def test_format_shows_values(self):
+        grammar = load_grammar("S -> NUM")
+        num = grammar.symbols["NUM"]
+        node = Node(num, value=42)
+        assert "42" in node.format()
+
+    def test_derivation_order(self):
+        tree, grammar = self._tree()
+        derivation = tree.derivation()
+        assert [str(p) for p in derivation] == ["S -> a S", "S -> b"]
+
+    def test_equality(self):
+        t1, _ = self._tree()
+        t2, _ = self._tree()
+        # Different grammar objects -> different interned symbols -> unequal.
+        assert t1 == t1
+        assert t1 != t2

@@ -1,0 +1,150 @@
+"""Unit tests: precedence/associativity conflict resolution (yacc rules)."""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.parser import Parser
+from repro.tables import build_lalr_table
+
+
+def calculator_table(declarations: str):
+    grammar = load_grammar(f"""
+%token NUM
+{declarations}
+%start e
+%%
+e : e '+' e
+  | e '*' e
+  | NUM
+  ;
+""").augmented()
+    return grammar, build_lalr_table(grammar)
+
+
+class TestResolution:
+    def test_all_resolved_with_declarations(self):
+        grammar, table = calculator_table("%left '+'\n%left '*'")
+        assert table.is_deterministic
+        assert all(c.resolved_by_precedence for c in table.conflicts)
+
+    def test_unresolved_without_declarations(self):
+        grammar, table = calculator_table("")
+        assert not table.is_deterministic
+
+    def test_left_assoc_prefers_reduce(self):
+        grammar, table = calculator_table("%left '+'\n%left '*'")
+        plus = grammar.symbols["+"]
+        resolved = [
+            c for c in table.conflicts if c.terminal is plus and c.resolved_by_precedence
+        ]
+        same_level = [
+            c for c in resolved
+            if any(a.kind == "reduce" and
+                   grammar.productions[a.production].prec_symbol is plus
+                   for a in c.actions)
+        ]
+        assert same_level
+        assert all(c.chosen.kind == "reduce" for c in same_level)
+
+    def test_right_assoc_prefers_shift(self):
+        grammar, table = calculator_table("%right '+'\n%right '*'")
+        plus = grammar.symbols["+"]
+        same_level = [
+            c for c in table.conflicts
+            if c.terminal is plus and c.resolved_by_precedence
+            and any(a.kind == "reduce" and
+                    grammar.productions[a.production].prec_symbol is plus
+                    for a in c.actions)
+        ]
+        assert same_level
+        assert all(c.chosen.kind == "shift" for c in same_level)
+
+    def test_higher_level_token_shifts_over_lower_reduce(self):
+        grammar, table = calculator_table("%left '+'\n%left '*'")
+        # In the state after e + e ., lookahead * must shift (its level is
+        # higher than the production e -> e + e).
+        star = grammar.symbols["*"]
+        crossing = [
+            c for c in table.conflicts
+            if c.terminal is star
+            and any(a.kind == "reduce" and
+                    grammar.productions[a.production].prec_symbol
+                    is grammar.symbols["+"] for a in c.actions)
+        ]
+        assert crossing
+        assert all(c.chosen.kind == "shift" for c in crossing)
+
+    def test_lower_level_token_reduces_over_higher_production(self):
+        grammar, table = calculator_table("%left '+'\n%left '*'")
+        plus = grammar.symbols["+"]
+        crossing = [
+            c for c in table.conflicts
+            if c.terminal is plus
+            and any(a.kind == "reduce" and
+                    grammar.productions[a.production].prec_symbol
+                    is grammar.symbols["*"] for a in c.actions)
+        ]
+        assert crossing
+        assert all(c.chosen.kind == "reduce" for c in crossing)
+
+    def test_nonassoc_erases_cell(self):
+        grammar = load_grammar("""
+%token NUM
+%nonassoc '<'
+%start e
+%%
+e : e '<' e | NUM ;
+""").augmented()
+        table = build_lalr_table(grammar)
+        assert table.is_deterministic  # resolved (by erasure), not conflicted
+        lt = grammar.symbols["<"]
+        # NUM < NUM < NUM must now be a syntax error.
+        parser = Parser(table)
+        num = grammar.symbols["NUM"]
+        assert parser.accepts([num, lt, num])
+        assert not parser.accepts([num, lt, num, lt, num])
+
+
+class TestSemanticEffect:
+    """Resolution choices must be observable in parse shapes."""
+
+    @staticmethod
+    def shape(table, text_tokens):
+        parser = Parser(table)
+        tree = parser.parse(text_tokens)
+        return tree.sexpr()
+
+    def test_left_assoc_groups_left(self):
+        grammar, table = calculator_table("%left '+'\n%left '*'")
+        sexpr = self.shape(table, ["NUM", "+", "NUM", "+", "NUM"])
+        assert sexpr == "(e (e (e NUM) + (e NUM)) + (e NUM))"
+
+    def test_right_assoc_groups_right(self):
+        grammar, table = calculator_table("%right '+'\n%right '*'")
+        sexpr = self.shape(table, ["NUM", "+", "NUM", "+", "NUM"])
+        assert sexpr == "(e (e NUM) + (e (e NUM) + (e NUM)))"
+
+    def test_star_binds_tighter(self):
+        grammar, table = calculator_table("%left '+'\n%left '*'")
+        sexpr = self.shape(table, ["NUM", "+", "NUM", "*", "NUM"])
+        assert sexpr == "(e (e NUM) + (e (e NUM) * (e NUM)))"
+
+    def test_unary_minus_via_percent_prec(self):
+        grammar = load_grammar("""
+%token NUM
+%left '-'
+%left '*'
+%right UMINUS
+%start e
+%%
+e : e '-' e
+  | e '*' e
+  | '-' e %prec UMINUS
+  | NUM
+  ;
+""").augmented()
+        table = build_lalr_table(grammar)
+        assert table.is_deterministic
+        # -NUM * NUM parses as (-NUM) * NUM because UMINUS outranks '*'.
+        sexpr = self.shape(table, ["-", "NUM", "*", "NUM"])
+        assert sexpr == "(e (e - (e NUM)) * (e NUM))"

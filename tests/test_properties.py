@@ -1,0 +1,144 @@
+"""Unit tests: structural grammar predicates and the SCC utility."""
+
+from repro.grammar import load_grammar
+from repro.grammar.properties import (
+    cyclic_nonterminals,
+    has_cycles,
+    is_epsilon_free,
+    is_finite_language,
+    is_proper,
+    is_reduced,
+    left_recursive_nonterminals,
+    right_recursive_nonterminals,
+    strongly_connected_components,
+)
+from repro.grammar.symbols import SymbolTable
+
+
+class TestIsReduced:
+    def test_clean_grammar(self):
+        assert is_reduced(load_grammar("S -> a S | b"))
+
+    def test_unreachable_not_reduced(self):
+        assert not is_reduced(load_grammar("S -> a\nX -> x"))
+
+    def test_nongenerating_not_reduced(self):
+        assert not is_reduced(load_grammar("S -> a | B\nB -> B b"))
+
+
+class TestEpsilonFree:
+    def test_free(self):
+        assert is_epsilon_free(load_grammar("S -> a"))
+
+    def test_not_free(self):
+        assert not is_epsilon_free(load_grammar("S -> a | %empty"))
+
+    def test_augmented_start_exempt(self):
+        grammar = load_grammar("S -> a").augmented()
+        assert is_epsilon_free(grammar)
+
+
+class TestCycles:
+    def test_unit_cycle(self):
+        grammar = load_grammar("A -> B | a\nB -> A")
+        assert has_cycles(grammar)
+        assert {s.name for s in cyclic_nonterminals(grammar)} == {"A", "B"}
+
+    def test_self_cycle(self):
+        assert has_cycles(load_grammar("A -> A | a"))
+
+    def test_cycle_through_nullable(self):
+        # A -> B C with C nullable is still a cycle A =>+ A if B -> A.
+        grammar = load_grammar("A -> B C | a\nB -> A\nC -> c | %empty")
+        assert has_cycles(grammar)
+
+    def test_plain_recursion_is_not_cycle(self):
+        assert not has_cycles(load_grammar("E -> E + T | T\nT -> x"))
+
+    def test_proper(self):
+        assert is_proper(load_grammar("S -> a S | b"))
+        assert not is_proper(load_grammar("S -> a | %empty"))
+
+
+class TestRecursionDirection:
+    def test_immediate_left_recursion(self):
+        grammar = load_grammar("E -> E + T | T\nT -> x")
+        assert {s.name for s in left_recursive_nonterminals(grammar)} == {"E"}
+
+    def test_indirect_left_recursion(self):
+        grammar = load_grammar("A -> B a | a\nB -> A b")
+        names = {s.name for s in left_recursive_nonterminals(grammar)}
+        assert names == {"A", "B"}
+
+    def test_left_recursion_through_nullable_prefix(self):
+        grammar = load_grammar("A -> N A a | b\nN -> n | %empty")
+        assert "A" in {s.name for s in left_recursive_nonterminals(grammar)}
+
+    def test_right_recursion(self):
+        grammar = load_grammar("L -> x , L | x")
+        assert {s.name for s in right_recursive_nonterminals(grammar)} == {"L"}
+
+    def test_right_recursion_through_nullable_suffix(self):
+        grammar = load_grammar("A -> a A N | b\nN -> n | %empty")
+        assert "A" in {s.name for s in right_recursive_nonterminals(grammar)}
+
+    def test_middle_recursion_is_neither(self):
+        grammar = load_grammar("S -> a S b | c")
+        assert not left_recursive_nonterminals(grammar)
+        assert not right_recursive_nonterminals(grammar)
+
+
+class TestFiniteLanguage:
+    def test_finite(self):
+        assert is_finite_language(load_grammar("S -> A a\nA -> b | c"))
+
+    def test_infinite(self):
+        assert not is_finite_language(load_grammar("S -> S a | b"))
+
+    def test_recursion_in_useless_symbol_ignored(self):
+        grammar = load_grammar("S -> a\nX -> X x | S")
+        assert is_finite_language(grammar)
+
+    def test_recursion_in_nongenerating_ignored(self):
+        grammar = load_grammar("S -> a | B\nB -> B b")
+        assert is_finite_language(grammar)
+
+
+class TestSccUtility:
+    def _graph(self, edges):
+        table = SymbolTable()
+        nodes = {}
+        graph = {}
+        for source, targets in edges.items():
+            nodes.setdefault(source, table.nonterminal(source))
+        for source, targets in edges.items():
+            for target in targets:
+                nodes.setdefault(target, table.nonterminal(target))
+        for name, symbol in nodes.items():
+            graph[symbol] = {nodes[t] for t in edges.get(name, ())}
+        return graph, nodes
+
+    def test_singletons(self):
+        graph, nodes = self._graph({"A": [], "B": []})
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 1]
+
+    def test_two_cycle(self):
+        graph, nodes = self._graph({"A": ["B"], "B": ["A"]})
+        components = strongly_connected_components(graph)
+        assert len(components) == 1 and len(components[0]) == 2
+
+    def test_chain_topological_order(self):
+        graph, nodes = self._graph({"A": ["B"], "B": ["C"], "C": []})
+        components = strongly_connected_components(graph)
+        order = [c[0].name for c in components]
+        # Reverse topological: C before B before A.
+        assert order.index("C") < order.index("B") < order.index("A")
+
+    def test_complex(self):
+        graph, nodes = self._graph(
+            {"A": ["B"], "B": ["C", "A"], "C": ["D"], "D": ["C"], "E": ["A"]}
+        )
+        components = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 2]

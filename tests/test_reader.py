@@ -1,0 +1,219 @@
+"""Unit tests: parsing the two grammar text formats."""
+
+import pytest
+
+from repro.grammar import GrammarSyntaxError, load_grammar, load_grammar_file
+
+
+class TestArrowFormat:
+    def test_minimal(self):
+        grammar = load_grammar("S -> a")
+        assert len(grammar.productions) == 1
+        assert grammar.start.name == "S"
+
+    def test_alternatives_on_one_line(self):
+        grammar = load_grammar("S -> a | b | c")
+        assert len(grammar.productions) == 3
+
+    def test_multiple_rules_same_lhs(self):
+        grammar = load_grammar("S -> a\nS -> b")
+        assert len(grammar.productions) == 2
+
+    def test_empty_alternative(self):
+        grammar = load_grammar("S -> a | %empty")
+        assert grammar.productions[1].is_epsilon
+
+    def test_colon_accepted_as_arrow(self):
+        grammar = load_grammar("S : a b")
+        assert len(grammar.productions[0].rhs) == 2
+
+    def test_start_directive(self):
+        grammar = load_grammar("%start B\nA -> a B\nB -> b")
+        assert grammar.start.name == "B"
+
+    def test_name_directive(self):
+        grammar = load_grammar("%name mygrammar\nS -> a")
+        assert grammar.name == "mygrammar"
+
+    def test_token_directive_forces_terminal(self):
+        grammar = load_grammar("%token EXTRA\nS -> a")
+        assert grammar.symbols["EXTRA"].is_terminal
+
+    def test_quoted_terminals(self):
+        grammar = load_grammar("S -> '|' S ';' | x")
+        names = {t.name for t in grammar.terminals}
+        assert {"|", ";", "x"} <= names
+
+    def test_trailing_semicolon_tolerated(self):
+        grammar = load_grammar("S -> a ;\nS -> b ;")
+        assert len(grammar.productions) == 2
+
+    def test_precedence_directives(self):
+        grammar = load_grammar("%left '+'\n%left '*'\nE -> E + E | E * E | x")
+        plus = grammar.symbols["+"]
+        star = grammar.symbols["*"]
+        assert grammar.precedence[plus].level < grammar.precedence[star].level
+
+    def test_percent_prec_in_rule(self):
+        grammar = load_grammar("%right NEG\nE -> - E %prec NEG | x")
+        assert grammar.productions[0].prec_symbol.name == "NEG"
+
+    def test_bare_empty_alternative_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="%empty"):
+            load_grammar("S -> a |")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="expected"):
+            load_grammar("S a b")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("")
+
+    def test_comment_lines_ignored(self):
+        grammar = load_grammar("# top comment\nS -> a # trailing\n# done")
+        assert len(grammar.productions) == 1
+
+    def test_mixed_empty_and_symbols_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="mixed"):
+            load_grammar("S -> a %empty")
+
+
+class TestYaccFormat:
+    YACC = """
+%token NUM ID
+%left '+' '-'
+%left '*'
+%start expr
+%%
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | NUM
+     | ID
+     ;
+"""
+
+    def test_parses(self):
+        grammar = load_grammar(self.YACC)
+        assert len(grammar.productions) == 5
+        assert grammar.start.name == "expr"
+
+    def test_declared_tokens(self):
+        grammar = load_grammar(self.YACC)
+        assert grammar.symbols["NUM"].is_terminal
+        assert grammar.symbols["ID"].is_terminal
+
+    def test_precedence_carried(self):
+        grammar = load_grammar(self.YACC)
+        assert grammar.precedence[grammar.symbols["+"]].level == 1
+        assert grammar.precedence[grammar.symbols["*"]].level == 2
+
+    def test_multiple_rules(self):
+        grammar = load_grammar("""
+%%
+s : a b ;
+b : x | %empty ;
+""")
+        assert len(grammar.productions) == 3
+
+    def test_semicolons_optional_between_rules(self):
+        grammar = load_grammar("""
+%%
+s : a b
+b : x
+""")
+        assert len(grammar.productions) == 2
+        b = grammar.symbols["b"]
+        assert b.is_nonterminal
+        # 'a b' must not have swallowed the next rule head.
+        assert [s.name for s in grammar.productions[0].rhs] == ["a", "b"]
+
+    def test_code_section_ignored(self):
+        grammar = load_grammar("""
+%%
+s : a ;
+%%
+this is arbitrary trailing code { } ;;;
+""")
+        assert len(grammar.productions) == 1
+
+    def test_percent_prec(self):
+        grammar = load_grammar("""
+%right UMINUS
+%%
+e : '-' e %prec UMINUS | x ;
+""")
+        assert grammar.productions[0].prec_symbol.name == "UMINUS"
+
+    def test_empty_rule_body(self):
+        grammar = load_grammar("""
+%%
+s : things ;
+things : %empty | things thing ;
+thing : x ;
+""")
+        assert grammar.productions[1].is_epsilon
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(GrammarSyntaxError, match="':'"):
+            load_grammar("%%\ns a ;")
+
+    def test_no_rules_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("%token A\n%%\n")
+
+    def test_declaration_after_mark_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            load_grammar("%%\n%token X\ns : a ;")
+
+    def test_start_defaults_to_first_rule(self):
+        grammar = load_grammar("%%\nfirst : a ;\nsecond : b ;")
+        assert grammar.start.name == "first"
+
+
+class TestFileLoading:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "g.cfg"
+        path.write_text("S -> a S | b\n")
+        grammar = load_grammar_file(path)
+        assert len(grammar.productions) == 2
+
+    def test_name_defaults_to_filename(self, tmp_path):
+        path = tmp_path / "mylang.cfg"
+        path.write_text("S -> a\n")
+        assert load_grammar_file(path).name == "mylang"
+
+    def test_augment_flag(self, tmp_path):
+        path = tmp_path / "g.cfg"
+        path.write_text("S -> a\n")
+        assert load_grammar_file(path, augment=True).is_augmented
+
+
+class TestYaccCompatibility:
+    def test_value_type_tags_skipped(self):
+        grammar = load_grammar("""
+%token <num> NUM
+%token <str> ID
+%%
+s : NUM ID ;
+""")
+        names = {t.name for t in grammar.terminals}
+        assert names == {"NUM", "ID"}
+
+    def test_type_declarations_ignored(self):
+        grammar = load_grammar("""
+%token NUM
+%type <expr> e
+%type <term> t
+%%
+e : t | e '+' t ;
+t : NUM ;
+""")
+        assert grammar.symbols["e"].is_nonterminal
+        assert len(grammar.productions) == 3
+
+    def test_tag_on_precedence_line(self):
+        grammar = load_grammar("%left <op> '+'\n%%\ne : e '+' e | x ;")
+        plus = grammar.symbols["+"]
+        assert plus in grammar.precedence

@@ -1,0 +1,143 @@
+"""Unit tests: left-recursion removal and left factoring."""
+
+import pytest
+
+from repro.analysis.enumerate import bounded_language_equal
+from repro.grammar import GrammarValidationError, load_grammar
+from repro.grammar.properties import left_recursive_nonterminals
+from repro.grammar.refactor import left_factor, remove_left_recursion
+from repro.ll import Ll1Analysis, LlParser
+
+
+class TestRemoveLeftRecursion:
+    def test_immediate(self):
+        grammar = load_grammar("E -> E + T | T\nT -> x")
+        result = remove_left_recursion(grammar)
+        assert not left_recursive_nonterminals(result)
+        assert bounded_language_equal(grammar, result, 6)
+
+    def test_indirect(self):
+        grammar = load_grammar("A -> B a | a\nB -> A b | b")
+        result = remove_left_recursion(grammar)
+        assert not left_recursive_nonterminals(result)
+        assert bounded_language_equal(grammar, result, 6)
+
+    def test_textbook_expression_grammar(self):
+        grammar = load_grammar("""
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+""")
+        result = remove_left_recursion(grammar)
+        assert not left_recursive_nonterminals(result)
+        assert bounded_language_equal(grammar, result, 6)
+        names = {nt.name for nt in result.nonterminals}
+        assert "E'" in names and "T'" in names
+
+    def test_tail_nonterminals_have_epsilon(self):
+        grammar = load_grammar("E -> E + x | x")
+        result = remove_left_recursion(grammar)
+        tail_rules = [p for p in result.productions if p.lhs.name == "E'"]
+        assert any(p.is_epsilon for p in tail_rules)
+
+    def test_non_recursive_grammar_unchanged_language(self):
+        grammar = load_grammar("S -> a S b | c")
+        result = remove_left_recursion(grammar)
+        assert bounded_language_equal(grammar, result, 7)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GrammarValidationError, match="cycle"):
+            remove_left_recursion(load_grammar("A -> B | a\nB -> A"))
+
+    def test_nullable_rejected(self):
+        with pytest.raises(GrammarValidationError, match="epsilon"):
+            remove_left_recursion(load_grammar("A -> A a | %empty"))
+
+    def test_pure_left_recursion_rejected(self):
+        with pytest.raises(GrammarValidationError):
+            remove_left_recursion(load_grammar("S -> a | X\nX -> X x"))
+
+    def test_augmented_rejected(self):
+        with pytest.raises(GrammarValidationError):
+            remove_left_recursion(load_grammar("S -> a").augmented())
+
+
+class TestLeftFactor:
+    def test_simple_common_prefix(self):
+        grammar = load_grammar("S -> a b | a c")
+        result = left_factor(grammar)
+        assert bounded_language_equal(grammar, result, 4)
+        s_rules = [p for p in result.productions if p.lhs.name == "S"]
+        assert len(s_rules) == 1  # one factored alternative
+
+    def test_maximal_prefix_pulled(self):
+        grammar = load_grammar("S -> a b c d | a b c e")
+        result = left_factor(grammar)
+        factored = next(p for p in result.productions if p.lhs.name == "S")
+        assert [s.name for s in factored.rhs[:3]] == ["a", "b", "c"]
+
+    def test_cascaded_factoring(self):
+        grammar = load_grammar("S -> a b x | a b y | a c")
+        result = left_factor(grammar)
+        assert bounded_language_equal(grammar, result, 4)
+        # No two alternatives of any nonterminal share a first symbol.
+        for nonterminal in result.nonterminals:
+            heads = [
+                p.rhs[0]
+                for p in result.productions_for(nonterminal)
+                if p.rhs
+            ]
+            assert len(heads) == len(set(heads)), nonterminal.name
+
+    def test_no_factoring_needed_is_identity_language(self):
+        grammar = load_grammar("S -> a S | b")
+        result = left_factor(grammar)
+        assert bounded_language_equal(grammar, result, 6)
+        assert len(result.productions) == len(grammar.productions)
+
+    def test_dangling_if_becomes_factorable(self):
+        grammar = load_grammar("S -> if e then S | if e then S else S | x")
+        result = left_factor(grammar)
+        assert bounded_language_equal(grammar, result, 7)
+
+
+class TestLlPipeline:
+    """The whole point: left-recursive LR grammars become LL(1)-usable."""
+
+    def test_expression_grammar_becomes_ll1(self):
+        grammar = load_grammar("""
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+""")
+        transformed = left_factor(remove_left_recursion(grammar))
+        analysis = Ll1Analysis(transformed.augmented())
+        assert analysis.is_ll1
+        parser = LlParser(analysis)
+        assert parser.accepts("id + id * id".split())
+        assert parser.accepts("( id + id ) * id".split())
+        assert not parser.accepts("id + * id".split())
+
+    def test_language_preserved_through_both_transforms(self):
+        grammar = load_grammar("A -> A a | B\nB -> b c | b d")
+        transformed = left_factor(remove_left_recursion(grammar))
+        assert bounded_language_equal(grammar, transformed, 6)
+
+    def test_random_grammars_language_preserved(self):
+        from repro.grammars import random_grammar
+        from repro.grammar.properties import has_cycles
+        from repro.analysis import nullable_nonterminals
+
+        checked = 0
+        for seed in range(40):
+            grammar = random_grammar(seed, epsilon_weight=0.0)
+            if has_cycles(grammar) or nullable_nonterminals(grammar):
+                continue
+            try:
+                transformed = left_factor(remove_left_recursion(grammar))
+            except GrammarValidationError:
+                continue
+            assert bounded_language_equal(grammar, transformed, 4), seed
+            assert not left_recursive_nonterminals(transformed), seed
+            checked += 1
+        assert checked >= 10

@@ -1,0 +1,152 @@
+"""Unit tests: the DR, reads, includes, lookback relations."""
+
+from repro.automaton import LR0Automaton
+from repro.core.relations import LalrRelations
+from repro.grammar import load_grammar
+
+
+def relations_for(text):
+    grammar = load_grammar(text).augmented()
+    automaton = LR0Automaton(grammar)
+    return grammar, automaton, LalrRelations(automaton)
+
+
+def transition(automaton, state, name):
+    return (state, automaton.grammar.symbols[name])
+
+
+class TestDR:
+    def test_dr_is_directly_readable_terminals(self):
+        grammar, automaton, rel = relations_for("S -> A b\nA -> a")
+        t = transition(automaton, 0, "A")
+        dr = rel.vocabulary.symbols(rel.dr[t])
+        assert {s.name for s in dr} == {"b"}
+
+    def test_dr_includes_end_marker_for_start_transition(self):
+        grammar, automaton, rel = relations_for("S -> a")
+        t = transition(automaton, 0, "S")
+        dr = rel.vocabulary.symbols(rel.dr[t])
+        assert {s.name for s in dr} == {"$end"}
+
+    def test_dr_empty_when_only_nonterminals_follow(self):
+        grammar, automaton, rel = relations_for("S -> A B\nA -> a\nB -> b")
+        t = transition(automaton, 0, "A")
+        dr = rel.vocabulary.symbols(rel.dr[t])
+        # After A only the nonterminal B (and through it terminal b) —
+        # b is reachable only through B's own transition, so DR sees b?
+        # No: DR looks one terminal transition deep: goto(r, b) exists
+        # because B -> . b is in r's closure. So DR = {b}.
+        assert {s.name for s in dr} == {"b"}
+
+    def test_every_transition_has_dr_entry(self):
+        grammar, automaton, rel = relations_for("E -> E + T | T\nT -> x")
+        assert set(rel.dr) == set(rel.transitions)
+
+
+class TestReads:
+    def test_no_nullables_no_reads(self):
+        grammar, automaton, rel = relations_for("S -> A b\nA -> a")
+        assert all(not edges for edges in rel.reads.values())
+
+    def test_reads_through_nullable(self):
+        grammar, automaton, rel = relations_for("S -> A B c\nA -> a\nB -> b | %empty")
+        t = transition(automaton, 0, "A")
+        targets = rel.reads[t]
+        assert len(targets) == 1
+        successor_state, symbol = targets[0]
+        assert symbol.name == "B"
+        assert automaton.goto(0, grammar.symbols["A"]) == successor_state
+
+    def test_reads_chain(self):
+        grammar, automaton, rel = relations_for(
+            "S -> A B C d\nA -> a\nB -> %empty\nC -> %empty"
+        )
+        t = transition(automaton, 0, "A")
+        (read1,) = rel.reads[t]
+        assert read1[1].name == "B"
+        (read2,) = rel.reads[read1]
+        assert read2[1].name == "C"
+
+    def test_non_nullable_nonterminal_not_read(self):
+        grammar, automaton, rel = relations_for("S -> A B c\nA -> a\nB -> b")
+        t = transition(automaton, 0, "A")
+        assert rel.reads[t] == ()
+
+
+class TestIncludes:
+    def test_unit_production_includes(self):
+        # R -> L: the L-transition includes the R-transition (same state).
+        grammar, automaton, rel = relations_for("S -> R\nR -> L\nL -> x")
+        l_t = transition(automaton, 0, "L")
+        r_t = transition(automaton, 0, "R")
+        assert r_t in rel.includes[l_t]
+
+    def test_includes_requires_nullable_tail(self):
+        grammar, automaton, rel = relations_for("S -> A b\nA -> a")
+        a_t = transition(automaton, 0, "A")
+        assert rel.includes[a_t] == []
+
+    def test_includes_with_nullable_tail(self):
+        grammar, automaton, rel = relations_for("S -> A B\nA -> a\nB -> b | %empty")
+        a_t = transition(automaton, 0, "A")
+        s_t = transition(automaton, 0, "S")
+        assert s_t in rel.includes[a_t]
+
+    def test_includes_walks_prefix(self):
+        # B -> a A: the A-transition out of the post-a state includes B's.
+        grammar, automaton, rel = relations_for("S -> B c\nB -> a A\nA -> x")
+        b_t = transition(automaton, 0, "B")
+        mid = automaton.goto(0, grammar.symbols["a"])
+        a_t = transition(automaton, mid, "A")
+        assert b_t in rel.includes[a_t]
+
+    def test_left_recursion_no_self_include(self):
+        # E -> E + T: tail '+ T' is not nullable, so no self-include.
+        grammar, automaton, rel = relations_for("E -> E + T | T\nT -> x")
+        e_t = transition(automaton, 0, "E")
+        assert e_t not in rel.includes[e_t]
+
+
+class TestLookback:
+    def test_lookback_links_reduction_to_transition(self):
+        grammar, automaton, rel = relations_for("S -> A b\nA -> a")
+        production = next(p for p in grammar.productions if p.lhs.name == "A")
+        reduce_state = automaton.goto_sequence(0, production.rhs)
+        a_t = transition(automaton, 0, "A")
+        assert rel.lookback[(reduce_state, production.index)] == [a_t]
+
+    def test_epsilon_reduction_looks_back_to_same_state(self):
+        grammar, automaton, rel = relations_for("S -> A b\nA -> %empty")
+        production = next(p for p in grammar.productions if p.lhs.name == "A")
+        a_t = transition(automaton, 0, "A")
+        assert rel.lookback[(0, production.index)] == [a_t]
+
+    def test_every_reduction_site_covered(self):
+        grammar, automaton, rel = relations_for("E -> E + T | T\nT -> T * F | F\nF -> ( E ) | id")
+        sites = {
+            (state.state_id, item.production)
+            for state in automaton.states
+            for item in state.reductions
+            if item.production != 0
+        }
+        assert sites == set(rel.lookback)
+
+    def test_multiple_lookbacks_merge_contexts(self):
+        # A reduced in two contexts: both transitions feed the same site
+        # only when the reduce state is shared.
+        grammar, automaton, rel = relations_for("S -> a A | b A\nA -> x")
+        production = next(p for p in grammar.productions if p.lhs.name == "A")
+        sites = [s for s in rel.lookback if s[1] == production.index]
+        # x-reduce state is shared between both contexts (same kernel).
+        assert len(sites) == 1
+        (site,) = sites
+        assert len(rel.lookback[site]) == 2
+
+
+class TestStats:
+    def test_stats_keys_and_sanity(self):
+        grammar, automaton, rel = relations_for("E -> E + T | T\nT -> x")
+        stats = rel.stats()
+        assert stats["nonterminal_transitions"] == len(rel.transitions)
+        assert stats["lookback_edges"] >= stats["reduction_sites"]
+        assert stats["reads_edges"] == 0

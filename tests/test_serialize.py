@@ -1,0 +1,98 @@
+"""Unit tests: parse-table serialisation."""
+
+import json
+
+import pytest
+
+from repro.analysis import SentenceGenerator
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.parser import Parser
+from repro.tables import build_lalr_table
+from repro.tables.serialize import (
+    grammar_fingerprint,
+    load_table,
+    save_table,
+    table_from_dict,
+    table_to_dict,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_reparses(self):
+        a = corpus.load("expr", augment=True)
+        b = corpus.load("expr", augment=True)
+        assert grammar_fingerprint(a) == grammar_fingerprint(b)
+
+    def test_sensitive_to_rules(self):
+        a = load_grammar("S -> a").augmented()
+        b = load_grammar("S -> b").augmented()
+        assert grammar_fingerprint(a) != grammar_fingerprint(b)
+
+    def test_sensitive_to_precedence(self):
+        a = load_grammar("%left '+'\nE -> E + E | x").augmented()
+        b = load_grammar("%right '+'\nE -> E + E | x").augmented()
+        assert grammar_fingerprint(a) != grammar_fingerprint(b)
+
+    def test_sensitive_to_start(self):
+        a = load_grammar("%start A\nA -> x\nB -> y")
+        b = load_grammar("%start B\nA -> x\nB -> y")
+        assert grammar_fingerprint(a) != grammar_fingerprint(b)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["expr", "json", "lvalue", "algol_like"])
+    def test_identical_tables(self, name):
+        grammar = corpus.load(name, augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_dict(table_to_dict(table), grammar)
+        assert restored.actions == table.actions
+        assert restored.gotos == table.gotos
+        assert restored.method == table.method
+
+    def test_restored_table_parses(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_dict(table_to_dict(table), grammar)
+        original_parser = Parser(table)
+        restored_parser = Parser(restored)
+        generator = SentenceGenerator(grammar, seed=3)
+        for sentence in generator.sentences(10, budget=10):
+            assert (
+                restored_parser.parse(sentence).sexpr()
+                == original_parser.parse(sentence).sexpr()
+            )
+
+    def test_json_safe(self):
+        grammar = corpus.load("json", augment=True)
+        data = table_to_dict(build_lalr_table(grammar))
+        json.dumps(data)  # must not raise
+
+    def test_file_round_trip(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        path = tmp_path / "table.json"
+        save_table(table, str(path))
+        restored = load_table(str(path), grammar)
+        assert restored.actions == table.actions
+
+
+class TestGuards:
+    def test_conflicted_table_refused(self):
+        grammar = corpus.load("dangling_else", augment=True)
+        with pytest.raises(ValueError, match="conflicts"):
+            table_to_dict(build_lalr_table(grammar))
+
+    def test_fingerprint_mismatch_refused(self):
+        expr = corpus.load("expr", augment=True)
+        other = corpus.load("lvalue", augment=True)
+        data = table_to_dict(build_lalr_table(expr))
+        with pytest.raises(ValueError, match="fingerprint"):
+            table_from_dict(data, other)
+
+    def test_format_version_checked(self):
+        grammar = corpus.load("expr", augment=True)
+        data = table_to_dict(build_lalr_table(grammar))
+        data["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            table_from_dict(data, grammar)

@@ -1,0 +1,129 @@
+"""Unit tests: symbol interning and the symbol table."""
+
+import pytest
+
+from repro.grammar.errors import SymbolError
+from repro.grammar.symbols import EOF_NAME, EPSILON_NAME, Symbol, SymbolTable
+
+
+class TestInterning:
+    def test_same_name_same_object(self):
+        table = SymbolTable()
+        assert table.terminal("a") is table.terminal("a")
+
+    def test_different_names_different_objects(self):
+        table = SymbolTable()
+        assert table.terminal("a") is not table.terminal("b")
+
+    def test_terminal_flag(self):
+        table = SymbolTable()
+        assert table.terminal("a").is_terminal
+        assert not table.terminal("a").is_nonterminal
+
+    def test_nonterminal_flag(self):
+        table = SymbolTable()
+        assert table.nonterminal("A").is_nonterminal
+        assert not table.nonterminal("A").is_terminal
+
+    def test_kind_conflict_rejected(self):
+        table = SymbolTable()
+        table.terminal("x")
+        with pytest.raises(SymbolError, match="redeclare"):
+            table.nonterminal("x")
+
+    def test_kind_conflict_other_direction(self):
+        table = SymbolTable()
+        table.nonterminal("X")
+        with pytest.raises(SymbolError):
+            table.terminal("X")
+
+    def test_empty_name_rejected(self):
+        table = SymbolTable()
+        with pytest.raises(SymbolError):
+            table.terminal("")
+
+    def test_epsilon_name_reserved(self):
+        table = SymbolTable()
+        with pytest.raises(SymbolError):
+            table.terminal(EPSILON_NAME)
+        with pytest.raises(SymbolError):
+            table.nonterminal(EPSILON_NAME)
+
+    def test_indices_are_dense_in_order(self):
+        table = SymbolTable()
+        symbols = [table.terminal(f"t{i}") for i in range(5)]
+        assert [s.index for s in symbols] == list(range(5))
+
+
+class TestLookup:
+    def test_contains(self):
+        table = SymbolTable()
+        table.terminal("a")
+        assert "a" in table
+        assert "b" not in table
+
+    def test_get_missing_returns_none(self):
+        assert SymbolTable().get("nope") is None
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(SymbolError, match="unknown symbol"):
+            SymbolTable()["nope"]
+
+    def test_iteration_preserves_order(self):
+        table = SymbolTable()
+        table.nonterminal("A")
+        table.terminal("a")
+        table.nonterminal("B")
+        assert [s.name for s in table] == ["A", "a", "B"]
+
+    def test_terminals_and_nonterminals_views(self):
+        table = SymbolTable()
+        table.nonterminal("A")
+        table.terminal("a")
+        table.terminal("b")
+        assert [s.name for s in table.terminals] == ["a", "b"]
+        assert [s.name for s in table.nonterminals] == ["A"]
+
+    def test_len(self):
+        table = SymbolTable()
+        table.terminal("a")
+        table.nonterminal("B")
+        assert len(table) == 2
+
+
+class TestFreshNonterminal:
+    def test_appends_prime(self):
+        table = SymbolTable()
+        table.nonterminal("S")
+        fresh = table.fresh_nonterminal("S")
+        assert fresh.name == "S'"
+        assert fresh.is_nonterminal
+
+    def test_avoids_collisions(self):
+        table = SymbolTable()
+        table.nonterminal("S")
+        table.nonterminal("S'")
+        fresh = table.fresh_nonterminal("S")
+        assert fresh.name == "S''"
+
+    def test_eof_is_terminal(self):
+        table = SymbolTable()
+        eof = table.terminal(EOF_NAME)
+        assert eof.is_eof and eof.is_terminal
+
+
+class TestOrderingAndRepr:
+    def test_sort_nonterminals_before_terminals(self):
+        table = SymbolTable()
+        a = table.terminal("a")
+        big_a = table.nonterminal("A")
+        assert sorted([a, big_a]) == [big_a, a]
+
+    def test_str_is_name(self):
+        table = SymbolTable()
+        assert str(table.terminal("tok")) == "tok"
+
+    def test_repr_shows_kind(self):
+        table = SymbolTable()
+        assert "'t'" in repr(table.terminal("t"))
+        assert "nt" in repr(table.nonterminal("N"))

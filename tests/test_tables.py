@@ -1,0 +1,178 @@
+"""Unit tests: parse-table construction for all four methods."""
+
+import pytest
+
+from repro.automaton import LR0Automaton, LR1Automaton
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.tables import (
+    ACCEPT,
+    Accept,
+    Reduce,
+    Shift,
+    build_clr_table,
+    build_lalr_table,
+    build_lr0_table,
+    build_slr_table,
+)
+
+
+class TestActions:
+    def test_shift_equality(self):
+        assert Shift(3) == Shift(3)
+        assert Shift(3) != Shift(4)
+        assert Shift(3) != Reduce(3)
+
+    def test_reduce_equality(self):
+        assert Reduce(1) == Reduce(1)
+        assert Reduce(1) != Reduce(2)
+
+    def test_accept_singleton_equality(self):
+        assert Accept() == ACCEPT
+
+    def test_reprs(self):
+        assert repr(Shift(5)) == "s5"
+        assert repr(Reduce(2)) == "r2"
+        assert repr(ACCEPT) == "acc"
+
+    def test_hashable(self):
+        assert len({Shift(1), Shift(1), Reduce(1), ACCEPT}) == 3
+
+
+class TestLalrTable:
+    @pytest.fixture
+    def table(self, expr_augmented):
+        return build_lalr_table(expr_augmented)
+
+    def test_deterministic(self, table):
+        assert table.is_deterministic
+
+    def test_accept_on_eof(self, table):
+        grammar = table.grammar
+        accept_cells = [
+            (state, terminal)
+            for state in range(table.n_states)
+            for terminal, action in table.actions[state].items()
+            if action.kind == "accept"
+        ]
+        assert accept_cells == [(1, grammar.eof)] or len(accept_cells) == 1
+        assert all(t is grammar.eof for _, t in accept_cells)
+
+    def test_initial_state_shifts_first_terminals(self, table):
+        grammar = table.grammar
+        action = table.action(0, grammar.symbols["id"])
+        assert action.kind == "shift"
+        assert table.action(0, grammar.symbols["+"]) is None
+
+    def test_gotos_present(self, table):
+        grammar = table.grammar
+        assert table.goto(0, grammar.symbols["E"]) is not None
+        assert table.goto(0, grammar.symbols["T"]) is not None
+
+    def test_no_reduce_by_production_zero(self, table):
+        for row in table.actions:
+            for action in row.values():
+                if action.kind == "reduce":
+                    assert action.production != 0
+
+    def test_size_cells_positive(self, table):
+        assert table.size_cells() > 0
+
+    def test_format_renders(self, table):
+        text = table.format()
+        assert "state" in text and "acc" in text
+
+    def test_format_truncates(self, table):
+        text = table.format(max_states=2)
+        assert "more states" in text
+
+
+class TestMethodsAgreeOnDeterminism:
+    def test_lr0_grammar_all_deterministic(self):
+        grammar = corpus.load("lr0_demo").augmented()
+        automaton = LR0Automaton(grammar)
+        for build in (build_lr0_table, build_slr_table, build_lalr_table):
+            assert build(grammar, automaton).is_deterministic
+
+    def test_expr_lr0_conflicted_slr_clean(self):
+        grammar = corpus.load("expr").augmented()
+        automaton = LR0Automaton(grammar)
+        assert not build_lr0_table(grammar, automaton).is_deterministic
+        assert build_slr_table(grammar, automaton).is_deterministic
+
+    def test_lalr_not_slr_split(self):
+        grammar = corpus.load("lalr_not_slr").augmented()
+        automaton = LR0Automaton(grammar)
+        assert not build_slr_table(grammar, automaton).is_deterministic
+        assert build_lalr_table(grammar, automaton).is_deterministic
+
+    def test_lr1_not_lalr_split(self):
+        grammar = corpus.load("lr1_not_lalr").augmented()
+        assert not build_lalr_table(grammar).is_deterministic
+        assert build_clr_table(grammar).is_deterministic
+
+
+class TestClrTable:
+    def test_lives_on_lr1_states(self):
+        grammar = corpus.load("lr1_not_lalr").augmented()
+        lr1 = LR1Automaton(grammar)
+        table = build_clr_table(grammar, lr1)
+        assert table.n_states == len(lr1)
+
+    def test_clr_larger_than_lalr(self):
+        grammar = corpus.load("mini_c").augmented()
+        clr = build_clr_table(grammar)
+        lalr = build_lalr_table(grammar)
+        assert clr.n_states > lalr.n_states
+
+    def test_clr_auto_augments(self):
+        table = build_clr_table(load_grammar("S -> a"))
+        assert table.grammar.is_augmented
+
+
+class TestConflictRecords:
+    def test_shift_reduce_recorded(self):
+        grammar = corpus.load("dangling_else").augmented()
+        table = build_lalr_table(grammar)
+        assert table.conflict_summary()["shift_reduce"] == 1
+        (conflict,) = table.unresolved_conflicts
+        assert conflict.kind == "shift/reduce"
+        assert conflict.terminal.name == "else"
+        # yacc default: shift wins.
+        assert conflict.chosen.kind == "shift"
+
+    def test_reduce_reduce_recorded(self):
+        grammar = corpus.load("lr1_not_lalr").augmented()
+        table = build_lalr_table(grammar)
+        summary = table.conflict_summary()
+        assert summary["reduce_reduce"] == 2
+        for conflict in table.unresolved_conflicts:
+            # Earlier production wins.
+            assert conflict.chosen.production == min(
+                a.production for a in conflict.actions
+            )
+
+    def test_describe_mentions_state_and_kind(self):
+        grammar = corpus.load("dangling_else").augmented()
+        table = build_lalr_table(grammar)
+        text = table.unresolved_conflicts[0].describe(grammar)
+        assert "shift/reduce" in text and "state" in text and "UNRESOLVED" in text
+
+    def test_lr0_reduce_on_every_terminal(self):
+        grammar = load_grammar("S -> a").augmented()
+        table = build_lr0_table(grammar)
+        automaton = LR0Automaton(grammar)
+        a = grammar.symbols["a"]
+        reduce_state = automaton.goto(0, a)
+        row = table.actions[reduce_state]
+        assert all(action.kind == "reduce" for action in row.values())
+        assert len(row) == len(grammar.terminals)
+
+    def test_accept_vs_reduce_on_cyclic_grammar(self):
+        # S =>+ S cycles pit accept against reduce; accept is kept and the
+        # conflict reported.
+        grammar = load_grammar("S -> S | a").augmented()
+        table = build_lalr_table(grammar)
+        assert not table.is_deterministic
+        kinds = {c.kind for c in table.unresolved_conflicts}
+        assert "shift/reduce" in kinds

@@ -1,0 +1,172 @@
+"""Unit tests: grammar reduction and epsilon-rule removal."""
+
+import pytest
+
+from repro.analysis import SentenceGenerator
+from repro.grammar import (
+    GrammarValidationError,
+    load_grammar,
+    reduce_grammar,
+    remove_epsilon_rules,
+)
+from repro.grammar.transforms import (
+    generating_nonterminals,
+    nullable_from_productions,
+    reachable_symbols,
+)
+
+
+class TestGeneratingNonterminals:
+    def test_all_generating(self):
+        grammar = load_grammar("S -> a A\nA -> b")
+        names = {s.name for s in generating_nonterminals(grammar)}
+        assert names == {"S", "A"}
+
+    def test_nongenerating_detected(self):
+        grammar = load_grammar("S -> a | B\nB -> B b")
+        names = {s.name for s in generating_nonterminals(grammar)}
+        assert names == {"S"}
+
+    def test_epsilon_counts_as_generating(self):
+        grammar = load_grammar("S -> A\nA -> %empty")
+        names = {s.name for s in generating_nonterminals(grammar)}
+        assert names == {"S", "A"}
+
+    def test_mutual_recursion_not_generating(self):
+        grammar = load_grammar("S -> a | A\nA -> B\nB -> A")
+        assert {s.name for s in generating_nonterminals(grammar)} == {"S"}
+
+
+class TestReachableSymbols:
+    def test_start_always_reachable(self):
+        grammar = load_grammar("S -> a")
+        assert grammar.start in reachable_symbols(grammar)
+
+    def test_unreachable_rule(self):
+        grammar = load_grammar("S -> a\nX -> x")
+        names = {s.name for s in reachable_symbols(grammar)}
+        assert "X" not in names and "x" not in names
+
+    def test_terminals_reachable_through_rules(self):
+        grammar = load_grammar("S -> A\nA -> a b")
+        names = {s.name for s in reachable_symbols(grammar)}
+        assert {"a", "b"} <= names
+
+
+class TestReduceGrammar:
+    def test_reduction_removes_useless(self):
+        grammar = load_grammar("""
+S -> A C | B
+A -> a C | A b A
+B -> B a | B b A | D B
+C -> a a | a B C
+D -> a A | %empty
+""")
+        reduced = reduce_grammar(grammar)
+        names = {nt.name for nt in reduced.nonterminals}
+        # B is non-generating (all its rules loop); D only feeds B.
+        assert names == {"S", "A", "C"}
+
+    def test_already_reduced_identity_shape(self):
+        grammar = load_grammar("S -> a S | b")
+        reduced = reduce_grammar(grammar)
+        assert len(reduced.productions) == len(grammar.productions)
+
+    def test_empty_language_rejected(self):
+        grammar = load_grammar("S -> S a")
+        with pytest.raises(GrammarValidationError, match="empty"):
+            reduce_grammar(grammar)
+
+    def test_order_matters_classic(self):
+        # Removing unreachable before non-generating would leave B: the
+        # classic example proving the two passes must run generating-first.
+        grammar = load_grammar("S -> a | A B\nA -> a\nB -> B b")
+        reduced = reduce_grammar(grammar)
+        names = {nt.name for nt in reduced.nonterminals}
+        assert names == {"S"}
+
+    def test_precedence_survives_reduction(self):
+        grammar = load_grammar("%left '+'\nE -> E + E | x\nDead -> Dead d")
+        reduced = reduce_grammar(grammar)
+        plus = reduced.symbols["+"]
+        assert plus in reduced.precedence
+
+    def test_production_indices_renumbered(self):
+        grammar = load_grammar("S -> a | X\nX -> X x\nT -> t")
+        reduced = reduce_grammar(grammar)
+        assert [p.index for p in reduced.productions] == list(
+            range(len(reduced.productions))
+        )
+
+
+class TestNullableFromProductions:
+    def test_direct_epsilon(self):
+        grammar = load_grammar("S -> a | %empty")
+        assert {s.name for s in nullable_from_productions(grammar.productions)} == {"S"}
+
+    def test_transitive(self):
+        grammar = load_grammar("S -> A B\nA -> %empty\nB -> A A")
+        names = {s.name for s in nullable_from_productions(grammar.productions)}
+        assert names == {"S", "A", "B"}
+
+
+class TestRemoveEpsilonRules:
+    def test_no_epsilon_rules_in_output(self):
+        grammar = load_grammar("""
+S -> A S A | a B C | b
+A -> B D | a A B
+B -> b B | %empty
+C -> A a A | b
+D -> A D | B B B | a
+""")
+        converted = remove_epsilon_rules(grammar)
+        assert all(p.rhs for p in converted.productions)
+
+    def test_language_preserved_on_samples(self):
+        text = "S -> A b A\nA -> a | %empty"
+        grammar = load_grammar(text)
+        converted = remove_epsilon_rules(grammar)
+        # L = {b, ab, ba, aba}; enumerate converted's sentences.
+        expected = {("b",), ("a", "b"), ("b", "a"), ("a", "b", "a")}
+        got = set()
+        generator = SentenceGenerator(converted, seed=1)
+        for _ in range(200):
+            got.add(tuple(s.name for s in generator.sentence(budget=6)))
+        assert got == expected
+
+    def test_nullable_start_gets_fresh_start(self):
+        grammar = load_grammar("S -> a S | %empty")
+        converted = remove_epsilon_rules(grammar)
+        assert converted.start.name == "S'"
+        # S' -> S and S' -> %empty present
+        start_rules = converted.productions_for(converted.start)
+        bodies = {tuple(s.name for s in p.rhs) for p in start_rules}
+        assert bodies == {("S",), ()}
+
+    def test_non_nullable_start_keeps_start(self):
+        grammar = load_grammar("S -> a A\nA -> a | %empty")
+        converted = remove_epsilon_rules(grammar)
+        assert converted.start.name == "S"
+
+    def test_all_drop_combinations_generated(self):
+        grammar = load_grammar("S -> A A a\nA -> a | %empty")
+        converted = remove_epsilon_rules(grammar)
+        bodies = {
+            tuple(s.name for s in p.rhs)
+            for p in converted.productions
+            if p.lhs.name == "S"
+        }
+        assert bodies == {("A", "A", "a"), ("A", "a"), ("a",)}
+
+    def test_augmented_grammar_rejected(self):
+        grammar = load_grammar("S -> a").augmented()
+        with pytest.raises(GrammarValidationError):
+            remove_epsilon_rules(grammar)
+
+    def test_duplicate_rules_not_added(self):
+        grammar = load_grammar("S -> A | a\nA -> a | %empty")
+        converted = remove_epsilon_rules(grammar)
+        bodies = [
+            (p.lhs.name, tuple(s.name for s in p.rhs)) for p in converted.productions
+        ]
+        assert len(bodies) == len(set(bodies))

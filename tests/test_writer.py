@@ -1,0 +1,83 @@
+"""Unit tests: grammar serialisation round-trips with the reader."""
+
+import pytest
+
+from repro.grammar import load_grammar, write_arrow, write_yacc
+from repro.grammars import corpus
+
+
+def normalised(grammar):
+    """A text-level fingerprint of a grammar, for round-trip comparison."""
+    rules = sorted(
+        (p.lhs.name, tuple(s.name for s in p.rhs)) for p in grammar.productions
+    )
+    precedence = sorted(
+        (s.name, prec.level, prec.assoc.value) for s, prec in grammar.precedence.items()
+    )
+    start = grammar.original_start.name
+    return (start, tuple(rules), tuple(precedence))
+
+
+SAMPLES = [
+    "S -> a S | b",
+    "S -> A B\nA -> a | %empty\nB -> b",
+    "%left '+'\n%left '*'\nE -> E + E | E * E | ( E ) | x",
+    "%token HANGING\nS -> a",
+    "%right NEG\nE -> - E %prec NEG | n",
+]
+
+
+class TestArrowRoundTrip:
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_round_trip(self, text):
+        original = load_grammar(text)
+        rendered = write_arrow(original)
+        reparsed = load_grammar(rendered)
+        assert normalised(original) == normalised(reparsed)
+
+    def test_epsilon_written_explicitly(self):
+        rendered = write_arrow(load_grammar("S -> a | %empty"))
+        assert "%empty" in rendered
+
+    def test_quotes_odd_terminal_names(self):
+        rendered = write_arrow(load_grammar("S -> '|' a"))
+        assert "'|'" in rendered
+
+    def test_augmentation_stripped(self):
+        grammar = load_grammar("S -> a").augmented()
+        rendered = write_arrow(grammar)
+        assert "$end" not in rendered
+        assert "S'" not in rendered
+        reparsed = load_grammar(rendered)
+        assert reparsed.start.name == "S"
+
+
+class TestYaccRoundTrip:
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_round_trip(self, text):
+        original = load_grammar(text)
+        rendered = write_yacc(original)
+        assert "%%" in rendered
+        reparsed = load_grammar(rendered)
+        assert normalised(original) == normalised(reparsed)
+
+    def test_alternatives_grouped(self):
+        rendered = write_yacc(load_grammar("S -> a\nS -> b\nT -> t\nS -> c"))
+        # All three S alternatives under one head.
+        assert rendered.count("S :") == 1
+        assert rendered.count("|") == 2
+
+    def test_prec_emitted_only_when_nondefault(self):
+        rendered = write_yacc(load_grammar("%right NEG\nE -> - E %prec NEG | n"))
+        assert "%prec NEG" in rendered
+        rendered_plain = write_yacc(load_grammar("E -> E + n | n"))
+        assert "%prec" not in rendered_plain
+
+
+class TestCorpusRoundTrip:
+    @pytest.mark.parametrize("name", [e.name for e in corpus.all_entries()])
+    def test_both_formats(self, name):
+        original = corpus.load(name)
+        for renderer in (write_arrow, write_yacc):
+            reparsed = load_grammar(renderer(original))
+            assert normalised(original) == normalised(reparsed), renderer.__name__
