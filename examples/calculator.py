@@ -7,13 +7,20 @@ Demonstrates the yacc workflow end to end:
 - a lexer mapping text to tokens,
 - semantic actions folded over reductions (no parse tree materialised).
 
+Startup goes through the on-disk table cache (the production pattern:
+build once, then load the serialised table on every later run).  Set
+``REPRO_NO_TABLE_CACHE=1`` to force a rebuild, or ``REPRO_TABLE_CACHE``
+to relocate the cache directory.
+
 Run:  python examples/calculator.py            # demo expressions
       python examples/calculator.py '2*(3+4)'  # evaluate arguments
 """
 
+import os
 import sys
 
 from repro import Lexer, Parser, build_lalr_table, load_grammar
+from repro.tables import TableCache, default_cache_dir
 
 GRAMMAR = """
 %token NUM
@@ -35,10 +42,17 @@ expr : expr '+' expr
 """
 
 
+def cached_table(grammar, builder=build_lalr_table, method="lalr1"):
+    """Load the parse table from the on-disk cache, building on miss."""
+    if os.environ.get("REPRO_NO_TABLE_CACHE"):
+        return builder(grammar)
+    return TableCache(default_cache_dir()).load_or_build(grammar, method, builder)
+
+
 def build_calculator():
     """Returns (parser, lexer) for the calculator language."""
     grammar = load_grammar(GRAMMAR, name="calculator").augmented()
-    table = build_lalr_table(grammar)
+    table = cached_table(grammar)
     # The raw grammar is ambiguous; precedence must have resolved every
     # conflict, otherwise the declarations are wrong.
     assert table.is_deterministic, [

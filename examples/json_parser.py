@@ -9,9 +9,11 @@ Run:  python examples/json_parser.py
 """
 
 import json
+import os
 
 from repro import Lexer, Node, Parser, build_lalr_table
 from repro.grammars import corpus
+from repro.tables import TableCache, default_cache_dir
 
 SAMPLE = """
 {
@@ -30,7 +32,14 @@ SAMPLE = """
 
 def build_json_parser():
     grammar = corpus.load("json").augmented()
-    table = build_lalr_table(grammar)
+    # Default startup path: load the cached table; build only on a miss
+    # (opt out with REPRO_NO_TABLE_CACHE=1).
+    if os.environ.get("REPRO_NO_TABLE_CACHE"):
+        table = build_lalr_table(grammar)
+    else:
+        table = TableCache(default_cache_dir()).load_or_build(
+            grammar, "lalr1", build_lalr_table
+        )
     assert table.is_deterministic
     lexer = (
         Lexer(grammar)

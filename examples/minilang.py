@@ -12,9 +12,11 @@ Run:  python examples/minilang.py              # runs the demo program
       python examples/minilang.py path/to/file # runs your program
 """
 
+import os
 import sys
 
 from repro import Lexer, Parser, build_lalr_table, classify, load_grammar
+from repro.tables import TableCache, default_cache_dir
 
 GRAMMAR = """
 %token NUM ID
@@ -112,7 +114,14 @@ def build_frontend():
     grammar = load_grammar(GRAMMAR, name="minilang").augmented()
     verdict = classify(grammar)
     assert verdict.is_lalr1, verdict  # the grammar is LALR(1) by design
-    table = build_lalr_table(grammar)
+    # Default startup path: the on-disk table cache (REPRO_NO_TABLE_CACHE=1
+    # opts out, REPRO_TABLE_CACHE relocates the directory).
+    if os.environ.get("REPRO_NO_TABLE_CACHE"):
+        table = build_lalr_table(grammar)
+    else:
+        table = TableCache(default_cache_dir()).load_or_build(
+            grammar, "lalr1", build_lalr_table
+        )
     assert table.is_deterministic
     lexer = (
         Lexer(grammar)

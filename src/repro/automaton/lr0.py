@@ -54,15 +54,25 @@ class LR0Automaton:
     """Canonical LR(0) collection for an augmented grammar."""
 
     def __init__(self, grammar: Grammar):
+        # Imported here, not at module level: repro.core.lalr imports this
+        # module, so a top-level import of repro.core would be circular.
+        from ..core import instrument
+
         if not grammar.is_augmented:
             grammar = grammar.augmented()
         self.grammar = grammar
         self.states: List[LR0State] = []
         self._kernel_index: Dict[FrozenSet[Item], int] = {}
-        self._build()
-        # predecessors[q][X] = sorted tuple of states p with goto(p, X) = q.
-        self._predecessors: Dict[int, Dict[Symbol, Tuple[int, ...]]] = {}
-        self._index_predecessors()
+        with instrument.span("lr0.build"):
+            self._build()
+            # predecessors[q][X] = sorted tuple of states p with goto(p, X) = q.
+            self._predecessors: Dict[int, Dict[Symbol, Tuple[int, ...]]] = {}
+            self._index_predecessors()
+        if instrument.enabled():
+            instrument.count("lr0.states", len(self.states))
+            instrument.count(
+                "lr0.transitions", sum(len(s.transitions) for s in self.states)
+            )
 
     # -- construction ------------------------------------------------------
 

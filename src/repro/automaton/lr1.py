@@ -60,6 +60,9 @@ class LR1Automaton:
     """Canonical collection of LR(1) item sets for an augmented grammar."""
 
     def __init__(self, grammar: Grammar, first_sets: "FirstSets | None" = None):
+        # Deferred to dodge the repro.core <-> repro.automaton cycle.
+        from ..core import instrument
+
         if not grammar.is_augmented:
             grammar = grammar.augmented()
         self.grammar = grammar
@@ -68,7 +71,9 @@ class LR1Automaton:
         self._kernel_index: Dict[
             FrozenSet[Tuple[Item, FrozenSet[Symbol]]], int
         ] = {}
-        self._build()
+        with instrument.span("lr1.build"):
+            self._build()
+        instrument.count("lr1.states", len(self.states))
 
     # -- construction ------------------------------------------------------
 

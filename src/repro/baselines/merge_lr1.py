@@ -21,6 +21,7 @@ from ..automaton.lr0 import LR0Automaton
 from ..automaton.lr1 import LR1Automaton
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import Symbol
+from ..core import instrument
 from ..core.relations import ReductionSite
 
 
@@ -38,8 +39,9 @@ class MergedLr1Analysis:
         self.automaton = automaton
         self.grammar = automaton.grammar
         self.lr1 = lr1 or LR1Automaton(self.grammar)
-        self._core_to_lr0 = self._map_cores()
-        self._lookaheads = self._merge()
+        with instrument.span("baseline.merge_lr1.merge"):
+            self._core_to_lr0 = self._map_cores()
+            self._lookaheads = self._merge()
 
     def _map_cores(self) -> Dict[int, int]:
         """Map each LR(1) state to the LR(0) state with the same core.

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Tuple
 
 from ..automaton.lr0 import LR0Automaton
+from ..core import instrument
 from ..core.digraph import DigraphStats, digraph
 from ..core.relations import LalrRelations, ReductionSite, Transition
 from ..grammar.grammar import Grammar
@@ -44,41 +45,42 @@ class NqlalrAnalysis:
         self.vocabulary = self.relations.vocabulary
         self.stats = DigraphStats()
 
-        # Node merge: transition (p, A) -> nq node (goto(p, A), A).
-        self._node_of: Dict[Transition, NqNode] = {}
-        for transition in self.relations.transitions:
-            state, symbol = transition
-            target = automaton.goto(state, symbol)
-            self._node_of[transition] = (target, symbol)
+        with instrument.span("baseline.nqlalr.merge"):
+            # Node merge: transition (p, A) -> nq node (goto(p, A), A).
+            self._node_of: Dict[Transition, NqNode] = {}
+            for transition in self.relations.transitions:
+                state, symbol = transition
+                target = automaton.goto(state, symbol)
+                self._node_of[transition] = (target, symbol)
 
-        nodes = sorted(set(self._node_of.values()), key=lambda n: (n[0], n[1].index))
+            nodes = sorted(set(self._node_of.values()), key=lambda n: (n[0], n[1].index))
 
-        # Project DR and the relations through the merge (unioning edges
-        # and initial sets of merged transitions).
-        dr: Dict[NqNode, int] = {node: 0 for node in nodes}
-        reads_edges: Dict[NqNode, "set[NqNode]"] = {node: set() for node in nodes}
-        includes_edges: Dict[NqNode, "set[NqNode]"] = {node: set() for node in nodes}
-        for transition in self.relations.transitions:
-            node = self._node_of[transition]
-            dr[node] |= self.relations.dr[transition]
-            for successor in self.relations.reads[transition]:
-                reads_edges[node].add(self._node_of[successor])
-            for successor in self.relations.includes[transition]:
-                includes_edges[node].add(self._node_of[successor])
+            # Project DR and the relations through the merge (unioning edges
+            # and initial sets of merged transitions).
+            dr: Dict[NqNode, int] = {node: 0 for node in nodes}
+            reads_edges: Dict[NqNode, "set[NqNode]"] = {node: set() for node in nodes}
+            includes_edges: Dict[NqNode, "set[NqNode]"] = {node: set() for node in nodes}
+            for transition in self.relations.transitions:
+                node = self._node_of[transition]
+                dr[node] |= self.relations.dr[transition]
+                for successor in self.relations.reads[transition]:
+                    reads_edges[node].add(self._node_of[successor])
+                for successor in self.relations.includes[transition]:
+                    includes_edges[node].add(self._node_of[successor])
 
-        read_sets, _ = digraph(
-            nodes, lambda n: reads_edges[n], lambda n: dr[n], self.stats
-        )
-        self.follow_sets, self.includes_sccs = digraph(
-            nodes, lambda n: includes_edges[n], lambda n: read_sets[n], self.stats
-        )
+            read_sets, _ = digraph(
+                nodes, lambda n: reads_edges[n], lambda n: dr[n], self.stats
+            )
+            self.follow_sets, self.includes_sccs = digraph(
+                nodes, lambda n: includes_edges[n], lambda n: read_sets[n], self.stats
+            )
 
-        self.la_masks: Dict[ReductionSite, int] = {}
-        for site, lookbacks in self.relations.lookback.items():
-            mask = 0
-            for transition in lookbacks:
-                mask |= self.follow_sets[self._node_of[transition]]
-            self.la_masks[site] = mask
+            self.la_masks: Dict[ReductionSite, int] = {}
+            for site, lookbacks in self.relations.lookback.items():
+                mask = 0
+                for transition in lookbacks:
+                    mask |= self.follow_sets[self._node_of[transition]]
+                self.la_masks[site] = mask
 
     def lookahead(self, state_id: int, production_index: int) -> FrozenSet[Symbol]:
         return self.vocabulary.symbols(self.la_masks[(state_id, production_index)])

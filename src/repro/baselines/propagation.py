@@ -26,6 +26,7 @@ from ..automaton.items import Item, next_symbol
 from ..automaton.lr0 import LR0Automaton
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import Symbol
+from ..core import instrument
 from ..core.relations import ReductionSite
 
 #: A kernel slot: (state id, kernel item).
@@ -63,9 +64,14 @@ class PropagationAnalysis:
 
         self._lookaheads: Dict[KernelSlot, Set[Symbol]] = {}
         self._links: List[Tuple[KernelSlot, KernelSlot]] = []
-        self._discover()
-        self._propagate()
-        self._site_table = self._reduce_sites()
+        with instrument.span("baseline.propagation.discover"):
+            self._discover()
+        with instrument.span("baseline.propagation.propagate"):
+            self._propagate()
+        with instrument.span("baseline.propagation.reduce_sites"):
+            self._site_table = self._reduce_sites()
+        if instrument.enabled():
+            instrument.absorb("propagation", self.cost_summary())
 
     # -- step 1: discovery ---------------------------------------------------
 

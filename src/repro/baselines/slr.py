@@ -18,6 +18,7 @@ from ..analysis.follow import FollowSets
 from ..automaton.lr0 import LR0Automaton
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import Symbol
+from ..core import instrument
 from ..core.relations import ReductionSite
 
 
@@ -29,8 +30,9 @@ class SlrAnalysis:
             automaton = LR0Automaton(grammar)
         self.automaton = automaton
         self.grammar = automaton.grammar
-        self.first_sets = FirstSets(self.grammar)
-        self.follow_sets = FollowSets(self.grammar, self.first_sets)
+        with instrument.span("baseline.slr.follow"):
+            self.first_sets = FirstSets(self.grammar)
+            self.follow_sets = FollowSets(self.grammar, self.first_sets)
 
     def lookahead(self, state_id: int, production_index: int) -> FrozenSet[Symbol]:
         """LA_SLR(q, A -> ω) = FOLLOW(A), independent of q."""

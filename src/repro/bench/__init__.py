@@ -6,6 +6,7 @@ from .harness import (
     cost_row,
     grammar_row,
     measure_methods,
+    profile_pipeline,
     speedup,
     sweep,
     time_callable,
@@ -21,6 +22,7 @@ __all__ = [
     "format_table",
     "grammar_row",
     "measure_methods",
+    "profile_pipeline",
     "speedup",
     "sweep",
     "time_callable",

@@ -22,6 +22,7 @@ from ..automaton.lr0 import LR0Automaton
 from ..baselines.merge_lr1 import MergedLr1Analysis
 from ..baselines.propagation import PropagationAnalysis
 from ..baselines.slr import SlrAnalysis
+from ..core import instrument
 from ..core.lalr import LalrAnalysis
 from ..grammar.grammar import Grammar
 
@@ -120,3 +121,92 @@ def sweep(
 ) -> "List[Tuple[int, Dict[str, float]]]":
     """Run *measure* over *family* at each size (the Figure workloads)."""
     return [(n, measure(family(n))) for n in sizes]
+
+
+def profile_pipeline(
+    grammar: Grammar,
+    method: str = "lalr1",
+    tokens: "Sequence | None" = None,
+    cache: "object | None" = None,
+) -> "instrument.ProfileCollector":
+    """Profile the full pipeline for *grammar* and return the collector.
+
+    Runs grammar -> LR(0) -> relations -> Digraph x2 -> LA -> table fill
+    (via *cache* when given a :class:`repro.tables.cache.TableCache`),
+    plus one engine run over *tokens* when provided.  The result's
+    ``as_dict()`` is the machine-readable profile the benchmarks diff
+    across commits; its ``format()`` is the CLI ``--profile`` breakdown.
+    """
+    from ..parser.engine import Parser
+    from ..tables import build
+
+    builders = {
+        "lr0": build.build_lr0_table,
+        "slr1": build.build_slr_table,
+        "lalr1": build.build_lalr_table,
+        "clr1": build.build_clr_table,
+    }
+    builder = builders[method]
+    grammar = grammar.augmented()
+    with instrument.profile() as collector:
+        with instrument.span("pipeline"):
+            if cache is not None:
+                table = cache.load_or_build(grammar, method, builder)
+            else:
+                table = builder(grammar)
+            if tokens is not None and table.is_deterministic:
+                Parser(table).accepts(tokens)
+    return collector
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """``python -m repro.bench.harness`` — time/profile lookahead methods.
+
+    With ``--profile``, prints the per-phase breakdown for each grammar
+    and optionally writes the machine-readable profile JSON (one file per
+    grammar) for cross-commit diffing.
+    """
+    import argparse
+    import json
+    import os
+
+    from ..grammar.reader import load_grammar_file
+    from ..grammars import corpus
+
+    parser = argparse.ArgumentParser(prog="repro.bench.harness")
+    parser.add_argument("grammars", nargs="+",
+                        help="grammar files or corpus:<name> specs")
+    parser.add_argument("--method", default="lalr1",
+                        choices=["lr0", "slr1", "lalr1", "clr1"])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-phase pipeline breakdown")
+    parser.add_argument("--profile-dir", default="",
+                        help="also write one profile JSON per grammar here")
+    args = parser.parse_args(argv)
+
+    for spec in args.grammars:
+        if spec.startswith("corpus:"):
+            name, grammar = spec.split(":", 1)[1], corpus.load(spec.split(":", 1)[1])
+        else:
+            name, grammar = os.path.basename(spec), load_grammar_file(spec)
+        print(f"== {name} ==")
+        if args.profile:
+            collector = profile_pipeline(grammar, method=args.method)
+            print(collector.format())
+            if args.profile_dir:
+                os.makedirs(args.profile_dir, exist_ok=True)
+                out = os.path.join(args.profile_dir, f"{name}.{args.method}.json")
+                with open(out, "w", encoding="utf-8") as handle:
+                    handle.write(collector.to_json())
+                print(f"wrote {out}")
+        else:
+            for method, seconds in measure_methods(grammar, repeats=args.repeats).items():
+                print(f"  {method:20s} {seconds * 1e3:10.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command> <grammar-file>``.
 
 Commands:
+    pipeline   Run the full build pipeline (the default command).
     classify   Report the grammar's LR-hierarchy class and diagnostics.
     la         Print every LALR(1) look-ahead set (DeRemer-Pennello).
     table      Print the parse table for a chosen construction.
@@ -12,6 +13,12 @@ Commands:
     dot        Emit Graphviz DOT for the automaton or a DP relation.
     lint       Report grammar hygiene findings (yacc-style warnings).
     ambiguity  Search for an ambiguous sentence up to a length bound.
+
+``python -m repro <grammar>`` (no command word) runs ``pipeline``; with
+``--profile`` every command prints a per-phase timing/counter breakdown
+at the end, and ``--cache [DIR]`` makes table-building commands load
+tables from the on-disk cache instead of rebuilding (corrupt or stale
+entries rebuild silently).
 
 Grammar files use either supported format (see repro.grammar.reader).
 Corpus grammars can be used anywhere a file is expected via
@@ -26,16 +33,18 @@ from typing import List, Optional
 
 from .automaton import LR0Automaton
 from .bench import format_table, grammar_row
-from .core import LalrAnalysis
+from .core import LalrAnalysis, instrument
 from .grammar import Grammar, load_grammar_file
 from .grammars import corpus
 from .parser import ParseError, Parser
 from .tables import (
+    TableCache,
     build_clr_table,
     build_lalr_table,
     build_lr0_table,
     build_slr_table,
     classify,
+    default_cache_dir,
     generate_parser_module,
 )
 
@@ -51,6 +60,48 @@ def _load(spec: str) -> Grammar:
     if spec.startswith("corpus:"):
         return corpus.load(spec.split(":", 1)[1])
     return load_grammar_file(spec)
+
+
+def _table_for(grammar: Grammar, args) -> "tuple":
+    """(table, cache) for a table-building command, honouring --cache."""
+    method = getattr(args, "method", "lalr1")
+    builder = _BUILDERS[method]
+    augmented = grammar.augmented()
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir:
+        cache = TableCache(cache_dir)
+        return cache.load_or_build(augmented, method, builder), cache
+    return builder(augmented), None
+
+
+def _cmd_pipeline(grammar: Grammar, args) -> int:
+    """Run the whole pipeline: grammar -> LR(0) -> lookaheads -> table
+    (through the cache when enabled), optionally parsing --input."""
+    table, cache = _table_for(grammar, args)
+    summary = table.conflict_summary()
+    print(f"grammar: {grammar.name}")
+    print(f"method: {table.method}")
+    print(f"states: {table.n_states}")
+    print(
+        f"conflicts: {summary['shift_reduce']} shift/reduce, "
+        f"{summary['reduce_reduce']} reduce/reduce, "
+        f"{summary['resolved']} resolved by precedence"
+    )
+    if cache is not None:
+        stats = cache.stats()
+        verdict = "hit" if stats["hits"] else (
+            "rebuilt (corrupt entry)" if stats["corrupt"] else "miss"
+        )
+        print(f"cache: {verdict} ({cache.directory})")
+    if args.input:
+        parser = Parser(table)
+        try:
+            parser.parse(args.input.split())
+        except ParseError as error:
+            print(f"input: invalid ({error})")
+            return 1
+        print("input: valid")
+    return 0 if table.is_deterministic else 1
 
 
 def _cmd_classify(grammar: Grammar, args) -> int:
@@ -74,7 +125,7 @@ def _cmd_la(grammar: Grammar, args) -> int:
 
 
 def _cmd_table(grammar: Grammar, args) -> int:
-    table = _BUILDERS[args.method](grammar.augmented())
+    table, _ = _table_for(grammar, args)
     print(table.format(max_states=args.max_states))
     summary = table.conflict_summary()
     print(
@@ -113,7 +164,7 @@ def _cmd_conflicts(grammar: Grammar, args) -> int:
 
 
 def _cmd_parse(grammar: Grammar, args) -> int:
-    table = _BUILDERS[args.method](grammar.augmented())
+    table, _ = _table_for(grammar, args)
     parser = Parser(table)
     tokens = args.input.split()
     try:
@@ -128,7 +179,7 @@ def _cmd_parse(grammar: Grammar, args) -> int:
 
 
 def _cmd_generate(grammar: Grammar, args) -> int:
-    table = _BUILDERS[args.method](grammar.augmented())
+    table, _ = _table_for(grammar, args)
     source = generate_parser_module(table, name=grammar.name)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -179,6 +230,20 @@ def _cmd_lint(grammar: Grammar, args) -> int:
     return 1 if any(w.severity == "error" for w in findings) else 0
 
 
+def _print_profile(collector: "instrument.ProfileCollector", json_path: str) -> None:
+    print()
+    print(collector.format())
+    tokens = collector.counters.get("parse.tokens", 0)
+    parse_seconds = collector.total("parse.run")
+    if tokens and parse_seconds > 0:
+        print(f"throughput: {tokens / parse_seconds:,.0f} tokens/sec "
+              f"({tokens} tokens in {parse_seconds * 1e3:.3f} ms)")
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(collector.to_json())
+        print(f"wrote profile to {json_path}")
+
+
 def main(argv: "Optional[List[str]]" = None) -> int:
     """Entry point: parse *argv* (default sys.argv) and run the command."""
     parser = argparse.ArgumentParser(
@@ -187,11 +252,27 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add(name, fn, **extra_args):
+    def add(name, fn, cache: bool = False, **extra_args):
         command = sub.add_parser(name, help=fn.__doc__)
         command.add_argument("grammar", help="grammar file or corpus:<name>")
+        command.add_argument("--profile", action="store_true",
+                             help="print a per-phase timing/counter breakdown")
+        command.add_argument("--profile-json", default="", metavar="FILE",
+                             help="also write the profile as JSON to FILE")
+        if cache:
+            command.add_argument(
+                "--cache", nargs="?", const=default_cache_dir(), default="",
+                metavar="DIR",
+                help="load/store the parse table in an on-disk cache "
+                     "(default DIR: $REPRO_TABLE_CACHE or the system tmp)",
+            )
         command.set_defaults(fn=fn)
         return command
+
+    pipeline_cmd = add("pipeline", _cmd_pipeline, cache=True)
+    pipeline_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    pipeline_cmd.add_argument("--input", default="",
+                              help="whitespace-separated terminals to parse")
 
     add("classify", _cmd_classify).add_argument(
         "--use-precedence", action="store_true",
@@ -199,7 +280,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     )
     add("la", _cmd_la)
 
-    table_cmd = add("table", _cmd_table)
+    table_cmd = add("table", _cmd_table, cache=True)
     table_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
     table_cmd.add_argument("--max-states", type=int, default=0)
 
@@ -211,7 +292,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     conflicts_cmd.add_argument("--explain", action="store_true",
                                help="print an example input reaching each conflict")
 
-    parse_cmd = add("parse", _cmd_parse)
+    parse_cmd = add("parse", _cmd_parse, cache=True)
     parse_cmd.add_argument("--input", required=True,
                            help="whitespace-separated terminal names")
     parse_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
@@ -219,7 +300,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
 
     add("stats", _cmd_stats)
 
-    generate_cmd = add("generate", _cmd_generate)
+    generate_cmd = add("generate", _cmd_generate, cache=True)
     generate_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
     generate_cmd.add_argument("--output", "-o", default="",
                               help="write to file instead of stdout")
@@ -236,7 +317,20 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ambiguity_cmd.add_argument("--bound", type=int, default=6,
                                help="max sentence length to search (default 6)")
 
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Default command: `python -m repro <grammar> [flags]` runs `pipeline`.
+    if argv and not argv[0].startswith("-") and argv[0] not in sub.choices:
+        argv.insert(0, "pipeline")
+
     args = parser.parse_args(argv)
+    if getattr(args, "profile", False):
+        with instrument.profile() as collector:
+            grammar = _load(args.grammar)
+            code = args.fn(grammar, args)
+        _print_profile(collector, args.profile_json)
+        return code
     grammar = _load(args.grammar)
     return args.fn(grammar, args)
 

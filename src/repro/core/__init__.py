@@ -1,7 +1,9 @@
 """The paper's contribution: DeRemer-Pennello LALR(1) look-ahead sets."""
 
+from . import instrument
 from .bitset import TerminalVocabulary
 from .digraph import DigraphStats, digraph, naive_closure
+from .instrument import ProfileCollector, profile, span
 from .lalr import LalrAnalysis, compute_lookaheads
 from .relations import LalrRelations
 
@@ -9,8 +11,12 @@ __all__ = [
     "DigraphStats",
     "LalrAnalysis",
     "LalrRelations",
+    "ProfileCollector",
     "TerminalVocabulary",
     "compute_lookaheads",
     "digraph",
+    "instrument",
     "naive_closure",
+    "profile",
+    "span",
 ]

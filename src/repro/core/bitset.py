@@ -25,6 +25,20 @@ from ..grammar.symbols import Symbol
 EMPTY = 0
 
 
+def _popcount_fallback(mask: int) -> int:
+    """Popcount for Python < 3.10, where ``int.bit_count`` is missing."""
+    return bin(mask).count("1")
+
+
+#: Fastest available popcount: ``int.bit_count`` is a single C call on
+#: Python >= 3.10; the string-formatting fallback is kept (and tested)
+#: for older interpreters.
+if hasattr(int, "bit_count"):
+    popcount = int.bit_count
+else:  # pragma: no cover - exercised directly via _popcount_fallback
+    popcount = _popcount_fallback
+
+
 class TerminalVocabulary:
     """Bidirectional mapping terminal <-> bit position for one grammar."""
 
@@ -62,7 +76,7 @@ class TerminalVocabulary:
 
     def count(self, mask: int) -> int:
         """Number of terminals in *mask* (popcount)."""
-        return bin(mask).count("1")
+        return popcount(mask)
 
     def contains(self, mask: int, terminal: Symbol) -> bool:
         return bool(mask >> self._bit_of[terminal] & 1)

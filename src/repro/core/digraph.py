@@ -40,6 +40,8 @@ from typing import (
     TypeVar,
 )
 
+from . import instrument
+
 Node = TypeVar("Node", bound=Hashable)
 
 #: Sentinel "visited, finished" depth — any real stack depth is smaller.
@@ -90,6 +92,11 @@ def digraph(
         node or a self-loop.  (The paper's LR(k)/LALR(1) diagnostics hang
         off these components.)
     """
+    observing = instrument.enabled()
+    if observing and stats is None:
+        stats = DigraphStats()
+    before = stats.as_dict() if observing else None
+
     depth: Dict[Node, float] = {}
     result: Dict[Node, int] = {}
     stack: List[Node] = []
@@ -158,6 +165,12 @@ def digraph(
                     if stats is not None:
                         stats.nontrivial_sccs += 1
                         stats.scc_members += len(component)
+    if observing:
+        # stats may be shared across calls; absorb only this call's delta.
+        after = stats.as_dict()
+        instrument.absorb(
+            "digraph", {key: after[key] - before[key] for key in after}
+        )
     return result, nontrivial
 
 

@@ -1,0 +1,240 @@
+"""Pipeline observability: spans, counters, and profile export.
+
+The paper's headline claim — LALR(1) look-ahead computation linear in the
+size of the relations — is only checkable if every phase of the pipeline
+(grammar -> LR(0) -> relations -> Digraph -> table build -> serialize ->
+parse) is measurable.  This module is the measurement substrate:
+
+- :func:`span` — a nestable context manager marking one timed phase
+  (``with span("lr0.build"): ...``).  Durations come from the monotonic
+  clock (``time.perf_counter``), so they are immune to wall-clock steps.
+- :func:`count` / :func:`absorb` — a counter registry that unifies the
+  ad-hoc operation counters (`DigraphStats`, ``LalrRelations.stats()``,
+  parser actions) under one namespace.
+- :func:`profile` — enables collection on the current thread and yields
+  the :class:`ProfileCollector` holding the results.
+
+**Zero overhead when disabled** is the design constraint: every public
+hook first checks the thread-local *active collector*; when none is
+installed, :func:`span` returns a shared no-op context manager and
+:func:`count` returns immediately — no allocation, no clock read.  The
+pipeline can therefore stay instrumented unconditionally.
+
+Collection is **thread-local**: two threads profiling concurrently never
+see each other's spans, which is what lets the bench harness profile
+grammars in parallel workers.
+
+Export is JSON-safe (:meth:`ProfileCollector.as_dict`) for the
+machine-readable profiles the benchmarks diff across commits, and
+plain-text (:meth:`ProfileCollector.format`) for the CLI ``--profile``
+breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ProfileCollector",
+    "SpanRecord",
+    "absorb",
+    "count",
+    "enabled",
+    "profile",
+    "span",
+]
+
+_tls = threading.local()
+
+
+def _active() -> "Optional[ProfileCollector]":
+    return getattr(_tls, "collector", None)
+
+
+def enabled() -> bool:
+    """True when a collector is active on this thread."""
+    return _active() is not None
+
+
+class SpanRecord:
+    """One completed span: dotted name, nesting path, and duration."""
+
+    __slots__ = ("name", "path", "seconds", "depth")
+
+    def __init__(self, name: str, path: Tuple[str, ...], seconds: float):
+        self.name = name
+        self.path = path
+        self.seconds = seconds
+        self.depth = len(path) - 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "path": "/".join(self.path),
+            "seconds": self.seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanRecord({'/'.join(self.path)}, {self.seconds:.6f}s)"
+
+
+class ProfileCollector:
+    """Accumulates spans and counters for one profiled region.
+
+    Attributes:
+        spans: Completed spans in *completion* order (children before
+            parents, as with any post-order traversal).
+        counters: Flat ``name -> int`` counter registry.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, int] = {}
+        self._stack: List[str] = []
+
+    # -- recording (used by the module-level hooks) --------------------
+
+    def _open(self, name: str) -> None:
+        self._stack.append(name)
+
+    def _close(self, name: str, seconds: float) -> None:
+        path = tuple(self._stack)
+        self._stack.pop()
+        self.spans.append(SpanRecord(name, path, seconds))
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def absorb(self, prefix: str, counters: Dict[str, int]) -> None:
+        """Merge a legacy counter dict (e.g. ``DigraphStats.as_dict()``)
+        under ``prefix.``-qualified names."""
+        for key, value in counters.items():
+            self.count(f"{prefix}.{key}", value)
+
+    # -- queries -------------------------------------------------------
+
+    def total(self, name: str) -> float:
+        """Summed seconds of every span called *name* (all nestings)."""
+        return sum(s.seconds for s in self.spans if s.name == name)
+
+    def phase_totals(self) -> "Dict[str, float]":
+        """Per-name summed durations, ordered by first completion."""
+        totals: Dict[str, float] = {}
+        for record in self.spans:
+            totals[record.name] = totals.get(record.name, 0.0) + record.seconds
+        return totals
+
+    # -- export --------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe profile: spans, per-phase totals, and counters."""
+        return {
+            "spans": [s.as_dict() for s in self.spans],
+            "phases": self.phase_totals(),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def format(self) -> str:
+        """Human-readable per-phase breakdown for the CLI ``--profile``."""
+        lines: List[str] = ["phase breakdown (seconds):"]
+        totals = self.phase_totals()
+        if totals:
+            width = max(len(name) for name in totals)
+            for name, seconds in totals.items():
+                lines.append(f"  {name.ljust(width)}  {seconds * 1e3:10.3f} ms")
+        else:
+            lines.append("  (no spans recorded)")
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name.ljust(width)}  {value:>12}")
+        return "\n".join(lines)
+
+
+class _Span:
+    """A live span bound to a collector; created only when enabled."""
+
+    __slots__ = ("_collector", "_name", "_start")
+
+    def __init__(self, collector: ProfileCollector, name: str):
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._collector._open(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        seconds = time.perf_counter() - self._start
+        self._collector._close(self._name, seconds)
+
+
+class _NullSpan:
+    """Shared, stateless no-op span — the disabled-mode fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str) -> "_Span | _NullSpan":
+    """Context manager timing one named phase on the active collector.
+
+    Disabled mode (no active collector) returns a shared no-op object:
+    no allocation, no clock read.
+    """
+    collector = _active()
+    if collector is None:
+        return _NULL_SPAN
+    return _Span(collector, name)
+
+
+def count(name: str, value: int = 1) -> None:
+    """Add *value* to counter *name* (no-op when disabled)."""
+    collector = _active()
+    if collector is not None:
+        collector.count(name, value)
+
+
+def absorb(prefix: str, counters: Dict[str, int]) -> None:
+    """Merge a counter dict under *prefix* (no-op when disabled)."""
+    collector = _active()
+    if collector is not None:
+        collector.absorb(prefix, counters)
+
+
+class profile:
+    """Enable collection on this thread: ``with profile() as prof: ...``.
+
+    Nested ``profile()`` blocks each get their own collector; the outer
+    one is restored (and stops receiving events) until the inner block
+    exits.  Works as a plain context manager so callers keep the
+    collector object after the block closes.
+    """
+
+    def __init__(self) -> None:
+        self.collector = ProfileCollector()
+        self._previous: Optional[ProfileCollector] = None
+
+    def __enter__(self) -> ProfileCollector:
+        self._previous = _active()
+        _tls.collector = self.collector
+        return self.collector
+
+    def __exit__(self, *exc) -> None:
+        _tls.collector = self._previous

@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, List
 from ..automaton.lr0 import LR0Automaton
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import Symbol
+from . import instrument
 from .bitset import TerminalVocabulary
 from .digraph import DigraphStats, digraph
 from .relations import LalrRelations, ReductionSite, Transition
@@ -64,29 +65,33 @@ class LalrAnalysis:
         transitions = self.relations.transitions
 
         # Phase 1: Read = Digraph over `reads`, seeded with DR.
-        self.read_sets, self.reads_sccs = digraph(
-            transitions,
-            lambda t: self.relations.reads[t],
-            lambda t: self.relations.dr[t],
-            self.stats,
-        )
+        with instrument.span("lalr.digraph.reads"):
+            self.read_sets, self.reads_sccs = digraph(
+                transitions,
+                lambda t: self.relations.reads[t],
+                lambda t: self.relations.dr[t],
+                self.stats,
+            )
 
         # Phase 2: Follow = Digraph over `includes`, seeded with Read.
-        self.follow_sets, self.includes_sccs = digraph(
-            transitions,
-            lambda t: self.relations.includes[t],
-            lambda t: self.read_sets[t],
-            self.stats,
-        )
+        with instrument.span("lalr.digraph.includes"):
+            self.follow_sets, self.includes_sccs = digraph(
+                transitions,
+                lambda t: self.relations.includes[t],
+                lambda t: self.read_sets[t],
+                self.stats,
+            )
 
         # Phase 3: LA = union of Follow over `lookback`.
-        self.la_masks: Dict[ReductionSite, int] = {}
-        for site, lookback_edges in self.relations.lookback.items():
-            mask = 0
-            for transition in lookback_edges:
-                mask |= self.follow_sets[transition]
-                self.stats.unions += 1
-            self.la_masks[site] = mask
+        with instrument.span("lalr.la"):
+            self.la_masks: Dict[ReductionSite, int] = {}
+            for site, lookback_edges in self.relations.lookback.items():
+                mask = 0
+                for transition in lookback_edges:
+                    mask |= self.follow_sets[transition]
+                    self.stats.unions += 1
+                self.la_masks[site] = mask
+        instrument.count("lalr.lookahead_sites", len(self.la_masks))
 
     # -- diagnostics -----------------------------------------------------
 

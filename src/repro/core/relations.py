@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Tuple
 from ..analysis.nullable import nullable_nonterminals
 from ..automaton.lr0 import LR0Automaton
 from ..grammar.symbols import Symbol
+from . import instrument
 from .bitset import TerminalVocabulary
 
 #: A nonterminal transition: (source state id, nonterminal symbol).
@@ -72,8 +73,11 @@ class LalrRelations:
         }
         self.lookback: Dict[ReductionSite, List[Transition]] = {}
 
-        self._compute_dr_and_reads()
-        self._compute_includes_and_lookback()
+        with instrument.span("lalr.relations"):
+            self._compute_dr_and_reads()
+            self._compute_includes_and_lookback()
+        if instrument.enabled():
+            instrument.absorb("relations", self.stats())
 
     # -- DR and reads --------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, NamedTuple, Sequence, Union
 
+from ..core import instrument
 from ..grammar.grammar import Grammar
 from ..grammar.production import Production
 from ..grammar.symbols import Symbol
@@ -102,8 +103,12 @@ class Parser:
 
     def _normalise(self, token: TokenLike, position: int) -> Token:
         if isinstance(token, Token):
+            if token.symbol.is_nonterminal:
+                raise self._not_a_terminal(token.symbol.name, position)
             return token
         if isinstance(token, Symbol):
+            if token.is_nonterminal:
+                raise self._not_a_terminal(token.name, position)
             return Token(token, token.name)
         if isinstance(token, str):
             symbol = self.grammar.symbols.get(token)
@@ -118,7 +123,26 @@ class Parser:
             return Token(symbol, token)
         raise TypeError(f"cannot interpret token {token!r}")
 
+    def _not_a_terminal(self, name: str, position: int) -> ParseError:
+        return ParseError(
+            f"token at position {position} is the nonterminal {name!r}; "
+            f"only terminals can appear in the input",
+            position,
+            None,
+            state=-1,
+            expected=[],
+        )
+
     def _run(
+        self,
+        tokens: Iterable[TokenLike],
+        reduce_fn: Callable[[Production, Sequence[object]], object],
+        shift_fn: Callable[[Token], object],
+    ) -> object:
+        with instrument.span("parse.run"):
+            return self._run_loop(tokens, reduce_fn, shift_fn)
+
+    def _run_loop(
         self,
         tokens: Iterable[TokenLike],
         reduce_fn: Callable[[Production, Sequence[object]], object],
@@ -128,53 +152,75 @@ class Parser:
         state_stack: List[int] = [0]
         value_stack: List[object] = []
 
-        stream = list(tokens)
+        # Pull tokens lazily: the stream may be an unbounded generator, so
+        # peak memory must stay O(parse stack), never O(input length).
+        stream = iter(tokens)
+        eof_token = Token(self._eof, None)
         position = 0
-        limit = len(stream)
+        shifts = 0
+        reduces = 0
 
-        while True:
-            if position < limit:
-                token = self._normalise(stream[position], position)
-            else:
-                token = Token(self._eof, None)
-            lookahead = token.symbol
+        try:
+            raw = next(stream)
+        except StopIteration:
+            token = eof_token
+        else:
+            token = self._normalise(raw, position)
 
-            action = table.action(state_stack[-1], lookahead)
-            if action is None:
-                raise self._syntax_error(position, token, state_stack[-1])
-            if action.kind == "shift":
-                value_stack.append(shift_fn(token))
-                state_stack.append(action.state)
-                position += 1
-                continue
-            if action.kind == "reduce":
-                production = self.grammar.productions[action.production]
-                arity = len(production.rhs)
-                if arity:
-                    children = value_stack[-arity:]
-                    del value_stack[-arity:]
-                    del state_stack[-arity:]
-                else:
-                    children = []
-                value_stack.append(reduce_fn(production, children))
-                goto = table.goto(state_stack[-1], production.lhs)
-                if goto is None:  # pragma: no cover - tables are consistent
+        try:
+            while True:
+                lookahead = token.symbol
+
+                action = table.action(state_stack[-1], lookahead)
+                if action is None:
                     raise self._syntax_error(position, token, state_stack[-1])
-                state_stack.append(goto)
-                continue
-            # accept: the value stack holds exactly the start symbol's value.
-            assert action.kind == "accept"
-            if lookahead is not self._eof:  # pragma: no cover - table invariant
-                raise self._syntax_error(position, token, state_stack[-1])
-            if len(value_stack) != 1:  # pragma: no cover - table invariant
-                raise ParseError(
-                    "internal error: value stack not a singleton at accept",
-                    position,
-                    lookahead,
-                    state_stack[-1],
-                    [],
-                )
-            return value_stack[0]
+                if action.kind == "shift":
+                    value_stack.append(shift_fn(token))
+                    state_stack.append(action.state)
+                    position += 1
+                    shifts += 1
+                    try:
+                        raw = next(stream)
+                    except StopIteration:
+                        token = eof_token
+                    else:
+                        token = self._normalise(raw, position)
+                    continue
+                if action.kind == "reduce":
+                    production = self.grammar.productions[action.production]
+                    arity = len(production.rhs)
+                    if arity:
+                        children = value_stack[-arity:]
+                        del value_stack[-arity:]
+                        del state_stack[-arity:]
+                    else:
+                        children = []
+                    value_stack.append(reduce_fn(production, children))
+                    goto = table.goto(state_stack[-1], production.lhs)
+                    if goto is None:  # pragma: no cover - tables are consistent
+                        raise self._syntax_error(position, token, state_stack[-1])
+                    state_stack.append(goto)
+                    reduces += 1
+                    continue
+                # accept: the value stack holds exactly the start symbol's value.
+                assert action.kind == "accept"
+                if lookahead is not self._eof:  # pragma: no cover - table invariant
+                    raise self._syntax_error(position, token, state_stack[-1])
+                if len(value_stack) != 1:  # pragma: no cover - table invariant
+                    raise ParseError(
+                        "internal error: value stack not a singleton at accept",
+                        position,
+                        lookahead,
+                        state_stack[-1],
+                        [],
+                    )
+                return value_stack[0]
+        finally:
+            if instrument.enabled():
+                instrument.count("parse.tokens", position)
+                instrument.count("parse.shifts", shifts)
+                instrument.count("parse.reduces", reduces)
+                instrument.count("parse.actions", shifts + reduces)
 
     def _syntax_error(self, position: int, token: Token, state: int) -> ParseError:
         expected = sorted(

@@ -1,7 +1,14 @@
 """Parse tables, conflicts, precedence resolution, and classification."""
 
 from .build import build_clr_table, build_lalr_table, build_lr0_table, build_slr_table
-from .serialize import load_table, save_table, table_from_dict, table_to_dict
+from .cache import TableCache, default_cache_dir
+from .serialize import (
+    TableCacheError,
+    load_table,
+    save_table,
+    table_from_dict,
+    table_to_dict,
+)
 from .explain import ConflictExample, explain_conflict, explain_table_conflicts
 from .codegen import generate_parser_module, write_parser_module
 from .compress import CompressedTable, compress, compression_ratio
@@ -18,6 +25,9 @@ __all__ = [
     "ConflictExample",
     "explain_conflict",
     "explain_table_conflicts",
+    "TableCache",
+    "TableCacheError",
+    "default_cache_dir",
     "load_table",
     "save_table",
     "table_from_dict",

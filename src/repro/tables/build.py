@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, List
 from ..automaton.lr0 import LR0Automaton
 from ..automaton.lr1 import LR1Automaton
 from ..baselines.slr import SlrAnalysis
+from ..core import instrument
 from ..core.lalr import LalrAnalysis
 from ..core.relations import ReductionSite
 from ..grammar.grammar import Grammar
@@ -34,28 +35,30 @@ def build_lr0_table(
     grammar: Grammar, automaton: "LR0Automaton | None" = None
 ) -> ParseTable:
     """The LR(0) table: final items reduce on *every* terminal."""
-    if automaton is None:
-        automaton = LR0Automaton(grammar)
-    all_terminals = frozenset(automaton.grammar.terminals)
+    with instrument.span("table.build.lr0"):
+        if automaton is None:
+            automaton = LR0Automaton(grammar)
+        all_terminals = frozenset(automaton.grammar.terminals)
 
-    def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
-        return all_terminals
+        def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
+            return all_terminals
 
-    return _fill_lr0_based(automaton, "lr0", lookaheads)
+        return _fill_lr0_based(automaton, "lr0", lookaheads)
 
 
 def build_slr_table(
     grammar: Grammar, automaton: "LR0Automaton | None" = None
 ) -> ParseTable:
     """The SLR(1) table: reduce on FOLLOW of the production's lhs."""
-    if automaton is None:
-        automaton = LR0Automaton(grammar)
-    analysis = SlrAnalysis(grammar, automaton)
+    with instrument.span("table.build.slr1"):
+        if automaton is None:
+            automaton = LR0Automaton(grammar)
+        analysis = SlrAnalysis(grammar, automaton)
 
-    def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
-        return analysis.lookahead(*site)
+        def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
+            return analysis.lookahead(*site)
 
-    return _fill_lr0_based(automaton, "slr1", lookaheads)
+        return _fill_lr0_based(automaton, "slr1", lookaheads)
 
 
 def build_lalr_table(
@@ -69,15 +72,16 @@ def build_lalr_table(
     *lookahead_table* (e.g. from a baseline) to build from other sources —
     the classifier and the equivalence tests use this hook.
     """
-    if automaton is None:
-        automaton = LR0Automaton(grammar)
-    if lookahead_table is None:
-        lookahead_table = LalrAnalysis(grammar, automaton).lookahead_table()
+    with instrument.span("table.build.lalr1"):
+        if automaton is None:
+            automaton = LR0Automaton(grammar)
+        if lookahead_table is None:
+            lookahead_table = LalrAnalysis(grammar, automaton).lookahead_table()
 
-    def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
-        return lookahead_table.get(site, frozenset())
+        def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
+            return lookahead_table.get(site, frozenset())
 
-    return _fill_lr0_based(automaton, "lalr1", lookaheads)
+        return _fill_lr0_based(automaton, "lalr1", lookaheads)
 
 
 def _fill_lr0_based(
@@ -91,32 +95,37 @@ def _fill_lr0_based(
     gotos: List[Dict[Symbol, int]] = []
     conflicts: List[Conflict] = []
 
-    for state in automaton.states:
-        action_row: Dict[Symbol, Action] = {}
-        goto_row: Dict[Symbol, int] = {}
-        for symbol, successor in state.transitions.items():
-            if symbol.is_nonterminal:
-                goto_row[symbol] = successor
-            elif symbol is eof:
-                # goto on $end exists only from the item S' -> S . $end.
-                action_row[eof] = ACCEPT
-            else:
-                action_row[symbol] = Shift(successor)
-        for item in state.reductions:
-            if item.production == 0:
-                continue
-            reduce_action = Reduce(item.production)
-            for terminal in lookaheads_for((state.state_id, item.production)):
-                _place(
-                    grammar,
-                    actions_row=action_row,
-                    state_id=state.state_id,
-                    terminal=terminal,
-                    new_action=reduce_action,
-                    conflicts=conflicts,
-                )
-        actions.append(action_row)
-        gotos.append(goto_row)
+    with instrument.span("table.fill"):
+        for state in automaton.states:
+            action_row: Dict[Symbol, Action] = {}
+            goto_row: Dict[Symbol, int] = {}
+            for symbol, successor in state.transitions.items():
+                if symbol.is_nonterminal:
+                    goto_row[symbol] = successor
+                elif symbol is eof:
+                    # goto on $end exists only from the item S' -> S . $end.
+                    action_row[eof] = ACCEPT
+                else:
+                    action_row[symbol] = Shift(successor)
+            for item in state.reductions:
+                if item.production == 0:
+                    continue
+                reduce_action = Reduce(item.production)
+                for terminal in lookaheads_for((state.state_id, item.production)):
+                    _place(
+                        grammar,
+                        actions_row=action_row,
+                        state_id=state.state_id,
+                        terminal=terminal,
+                        new_action=reduce_action,
+                        conflicts=conflicts,
+                    )
+            actions.append(action_row)
+            gotos.append(goto_row)
+    if instrument.enabled():
+        instrument.count("table.states", len(actions))
+        instrument.count("table.action_cells", sum(len(row) for row in actions))
+        instrument.count("table.conflicts", len(conflicts))
     return ParseTable(grammar, method, actions, gotos, conflicts)
 
 
@@ -124,40 +133,46 @@ def build_clr_table(
     grammar: Grammar, lr1: "LR1Automaton | None" = None
 ) -> ParseTable:
     """The canonical LR(1) table (Knuth), on the LR(1) automaton's states."""
-    if lr1 is None:
-        lr1 = LR1Automaton(grammar.augmented() if not grammar.is_augmented else grammar)
-    grammar = lr1.grammar
-    eof = grammar.eof
-    actions: List[Dict[Symbol, Action]] = []
-    gotos: List[Dict[Symbol, int]] = []
-    conflicts: List[Conflict] = []
+    with instrument.span("table.build.clr1"):
+        if lr1 is None:
+            lr1 = LR1Automaton(grammar.augmented() if not grammar.is_augmented else grammar)
+        grammar = lr1.grammar
+        eof = grammar.eof
+        actions: List[Dict[Symbol, Action]] = []
+        gotos: List[Dict[Symbol, int]] = []
+        conflicts: List[Conflict] = []
 
-    for state in lr1.states:
-        action_row: Dict[Symbol, Action] = {}
-        goto_row: Dict[Symbol, int] = {}
-        for symbol, successor in state.transitions.items():
-            if symbol.is_nonterminal:
-                goto_row[symbol] = successor
-            elif symbol is eof:
-                action_row[eof] = ACCEPT
-            else:
-                action_row[symbol] = Shift(successor)
-        for production_index, lookahead_set in lr1.reductions(state.state_id):
-            if production_index == 0:
-                continue
-            reduce_action = Reduce(production_index)
-            for terminal in lookahead_set:
-                _place(
-                    grammar,
-                    actions_row=action_row,
-                    state_id=state.state_id,
-                    terminal=terminal,
-                    new_action=reduce_action,
-                    conflicts=conflicts,
-                )
-        actions.append(action_row)
-        gotos.append(goto_row)
-    return ParseTable(grammar, "clr1", actions, gotos, conflicts)
+        with instrument.span("table.fill"):
+            for state in lr1.states:
+                action_row: Dict[Symbol, Action] = {}
+                goto_row: Dict[Symbol, int] = {}
+                for symbol, successor in state.transitions.items():
+                    if symbol.is_nonterminal:
+                        goto_row[symbol] = successor
+                    elif symbol is eof:
+                        action_row[eof] = ACCEPT
+                    else:
+                        action_row[symbol] = Shift(successor)
+                for production_index, lookahead_set in lr1.reductions(state.state_id):
+                    if production_index == 0:
+                        continue
+                    reduce_action = Reduce(production_index)
+                    for terminal in lookahead_set:
+                        _place(
+                            grammar,
+                            actions_row=action_row,
+                            state_id=state.state_id,
+                            terminal=terminal,
+                            new_action=reduce_action,
+                            conflicts=conflicts,
+                        )
+                actions.append(action_row)
+                gotos.append(goto_row)
+        if instrument.enabled():
+            instrument.count("table.states", len(actions))
+            instrument.count("table.action_cells", sum(len(row) for row in actions))
+            instrument.count("table.conflicts", len(conflicts))
+        return ParseTable(grammar, "clr1", actions, gotos, conflicts)
 
 
 def _place(

@@ -1,0 +1,162 @@
+"""Fingerprint-keyed on-disk parse-table cache — the fast startup path.
+
+Production parser generators never rebuild tables on every run; they
+persist them and key the cache on a hash of the grammar, so application
+startup is a single file read.  :class:`TableCache` is that layer:
+
+- **Keying**: ``<method>-<grammar fingerprint>.json`` — a changed grammar
+  changes the fingerprint, so stale entries are simply never looked up
+  (and a fingerprint mismatch inside the file is treated as a miss too).
+- **Crash safety**: writes go through :func:`~repro.tables.serialize
+  .save_table` (temp file + ``os.replace``), so the cache never holds a
+  torn file.  Reads that hit a corrupt or truncated entry (a crash from
+  a pre-atomic writer, disk damage, a concurrent truncation) count a
+  ``table.cache.corrupt`` event, delete the bad entry, and **rebuild
+  instead of crashing** — the cache is an accelerator, never a new
+  failure mode.
+- **Observability**: every hit/miss/corrupt/store event both increments
+  instance counters and flows through :mod:`repro.core.instrument`, so a
+  ``--profile`` run shows cache behaviour next to phase timings.
+
+Tables with unresolved conflicts are not cacheable (the serialiser
+refuses them); :meth:`TableCache.load_or_build` returns such tables
+uncached rather than failing the build.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from ..core import instrument
+from ..grammar.grammar import Grammar
+from .serialize import TableCacheError, grammar_fingerprint, load_table, save_table
+from .table import ParseTable
+
+__all__ = ["TableCache", "default_cache_dir"]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_TABLE_CACHE"
+
+
+def default_cache_dir() -> str:
+    """The cache directory examples and the CLI use by default:
+    ``$REPRO_TABLE_CACHE`` if set, else ``<tmp>/repro-table-cache``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return override
+    import tempfile
+
+    return os.path.join(tempfile.gettempdir(), "repro-table-cache")
+
+
+class TableCache:
+    """An on-disk cache of serialised parse tables for one directory.
+
+    Args:
+        directory: Where entries live; created lazily on first store.
+
+    Attributes:
+        hits / misses / corrupt / stores: Event counters for this
+            instance (the same events are emitted through the
+            instrumentation layer as ``table.cache.*``).
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.stores = 0
+
+    # -- keying --------------------------------------------------------
+
+    def path_for(self, grammar: Grammar, method: str) -> str:
+        """The cache file for *grammar*/*method* (may not exist)."""
+        fingerprint = grammar_fingerprint(grammar)
+        return os.path.join(self.directory, f"{method}-{fingerprint[:32]}.json")
+
+    # -- read / write ---------------------------------------------------
+
+    def load(self, grammar: Grammar, method: str) -> Optional[ParseTable]:
+        """The cached table, or None on miss/corruption (never raises
+        for a damaged entry — it is deleted and counted instead)."""
+        path = self.path_for(grammar, method)
+        with instrument.span("table.cache.load"):
+            try:
+                table = load_table(path, grammar)
+            except FileNotFoundError:
+                self.misses += 1
+                instrument.count("table.cache.misses")
+                return None
+            except (TableCacheError, OSError):
+                self.corrupt += 1
+                self.misses += 1
+                instrument.count("table.cache.corrupt")
+                instrument.count("table.cache.misses")
+                self._evict(path)
+                return None
+        self.hits += 1
+        instrument.count("table.cache.hits")
+        return table
+
+    def store(self, table: ParseTable) -> bool:
+        """Persist *table*; False (not an exception) when the table is
+        not cacheable (unresolved conflicts) or the disk write fails."""
+        if table.unresolved_conflicts:
+            return False
+        path = self.path_for(table.grammar, table.method)
+        with instrument.span("table.cache.store"):
+            try:
+                os.makedirs(self.directory, exist_ok=True)
+                save_table(table, path)
+            except OSError:
+                return False
+        self.stores += 1
+        instrument.count("table.cache.stores")
+        return True
+
+    def load_or_build(
+        self,
+        grammar: Grammar,
+        method: str,
+        builder: Callable[[Grammar], ParseTable],
+    ) -> ParseTable:
+        """The cached table if present and intact, else ``builder(grammar)``
+        (storing the fresh result for the next run)."""
+        cached = self.load(grammar, method)
+        if cached is not None:
+            return cached
+        table = builder(grammar)
+        self.store(table)
+        return table
+
+    # -- maintenance -----------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        for name in names:
+            if name.endswith(".json"):
+                self._evict(os.path.join(self.directory, name))
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+        }
+
+    @staticmethod
+    def _evict(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass

@@ -15,12 +15,24 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from typing import Dict, List
 
 from ..grammar.grammar import Grammar
 from .table import ACCEPT, Action, ParseTable, Reduce, Shift
 
 FORMAT_VERSION = 1
+
+
+class TableCacheError(ValueError):
+    """A cached table is unusable: corrupt, truncated, from another
+    format version, or built from a different grammar.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; cache layers catch this type specifically and
+    fall back to rebuilding the table instead of crashing.
+    """
 
 
 def grammar_fingerprint(grammar: Grammar) -> str:
@@ -50,14 +62,14 @@ def _encode_action(action: Action) -> "List":
 
 
 def _decode_action(encoded: "List") -> Action:
-    kind = encoded[0]
+    kind = encoded[0] if encoded else None
     if kind == "s":
         return Shift(encoded[1])
     if kind == "r":
         return Reduce(encoded[1])
     if kind == "a":
         return ACCEPT
-    raise ValueError(f"unknown action encoding {encoded!r}")
+    raise TableCacheError(f"unknown action encoding {encoded!r}")
 
 
 def table_to_dict(table: ParseTable) -> Dict:
@@ -83,34 +95,75 @@ def table_to_dict(table: ParseTable) -> Dict:
 
 
 def table_from_dict(data: Dict, grammar: Grammar) -> ParseTable:
-    """Rebuild a ParseTable against *grammar*, verifying the fingerprint."""
+    """Rebuild a ParseTable against *grammar*, verifying the fingerprint.
+
+    Raises :class:`TableCacheError` on any structural defect (wrong
+    format version, fingerprint mismatch, truncated or malformed rows) so
+    callers can treat every failure mode uniformly as "rebuild".
+    """
+    if not isinstance(data, dict):
+        raise TableCacheError(f"table payload is {type(data).__name__}, not an object")
     if data.get("format") != FORMAT_VERSION:
-        raise ValueError(f"unsupported table format {data.get('format')!r}")
+        raise TableCacheError(f"unsupported table format {data.get('format')!r}")
     fingerprint = grammar_fingerprint(grammar)
     if data.get("fingerprint") != fingerprint:
-        raise ValueError(
+        raise TableCacheError(
             "grammar fingerprint mismatch: the table was built from a "
             "different grammar (rebuild instead of loading the cache)"
         )
     symbols = grammar.symbols
-    actions = [
-        {symbols[name]: _decode_action(encoded) for name, encoded in row.items()}
-        for row in data["actions"]
-    ]
-    gotos = [
-        {symbols[name]: target for name, target in row.items()}
-        for row in data["gotos"]
-    ]
-    return ParseTable(grammar, data["method"], actions, gotos, conflicts=[])
+    try:
+        actions = [
+            {symbols[name]: _decode_action(encoded) for name, encoded in row.items()}
+            for row in data["actions"]
+        ]
+        gotos = [
+            {symbols[name]: target for name, target in row.items()}
+            for row in data["gotos"]
+        ]
+        method = data["method"]
+    except TableCacheError:
+        raise
+    except (KeyError, TypeError, AttributeError, IndexError) as error:
+        raise TableCacheError(f"truncated or malformed table payload: {error}") from error
+    return ParseTable(grammar, method, actions, gotos, conflicts=[])
 
 
 def save_table(table: ParseTable, path: str) -> None:
-    """Serialise *table* as JSON to *path*."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(table_to_dict(table), handle)
+    """Serialise *table* as JSON to *path*, atomically.
+
+    The payload is written to a temporary file in the destination
+    directory and moved into place with :func:`os.replace`, so a crash
+    mid-write leaves either the old file or no file — never a truncated
+    one readers would choke on.
+    """
+    payload = table_to_dict(table)
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_table(path: str, grammar: Grammar) -> ParseTable:
-    """Load a table cached by :func:`save_table` for *grammar*."""
+    """Load a table cached by :func:`save_table` for *grammar*.
+
+    Raises :class:`TableCacheError` (not a raw ``JSONDecodeError``) when
+    the file is corrupt or truncated; ``FileNotFoundError`` propagates
+    unchanged so callers can distinguish "missing" from "damaged".
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        return table_from_dict(json.load(handle), grammar)
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise TableCacheError(f"corrupt table file {path!r}: {error}") from error
+    return table_from_dict(data, grammar)

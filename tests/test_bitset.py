@@ -1,6 +1,8 @@
 """Unit tests: terminal bitmask vocabulary."""
 
-from repro.core.bitset import EMPTY, TerminalVocabulary
+import pytest
+
+from repro.core.bitset import EMPTY, TerminalVocabulary, _popcount_fallback, popcount
 from repro.grammar import load_grammar
 
 
@@ -70,3 +72,29 @@ class TestQueries:
         grammar, v = vocab()
         a, b, c = (grammar.symbols[n] for n in "abc")
         assert v.symbols(v.mask([a, b]) | v.mask([b, c])) == frozenset((a, b, c))
+
+
+class TestPopcount:
+    """Both implementations: ``int.bit_count`` (Python >= 3.10, the
+    selected path on this interpreter) and the string-counting fallback."""
+
+    CASES = [0, 1, 2, 3, 0b1011, 2**31, 2**64 - 1, (1 << 200) | 1]
+
+    @pytest.mark.parametrize("mask", CASES)
+    def test_selected_implementation(self, mask):
+        assert popcount(mask) == bin(mask).count("1")
+
+    @pytest.mark.parametrize("mask", CASES)
+    def test_fallback_agrees(self, mask):
+        assert _popcount_fallback(mask) == popcount(mask)
+
+    def test_native_selected_when_available(self):
+        if hasattr(int, "bit_count"):
+            assert popcount is int.bit_count
+        else:
+            assert popcount is _popcount_fallback
+
+    def test_vocabulary_count_uses_popcount(self):
+        grammar, v = vocab()
+        full = v.mask(grammar.terminals)
+        assert v.count(full) == len(grammar.terminals) == popcount(full)

@@ -22,6 +22,116 @@ def grammar_file(tmp_path):
     return str(path)
 
 
+class TestPipelineCommand:
+    def test_explicit_invocation(self, grammar_file):
+        code, output = run(["pipeline", grammar_file])
+        assert code == 0
+        assert "method: lalr1" in output and "states:" in output
+
+    def test_is_the_default_command(self, grammar_file):
+        # `python -m repro <grammar>` with no command word runs pipeline.
+        code, output = run([grammar_file])
+        assert code == 0
+        assert "method: lalr1" in output
+
+    def test_conflicted_grammar_exit_code(self):
+        code, output = run(["corpus:dangling_else"])
+        assert code == 1
+        assert "1 shift/reduce" in output
+
+    def test_input_flag(self, grammar_file):
+        code, output = run([grammar_file, "--input", "id + id"])
+        assert code == 0 and "input: valid" in output
+        code, output = run([grammar_file, "--input", "id +"])
+        assert code == 1 and "input: invalid" in output
+
+
+class TestProfileFlag:
+    def test_phase_breakdown_covers_pipeline(self, grammar_file):
+        code, output = run([grammar_file, "--profile"])
+        assert code == 0
+        assert "phase breakdown" in output
+        for phase in ("lr0.build", "lalr.relations", "lalr.digraph.reads",
+                      "lalr.digraph.includes", "table.fill"):
+            assert phase in output, phase
+
+    def test_counters_reported(self, grammar_file):
+        _, output = run([grammar_file, "--profile"])
+        assert "counters:" in output
+        assert "digraph.unions" in output
+
+    def test_throughput_on_parse(self, grammar_file):
+        _, output = run([grammar_file, "--profile", "--input", "id + id"])
+        assert "parse.run" in output
+        assert "tokens/sec" in output
+
+    def test_profile_json_written(self, grammar_file, tmp_path):
+        import json
+
+        json_path = tmp_path / "profile.json"
+        _, output = run([grammar_file, "--profile",
+                         "--profile-json", str(json_path)])
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert "lr0.build" in payload["phases"]
+        assert payload["counters"]["lr0.states"] > 0
+
+    def test_no_breakdown_without_flag(self, grammar_file):
+        _, output = run([grammar_file])
+        assert "phase breakdown" not in output
+
+    def test_works_on_other_commands(self, grammar_file):
+        code, output = run(["classify", grammar_file, "--profile"])
+        assert code == 0
+        assert "phase breakdown" in output
+
+
+class TestCacheFlag:
+    def test_miss_then_hit(self, grammar_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, output = run([grammar_file, "--cache", cache_dir])
+        assert code == 0 and "cache: miss" in output
+        code, output = run([grammar_file, "--cache", cache_dir])
+        assert code == 0 and "cache: hit" in output
+
+    def test_hit_shows_in_profile_counters(self, grammar_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run([grammar_file, "--cache", cache_dir])
+        _, output = run([grammar_file, "--cache", cache_dir, "--profile"])
+        assert "table.cache.hits" in output
+
+    def test_corrupt_entry_rebuilds_silently(self, grammar_file, tmp_path):
+        import os
+
+        cache_dir = str(tmp_path / "cache")
+        run([grammar_file, "--cache", cache_dir])
+        (entry,) = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        with open(os.path.join(cache_dir, entry), "w", encoding="utf-8") as f:
+            f.write('{"format": 1, "acti')  # torn file from a fake crash
+        code, output = run([grammar_file, "--cache", cache_dir])
+        assert code == 0  # no traceback, just a rebuild
+        assert "rebuilt (corrupt entry)" in output
+        # The rebuild re-stored a good entry: next run is a clean hit.
+        code, output = run([grammar_file, "--cache", cache_dir])
+        assert "cache: hit" in output
+
+    def test_cache_const_default(self, grammar_file, tmp_path, monkeypatch):
+        # Bare `--cache` uses $REPRO_TABLE_CACHE; the env var is read at
+        # parser construction, so set it before invoking main().
+        monkeypatch.setenv("REPRO_TABLE_CACHE", str(tmp_path / "env-cache"))
+        code, output = run([grammar_file, "--cache"])
+        assert code == 0
+        assert str(tmp_path / "env-cache") in output
+
+    def test_parse_command_honours_cache(self, grammar_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run(["parse", grammar_file, "--input", "id + id",
+                       "--cache", cache_dir])
+        assert code == 0
+        code, _ = run(["parse", grammar_file, "--input", "id + id",
+                       "--cache", cache_dir])
+        assert code == 0
+
+
 class TestClassify:
     def test_corpus_spec(self):
         code, output = run(["classify", "corpus:expr"])

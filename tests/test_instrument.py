@@ -1,0 +1,182 @@
+"""Unit tests: the pipeline observability layer (spans + counters)."""
+
+import json
+import threading
+import time
+
+from repro.core import instrument
+from repro.core.instrument import ProfileCollector, profile, span
+from repro.grammars import corpus
+from repro.parser import Parser
+from repro.tables import build_lalr_table
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self):
+        assert not instrument.enabled()
+
+    def test_span_is_shared_noop(self):
+        a, b = span("x"), span("y")
+        assert a is b  # one stateless singleton, no allocation per call
+        with a:
+            pass  # must be a usable (and reentrant) context manager
+
+    def test_count_and_absorb_are_noops(self):
+        instrument.count("x", 5)
+        instrument.absorb("pre", {"a": 1})
+        with profile() as collector:
+            pass
+        assert collector.spans == []
+        assert collector.counters == {}
+
+    def test_pipeline_adds_no_entries_when_disabled(self):
+        grammar = corpus.load("expr", augment=True)
+        with profile() as collector:
+            pass  # collector inactive outside its block
+        build_lalr_table(grammar)
+        assert collector.spans == []
+        assert collector.counters == {}
+
+
+class TestSpans:
+    def test_records_duration(self):
+        with profile() as collector:
+            with span("work"):
+                time.sleep(0.002)
+        assert collector.total("work") >= 0.002
+        assert [s.name for s in collector.spans] == ["work"]
+
+    def test_nesting_paths_and_depth(self):
+        with profile() as collector:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        inner, outer = collector.spans  # children complete first
+        assert inner.path == ("outer", "inner") and inner.depth == 1
+        assert outer.path == ("outer",) and outer.depth == 0
+
+    def test_nested_spans_sum_within_parent(self):
+        with profile() as collector:
+            with span("outer"):
+                with span("inner"):
+                    time.sleep(0.002)
+                with span("inner"):
+                    time.sleep(0.002)
+        # Parent covers both children; per-name totals aggregate repeats.
+        assert collector.total("inner") >= 0.004
+        assert collector.total("outer") >= collector.total("inner")
+        assert collector.phase_totals()["inner"] == collector.total("inner")
+
+    def test_span_closes_on_exception(self):
+        with profile() as collector:
+            try:
+                with span("boom"):
+                    raise RuntimeError
+            except RuntimeError:
+                pass
+            with span("after"):
+                pass
+        assert [s.name for s in collector.spans] == ["boom", "after"]
+        assert collector.spans[1].path == ("after",)  # stack fully unwound
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        with profile() as collector:
+            instrument.count("hits")
+            instrument.count("hits", 2)
+        assert collector.counters == {"hits": 3}
+
+    def test_absorb_prefixes(self):
+        with profile() as collector:
+            instrument.absorb("digraph", {"unions": 4, "edges": 2})
+            instrument.absorb("digraph", {"unions": 1})
+        assert collector.counters == {"digraph.unions": 5, "digraph.edges": 2}
+
+
+class TestScoping:
+    def test_nested_profiles_do_not_mix(self):
+        with profile() as outer:
+            instrument.count("outer.only")
+            with profile() as inner:
+                instrument.count("inner.only")
+            instrument.count("outer.only")
+        assert inner.counters == {"inner.only": 1}
+        assert outer.counters == {"outer.only": 2}
+        assert not instrument.enabled()
+
+    def test_thread_isolation(self):
+        seen = {}
+
+        def worker():
+            with profile() as collector:
+                with span("thread.work"):
+                    pass
+            seen["thread"] = collector
+
+        with profile() as main_collector:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert [s.name for s in seen["thread"].spans] == ["thread.work"]
+        assert main_collector.spans == []  # nothing leaked across threads
+
+
+class TestPipelineIntegration:
+    def test_phase_names_cover_the_pipeline(self):
+        grammar = corpus.load("expr", augment=True)
+        with profile() as collector:
+            table = build_lalr_table(grammar)
+            Parser(table).accepts("id + id".split())
+        names = set(collector.phase_totals())
+        assert {
+            "lr0.build",
+            "lalr.relations",
+            "lalr.digraph.reads",
+            "lalr.digraph.includes",
+            "lalr.la",
+            "table.fill",
+            "table.build.lalr1",
+            "parse.run",
+        } <= names
+
+    def test_digraph_counters_absorbed(self):
+        grammar = corpus.load("expr", augment=True)
+        with profile() as collector:
+            build_lalr_table(grammar)
+        assert collector.counters["digraph.unions"] > 0
+        assert collector.counters["relations.nonterminal_transitions"] > 0
+        assert collector.counters["lr0.states"] == 13
+
+    def test_parser_counters(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        with profile() as collector:
+            Parser(table).accepts("id + id * id".split())
+        assert collector.counters["parse.tokens"] == 5
+        assert collector.counters["parse.shifts"] == 5
+        assert collector.counters["parse.actions"] == (
+            collector.counters["parse.shifts"] + collector.counters["parse.reduces"]
+        )
+
+
+class TestExport:
+    def test_as_dict_is_json_safe(self):
+        with profile() as collector:
+            with span("a"):
+                instrument.count("c", 2)
+        payload = json.loads(collector.to_json())
+        assert payload["counters"] == {"c": 2}
+        assert payload["spans"][0]["name"] == "a"
+        assert payload["phases"]["a"] >= 0
+
+    def test_format_lists_phases_and_counters(self):
+        with profile() as collector:
+            with span("phase.one"):
+                instrument.count("things", 7)
+        text = collector.format()
+        assert "phase.one" in text
+        assert "things" in text and "7" in text
+
+    def test_format_empty(self):
+        assert "no spans" in ProfileCollector().format()

@@ -1,5 +1,7 @@
 """Unit + integration tests: the LR parsing engine."""
 
+import itertools
+
 import pytest
 
 from repro.grammar import load_grammar
@@ -86,6 +88,22 @@ class TestTokens:
         parser, _ = parser_for("S -> a")
         with pytest.raises(TypeError):
             parser.parse([3.14])
+
+    def test_nonterminal_symbol_object_rejected(self):
+        # A Symbol for a *nonterminal* in the token stream is a caller
+        # bug (e.g. a lexer wired to the wrong vocabulary); it must fail
+        # with a clear ParseError, not a confusing table lookup miss.
+        parser, grammar = parser_for("S -> A\nA -> a")
+        nonterminal = grammar.symbols["A"]
+        with pytest.raises(ParseError, match="nonterminal 'A'") as info:
+            parser.parse([nonterminal])
+        assert info.value.position == 0
+
+    def test_nonterminal_token_object_rejected(self):
+        parser, grammar = parser_for("S -> A\nA -> a")
+        token = Token(grammar.symbols["A"], None)
+        with pytest.raises(ParseError, match="only terminals"):
+            parser.parse([grammar.symbols["a"], token])
 
 
 class TestTrees:
@@ -184,6 +202,53 @@ class TestErrors:
             from repro.tables.table import ParseTable
 
             Parser(ParseTable(grammar, "lalr1", [{}], [{}], []))
+
+
+class TestStreaming:
+    """The engine pulls tokens lazily from the iterator: one token of
+    look-ahead, never ``list(tokens)``.  Peak memory is O(parse stack)."""
+
+    def test_error_on_infinite_stream_terminates(self):
+        # Regression: the old engine materialised the whole stream first,
+        # so an unbounded generator hung before the parse even started.
+        parser, _ = parser_for("S -> a b")
+        with pytest.raises(ParseError) as info:
+            parser.parse(itertools.repeat("a"))
+        assert info.value.position == 1  # second 'a' is the offender
+
+    def test_only_lookahead_consumed_before_error(self):
+        parser, _ = parser_for("S -> a b")
+        pulled = []
+
+        def stream():
+            for name in itertools.repeat("a"):
+                pulled.append(name)
+                yield name
+
+        with pytest.raises(ParseError):
+            parser.parse(stream())
+        # One shifted token plus the erroring look-ahead; no read-ahead.
+        assert len(pulled) == 2
+
+    def test_huge_stream_with_actions(self):
+        # Left recursion keeps the stack O(1), so a token stream far too
+        # large to comfortably materialise parses in constant memory when
+        # reductions fold values eagerly.
+        parser, _ = parser_for("S -> S a | a")
+        n = 300_000
+        count = parser.parse_with_actions(
+            itertools.repeat("a", n),
+            lambda production, children: sum(
+                c for c in children if isinstance(c, int)
+            ),
+            shift_fn=lambda token: 1,
+        )
+        assert count == n
+
+    def test_accepts_generator_input(self):
+        parser, _ = parser_for("S -> a b")
+        assert parser.accepts(iter(["a", "b"]))
+        assert not parser.accepts(iter(["a"]))
 
 
 class TestLr0TableParsing:

@@ -10,6 +10,7 @@ from repro.grammars import corpus
 from repro.parser import Parser
 from repro.tables import build_lalr_table
 from repro.tables.serialize import (
+    TableCacheError,
     grammar_fingerprint,
     load_table,
     save_table,
@@ -96,3 +97,86 @@ class TestGuards:
         data["format"] = 99
         with pytest.raises(ValueError, match="format"):
             table_from_dict(data, grammar)
+
+
+class TestTypedErrors:
+    """Every decode failure is a TableCacheError (a ValueError subclass),
+    so callers can catch corruption without also swallowing other bugs."""
+
+    def test_is_a_value_error(self):
+        assert issubclass(TableCacheError, ValueError)
+
+    def test_non_dict_payload(self):
+        grammar = corpus.load("expr", augment=True)
+        with pytest.raises(TableCacheError, match="payload"):
+            table_from_dict(["nope"], grammar)
+
+    def test_truncated_payload(self):
+        grammar = corpus.load("expr", augment=True)
+        data = table_to_dict(build_lalr_table(grammar))
+        del data["actions"]
+        with pytest.raises(TableCacheError, match="truncated or malformed"):
+            table_from_dict(data, grammar)
+
+    def test_unknown_action_encoding(self):
+        grammar = corpus.load("expr", augment=True)
+        data = table_to_dict(build_lalr_table(grammar))
+        data["actions"][0]["id"] = ["warp", 3]
+        with pytest.raises(TableCacheError, match="action encoding"):
+            table_from_dict(data, grammar)
+
+    def test_mismatch_errors_are_typed(self):
+        expr = corpus.load("expr", augment=True)
+        other = corpus.load("lvalue", augment=True)
+        data = table_to_dict(build_lalr_table(expr))
+        with pytest.raises(TableCacheError):
+            table_from_dict(data, other)
+
+    def test_invalid_json_file(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        path = tmp_path / "table.json"
+        path.write_text('{"format": 1, "acti', encoding="utf-8")
+        with pytest.raises(TableCacheError, match="corrupt table file"):
+            load_table(str(path), grammar)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        with pytest.raises(FileNotFoundError):
+            load_table(str(tmp_path / "absent.json"), grammar)
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        path = tmp_path / "table.json"
+        save_table(table, str(path))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["table.json"]
+
+    def test_failed_write_preserves_old_file(self, tmp_path, monkeypatch):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        path = tmp_path / "table.json"
+        save_table(table, str(path))
+        original = path.read_text(encoding="utf-8")
+
+        import repro.tables.serialize as serialize
+
+        def explode(*args, **kwargs):
+            raise ValueError("simulated mid-write crash")
+
+        monkeypatch.setattr(serialize.json, "dump", explode)
+        with pytest.raises(ValueError, match="simulated"):
+            save_table(table, str(path))
+        # The destination is untouched and the temp file was cleaned up.
+        assert path.read_text(encoding="utf-8") == original
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["table.json"]
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        path = tmp_path / "table.json"
+        path.write_text("old junk", encoding="utf-8")
+        save_table(table, str(path))
+        restored = load_table(str(path), grammar)
+        assert restored.actions == table.actions

@@ -1,0 +1,176 @@
+"""Unit tests: the fingerprint-keyed on-disk table cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.instrument import profile
+from repro.grammar import load_grammar
+from repro.grammars import corpus
+from repro.tables import TableCache, build_lalr_table, build_slr_table, default_cache_dir
+from repro.tables.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture
+def grammar():
+    return corpus.load("expr", augment=True)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TableCache(str(tmp_path / "cache"))
+
+
+def _build_calls(builder):
+    """Wrap *builder* so tests can count real (non-cached) builds."""
+    calls = []
+
+    def wrapped(grammar):
+        calls.append(grammar.name)
+        return builder(grammar)
+
+    return wrapped, calls
+
+
+class TestRoundTrip:
+    def test_first_build_misses_then_stores(self, grammar, cache):
+        builder, calls = _build_calls(build_lalr_table)
+        table = cache.load_or_build(grammar, "lalr1", builder)
+        assert calls == [grammar.name]
+        assert table.is_deterministic
+        assert cache.stats() == {"hits": 0, "misses": 1, "corrupt": 0, "stores": 1}
+        assert os.path.exists(cache.path_for(grammar, "lalr1"))
+
+    def test_second_build_hits(self, grammar, cache):
+        builder, calls = _build_calls(build_lalr_table)
+        first = cache.load_or_build(grammar, "lalr1", builder)
+        second = cache.load_or_build(grammar, "lalr1", builder)
+        assert calls == [grammar.name]  # builder ran exactly once
+        assert cache.hits == 1
+        assert second.n_states == first.n_states
+        assert second.actions == first.actions
+        assert second.gotos == first.gotos
+
+    def test_methods_are_keyed_separately(self, grammar, cache):
+        lalr = cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        slr = cache.load_or_build(grammar, "slr1", build_slr_table)
+        assert cache.hits == 0 and cache.stores == 2
+        assert lalr.method == "lalr1" and slr.method == "slr1"
+
+    def test_hit_emits_instrument_counter(self, grammar, cache):
+        cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        with profile() as collector:
+            cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert collector.counters["table.cache.hits"] == 1
+        assert "table.cache.load" in collector.phase_totals()
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_rebuilds_cleanly(self, cache):
+        before = load_grammar(
+            "%token a b\n%start S\n%%\nS : a b ;\n", name="g"
+        ).augmented()
+        after = load_grammar(
+            "%token a b c\n%start S\n%%\nS : a b | a c ;\n", name="g"
+        ).augmented()
+        builder, calls = _build_calls(build_lalr_table)
+        cache.load_or_build(before, "lalr1", builder)
+        table = cache.load_or_build(after, "lalr1", builder)
+        # Same grammar name, different content: distinct keys, no false hit.
+        assert len(calls) == 2
+        assert cache.hits == 0
+        assert table.is_deterministic
+
+    def test_embedded_fingerprint_mismatch_is_corruption(self, grammar, cache):
+        # Force a key collision by renaming another grammar's entry onto
+        # this grammar's path: the payload's own fingerprint must reject it.
+        other = corpus.load("json", augment=True)
+        cache.load_or_build(other, "lalr1", build_lalr_table)
+        os.replace(
+            cache.path_for(other, "lalr1"), cache.path_for(grammar, "lalr1")
+        )
+        table = cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert cache.corrupt == 1
+        assert table.grammar.name == grammar.name
+
+    def test_corrupt_file_rebuilds_and_evicts(self, grammar, cache):
+        builder, calls = _build_calls(build_lalr_table)
+        reference = cache.load_or_build(grammar, "lalr1", builder)
+        path = cache.path_for(grammar, "lalr1")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"format": 1, "acti')  # torn mid-write
+        table = cache.load_or_build(grammar, "lalr1", builder)
+        assert len(calls) == 2  # silent rebuild, no exception
+        assert table.actions == reference.actions
+        assert cache.stats() == {"hits": 0, "misses": 2, "corrupt": 1, "stores": 2}
+        # The damaged entry was replaced by the fresh store: next run hits.
+        cache.load_or_build(grammar, "lalr1", builder)
+        assert cache.hits == 1 and len(calls) == 2
+
+    def test_corrupt_emits_instrument_counter(self, grammar, cache):
+        cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        path = cache.path_for(grammar, "lalr1")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all")
+        with profile() as collector:
+            cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert collector.counters["table.cache.corrupt"] == 1
+        assert collector.counters["table.cache.misses"] == 1
+
+    def test_wrong_payload_type_is_corruption(self, grammar, cache):
+        cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        path = cache.path_for(grammar, "lalr1")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(["not", "a", "table"], handle)
+        table = cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert cache.corrupt == 1
+        assert table.is_deterministic
+
+
+class TestStore:
+    def test_conflicted_table_is_not_cached(self, cache):
+        ambiguous = load_grammar(
+            "%token a\n%start E\n%%\nE : E E | a ;\n", name="amb"
+        ).augmented()
+        table = build_lalr_table(ambiguous)
+        assert table.unresolved_conflicts
+        assert cache.store(table) is False
+        assert cache.stores == 0
+        assert not os.path.exists(cache.path_for(ambiguous, "lalr1"))
+
+    def test_load_or_build_still_returns_conflicted_table(self, cache):
+        ambiguous = load_grammar(
+            "%token a\n%start E\n%%\nE : E E | a ;\n", name="amb"
+        ).augmented()
+        builder, calls = _build_calls(build_lalr_table)
+        cache.load_or_build(ambiguous, "lalr1", builder)
+        cache.load_or_build(ambiguous, "lalr1", builder)
+        assert len(calls) == 2  # never cached, always rebuilt
+        assert cache.hits == 0
+
+    def test_unusable_directory_never_raises(self, grammar, tmp_path):
+        # The configured directory is an existing *file*: loads read
+        # through it (corrupt path) and stores fail soft — the cache
+        # must degrade to a plain rebuild, never a crash.
+        blocker = tmp_path / "notadir"
+        blocker.write_text("", encoding="utf-8")
+        cache = TableCache(str(blocker))
+        table = cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert table.is_deterministic
+        assert cache.stores == 0
+
+    def test_clear_removes_entries(self, grammar, cache):
+        cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert cache.clear() == 1
+        assert cache.clear() == 0  # idempotent, also fine on missing dir
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_dir() == str(tmp_path / "override")
+
+    def test_falls_back_to_tempdir(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert os.path.basename(default_cache_dir()) == "repro-table-cache"
