@@ -8,16 +8,24 @@ States are identified by dense integer ids; state 0 is the start state
 (kernel ``{S' -> . S $end}``).  Kernels are deduplicated by frozenset
 identity, so construction is the standard worklist algorithm and runs in
 time proportional to the total number of items across states.
+
+Transitions are stored on the **integer core**: each state keeps a flat
+``array('i')`` row indexed by dense symbol ID (-1 = no transition) plus
+the ordered list of outgoing IDs, so the hot paths (relation
+construction, table fill) never hash a :class:`Symbol`.  The legacy
+``state.transitions`` dict is still available as a lazily built view for
+rendering and diagnostics.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..grammar.errors import GrammarValidationError
 from ..grammar.grammar import Grammar
-from ..grammar.symbols import Symbol
-from .items import Item, format_item, next_symbol
+from ..grammar.symbols import Symbol, SymbolIds
+from .items import Item, format_item
 
 
 class LR0State:
@@ -27,11 +35,23 @@ class LR0State:
         state_id: Dense integer id.
         kernel: The kernel items (start item or items with dot > 0).
         closure: Kernel plus all derived ``B -> . gamma`` items.
-        transitions: Outgoing edges, symbol -> successor state id.
+        targets: Flat transition row, ``targets[sid]`` = successor state
+            id or -1; indexed by dense symbol ID.
+        out_sids: The symbol IDs with outgoing transitions, in the
+            deterministic (declaration) order successors were created.
         reductions: Final items, i.e. productions this state may reduce by.
     """
 
-    __slots__ = ("state_id", "kernel", "closure", "transitions", "reductions")
+    __slots__ = (
+        "state_id",
+        "kernel",
+        "closure",
+        "targets",
+        "out_sids",
+        "reductions",
+        "_ids",
+        "_transition_view",
+    )
 
     def __init__(
         self,
@@ -39,12 +59,31 @@ class LR0State:
         kernel: FrozenSet[Item],
         closure: Tuple[Item, ...],
         reductions: Tuple[Item, ...],
+        ids: SymbolIds,
     ):
         self.state_id = state_id
         self.kernel = kernel
         self.closure = closure
-        self.transitions: Dict[Symbol, int] = {}
+        self.targets: "array" = array("i", [-1]) * ids.num_symbols
+        self.out_sids: "array" = array("i")
         self.reductions = reductions
+        self._ids = ids
+        self._transition_view: "Optional[Dict[Symbol, int]]" = None
+
+    @property
+    def transitions(self) -> Dict[Symbol, int]:
+        """Symbol-keyed transition view (legacy/boundary API).
+
+        Built lazily from the ID row; iteration order matches the
+        deterministic successor-creation order, exactly as the eager
+        dict did before the integer-core refactor.
+        """
+        view = self._transition_view
+        if view is None:
+            targets, symbol_of = self.targets, self._ids.by_sid
+            view = {symbol_of[sid]: targets[sid] for sid in self.out_sids}
+            self._transition_view = view
+        return view
 
     def __repr__(self) -> str:
         return f"LR0State({self.state_id}, kernel={len(self.kernel)} items)"
@@ -61,37 +100,45 @@ class LR0Automaton:
         if not grammar.is_augmented:
             grammar = grammar.augmented()
         self.grammar = grammar
+        self.ids: SymbolIds = grammar.ids
         self.states: List[LR0State] = []
         self._kernel_index: Dict[FrozenSet[Item], int] = {}
         with instrument.span("lr0.build"):
             self._build()
-            # predecessors[q][X] = sorted tuple of states p with goto(p, X) = q.
-            self._predecessors: Dict[int, Dict[Symbol, Tuple[int, ...]]] = {}
+            # predecessors[q][sid] = sorted tuple of states p with
+            # goto(p, symbol(sid)) = q.
+            self._predecessors: Dict[int, Dict[int, Tuple[int, ...]]] = {}
             self._index_predecessors()
         if instrument.enabled():
             instrument.count("lr0.states", len(self.states))
             instrument.count(
-                "lr0.transitions", sum(len(s.transitions) for s in self.states)
+                "lr0.transitions", sum(len(s.out_sids) for s in self.states)
             )
 
     # -- construction ------------------------------------------------------
 
     def _closure(self, kernel: Iterable[Item]) -> Tuple[Item, ...]:
         grammar = self.grammar
+        productions = grammar.productions
+        num_terminals = self.ids.num_terminals
         items = list(kernel)
         seen = set(items)
-        added_nonterminals = set()
+        added = bytearray(self.ids.num_nonterminals)
         i = 0
         while i < len(items):
             item = items[i]
             i += 1
-            symbol = next_symbol(grammar, item)
-            if symbol is None or symbol.is_terminal:
+            rhs_sids = productions[item.production].rhs_sids
+            if item.dot >= len(rhs_sids):
                 continue
-            if symbol in added_nonterminals:
+            sid = rhs_sids[item.dot]
+            if sid < num_terminals:
                 continue
-            added_nonterminals.add(symbol)
-            for production in grammar.productions_for(symbol):
+            nt_id = sid - num_terminals
+            if added[nt_id]:
+                continue
+            added[nt_id] = 1
+            for production in grammar.productions_for_ntid(nt_id):
                 fresh = Item(production.index, 0)
                 if fresh not in seen:
                     seen.add(fresh)
@@ -104,46 +151,56 @@ class LR0Automaton:
             return existing
         state_id = len(self.states)
         closure = self._closure(sorted(kernel))
+        productions = self.grammar.productions
         reductions = tuple(
-            item for item in closure if next_symbol(self.grammar, item) is None
+            item
+            for item in closure
+            if item.dot >= len(productions[item.production].rhs_sids)
         )
-        state = LR0State(state_id, kernel, closure, reductions)
+        state = LR0State(state_id, kernel, closure, reductions, self.ids)
         self.states.append(state)
         self._kernel_index[kernel] = state_id
         return state_id
 
     def _build(self) -> None:
+        productions = self.grammar.productions
+        # order[sid] = declaration index; successors are created in
+        # declaration order so state numbering is identical to the
+        # Symbol-keyed implementation this replaced.
+        order = self.ids.declaration_order()
         start_kernel = frozenset((Item(0, 0),))
         self._intern(start_kernel)
         worklist = [0]
         while worklist:
             state = self.states[worklist.pop()]
-            by_symbol: Dict[Symbol, List[Item]] = {}
+            by_sid: Dict[int, List[Item]] = {}
             for item in state.closure:
-                symbol = next_symbol(self.grammar, item)
-                if symbol is not None:
-                    by_symbol.setdefault(symbol, []).append(item.advanced())
+                rhs_sids = productions[item.production].rhs_sids
+                if item.dot < len(rhs_sids):
+                    by_sid.setdefault(rhs_sids[item.dot], []).append(item.advanced())
             # Deterministic successor order: symbol table order.
-            for symbol in sorted(by_symbol, key=lambda s: s.index):
-                kernel = frozenset(by_symbol[symbol])
+            for sid in sorted(by_sid, key=order.__getitem__):
+                kernel = frozenset(by_sid[sid])
                 known = kernel in self._kernel_index
                 successor = self._intern(kernel)
-                state.transitions[symbol] = successor
+                state.targets[sid] = successor
+                state.out_sids.append(sid)
                 if not known:
                     worklist.append(successor)
         # worklist order above is LIFO which still enumerates everything;
         # ids are assigned at intern time so numbering is deterministic.
 
     def _index_predecessors(self) -> None:
-        collect: Dict[int, Dict[Symbol, List[int]]] = {}
+        collect: Dict[int, Dict[int, List[int]]] = {}
         for state in self.states:
-            for symbol, successor in state.transitions.items():
-                collect.setdefault(successor, {}).setdefault(symbol, []).append(
+            targets = state.targets
+            for sid in state.out_sids:
+                collect.setdefault(targets[sid], {}).setdefault(sid, []).append(
                     state.state_id
                 )
         self._predecessors = {
-            q: {symbol: tuple(sorted(ps)) for symbol, ps in per_symbol.items()}
-            for q, per_symbol in collect.items()
+            q: {sid: tuple(sorted(ps)) for sid, ps in per_sid.items()}
+            for q, per_sid in collect.items()
         }
 
     # -- queries -----------------------------------------------------------
@@ -153,7 +210,16 @@ class LR0Automaton:
 
     def goto(self, state_id: int, symbol: Symbol) -> Optional[int]:
         """Successor of *state_id* on *symbol*, or None."""
-        return self.states[state_id].transitions.get(symbol)
+        sid = self.ids.sid_or_none(symbol)
+        if sid is None:
+            return None
+        target = self.states[state_id].targets[sid]
+        return target if target >= 0 else None
+
+    def goto_sid(self, state_id: int, sid: int) -> int:
+        """Successor of *state_id* on the symbol with dense ID *sid*, or
+        -1 — the integer-core fast path (no hashing, no None boxing)."""
+        return self.states[state_id].targets[sid]
 
     def goto_sequence(self, state_id: int, symbols: Sequence[Symbol]) -> Optional[int]:
         """Walk the goto function along *symbols*; None if the path dies."""
@@ -161,12 +227,15 @@ class LR0Automaton:
         for symbol in symbols:
             if current is None:
                 return None
-            current = self.states[current].transitions.get(symbol)
+            current = self.goto(current, symbol)
         return current
 
     def predecessors(self, state_id: int, symbol: Symbol) -> Tuple[int, ...]:
         """All states p with ``goto(p, symbol) == state_id``."""
-        return self._predecessors.get(state_id, {}).get(symbol, ())
+        sid = self.ids.sid_or_none(symbol)
+        if sid is None:
+            return ()
+        return self._predecessors.get(state_id, {}).get(sid, ())
 
     def predecessors_along(
         self, state_id: int, symbols: Sequence[Symbol]
@@ -189,13 +258,30 @@ class LR0Automaton:
     @property
     def nonterminal_transitions(self) -> List[Tuple[int, Symbol]]:
         """All (state, nonterminal) transition pairs — the node set of the
-        DeRemer–Pennello relations."""
+        DeRemer–Pennello relations (Symbol-level boundary view)."""
+        num_terminals = self.ids.num_terminals
+        symbol_of = self.ids.by_sid
         pairs: List[Tuple[int, Symbol]] = []
         for state in self.states:
-            for symbol in state.transitions:
-                if symbol.is_nonterminal:
-                    pairs.append((state.state_id, symbol))
+            for sid in state.out_sids:
+                if sid >= num_terminals:
+                    pairs.append((state.state_id, symbol_of[sid]))
         return pairs
+
+    @property
+    def nonterminal_transition_ids(self) -> "array":
+        """The same transition set as packed ints
+        ``state_id * num_nonterminals + nt_id``, in the same deterministic
+        order — the node encoding the relations and Digraph passes use."""
+        num_terminals = self.ids.num_terminals
+        num_nonterminals = self.ids.num_nonterminals
+        packed: "array" = array("q")
+        for state in self.states:
+            base = state.state_id * num_nonterminals
+            for sid in state.out_sids:
+                if sid >= num_terminals:
+                    packed.append(base + sid - num_terminals)
+        return packed
 
     @property
     def accept_state(self) -> int:
@@ -224,7 +310,7 @@ class LR0Automaton:
             "states": len(self.states),
             "kernel_items": sum(len(s.kernel) for s in self.states),
             "closure_items": sum(len(s.closure) for s in self.states),
-            "transitions": sum(len(s.transitions) for s in self.states),
+            "transitions": sum(len(s.out_sids) for s in self.states),
             "nonterminal_transitions": len(self.nonterminal_transitions),
             "reductions": sum(len(s.reductions) for s in self.states),
         }

@@ -3,6 +3,8 @@
 from .harness import (
     METHODS,
     Timer,
+    bench_snapshot,
+    compare_baseline,
     cost_row,
     grammar_row,
     measure_methods,
@@ -16,6 +18,8 @@ from .report import dict_rows, format_series, format_table
 __all__ = [
     "METHODS",
     "Timer",
+    "bench_snapshot",
+    "compare_baseline",
     "cost_row",
     "dict_rows",
     "format_series",

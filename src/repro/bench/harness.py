@@ -159,12 +159,97 @@ def profile_pipeline(
     return collector
 
 
+#: Format tag for baseline snapshot files (``BENCH_core_ids.json``).
+BASELINE_FORMAT = 1
+
+
+def bench_snapshot(
+    named_grammars: "Sequence[Tuple[str, Grammar]]",
+    repeats: int = 5,
+) -> Dict:
+    """A machine-readable benchmark snapshot for baseline comparison.
+
+    Per grammar: the median DeRemer–Pennello lookahead wall time (the
+    Table-2 workload), the per-phase instrument span totals of one full
+    pipeline run, and the machine-independent cost counters.  The
+    counters are what cross-commit comparisons *assert* on — wall times
+    vary with hardware and are reported for context only.
+    """
+    grammars: Dict[str, Dict] = {}
+    for name, grammar in named_grammars:
+        grammar = grammar.augmented()
+        automaton = LR0Automaton(grammar)
+        seconds = time_callable(
+            lambda: LalrAnalysis(grammar, automaton), repeats
+        )
+        analysis = LalrAnalysis(grammar, automaton)
+        collector = profile_pipeline(grammar)
+        grammars[name] = {
+            "lookahead_seconds": seconds,
+            "phases": collector.phase_totals(),
+            "counters": analysis.cost_summary(),
+        }
+    return {"format": BASELINE_FORMAT, "grammars": grammars}
+
+
+def compare_baseline(current: Dict, baseline: Dict) -> "Tuple[List[List], List[str]]":
+    """Diff a snapshot against a stored baseline.
+
+    Returns ``(rows, drift)``: one display row per grammar present in
+    both snapshots — ``[name, phase, baseline_ms, current_ms, speedup]``
+    with an overall ``lookahead`` row followed by one row per shared
+    instrument-span phase — and a list of human-readable counter-drift
+    messages.  Drift in the operation counters means the *algorithm*
+    changed, not the hardware, so callers (the CI smoke check) should
+    fail on any drift.
+    """
+    rows: List[List] = []
+    drift: List[str] = []
+    base_grammars = baseline.get("grammars", {})
+
+    def ratio(base_seconds: float, seconds: float) -> float:
+        return base_seconds / seconds if seconds else float("inf")
+
+    for name, entry in current.get("grammars", {}).items():
+        base = base_grammars.get(name)
+        if base is None:
+            drift.append(f"{name}: not present in baseline")
+            continue
+        base_seconds = base["lookahead_seconds"]
+        entry_seconds = entry["lookahead_seconds"]
+        rows.append([
+            name,
+            "lookahead",
+            base_seconds * 1e3,
+            entry_seconds * 1e3,
+            ratio(base_seconds, entry_seconds),
+        ])
+        base_phases = base.get("phases", {})
+        for phase, seconds in entry.get("phases", {}).items():
+            if phase in base_phases:
+                rows.append([
+                    name,
+                    phase,
+                    base_phases[phase] * 1e3,
+                    seconds * 1e3,
+                    ratio(base_phases[phase], seconds),
+                ])
+        for key, base_value in sorted(base.get("counters", {}).items()):
+            value = entry["counters"].get(key)
+            if value != base_value:
+                drift.append(f"{name}: counter {key} {base_value} -> {value}")
+    return rows, drift
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     """``python -m repro.bench.harness`` — time/profile lookahead methods.
 
     With ``--profile``, prints the per-phase breakdown for each grammar
     and optionally writes the machine-readable profile JSON (one file per
-    grammar) for cross-commit diffing.
+    grammar) for cross-commit diffing.  ``--write-baseline`` captures a
+    snapshot (timings + operation counters) and ``--baseline`` compares
+    the current run against one, exiting nonzero on counter drift — the
+    CI smoke check drives exactly this pair.
     """
     import argparse
     import json
@@ -183,13 +268,47 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                         help="print a per-phase pipeline breakdown")
     parser.add_argument("--profile-dir", default="",
                         help="also write one profile JSON per grammar here")
+    parser.add_argument("--baseline", default="",
+                        help="compare against a snapshot JSON "
+                             "(exit 1 on operation-counter drift)")
+    parser.add_argument("--write-baseline", default="",
+                        help="write a snapshot JSON instead of reporting")
     args = parser.parse_args(argv)
 
+    named: "List[Tuple[str, Grammar]]" = []
     for spec in args.grammars:
         if spec.startswith("corpus:"):
-            name, grammar = spec.split(":", 1)[1], corpus.load(spec.split(":", 1)[1])
+            named.append((spec.split(":", 1)[1], corpus.load(spec.split(":", 1)[1])))
         else:
-            name, grammar = os.path.basename(spec), load_grammar_file(spec)
+            named.append((os.path.basename(spec), load_grammar_file(spec)))
+
+    if args.write_baseline:
+        snapshot = bench_snapshot(named, repeats=args.repeats)
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.write_baseline} ({len(snapshot['grammars'])} grammars)")
+        return 0
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        snapshot = bench_snapshot(named, repeats=args.repeats)
+        rows, drift = compare_baseline(snapshot, baseline)
+        header = (f"{'grammar':20s} {'phase':24s} "
+                  f"{'base ms':>10s} {'now ms':>10s} {'speedup':>8s}")
+        print(header)
+        for name, phase, base_ms, now_ms, ratio in rows:
+            print(f"{name:20s} {phase:24s} {base_ms:10.3f} {now_ms:10.3f} {ratio:7.2f}x")
+        if drift:
+            print("operation-counter drift (algorithm changed?):")
+            for message in drift:
+                print(f"  {message}")
+            return 1
+        print("operation counters match the baseline")
+        return 0
+
+    for name, grammar in named:
         print(f"== {name} ==")
         if args.profile:
             collector = profile_pipeline(grammar, method=args.method)

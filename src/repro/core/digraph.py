@@ -22,6 +22,19 @@ want Python sets wrap the result.  The traversal is iterative so deep
 relation chains cannot overflow Python's recursion limit (relation chains
 grow with grammar size in e.g. the nullable-chain benchmark family).
 
+Two implementations share this module:
+
+- :func:`digraph` — the generic version over arbitrary hashable nodes
+  and a successor callable.  Retained as the ablation oracle
+  (``bench_ablation_digraph``) and for callers outside the hot pipeline.
+- :func:`digraph_int` — the integer-core fast path used by the LALR
+  passes: nodes are ``0..n-1``, the relation is a CSR adjacency
+  (flat ``edges`` + ``offsets`` arrays), and the traversal state lives
+  in flat lists indexed by node — no dict hashing anywhere.  Both
+  implementations perform the *identical* traversal (same edge visit
+  order, same union counts), which the equivalence property tests
+  assert.
+
 The companion :func:`naive_closure` is the same specification computed by
 repeated relaxation; it exists purely as the ablation baseline
 (``bench_ablation_digraph``) and as an oracle for property tests.
@@ -167,6 +180,122 @@ def digraph(
                         stats.scc_members += len(component)
     if observing:
         # stats may be shared across calls; absorb only this call's delta.
+        after = stats.as_dict()
+        instrument.absorb(
+            "digraph", {key: after[key] - before[key] for key in after}
+        )
+    return result, nontrivial
+
+
+def digraph_int(
+    num_nodes: int,
+    offsets: Sequence[int],
+    edges: Sequence[int],
+    initial: Sequence[int],
+    stats: "DigraphStats | None" = None,
+) -> Tuple[List[int], List[Tuple[int, ...]]]:
+    """The Digraph algorithm over dense integer nodes ``0..num_nodes-1``.
+
+    This is the hot-path twin of :func:`digraph`: the relation is given
+    as CSR adjacency (successors of node ``x`` are
+    ``edges[offsets[x]:offsets[x+1]]``), F as a mask per node, and all
+    traversal state (stack depths, results) lives in flat lists indexed
+    by node — the inner loop performs no hashing at all.
+
+    The traversal mirrors :func:`digraph` operation for operation (same
+    edge inspection order, same union count, same SCC output up to node
+    naming), so :class:`DigraphStats` from either implementation are
+    directly comparable.
+
+    Returns:
+        ``(result, nontrivial_sccs)`` where ``result[x]`` is the bitmask
+        F*(x) and *nontrivial_sccs* lists node-index tuples.
+    """
+    observing = instrument.enabled()
+    if observing and stats is None:
+        stats = DigraphStats()
+    before = stats.as_dict() if observing else None
+
+    unvisited = 0
+    finished = num_nodes + 2  # larger than any live stack depth
+    depth: List[int] = [unvisited] * num_nodes
+    result: List[int] = list(initial)
+    stack: List[int] = []
+    nontrivial: List[Tuple[int, ...]] = []
+
+    counting = stats is not None
+    if counting:
+        stats.nodes += num_nodes
+
+    for root in range(num_nodes):
+        if depth[root]:
+            continue
+        stack.append(root)
+        depth[root] = len(stack)
+        # Each frame: [node, next_edge_ptr, node_depth, self_loop_seen].
+        frames: List[List[int]] = [[root, offsets[root], len(stack), 0]]
+        while frames:
+            frame = frames[-1]
+            node, node_depth = frame[0], frame[2]
+            edge_ptr = frame[1]
+            edge_end = offsets[node + 1]
+            node_depth_now = depth[node]
+            node_result = result[node]
+            advanced = False
+            while edge_ptr < edge_end:
+                successor = edges[edge_ptr]
+                edge_ptr += 1
+                if counting:
+                    stats.edges += 1
+                if successor == node:
+                    frame[3] = 1  # self-loop: still a nontrivial SCC
+                successor_depth = depth[successor]
+                if not successor_depth:
+                    stack.append(successor)
+                    depth[successor] = len(stack)
+                    frame[1] = edge_ptr
+                    depth[node] = node_depth_now
+                    result[node] = node_result
+                    frames.append([successor, offsets[successor], len(stack), 0])
+                    advanced = True
+                    break
+                # Finished nodes carry `finished`, which never lowers
+                # ours; active ones propagate their stack depth.
+                if successor_depth < node_depth_now:
+                    node_depth_now = successor_depth
+                node_result |= result[successor]
+                if counting:
+                    stats.unions += 1
+            if advanced:
+                continue
+            depth[node] = node_depth_now
+            result[node] = node_result
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                if node_depth_now < depth[parent]:
+                    depth[parent] = node_depth_now
+                result[parent] |= node_result
+                if counting:
+                    stats.unions += 1
+            if node_depth_now == node_depth:
+                # node is the root of an SCC: everything above it on the
+                # stack (inclusive) is one component sharing result[node].
+                component: List[int] = []
+                shared = node_result
+                while True:
+                    member = stack.pop()
+                    depth[member] = finished
+                    result[member] = shared
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or frame[3]:
+                    nontrivial.append(tuple(component))
+                    if counting:
+                        stats.nontrivial_sccs += 1
+                        stats.scc_members += len(component)
+    if observing:
         after = stats.as_dict()
         instrument.absorb(
             "digraph", {key: after[key] - before[key] for key in after}

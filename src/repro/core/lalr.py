@@ -23,14 +23,14 @@ the LA sets plus the paper's diagnostics:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Tuple
 
 from ..automaton.lr0 import LR0Automaton
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import Symbol
 from . import instrument
 from .bitset import TerminalVocabulary
-from .digraph import DigraphStats, digraph
+from .digraph import DigraphStats, digraph_int
 from .relations import LalrRelations, ReductionSite, Transition
 
 
@@ -62,36 +62,58 @@ class LalrAnalysis:
         self.relations = LalrRelations(automaton, self.vocabulary)
         self.stats = DigraphStats()
 
-        transitions = self.relations.transitions
+        relations = self.relations
+        n_nodes = relations.n_nodes
+
+        # Both Digraph passes run on the integer core: dense node
+        # indices, CSR adjacency, flat mask lists — no Symbol hashing.
 
         # Phase 1: Read = Digraph over `reads`, seeded with DR.
         with instrument.span("lalr.digraph.reads"):
-            self.read_sets, self.reads_sccs = digraph(
-                transitions,
-                lambda t: self.relations.reads[t],
-                lambda t: self.relations.dr[t],
+            self._read_masks, reads_scc_nodes = digraph_int(
+                n_nodes,
+                relations.reads_offsets,
+                relations.reads_adj,
+                relations.dr_masks,
                 self.stats,
             )
 
         # Phase 2: Follow = Digraph over `includes`, seeded with Read.
         with instrument.span("lalr.digraph.includes"):
-            self.follow_sets, self.includes_sccs = digraph(
-                transitions,
-                lambda t: self.relations.includes[t],
-                lambda t: self.read_sets[t],
+            self._follow_masks, includes_scc_nodes = digraph_int(
+                n_nodes,
+                relations.includes_offsets,
+                relations.includes_adj,
+                self._read_masks,
                 self.stats,
             )
 
         # Phase 3: LA = union of Follow over `lookback`.
         with instrument.span("lalr.la"):
+            follow_masks = self._follow_masks
+            stats = self.stats
             self.la_masks: Dict[ReductionSite, int] = {}
-            for site, lookback_edges in self.relations.lookback.items():
+            for site, lookback_nodes in relations.lookback_nodes.items():
                 mask = 0
-                for transition in lookback_edges:
-                    mask |= self.follow_sets[transition]
-                    self.stats.unions += 1
+                for node in lookback_nodes:
+                    mask |= follow_masks[node]
+                    stats.unions += 1
                 self.la_masks[site] = mask
         instrument.count("lalr.lookahead_sites", len(self.la_masks))
+
+        # SCC diagnostics are rare and small: widen to Symbol-level
+        # transitions eagerly so the public attributes keep their
+        # pre-refactor shape.
+        self.reads_sccs: List[Tuple[Transition, ...]] = [
+            tuple(relations.transition_at(node) for node in component)
+            for component in reads_scc_nodes
+        ]
+        self.includes_sccs: List[Tuple[Transition, ...]] = [
+            tuple(relations.transition_at(node) for node in component)
+            for component in includes_scc_nodes
+        ]
+        self._read_sets_view: "Dict[Transition, int] | None" = None
+        self._follow_sets_view: "Dict[Transition, int] | None" = None
 
     # -- diagnostics -----------------------------------------------------
 
@@ -100,6 +122,30 @@ class LalrAnalysis:
         """True when the grammar is provably not LR(k) for any k
         (nontrivial cycle in `reads`)."""
         return bool(self.reads_sccs)
+
+    # -- Symbol-keyed set views (boundary; lazily built) -----------------
+
+    @property
+    def read_sets(self) -> Dict[Transition, int]:
+        """Per nonterminal-transition Read bitmasks, Symbol-keyed."""
+        view = self._read_sets_view
+        if view is None:
+            transitions = self.relations.transitions
+            masks = self._read_masks
+            view = {transitions[i]: masks[i] for i in range(len(masks))}
+            self._read_sets_view = view
+        return view
+
+    @property
+    def follow_sets(self) -> Dict[Transition, int]:
+        """Per nonterminal-transition Follow bitmasks, Symbol-keyed."""
+        view = self._follow_sets_view
+        if view is None:
+            transitions = self.relations.transitions
+            masks = self._follow_masks
+            view = {transitions[i]: masks[i] for i in range(len(masks))}
+            self._follow_sets_view = view
+        return view
 
     # -- queries -----------------------------------------------------------
 
@@ -121,13 +167,19 @@ class LalrAnalysis:
         }
 
     def read_set(self, transition: Transition) -> FrozenSet[Symbol]:
-        return self.vocabulary.symbols(self.read_sets[transition])
+        return self.vocabulary.symbols(
+            self._read_masks[self.relations.node_of(transition)]
+        )
 
     def follow_set(self, transition: Transition) -> FrozenSet[Symbol]:
-        return self.vocabulary.symbols(self.follow_sets[transition])
+        return self.vocabulary.symbols(
+            self._follow_masks[self.relations.node_of(transition)]
+        )
 
     def dr_set(self, transition: Transition) -> FrozenSet[Symbol]:
-        return self.vocabulary.symbols(self.relations.dr[transition])
+        return self.vocabulary.symbols(
+            self.relations.dr_masks[self.relations.node_of(transition)]
+        )
 
     # -- reporting -----------------------------------------------------
 

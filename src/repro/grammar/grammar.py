@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .errors import GrammarValidationError, ProductionError
 from .production import Production
-from .symbols import EOF_NAME, Symbol, SymbolTable
+from .symbols import EOF_NAME, Symbol, SymbolIds, SymbolTable
 
 
 class Assoc(enum.Enum):
@@ -46,6 +46,11 @@ class Precedence:
         if not isinstance(other, Precedence):
             return NotImplemented
         return self.level == other.level and self.assoc == other.assoc
+
+    def __hash__(self) -> int:
+        # Must stay consistent with __eq__ (defining __eq__ alone would
+        # set __hash__ = None and make Precedence unusable in sets/dicts).
+        return hash((self.level, self.assoc))
 
 
 class Grammar:
@@ -81,6 +86,18 @@ class Grammar:
         for production in self.productions:
             self._by_lhs[production.lhs].append(production)
 
+        # Dense-ID layout snapshot (terminals 0..T-1, nonterminals
+        # T..T+N-1) and the productions' ID mirrors.  Everything inside
+        # the LR pipeline runs on these ints; Symbols only re-enter at
+        # the public API boundary.
+        self.ids = SymbolIds(self.symbols)
+        for production in self.productions:
+            production.bind_ids(self.ids)
+        # nt_id -> productions, the int-indexed twin of _by_lhs.
+        self._by_lhs_ntid: List[List[Production]] = [
+            self._by_lhs[nt] for nt in self.ids.nonterminals
+        ]
+
     def _validate(self) -> None:
         table_symbols = set(self.symbols)
         for production in self.productions:
@@ -107,6 +124,10 @@ class Grammar:
     def productions_for(self, nonterminal: Symbol) -> List[Production]:
         """All productions whose left-hand side is *nonterminal*."""
         return self._by_lhs.get(nonterminal, [])
+
+    def productions_for_ntid(self, nt_id: int) -> List[Production]:
+        """All productions for the nonterminal with dense ID *nt_id*."""
+        return self._by_lhs_ntid[nt_id]
 
     def __iter__(self):
         return iter(self.productions)

@@ -22,9 +22,14 @@ class Production:
         prec_symbol: Terminal whose precedence governs this production for
             conflict resolution (explicit ``%prec`` or the rightmost
             terminal of the rhs); None when no precedence applies.
+        lhs_sid / rhs_sids: Dense symbol IDs mirroring ``lhs``/``rhs``,
+            bound by the owning :class:`~repro.grammar.grammar.Grammar`
+            at construction (see :meth:`bind_ids`); the integer core
+            walks ``rhs_sids`` (an ``array('i')``) instead of hashing
+            the Symbol views.
     """
 
-    __slots__ = ("index", "lhs", "rhs", "prec_symbol")
+    __slots__ = ("index", "lhs", "rhs", "prec_symbol", "lhs_sid", "rhs_sids")
 
     def __init__(
         self,
@@ -41,6 +46,17 @@ class Production:
         if prec_symbol is None:
             prec_symbol = self._rightmost_terminal(self.rhs)
         self.prec_symbol = prec_symbol
+        # Filled by the owning Grammar (bind_ids); -1 marks "unbound".
+        self.lhs_sid: int = -1
+        self.rhs_sids: Sequence[int] = ()
+
+    def bind_ids(self, ids) -> None:
+        """Record the dense-ID mirror of lhs/rhs under *ids* (a
+        :class:`~repro.grammar.symbols.SymbolIds`).  Called by the owning
+        grammar; every Grammar constructor creates fresh Production
+        objects, so a production is bound to exactly one layout."""
+        self.lhs_sid = ids.sid(self.lhs)
+        self.rhs_sids = ids.sids(self.rhs)
 
     @staticmethod
     def _rightmost_terminal(rhs: Tuple[Symbol, ...]) -> Optional[Symbol]:

@@ -15,13 +15,19 @@ Two names are reserved:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .errors import SymbolError
 
 EOF_NAME = "$end"
 EPSILON_NAME = "%empty"
 AUGMENTED_START_SUFFIX = "'"
+
+#: Version of the dense-ID layout scheme below.  Serialised artefacts
+#: (cached parse tables) mix this into their fingerprint so a change to
+#: the ID assignment invalidates old caches instead of mis-decoding them.
+ID_LAYOUT_VERSION = 1
 
 
 class Symbol:
@@ -140,3 +146,104 @@ class SymbolTable:
         while candidate in self._by_name:
             candidate += AUGMENTED_START_SUFFIX
         return self.nonterminal(candidate)
+
+
+class SymbolIds:
+    """Dense integer IDs for one grammar's symbols — the integer core.
+
+    The hot paths of the DeRemer–Pennello pipeline (LR(0) construction,
+    relation building, the Digraph passes, table fill, the parse engine)
+    index flat arrays by these IDs instead of hashing :class:`Symbol`
+    objects.  The layout (``ID_LAYOUT_VERSION`` 1) is:
+
+    - terminals get ``0 .. num_terminals-1`` (symbol-table order), so a
+      terminal's ID doubles as its bit position in the terminal bitmask
+      vocabulary (:mod:`repro.core.bitset`);
+    - nonterminals get ``num_terminals .. num_symbols-1`` (symbol-table
+      order); ``nt_id = sid - num_terminals`` is the dense *nonterminal
+      id* used for packed nonterminal-transition encodings
+      (``state_id * num_nonterminals + nt_id``).
+
+    A layout is a snapshot taken at :class:`~repro.grammar.grammar.Grammar`
+    construction: symbols interned into the shared table afterwards (e.g.
+    by augmenting a copy) are simply absent from it.  Symbols re-enter at
+    the public API boundary only; everything in between is ints.
+    """
+
+    __slots__ = (
+        "terminals",
+        "nonterminals",
+        "num_terminals",
+        "num_nonterminals",
+        "num_symbols",
+        "by_sid",
+        "_sid_of",
+    )
+
+    def __init__(self, symbols: Iterable[Symbol]):
+        self.terminals: List[Symbol] = []
+        self.nonterminals: List[Symbol] = []
+        for symbol in symbols:
+            (self.terminals if symbol.is_terminal else self.nonterminals).append(symbol)
+        self.num_terminals = len(self.terminals)
+        self.num_nonterminals = len(self.nonterminals)
+        self.num_symbols = self.num_terminals + self.num_nonterminals
+        #: sid -> Symbol (terminals first, then nonterminals).
+        self.by_sid: List[Symbol] = self.terminals + self.nonterminals
+        self._sid_of: Dict[Symbol, int] = {
+            symbol: sid for sid, symbol in enumerate(self.by_sid)
+        }
+
+    def __len__(self) -> int:
+        return self.num_symbols
+
+    # -- Symbol -> id (the API boundary pays one hash here, once) ------
+
+    def sid(self, symbol: Symbol) -> int:
+        """The dense symbol ID of *symbol* (raises KeyError if absent)."""
+        return self._sid_of[symbol]
+
+    def sid_or_none(self, symbol: Symbol) -> Optional[int]:
+        """Like :meth:`sid` but None for symbols outside this layout."""
+        return self._sid_of.get(symbol)
+
+    def terminal_id(self, terminal: Symbol) -> int:
+        """The terminal ID (== sid, by layout) of *terminal*."""
+        sid = self._sid_of[terminal]
+        if sid >= self.num_terminals:
+            raise SymbolError(f"{terminal.name!r} is not a terminal of this layout")
+        return sid
+
+    def nonterminal_id(self, nonterminal: Symbol) -> int:
+        """The dense nonterminal ID (``sid - num_terminals``)."""
+        sid = self._sid_of[nonterminal]
+        if sid < self.num_terminals:
+            raise SymbolError(f"{nonterminal.name!r} is not a nonterminal of this layout")
+        return sid - self.num_terminals
+
+    def sids(self, symbols: Iterable[Symbol]) -> "array":
+        """The ID array for a symbol sequence (production right-hand sides)."""
+        sid_of = self._sid_of
+        return array("i", [sid_of[s] for s in symbols])
+
+    # -- id -> Symbol ---------------------------------------------------
+
+    def symbol(self, sid: int) -> Symbol:
+        """The symbol with dense ID *sid*."""
+        return self.by_sid[sid]
+
+    def terminal(self, terminal_id: int) -> Symbol:
+        return self.terminals[terminal_id]
+
+    def nonterminal(self, nt_id: int) -> Symbol:
+        return self.nonterminals[nt_id]
+
+    def is_terminal_sid(self, sid: int) -> bool:
+        return sid < self.num_terminals
+
+    # -- misc -----------------------------------------------------------
+
+    def declaration_order(self) -> "array":
+        """``order[sid]`` = the symbol's table declaration index — used to
+        keep deterministic orderings identical to the Symbol-keyed era."""
+        return array("i", [symbol.index for symbol in self.by_sid])

@@ -46,6 +46,11 @@ class Parser:
         if not self.grammar.is_augmented:
             raise ValueError("parse tables must be built over an augmented grammar")
         self._eof = self.grammar.eof
+        # The hot loop works in the grammar's integer ID layout: tokens
+        # are mapped to terminal IDs once each, then every ACTION/GOTO
+        # lookup is a flat list index (no Symbol hashing per action).
+        self._ids = self.grammar.ids
+        self._eof_tid = self._ids.terminal_id(self._eof)
 
     # -- public API ---------------------------------------------------
 
@@ -148,9 +153,15 @@ class Parser:
         reduce_fn: Callable[[Production, Sequence[object]], object],
         shift_fn: Callable[[Token], object],
     ) -> object:
-        table = self.table
         state_stack: List[int] = [0]
         value_stack: List[object] = []
+
+        ids = self._ids
+        sid_or_none = ids.sid_or_none
+        num_terminals = ids.num_terminals
+        action_rows = self.table.action_rows
+        goto_rows = self.table.goto_rows
+        productions = self.grammar.productions
 
         # Pull tokens lazily: the stream may be an unbounded generator, so
         # peak memory must stay O(parse stack), never O(input length).
@@ -163,15 +174,16 @@ class Parser:
         try:
             raw = next(stream)
         except StopIteration:
-            token = eof_token
+            token, tid = eof_token, self._eof_tid
         else:
             token = self._normalise(raw, position)
+            # None for symbols outside this grammar: the action lookup
+            # below then takes the ordinary syntax-error path.
+            tid = sid_or_none(token.symbol)
 
         try:
             while True:
-                lookahead = token.symbol
-
-                action = table.action(state_stack[-1], lookahead)
+                action = action_rows[state_stack[-1]][tid] if tid is not None else None
                 if action is None:
                     raise self._syntax_error(position, token, state_stack[-1])
                 if action.kind == "shift":
@@ -182,13 +194,14 @@ class Parser:
                     try:
                         raw = next(stream)
                     except StopIteration:
-                        token = eof_token
+                        token, tid = eof_token, self._eof_tid
                     else:
                         token = self._normalise(raw, position)
+                        tid = sid_or_none(token.symbol)
                     continue
                 if action.kind == "reduce":
-                    production = self.grammar.productions[action.production]
-                    arity = len(production.rhs)
+                    production = productions[action.production]
+                    arity = len(production.rhs_sids)
                     if arity:
                         children = value_stack[-arity:]
                         del value_stack[-arity:]
@@ -196,21 +209,21 @@ class Parser:
                     else:
                         children = []
                     value_stack.append(reduce_fn(production, children))
-                    goto = table.goto(state_stack[-1], production.lhs)
-                    if goto is None:  # pragma: no cover - tables are consistent
+                    goto = goto_rows[state_stack[-1]][production.lhs_sid - num_terminals]
+                    if goto < 0:  # pragma: no cover - tables are consistent
                         raise self._syntax_error(position, token, state_stack[-1])
                     state_stack.append(goto)
                     reduces += 1
                     continue
                 # accept: the value stack holds exactly the start symbol's value.
                 assert action.kind == "accept"
-                if lookahead is not self._eof:  # pragma: no cover - table invariant
+                if tid != self._eof_tid:  # pragma: no cover - table invariant
                     raise self._syntax_error(position, token, state_stack[-1])
                 if len(value_stack) != 1:  # pragma: no cover - table invariant
                     raise ParseError(
                         "internal error: value stack not a singleton at accept",
                         position,
-                        lookahead,
+                        token.symbol,
                         state_stack[-1],
                         [],
                     )

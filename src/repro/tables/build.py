@@ -38,12 +38,12 @@ def build_lr0_table(
     with instrument.span("table.build.lr0"):
         if automaton is None:
             automaton = LR0Automaton(grammar)
-        all_terminals = frozenset(automaton.grammar.terminals)
+        all_mask = (1 << automaton.ids.num_terminals) - 1
 
-        def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
-            return all_terminals
+        def lookahead_mask(site: ReductionSite) -> int:
+            return all_mask
 
-        return _fill_lr0_based(automaton, "lr0", lookaheads)
+        return _fill_lr0_based(automaton, "lr0", lookahead_mask)
 
 
 def build_slr_table(
@@ -54,11 +54,12 @@ def build_slr_table(
         if automaton is None:
             automaton = LR0Automaton(grammar)
         analysis = SlrAnalysis(grammar, automaton)
+        mask_of = _symbol_set_masker(automaton)
 
-        def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
-            return analysis.lookahead(*site)
+        def lookahead_mask(site: ReductionSite) -> int:
+            return mask_of(analysis.lookahead(*site))
 
-        return _fill_lr0_based(automaton, "slr1", lookaheads)
+        return _fill_lr0_based(automaton, "slr1", lookahead_mask)
 
 
 def build_lalr_table(
@@ -68,28 +69,68 @@ def build_lalr_table(
 ) -> ParseTable:
     """The LALR(1) table.
 
-    By default lookaheads come from the DeRemer–Pennello analysis; pass
-    *lookahead_table* (e.g. from a baseline) to build from other sources —
-    the classifier and the equivalence tests use this hook.
+    By default lookaheads come straight from the DeRemer–Pennello
+    analysis's LA bitmasks (no Symbol round-trip); pass *lookahead_table*
+    (e.g. from a baseline) to build from other sources — the classifier
+    and the equivalence tests use this hook.
     """
     with instrument.span("table.build.lalr1"):
         if automaton is None:
             automaton = LR0Automaton(grammar)
         if lookahead_table is None:
-            lookahead_table = LalrAnalysis(grammar, automaton).lookahead_table()
+            la_masks = LalrAnalysis(grammar, automaton).la_masks
 
-        def lookaheads(site: ReductionSite) -> FrozenSet[Symbol]:
-            return lookahead_table.get(site, frozenset())
+            def lookahead_mask(site: ReductionSite) -> int:
+                return la_masks.get(site, 0)
 
-        return _fill_lr0_based(automaton, "lalr1", lookaheads)
+        else:
+            mask_of = _symbol_set_masker(automaton)
+
+            def lookahead_mask(site: ReductionSite) -> int:
+                return mask_of(lookahead_table.get(site, frozenset()))
+
+        return _fill_lr0_based(automaton, "lalr1", lookahead_mask)
+
+
+def _symbol_set_masker(automaton: LR0Automaton) -> "callable":
+    """Symbol-set -> terminal-ID bitmask converter (memoised per set).
+
+    Follow/LA sets are shared objects (one per lhs or site), so the
+    memoisation makes the conversion one pass per distinct set.
+    """
+    terminal_id = automaton.ids.terminal_id
+    cache: Dict[int, int] = {}
+
+    def mask_of(terminals: FrozenSet[Symbol]) -> int:
+        key = id(terminals)
+        mask = cache.get(key)
+        if mask is None:
+            mask = 0
+            for terminal in terminals:
+                mask |= 1 << terminal_id(terminal)
+            cache[key] = mask
+        return mask
+
+    return mask_of
 
 
 def _fill_lr0_based(
     automaton: LR0Automaton,
     method: str,
-    lookaheads_for: "callable",
+    lookahead_mask_for: "callable",
 ) -> ParseTable:
+    """Fill ACTION/GOTO walking the automaton's integer core.
+
+    Shift/goto cells come from each state's ID row; reduce lookaheads
+    arrive as terminal-ID bitmasks and are widened to Symbols only at
+    the cell boundary (where conflict resolution reasons about
+    precedence declarations, which are Symbol-keyed).
+    """
     grammar = automaton.grammar
+    ids = automaton.ids
+    num_terminals = ids.num_terminals
+    symbol_of = ids.by_sid
+    eof_sid = ids.terminal_id(grammar.eof)
     eof = grammar.eof
     actions: List[Dict[Symbol, Action]] = []
     gotos: List[Dict[Symbol, int]] = []
@@ -99,24 +140,29 @@ def _fill_lr0_based(
         for state in automaton.states:
             action_row: Dict[Symbol, Action] = {}
             goto_row: Dict[Symbol, int] = {}
-            for symbol, successor in state.transitions.items():
-                if symbol.is_nonterminal:
-                    goto_row[symbol] = successor
-                elif symbol is eof:
+            targets = state.targets
+            for sid in state.out_sids:
+                successor = targets[sid]
+                if sid >= num_terminals:
+                    goto_row[symbol_of[sid]] = successor
+                elif sid == eof_sid:
                     # goto on $end exists only from the item S' -> S . $end.
                     action_row[eof] = ACCEPT
                 else:
-                    action_row[symbol] = Shift(successor)
+                    action_row[symbol_of[sid]] = Shift(successor)
             for item in state.reductions:
                 if item.production == 0:
                     continue
                 reduce_action = Reduce(item.production)
-                for terminal in lookaheads_for((state.state_id, item.production)):
+                mask = lookahead_mask_for((state.state_id, item.production))
+                while mask:
+                    low_bit = mask & -mask
+                    mask ^= low_bit
                     _place(
                         grammar,
                         actions_row=action_row,
                         state_id=state.state_id,
-                        terminal=terminal,
+                        terminal=symbol_of[low_bit.bit_length() - 1],
                         new_action=reduce_action,
                         conflicts=conflicts,
                     )

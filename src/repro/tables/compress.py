@@ -38,6 +38,19 @@ class CompressedTable:
         self.defaults: List[Optional[Reduce]] = []
         self.actions: List[Dict[Symbol, Action]] = []
         self._compress(table)
+        # Dense ID-indexed rows for the engine's fast path.  The default
+        # reduce fills every cell the explicit row leaves empty — exactly
+        # the lookup semantics of :meth:`action`.
+        ids = self.grammar.ids
+        terminal_id = ids.terminal_id
+        num_terminals = ids.num_terminals
+        self.action_rows: List[List[Optional[Action]]] = []
+        for row, default in zip(self.actions, self.defaults):
+            dense: List[Optional[Action]] = [default] * num_terminals
+            for terminal, action in row.items():
+                dense[terminal_id(terminal)] = action
+            self.action_rows.append(dense)
+        self.goto_rows = table.goto_rows
 
     def _compress(self, table: ParseTable) -> None:
         for row in table.actions:

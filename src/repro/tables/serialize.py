@@ -20,9 +20,13 @@ import tempfile
 from typing import Dict, List
 
 from ..grammar.grammar import Grammar
+from ..grammar.symbols import ID_LAYOUT_VERSION
 from .table import ACCEPT, Action, ParseTable, Reduce, Shift
 
-FORMAT_VERSION = 1
+#: Bumped to 2 with the integer-interned symbol core: tables now carry
+#: dense ID-indexed rows derived from the grammar's ID layout, so
+#: format-1 entries (pre-ID era) must be evicted and rebuilt.
+FORMAT_VERSION = 2
 
 
 class TableCacheError(ValueError):
@@ -36,8 +40,15 @@ class TableCacheError(ValueError):
 
 
 def grammar_fingerprint(grammar: Grammar) -> str:
-    """A stable hash of the grammar's rules, start symbol and precedence."""
+    """A stable hash of the grammar's rules, start symbol and precedence.
+
+    The symbol-ID layout version is part of the payload: a change to how
+    dense IDs are assigned re-keys every cached table, because the
+    ID-indexed rows rebuilt at load time must match the layout the table
+    was validated under.
+    """
     payload = {
+        "id_layout": ID_LAYOUT_VERSION,
         "start": grammar.start.name,
         "productions": [
             [p.lhs.name, [s.name for s in p.rhs],

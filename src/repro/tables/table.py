@@ -6,6 +6,12 @@ A :class:`ParseTable` is the classic ACTION/GOTO pair:
   :class:`Accept` (absent = syntax error);
 - ``gotos[state][nonterminal]`` is the successor state.
 
+Alongside the Symbol-keyed dict rows, every table carries **dense
+ID-indexed rows** (``action_rows[state][terminal_id]``,
+``goto_rows[state][nt_id]``) built from the grammar's
+:class:`~repro.grammar.symbols.SymbolIds` layout — the parse engine's
+hot loop indexes these flat lists instead of hashing Symbols.
+
 Conflicts found while filling a cell are recorded (see
 :mod:`repro.tables.conflicts`), a deterministic winner is kept in the
 table (yacc's tie-breaks), and ``table.is_deterministic`` tells whether the
@@ -14,6 +20,7 @@ grammar was conflict-free for the construction used.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional
 
 from ..grammar.grammar import Grammar
@@ -107,6 +114,25 @@ class ParseTable:
         self.gotos = gotos
         self.conflicts = conflicts
 
+        # Dense ID-indexed twins of the dict rows: the engine's fast path.
+        ids = grammar.ids
+        terminal_id = ids.terminal_id
+        nonterminal_id = ids.nonterminal_id
+        num_terminals = ids.num_terminals
+        empty_goto_row = array("i", [-1]) * ids.num_nonterminals
+        self.action_rows: List[List[Optional[Action]]] = []
+        for row in actions:
+            dense: List[Optional[Action]] = [None] * num_terminals
+            for terminal, action in row.items():
+                dense[terminal_id(terminal)] = action
+            self.action_rows.append(dense)
+        self.goto_rows: List["array"] = []
+        for row in gotos:
+            goto_dense = array(empty_goto_row.typecode, empty_goto_row)
+            for nonterminal, target in row.items():
+                goto_dense[nonterminal_id(nonterminal)] = target
+            self.goto_rows.append(goto_dense)
+
     @property
     def n_states(self) -> int:
         return len(self.actions)
@@ -130,6 +156,14 @@ class ParseTable:
 
     def goto(self, state: int, nonterminal: Symbol) -> Optional[int]:
         return self.gotos[state].get(nonterminal)
+
+    def action_by_id(self, state: int, terminal_id: int) -> Optional[Action]:
+        """The parse action for (state, terminal ID) — no Symbol hashing."""
+        return self.action_rows[state][terminal_id]
+
+    def goto_by_id(self, state: int, nt_id: int) -> int:
+        """The goto target for (state, nonterminal ID), or -1."""
+        return self.goto_rows[state][nt_id]
 
     def conflict_summary(self) -> Dict[str, int]:
         """Counts by conflict kind (shift/reduce vs reduce/reduce)."""

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.core.digraph import DigraphStats, digraph, naive_closure
+from repro.core.digraph import DigraphStats, digraph, digraph_int, naive_closure
 
 
 def run(nodes, edges, initial):
@@ -11,6 +11,27 @@ def run(nodes, edges, initial):
         nodes,
         lambda x: edges.get(x, ()),
         lambda x: initial.get(x, 0),
+    )
+
+
+def to_csr(num_nodes, edges):
+    """Dict-of-lists adjacency -> (offsets, adj) in CSR form."""
+    offsets, adj = [0], []
+    for node in range(num_nodes):
+        adj.extend(edges.get(node, ()))
+        offsets.append(len(adj))
+    return offsets, adj
+
+
+def run_int(num_nodes, edges, initial, stats=None):
+    """Helper mirroring :func:`run` for the integer fast path."""
+    offsets, adj = to_csr(num_nodes, edges)
+    return digraph_int(
+        num_nodes,
+        offsets,
+        adj,
+        [initial.get(node, 0) for node in range(num_nodes)],
+        stats,
     )
 
 
@@ -173,3 +194,59 @@ class TestStats:
         digraph(nodes, lambda x: edges[x], lambda x: 1 << x, fast_stats)
         naive_closure(nodes, lambda x: edges[x], lambda x: 1 << x, slow_stats)
         assert fast_stats.unions <= slow_stats.unions
+
+
+class TestIntFastPath:
+    def test_int_self_loop_is_nontrivial(self):
+        result, sccs = run_int(1, {0: [0]}, {0: 1})
+        assert result == [1]
+        assert sccs == [(0,)]
+
+    def test_int_two_node_scc_shares_set(self):
+        result, sccs = run_int(2, {0: [1], 1: [0]}, {0: 1, 1: 2})
+        assert result == [3, 3]
+        assert len(sccs) == 1
+        assert set(sccs[0]) == {0, 1}
+
+    def test_int_chain_accumulates(self):
+        result, sccs = run_int(3, {0: [1], 1: [2]}, {0: 1, 1: 2, 2: 4})
+        assert result == [7, 6, 4]
+        assert sccs == []
+
+    def test_int_deep_chain_no_recursion_limit(self):
+        n = 50_000
+        edges = {i: [i + 1] for i in range(n - 1)}
+        result, _ = run_int(n, edges, {i: 1 << i for i in range(n)})
+        assert result[0] == (1 << n) - 1
+
+    def test_int_random_graphs_match_generic_and_naive(self):
+        # The property the integer fast path must uphold: identical F*
+        # AND identical operation counters (same traversal, operation
+        # for operation) as the generic implementation, plus agreement
+        # with the relaxation oracle.
+        rng = random.Random(7)
+        for _ in range(60):
+            n = rng.randint(1, 15)
+            edges = {x: [] for x in range(n)}
+            for _ in range(rng.randint(0, 40)):
+                edges[rng.randrange(n)].append(rng.randrange(n))
+            initial = {x: rng.getrandbits(8) for x in range(n)}
+
+            generic_stats, int_stats = DigraphStats(), DigraphStats()
+            generic, generic_sccs = digraph(
+                list(range(n)),
+                lambda x: edges[x],
+                lambda x: initial[x],
+                generic_stats,
+            )
+            fast, fast_sccs = run_int(n, edges, initial, int_stats)
+            slow = naive_closure(
+                list(range(n)), lambda x: edges[x], lambda x: initial[x]
+            )
+
+            assert fast == [generic[x] for x in range(n)], (edges, initial)
+            assert fast == [slow[x] for x in range(n)], (edges, initial)
+            assert generic_stats.as_dict() == int_stats.as_dict(), (edges, initial)
+            assert [tuple(sorted(c)) for c in fast_sccs] == [
+                tuple(sorted(c)) for c in generic_sccs
+            ], (edges, initial)

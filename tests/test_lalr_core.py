@@ -180,3 +180,50 @@ class TestConvenience:
     def test_auto_augments(self):
         analysis = LalrAnalysis(load_grammar("S -> a"))
         assert analysis.grammar.is_augmented
+
+
+class TestGenericDigraphEquivalence:
+    """The integer-core pipeline must agree with the generic hashable
+    Digraph run over the Symbol-level relation views — on every corpus
+    grammar, for Read, Follow and the final Symbol-level LA tables."""
+
+    @staticmethod
+    def generic_pipeline(analysis):
+        """Recompute Read/Follow/LA with the generic digraph over the
+        Symbol-keyed relation views (the pre-integer-core data path)."""
+        from repro.core.digraph import DigraphStats, digraph
+
+        relations = analysis.relations
+        stats = DigraphStats()
+        transitions = relations.transitions
+        read, _ = digraph(
+            transitions,
+            lambda t: relations.reads[t],
+            lambda t: relations.dr[t],
+            stats,
+        )
+        follow, _ = digraph(
+            transitions,
+            lambda t: relations.includes[t],
+            lambda t: read[t],
+            stats,
+        )
+        la = {}
+        for site, lookback in relations.lookback.items():
+            mask = 0
+            for transition in lookback:
+                mask |= follow[transition]
+                stats.unions += 1
+            la[site] = mask
+        return read, follow, la, stats
+
+    @pytest.mark.parametrize("name", corpus.names())
+    def test_corpus_grammar_matches(self, name):
+        analysis = LalrAnalysis(corpus.load(name))
+        read, follow, la, stats = self.generic_pipeline(analysis)
+        assert analysis.read_sets == read
+        assert analysis.follow_sets == follow
+        assert analysis.la_masks == la
+        # Same traversal, operation for operation: the cost counters the
+        # benchmarks report are implementation-independent.
+        assert analysis.stats.as_dict() == stats.as_dict()

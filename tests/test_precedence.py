@@ -148,3 +148,31 @@ e : e '-' e
         # -NUM * NUM parses as (-NUM) * NUM because UMINUS outranks '*'.
         sexpr = self.shape(table, ["-", "NUM", "*", "NUM"])
         assert sexpr == "(e (e - (e NUM)) * (e NUM))"
+
+
+class TestPrecedenceHash:
+    """Regression: Precedence defines __eq__, so it must define a
+    consistent __hash__ too (otherwise it is unusable in sets/dicts)."""
+
+    def test_equal_objects_hash_equal(self):
+        from repro.grammar.grammar import Assoc, Precedence
+
+        assert Precedence(3, Assoc.LEFT) == Precedence(3, Assoc.LEFT)
+        assert hash(Precedence(3, Assoc.LEFT)) == hash(Precedence(3, Assoc.LEFT))
+
+    def test_usable_in_sets(self):
+        from repro.grammar.grammar import Assoc, Precedence
+
+        levels = {
+            Precedence(1, Assoc.LEFT),
+            Precedence(1, Assoc.LEFT),
+            Precedence(1, Assoc.RIGHT),
+            Precedence(2, Assoc.LEFT),
+        }
+        assert len(levels) == 3
+
+    def test_distinct_from_unequal(self):
+        from repro.grammar.grammar import Assoc, Precedence
+
+        assert Precedence(1, Assoc.LEFT) != Precedence(2, Assoc.LEFT)
+        assert Precedence(1, Assoc.LEFT) != Assoc.LEFT

@@ -180,3 +180,28 @@ class TestAtomicWrite:
         save_table(table, str(path))
         restored = load_table(str(path), grammar)
         assert restored.actions == table.actions
+
+
+class TestFormatBump:
+    """The integer-core refactor bumped the cache format: version-1
+    payloads (pre-ID era) must be rejected so cache layers rebuild."""
+
+    def test_current_format_is_2(self):
+        from repro.tables.serialize import FORMAT_VERSION
+
+        assert FORMAT_VERSION == 2
+
+    def test_format_1_payload_rejected(self):
+        grammar = corpus.load("expr", augment=True)
+        data = table_to_dict(build_lalr_table(grammar))
+        data["format"] = 1
+        with pytest.raises(TableCacheError, match="format"):
+            table_from_dict(data, grammar)
+
+    def test_fingerprint_covers_id_layout_version(self, monkeypatch):
+        from repro.tables import serialize
+
+        grammar = corpus.load("expr", augment=True)
+        before = grammar_fingerprint(grammar)
+        monkeypatch.setattr(serialize, "ID_LAYOUT_VERSION", serialize.ID_LAYOUT_VERSION + 1)
+        assert grammar_fingerprint(grammar) != before

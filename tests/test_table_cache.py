@@ -174,3 +174,30 @@ class TestDefaultDirectory:
     def test_falls_back_to_tempdir(self, monkeypatch):
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         assert os.path.basename(default_cache_dir()) == "repro-table-cache"
+
+
+class TestFormatMigration:
+    def test_pre_refactor_entry_evicted_and_rebuilt(self, grammar, cache):
+        """A cache file written by the pre-integer-core format (format 1)
+        is treated as unusable: evicted from disk, counted as corrupt,
+        and the table rebuilt from scratch."""
+        from repro.tables.serialize import table_to_dict
+
+        builder, calls = _build_calls(build_lalr_table)
+        # Forge a format-1 entry at the exact key the cache would probe.
+        stale = table_to_dict(build_lalr_table(grammar))
+        stale["format"] = 1
+        path = cache.path_for(grammar, "lalr1")
+        os.makedirs(cache.directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stale, handle)
+
+        table = cache.load_or_build(grammar, "lalr1", builder)
+        assert calls == [grammar.name]  # rebuilt, not loaded
+        assert table.is_deterministic
+        assert cache.corrupt == 1
+        # The stale entry was replaced by a current-format one that now hits.
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["format"] == 2
+        cache.load_or_build(grammar, "lalr1", builder)
+        assert cache.hits == 1 and calls == [grammar.name]
