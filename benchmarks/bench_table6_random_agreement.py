@@ -1,65 +1,41 @@
 """Table 6 — robustness sweep over random grammars.
 
-The equivalence theorem (LA_DP == LA_merge == LA_propagation) and the
-superset property (LA ⊆ LA_NQLALR ⊆ FOLLOW) verified over a population
-of machine-generated grammars, bucketed by shape; plus the LR-class
-distribution the random model produces.  This is the evaluation analogue
-of the suite's property tests: no cherry-picking — every generated
-grammar must agree, and the table records how many did.
+The equivalence theorem (LA_DP == LA_merge == LA_propagation) and its
+neighbouring invariants verified over a population of machine-generated
+grammars, bucketed by shape.  Since the fuzz subsystem landed, the checks
+are the **shared oracle stack** (:mod:`repro.fuzz.oracles`) — the same
+code the ``repro fuzz`` campaigns and the property tests run — so this
+table is literally a fixed-seed fuzz campaign rendered as a benchmark:
+no cherry-picking, every generated grammar must agree, and the table
+records how many did per oracle.
 
 Regenerate:  pytest benchmarks/bench_table6_random_agreement.py --benchmark-only -s
 """
 
 import pytest
 
-from repro.automaton import LR0Automaton
-from repro.baselines import (
-    MergedLr1Analysis,
-    NqlalrAnalysis,
-    PropagationAnalysis,
-    SlrAnalysis,
-)
 from repro.bench import format_table
-from repro.core import LalrAnalysis
-from repro.grammars import random_grammar
+from repro.fuzz.campaign import DEFAULT_BUCKETS, bucket_grammars
+from repro.fuzz.oracles import oracle_names, run_oracles
 from repro.tables import classify
 
 from common import banner
 
-#: (label, knobs, how many grammars)
-BUCKETS = [
-    ("small",          dict(n_nonterminals=3, n_terminals=3, epsilon_weight=0.1), 25),
-    ("nullable-heavy", dict(n_nonterminals=4, n_terminals=3, epsilon_weight=0.35), 25),
-    ("wide",           dict(n_nonterminals=6, n_terminals=5, epsilon_weight=0.15), 25),
-]
+#: (bucket, how many grammars) — the first buckets of the campaign's
+#: default sweep, at benchmark-sized populations.
+BUCKETS = [(bucket, 25) for bucket in DEFAULT_BUCKETS[:4]]
 
 
-def _grammars(label, knobs, count):
-    import zlib
-
-    out = []
-    # Deterministic per-label seed (str hash is randomised per process).
-    base = zlib.crc32(label.encode()) % 100_000
-    for i in range(count):
-        try:
-            out.append(random_grammar(base + i, **knobs))
-        except Exception:
-            continue
-    return out
-
-
-@pytest.mark.parametrize("label,knobs,count", BUCKETS)
-def test_equivalence_sweep(benchmark, label, knobs, count):
-    grammars = _grammars(label, knobs, count)
+@pytest.mark.parametrize(
+    "bucket,count", BUCKETS, ids=[b.label for b, _ in BUCKETS]
+)
+def test_equivalence_sweep(benchmark, bucket, count):
+    grammars = bucket_grammars(bucket, count, campaign_seed=6)
 
     def verify_all():
         agreed = 0
         for grammar in grammars:
-            augmented = grammar.augmented()
-            automaton = LR0Automaton(augmented)
-            dp = LalrAnalysis(augmented, automaton).lookahead_table()
-            merged = MergedLr1Analysis(augmented, automaton).lookahead_table()
-            if dp == merged:
+            if not run_oracles(grammar, names=["lookahead-equivalence"]):
                 agreed += 1
         return agreed
 
@@ -68,47 +44,37 @@ def test_equivalence_sweep(benchmark, label, knobs, count):
 
 
 def test_report_table6(benchmark):
+    stack = oracle_names()
+
     def build():
         rows = []
-        for label, knobs, count in BUCKETS:
-            grammars = _grammars(label, knobs, count)
-            sites = 0
-            dp_eq_merge = dp_eq_prop = nq_superset = slr_superset = 0
+        for bucket, count in BUCKETS:
+            grammars = bucket_grammars(bucket, count, campaign_seed=6)
+            agreements = {name: 0 for name in stack}
             classes = {}
             for grammar in grammars:
-                augmented = grammar.augmented()
-                automaton = LR0Automaton(augmented)
-                dp = LalrAnalysis(augmented, automaton).lookahead_table()
-                merged = MergedLr1Analysis(augmented, automaton).lookahead_table()
-                propagated = PropagationAnalysis(augmented, automaton).lookahead_table()
-                nq = NqlalrAnalysis(augmented, automaton).lookahead_table()
-                slr = SlrAnalysis(augmented, automaton).lookahead_table()
-                sites += len(dp)
-                dp_eq_merge += dp == merged
-                dp_eq_prop += dp == propagated
-                nq_superset += all(dp[s] <= nq[s] for s in dp)
-                slr_superset += all(dp[s] <= slr[s] for s in dp)
+                failed = {
+                    failure.oracle for failure in run_oracles(grammar, seed=6)
+                }
+                for name in stack:
+                    agreements[name] += name not in failed
                 verdict = classify(grammar)
                 key = str(verdict.grammar_class)
                 classes[key] = classes.get(key, 0) + 1
             histogram = ", ".join(f"{k}:{v}" for k, v in sorted(classes.items()))
             n = len(grammars)
-            rows.append([
-                label, n, sites,
-                f"{dp_eq_merge}/{n}", f"{dp_eq_prop}/{n}",
-                f"{nq_superset}/{n}", f"{slr_superset}/{n}",
-                histogram,
-            ])
+            rows.append(
+                [bucket.label, n]
+                + [f"{agreements[name]}/{n}" for name in stack]
+                + [histogram]
+            )
         return rows
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
-    headers = [
-        "bucket", "grammars", "reduce_sites",
-        "dp==merge", "dp==prop", "dp⊆nqlalr", "dp⊆slr", "class distribution",
-    ]
-    print(banner("Table 6 — random-grammar agreement sweep"))
+    headers = ["bucket", "grammars"] + stack + ["class distribution"]
+    print(banner("Table 6 — random-grammar agreement sweep (oracle stack)"))
     print(format_table(headers, rows))
     for row in rows:
         n = row[1]
-        assert row[3] == f"{n}/{n}" and row[4] == f"{n}/{n}"
-        assert row[5] == f"{n}/{n}" and row[6] == f"{n}/{n}"
+        for column in row[2 : 2 + len(stack)]:
+            assert column == f"{n}/{n}", row

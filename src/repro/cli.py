@@ -13,6 +13,14 @@ Commands:
     dot        Emit Graphviz DOT for the automaton or a DP relation.
     lint       Report grammar hygiene findings (yacc-style warnings).
     ambiguity  Search for an ambiguous sentence up to a length bound.
+    fuzz       Differential fuzzing: run/replay/minimize campaigns
+               (see repro.fuzz; takes no grammar file).
+
+Exit codes follow one contract across every command: ``0`` success /
+clean, ``1`` a domain failure (conflicted table, invalid input, oracle
+disagreement), ``2`` a usage error (bad flags, unknown oracle or
+fingerprint) — so CI can tell "the theorem broke" from "the invocation
+was wrong".
 
 ``python -m repro <grammar>`` (no command word) runs ``pipeline``; with
 ``--profile`` every command prints a per-phase timing/counter breakdown
@@ -230,6 +238,119 @@ def _cmd_lint(grammar: Grammar, args) -> int:
     return 1 if any(w.severity == "error" for w in findings) else 0
 
 
+def _usage_error(message: str) -> int:
+    """Report a usage-level mistake; exit code 2 mirrors argparse's."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _cmd_fuzz_run(_, args) -> int:
+    """Run a differential fuzzing campaign over random grammars."""
+    from .fuzz import CampaignConfig, DEFAULT_BUCKETS, FailureCorpus, run_campaign
+    from .fuzz.oracles import oracle_names
+
+    names = None
+    if args.oracles:
+        names = [n.strip() for n in args.oracles.split(",") if n.strip()]
+        unknown = [n for n in names if n not in oracle_names()]
+        if unknown:
+            return _usage_error(
+                f"unknown oracle(s): {', '.join(unknown)} "
+                f"(known: {', '.join(oracle_names())})"
+            )
+    buckets = list(DEFAULT_BUCKETS)
+    if args.buckets:
+        by_label = {bucket.label: bucket for bucket in DEFAULT_BUCKETS}
+        wanted = [b.strip() for b in args.buckets.split(",") if b.strip()]
+        unknown = [b for b in wanted if b not in by_label]
+        if unknown:
+            return _usage_error(
+                f"unknown bucket(s): {', '.join(unknown)} "
+                f"(known: {', '.join(by_label)})"
+            )
+        buckets = [by_label[b] for b in wanted]
+    corpus_store = FailureCorpus(args.corpus) if args.corpus else None
+    config = CampaignConfig(
+        seed=args.seed,
+        count=args.count,
+        buckets=buckets,
+        oracles=names,
+        time_budget=args.time_budget,
+        clr_state_bound=args.clr_bound,
+    )
+    report = run_campaign(config, corpus=corpus_store)
+    print(f"campaign: seed={args.seed} count={args.count} "
+          f"buckets={','.join(b.label for b in buckets)} "
+          f"oracles={','.join(names) if names else 'all'}")
+    for line in report.summary_lines():
+        print(line)
+    for failure in report.failures:
+        print(f"FAIL {failure.describe()}")
+    print(f"verdict: {'clean' if report.clean else 'disagreement'}")
+    return 0 if report.clean else 1
+
+
+def _cmd_fuzz_replay(_, args) -> int:
+    """Replay the failure corpus; fail when any disagreement survives."""
+    from .fuzz import FailureCorpus
+
+    corpus_store = FailureCorpus(args.corpus)
+    if args.fingerprint:
+        try:
+            entries = [corpus_store.get(args.fingerprint)]
+        except KeyError as error:
+            return _usage_error(str(error))
+    else:
+        entries = corpus_store.entries()
+    if not entries:
+        print(f"corpus is empty ({args.corpus})")
+        print("verdict: clean")
+        return 0
+    surviving = 0
+    for entry in entries:
+        failures = entry.replay(clr_state_bound=args.clr_bound)
+        if failures:
+            surviving += 1
+            print(f"FAIL {entry.fingerprint[:12]} {failures[0].describe()}")
+        else:
+            print(f"PASS {entry.fingerprint[:12]} [{entry.oracle}] "
+                  f"no longer reproduces (pinned as regression)")
+    print(f"replayed: {len(entries)} entries, {surviving} still failing")
+    print(f"verdict: {'clean' if not surviving else 'disagreement'}")
+    return 0 if not surviving else 1
+
+
+def _cmd_fuzz_minimize(_, args) -> int:
+    """Delta-debug one corpus entry down to a minimal failing grammar."""
+    from .fuzz import FailureCorpus, minimize_grammar, oracle_predicate
+    from .grammar.writer import write_arrow
+
+    corpus_store = FailureCorpus(args.corpus)
+    try:
+        entry = corpus_store.get(args.fingerprint)
+    except KeyError as error:
+        return _usage_error(str(error))
+    grammar = entry.grammar()
+    predicate = oracle_predicate(
+        entry.oracle, seed=entry.seed, clr_state_bound=args.clr_bound
+    )
+    if not predicate(grammar):
+        print(f"{entry.fingerprint[:12]} [{entry.oracle}] no longer reproduces; "
+              f"nothing to minimize")
+        return 1
+    result = minimize_grammar(grammar, predicate)
+    text = write_arrow(result.grammar)
+    entry.minimized_text = text
+    corpus_store.update(entry)
+    print(f"minimized {entry.fingerprint[:12]}: {result.describe()}")
+    print(text, end="")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _print_profile(collector: "instrument.ProfileCollector", json_path: str) -> None:
     print()
     print(collector.format())
@@ -317,6 +438,51 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ambiguity_cmd.add_argument("--bound", type=int, default=6,
                                help="max sentence length to search (default 6)")
 
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="differential fuzzing of the equivalence theorem"
+    )
+    fuzz_sub = fuzz_cmd.add_subparsers(dest="fuzz_command", required=True)
+
+    def add_fuzz(name, fn):
+        command = fuzz_sub.add_parser(name, help=fn.__doc__)
+        command.add_argument("--profile", action="store_true",
+                             help="print a per-phase timing/counter breakdown")
+        command.add_argument("--profile-json", default="", metavar="FILE",
+                             help="also write the profile as JSON to FILE")
+        command.add_argument("--clr-bound", type=int, default=60, metavar="N",
+                             help="skip CLR-based oracles above N LR(0) states "
+                                  "(0 = no bound; default 60)")
+        command.set_defaults(fn=fn)
+        return command
+
+    fuzz_run = add_fuzz("run", _cmd_fuzz_run)
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="campaign seed; the whole sweep is a pure "
+                               "function of it (default 0)")
+    fuzz_run.add_argument("--count", type=int, default=500,
+                          help="how many grammars to sweep (default 500)")
+    fuzz_run.add_argument("--buckets", default="",
+                          help="comma-separated shape buckets (default: all)")
+    fuzz_run.add_argument("--oracles", default="",
+                          help="comma-separated oracle names (default: all)")
+    fuzz_run.add_argument("--corpus", default="", metavar="DIR",
+                          help="persist distinct failures to this corpus dir")
+    fuzz_run.add_argument("--time-budget", type=float, default=0.0, metavar="SEC",
+                          help="stop sweeping after SEC wall-clock seconds")
+
+    fuzz_replay = add_fuzz("replay", _cmd_fuzz_replay)
+    fuzz_replay.add_argument("corpus", help="failure corpus directory")
+    fuzz_replay.add_argument("--fingerprint", default="",
+                             help="replay only the entry matching this "
+                                  "fingerprint prefix")
+
+    fuzz_minimize = add_fuzz("minimize", _cmd_fuzz_minimize)
+    fuzz_minimize.add_argument("corpus", help="failure corpus directory")
+    fuzz_minimize.add_argument("fingerprint",
+                               help="fingerprint prefix of the entry to shrink")
+    fuzz_minimize.add_argument("--output", "-o", default="",
+                               help="also write the minimized grammar to a file")
+
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
@@ -325,13 +491,16 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         argv.insert(0, "pipeline")
 
     args = parser.parse_args(argv)
+    # The fuzz subcommands drive whole grammar populations and take no
+    # grammar-file positional of their own.
+    needs_grammar = hasattr(args, "grammar")
     if getattr(args, "profile", False):
         with instrument.profile() as collector:
-            grammar = _load(args.grammar)
+            grammar = _load(args.grammar) if needs_grammar else None
             code = args.fn(grammar, args)
         _print_profile(collector, args.profile_json)
         return code
-    grammar = _load(args.grammar)
+    grammar = _load(args.grammar) if needs_grammar else None
     return args.fn(grammar, args)
 
 

@@ -1,0 +1,61 @@
+"""Differential fuzzing of the equivalence theorem.
+
+The paper's central claim — the DeRemer–Pennello LA sets equal both
+canonical-LR(1) merging and yacc-style propagation on *every* grammar —
+is the invariant most at risk of silent regression whenever the core is
+refactored.  This package keeps it honest at scale:
+
+- :mod:`~repro.fuzz.oracles` — the pluggable oracle stack: every
+  cross-implementation agreement the suite knows how to check, shared by
+  the property tests, the Table 6 benchmark and the campaign driver.
+- :mod:`~repro.fuzz.campaign` — a deterministic campaign driver sweeping
+  seed ranges across grammar shape buckets.
+- :mod:`~repro.fuzz.corpus` — the persistent failure corpus: every
+  disagreement is fingerprinted, deduplicated and stored as a JSON entry
+  that replays as a regression test.
+- :mod:`~repro.fuzz.minimize` — a hypothesis-independent delta-debugging
+  shrinker that reduces a failing grammar while re-checking the oracle.
+
+CLI: ``repro fuzz run|replay|minimize`` (see :mod:`repro.cli`).
+"""
+
+from .campaign import (
+    DEFAULT_BUCKETS,
+    CampaignConfig,
+    CampaignFailure,
+    CampaignReport,
+    ShapeBucket,
+    bucket_grammars,
+    run_campaign,
+)
+from .corpus import FailureCorpus, FailureEntry
+from .minimize import MinimizeResult, minimize_grammar, oracle_predicate
+from .oracles import (
+    ORACLES,
+    OracleContext,
+    OracleFailure,
+    failure_fingerprint,
+    oracle_names,
+    run_oracles,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignFailure",
+    "CampaignReport",
+    "DEFAULT_BUCKETS",
+    "FailureCorpus",
+    "FailureEntry",
+    "MinimizeResult",
+    "ORACLES",
+    "OracleContext",
+    "OracleFailure",
+    "ShapeBucket",
+    "bucket_grammars",
+    "failure_fingerprint",
+    "minimize_grammar",
+    "oracle_names",
+    "oracle_predicate",
+    "run_campaign",
+    "run_oracles",
+]

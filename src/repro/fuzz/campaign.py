@@ -1,0 +1,250 @@
+"""The deterministic fuzz campaign driver.
+
+A campaign sweeps a seed range across grammar *shape buckets* (knob
+presets for :func:`repro.grammars.random_gen.random_grammar` spanning the
+shapes that historically found bugs: nullable-rich, wide, long-RHS,
+degenerate-small) and runs every generated grammar through the oracle
+stack.  Everything is derived from one campaign seed, so a failing run
+reproduces bit-for-bit from ``repro fuzz run --seed N``.
+
+Failures are fingerprinted (oracle + reduced grammar text), deduplicated
+within the run and against the optional persistent corpus, and reported
+with the exact ``(bucket, seed, knobs)`` triple that regenerates the
+grammar.  An optional wall-clock budget makes the driver safe to run
+under CI time limits: the sweep stops early but reports how far it got.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import instrument
+from ..grammar.errors import GrammarValidationError
+from ..grammar.grammar import Grammar
+from ..grammar.writer import write_arrow
+from ..grammars.random_gen import random_grammar
+from .corpus import FailureCorpus
+from .oracles import OracleFailure, failure_fingerprint, run_oracles
+
+
+class ShapeBucket:
+    """A named preset of random-grammar shape knobs."""
+
+    __slots__ = ("label", "knobs")
+
+    def __init__(self, label: str, knobs: Dict[str, object]):
+        self.label = label
+        self.knobs = dict(knobs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShapeBucket({self.label!r}, {self.knobs!r})"
+
+
+#: The default sweep: four-plus structurally distinct shape families.
+DEFAULT_BUCKETS: Tuple[ShapeBucket, ...] = (
+    ShapeBucket("small", dict(n_nonterminals=3, n_terminals=3, epsilon_weight=0.1)),
+    ShapeBucket(
+        "nullable-heavy", dict(n_nonterminals=4, n_terminals=3, epsilon_weight=0.35)
+    ),
+    ShapeBucket("wide", dict(n_nonterminals=6, n_terminals=5, epsilon_weight=0.15)),
+    ShapeBucket(
+        "long-rhs",
+        dict(n_nonterminals=4, n_terminals=4, max_rhs_len=7, epsilon_weight=0.1),
+    ),
+    ShapeBucket(
+        "lean",
+        dict(
+            n_nonterminals=2,
+            n_terminals=2,
+            max_alternatives=2,
+            max_rhs_len=2,
+            epsilon_weight=0.25,
+        ),
+    ),
+)
+
+#: Mixes the campaign seed and draw index into a grammar seed.  The odd
+#: multiplier keeps consecutive campaigns from overlapping seed ranges.
+_SEED_STRIDE = 7_777_777
+
+
+def grammar_seed(campaign_seed: int, index: int) -> int:
+    """The deterministic per-draw grammar seed."""
+    return (campaign_seed * _SEED_STRIDE + index) % (2**31)
+
+
+def bucket_grammars(
+    bucket: ShapeBucket, count: int, campaign_seed: int = 0, base_index: int = 0
+) -> List[Grammar]:
+    """*count* grammars of one bucket's shape (shared by the Table 6
+    benchmark, which sweeps whole buckets outside a campaign)."""
+    grammars = []
+    for i in range(count):
+        try:
+            grammars.append(
+                random_grammar(
+                    grammar_seed(campaign_seed, base_index + i), **bucket.knobs
+                )
+            )
+        except GrammarValidationError:
+            continue
+    return grammars
+
+
+class CampaignConfig:
+    """Everything a campaign run depends on (all deterministic)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        count: int = 500,
+        buckets: Sequence[ShapeBucket] = DEFAULT_BUCKETS,
+        oracles: "Optional[Sequence[str]]" = None,
+        time_budget: float = 0.0,
+        sentence_count: int = 4,
+        sentence_budget: int = 12,
+        clr_state_bound: int = 60,
+    ):
+        self.seed = seed
+        self.count = count
+        self.buckets = list(buckets)
+        self.oracles = list(oracles) if oracles is not None else None
+        self.time_budget = time_budget
+        self.sentence_count = sentence_count
+        self.sentence_budget = sentence_budget
+        self.clr_state_bound = clr_state_bound
+
+
+class CampaignFailure:
+    """One deduplicated oracle failure with its reproduction recipe."""
+
+    __slots__ = ("bucket", "seed", "knobs", "failure", "fingerprint", "grammar_text")
+
+    def __init__(
+        self,
+        bucket: str,
+        seed: int,
+        knobs: Dict[str, object],
+        failure: OracleFailure,
+        fingerprint: str,
+        grammar_text: str,
+    ):
+        self.bucket = bucket
+        self.seed = seed
+        self.knobs = knobs
+        self.failure = failure
+        self.fingerprint = fingerprint
+        self.grammar_text = grammar_text
+
+    def describe(self) -> str:
+        return (
+            f"{self.fingerprint[:12]} bucket={self.bucket} seed={self.seed} "
+            f"{self.failure.describe()}"
+        )
+
+
+class CampaignReport:
+    """The outcome of one campaign run."""
+
+    def __init__(self) -> None:
+        self.grammars_run = 0
+        self.per_bucket: Dict[str, int] = {}
+        self.failures: List[CampaignFailure] = []
+        self.duplicate_failures = 0
+        self.generation_errors = 0
+        self.elapsed = 0.0
+        self.stopped_early = False
+        self.new_corpus_entries = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"grammars: {self.grammars_run}"
+            + (" (stopped early: time budget)" if self.stopped_early else ""),
+            "buckets: "
+            + ", ".join(f"{label}={n}" for label, n in sorted(self.per_bucket.items())),
+            f"failures: {len(self.failures)} distinct"
+            + (f" (+{self.duplicate_failures} duplicates)" if self.duplicate_failures else ""),
+        ]
+        if self.generation_errors:
+            lines.append(f"generation errors: {self.generation_errors}")
+        if self.new_corpus_entries:
+            lines.append(f"new corpus entries: {self.new_corpus_entries}")
+        lines.append(f"elapsed: {self.elapsed:.2f}s")
+        return lines
+
+
+def run_campaign(
+    config: CampaignConfig,
+    corpus: "Optional[FailureCorpus]" = None,
+    progress: "Optional[Callable[[int, int], None]]" = None,
+) -> CampaignReport:
+    """Run one campaign: generate, check, fingerprint, persist.
+
+    Draw *i* uses bucket ``i % len(buckets)`` and grammar seed
+    :func:`grammar_seed`, so the whole sweep is a pure function of
+    *config* — any failure line can be replayed in isolation.
+
+    Args:
+        config: The campaign parameters.
+        corpus: When given, every distinct failure is persisted to it
+            (and failures already on disk count as duplicates).
+        progress: Optional ``progress(done, total)`` callback.
+    """
+    report = CampaignReport()
+    seen: "set[str]" = set()
+    start = time.monotonic()
+    with instrument.span("fuzz.campaign"):
+        for index in range(config.count):
+            if config.time_budget and time.monotonic() - start > config.time_budget:
+                report.stopped_early = True
+                break
+            bucket = config.buckets[index % len(config.buckets)]
+            seed = grammar_seed(config.seed, index)
+            with instrument.span("fuzz.generate"):
+                try:
+                    grammar = random_grammar(seed, **bucket.knobs)
+                except GrammarValidationError:
+                    report.generation_errors += 1
+                    instrument.count("fuzz.generation_errors")
+                    continue
+            report.grammars_run += 1
+            report.per_bucket[bucket.label] = report.per_bucket.get(bucket.label, 0) + 1
+            instrument.count("fuzz.grammars")
+            failures = run_oracles(
+                grammar,
+                names=config.oracles,
+                seed=seed,
+                sentence_count=config.sentence_count,
+                sentence_budget=config.sentence_budget,
+                clr_state_bound=config.clr_state_bound,
+            )
+            for failure in failures:
+                instrument.count("fuzz.failures")
+                fingerprint = failure_fingerprint(failure.oracle, grammar)
+                if fingerprint in seen:
+                    report.duplicate_failures += 1
+                    continue
+                seen.add(fingerprint)
+                campaign_failure = CampaignFailure(
+                    bucket.label,
+                    seed,
+                    bucket.knobs,
+                    failure,
+                    fingerprint,
+                    write_arrow(grammar),
+                )
+                report.failures.append(campaign_failure)
+                if corpus is not None:
+                    if corpus.add_failure(campaign_failure):
+                        report.new_corpus_entries += 1
+                    else:
+                        report.duplicate_failures += 1
+            if progress is not None:
+                progress(index + 1, config.count)
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,206 @@
+"""A hypothesis-independent delta-debugging grammar shrinker.
+
+Given a grammar and a predicate ("does the failing oracle still fail?"),
+:func:`minimize_grammar` greedily applies structure-shrinking steps and
+keeps each one only if the predicate still holds on the rebuilt, reduced
+grammar:
+
+1. **drop production** — remove one alternative outright;
+2. **drop nonterminal** — remove *every* alternative of one lhs at once
+   (fast progress on grammars with many irrelevant nonterminals);
+3. **shorten RHS** — delete one symbol from one production's rhs;
+4. **merge nonterminals** — substitute one nonterminal for another
+   everywhere and drop the replaced one's rules.
+
+Passes repeat until a full round makes no progress, which yields a
+1-minimal grammar with respect to these operations: removing any single
+production or rhs symbol makes the failure disappear.  Candidates that no
+longer build (start symbol dropped, empty language, validation error) are
+simply skipped — the predicate never sees a broken grammar.
+
+The shrinker deliberately shares nothing with hypothesis: corpus entries
+must minimize offline, long after the generating process is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core import instrument
+from ..grammar.builder import GrammarBuilder
+from ..grammar.grammar import Grammar
+from ..grammar.transforms import reduce_grammar
+
+#: A grammar as shrinkable data: (lhs name, rhs names) per production.
+Rules = List[Tuple[str, Tuple[str, ...]]]
+
+Predicate = Callable[[Grammar], bool]
+
+
+def grammar_rules(grammar: Grammar) -> Rules:
+    """The user-level productions of *grammar* as plain string rules."""
+    productions = (
+        grammar.productions[1:] if grammar.is_augmented else grammar.productions
+    )
+    return [
+        (p.lhs.name, tuple(s.name for s in p.rhs)) for p in productions
+    ]
+
+
+def build_rules(rules: Rules, start: str, name: str = "minimized") -> Optional[Grammar]:
+    """Materialise and reduce a rule list; None when it is not a valid
+    grammar (start dropped, empty language, ...)."""
+    if not any(lhs == start for lhs, _ in rules):
+        return None
+    builder = GrammarBuilder(name)
+    for lhs, rhs in rules:
+        builder.rule(lhs, list(rhs))
+    try:
+        return reduce_grammar(builder.build(start=start))
+    except Exception:
+        return None
+
+
+class MinimizeResult:
+    """The outcome of a minimization run."""
+
+    __slots__ = ("grammar", "rules", "initial_productions", "steps_tried",
+                 "steps_applied", "rounds")
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        rules: Rules,
+        initial_productions: int,
+        steps_tried: int,
+        steps_applied: int,
+        rounds: int,
+    ):
+        self.grammar = grammar
+        self.rules = rules
+        self.initial_productions = initial_productions
+        self.steps_tried = steps_tried
+        self.steps_applied = steps_applied
+        self.rounds = rounds
+
+    @property
+    def final_productions(self) -> int:
+        return len(self.rules)
+
+    def describe(self) -> str:
+        return (
+            f"{self.initial_productions} -> {self.final_productions} productions "
+            f"({self.steps_applied}/{self.steps_tried} steps applied, "
+            f"{self.rounds} round(s))"
+        )
+
+
+def minimize_grammar(
+    grammar: Grammar,
+    predicate: Predicate,
+    max_rounds: int = 20,
+) -> MinimizeResult:
+    """Shrink *grammar* while *predicate* keeps holding.
+
+    Args:
+        grammar: A grammar on which ``predicate(grammar)`` is True (if it
+            is not, the grammar is returned unchanged).
+        predicate: True iff the failure of interest still reproduces.
+            Called on *reduced* candidate grammars only.
+        max_rounds: Safety bound on full passes (each pass is itself
+            bounded by the grammar size, so this is rarely reached).
+    """
+    start = (
+        grammar.original_start.name if grammar.is_augmented else grammar.start.name
+    )
+    rules = grammar_rules(grammar)
+    current = build_rules(rules, start)
+    if current is None or not predicate(current):
+        # Nothing to do: the failure does not reproduce on the rebuilt
+        # grammar, so any "shrink" would be meaningless.
+        return MinimizeResult(grammar, rules, len(rules), 0, 0, 0)
+
+    tried = applied = rounds = 0
+    with instrument.span("fuzz.minimize"):
+        for _ in range(max_rounds):
+            rounds += 1
+            progressed = False
+            for candidate_rules in _shrink_candidates(rules, start):
+                tried += 1
+                candidate = build_rules(candidate_rules, start)
+                if candidate is None:
+                    continue
+                with instrument.span("fuzz.minimize.check"):
+                    still_fails = predicate(candidate)
+                if still_fails:
+                    rules = candidate_rules
+                    current = candidate
+                    applied += 1
+                    progressed = True
+                    break  # restart the pass on the smaller grammar
+            if not progressed:
+                break
+    instrument.count("fuzz.minimize.steps", tried)
+    return MinimizeResult(
+        current, rules, len(grammar_rules(grammar)), tried, applied, rounds
+    )
+
+
+def _shrink_candidates(rules: Rules, start: str):
+    """Candidate rule lists, most aggressive first.
+
+    Ordering matters for speed, not correctness: dropping whole
+    nonterminals discards many productions per accepted step, so it goes
+    first; symbol-level edits polish the remainder.
+    """
+    nonterminals = []
+    for lhs, _ in rules:
+        if lhs not in nonterminals:
+            nonterminals.append(lhs)
+
+    # 2. drop nonterminal (all alternatives of one lhs).
+    for victim in nonterminals:
+        if victim == start:
+            continue
+        yield [(lhs, rhs) for lhs, rhs in rules if lhs != victim]
+
+    # 4. merge nonterminals: replace `victim` with `survivor` everywhere.
+    for victim in nonterminals:
+        if victim == start:
+            continue
+        for survivor in nonterminals:
+            if survivor == victim:
+                continue
+            merged: Rules = []
+            for lhs, rhs in rules:
+                if lhs == victim:
+                    continue
+                new_rhs = tuple(survivor if s == victim else s for s in rhs)
+                if (lhs, new_rhs) not in merged:
+                    merged.append((lhs, new_rhs))
+            yield merged
+
+    # 1. drop a single production.
+    if len(rules) > 1:
+        for index in range(len(rules)):
+            yield rules[:index] + rules[index + 1 :]
+
+    # 3. shorten one rhs by one symbol.
+    for index, (lhs, rhs) in enumerate(rules):
+        for position in range(len(rhs)):
+            shortened = rhs[:position] + rhs[position + 1 :]
+            candidate = list(rules)
+            candidate[index] = (lhs, shortened)
+            if candidate[index] in rules[:index] + rules[index + 1 :]:
+                candidate.pop(index)  # became a duplicate of another rule
+            yield candidate
+
+
+def oracle_predicate(oracle_name: str, **context_knobs) -> Predicate:
+    """A predicate that re-runs one named oracle (True = still fails)."""
+    from .oracles import run_oracles
+
+    def still_fails(grammar: Grammar) -> bool:
+        return bool(run_oracles(grammar, names=[oracle_name], **context_knobs))
+
+    return still_fails

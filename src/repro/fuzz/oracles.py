@@ -1,0 +1,396 @@
+"""The oracle stack: every cross-implementation agreement check, shared.
+
+An *oracle* inspects one grammar through two independent implementations
+of the same specification and reports any disagreement.  The stack is the
+single source of truth for "what must agree": the hypothesis property
+tests, the Table 6 benchmark and the fuzz campaign all consume it, so a
+new invariant added here is immediately checked everywhere.
+
+Registered oracles (in stack order):
+
+- ``lookahead-equivalence`` — LA_DP == LA_merge == LA_propagation, the
+  paper's headline theorem (Theorem 9 / §6).
+- ``superset-chain`` — LA ⊆ LA_NQLALR ⊆ FOLLOW: the exact sets sit at
+  the bottom of the approximation hierarchy (§7).
+- ``digraph-identity`` — the generic :func:`~repro.core.digraph.digraph`
+  and the integer-core :func:`~repro.core.digraph.digraph_int` perform
+  the *identical* traversal on the same CSR input: same F* masks, same
+  SCCs, same :class:`~repro.core.digraph.DigraphStats`.
+- ``table-agreement`` — the LALR table filled from DP bitmasks is
+  cell-for-cell identical to one filled from merged-LR(1) lookaheads.
+- ``sentence-roundtrip`` — generated sentences parse to identical
+  derivation trees under the LALR and canonical-LR(1) engines.
+
+Each oracle takes an :class:`OracleContext` (which lazily builds and
+caches the shared artifacts — automaton, analyses, tables) and returns
+``None`` on agreement or a human-readable detail string on disagreement.
+A crash inside an oracle is itself a finding and is reported as a
+failure, never propagated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..automaton.lr0 import LR0Automaton
+from ..core import instrument
+from ..core.digraph import DigraphStats, digraph, digraph_int
+from ..grammar.grammar import Grammar
+from ..grammar.writer import write_arrow
+
+Oracle = Callable[["OracleContext"], Optional[str]]
+
+#: Registry, in stack order.  ``repro fuzz run --oracles`` and the tests
+#: address oracles by these names.
+ORACLES: "Dict[str, Oracle]" = {}
+
+
+def oracle(name: str) -> Callable[[Oracle], Oracle]:
+    """Register an oracle under *name* (decorator)."""
+
+    def register(fn: Oracle) -> Oracle:
+        assert name not in ORACLES, f"duplicate oracle {name!r}"
+        ORACLES[name] = fn
+        return fn
+
+    return register
+
+
+def oracle_names() -> List[str]:
+    """All registered oracle names, in stack order."""
+    return list(ORACLES)
+
+
+class OracleFailure:
+    """One oracle disagreement (or oracle crash) on one grammar."""
+
+    __slots__ = ("oracle", "detail", "grammar", "kind")
+
+    def __init__(
+        self, oracle: str, detail: str, grammar: Grammar, kind: str = "disagreement"
+    ):
+        self.oracle = oracle
+        self.detail = detail
+        self.grammar = grammar
+        self.kind = kind
+
+    def describe(self) -> str:
+        return f"[{self.oracle}] {self.kind} on {self.grammar.name!r}: {self.detail}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OracleFailure({self.describe()})"
+
+
+def failure_fingerprint(oracle_name: str, grammar: Grammar) -> str:
+    """Stable identity of a failure: the oracle plus the grammar's text.
+
+    Two campaign draws that reduce to the same grammar and trip the same
+    oracle are the *same* bug; the corpus dedups on this.  The grammar
+    name (which carries the generating seed) is excluded — identity is
+    structural.
+    """
+    text = "\n".join(
+        line
+        for line in write_arrow(grammar).splitlines()
+        if not line.startswith("%name ")
+    )
+    digest = hashlib.sha256()
+    digest.update(oracle_name.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(text.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class OracleContext:
+    """Shared, lazily built artifacts for one grammar under test.
+
+    Args:
+        grammar: The grammar (augmented on demand, cached).
+        seed: Drives sentence generation for the round-trip oracle.
+        sentence_count / sentence_budget: Round-trip workload size.
+        clr_state_bound: Canonical-LR(1) construction is exponential-prone;
+            CLR-based oracles skip (agree vacuously) when the LR(0)
+            automaton exceeds this many states.  ``0`` disables the bound.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        seed: int = 0,
+        sentence_count: int = 4,
+        sentence_budget: int = 12,
+        clr_state_bound: int = 60,
+    ):
+        self.grammar = grammar
+        self.seed = seed
+        self.sentence_count = sentence_count
+        self.sentence_budget = sentence_budget
+        self.clr_state_bound = clr_state_bound
+        self._augmented: "Grammar | None" = None
+        self._automaton: "LR0Automaton | None" = None
+        self._lalr = None
+        self._merged = None
+        self._lalr_table = None
+        self._clr_table = None
+
+    # -- cached artifacts ----------------------------------------------
+
+    @property
+    def augmented(self) -> Grammar:
+        if self._augmented is None:
+            g = self.grammar
+            self._augmented = g if g.is_augmented else g.augmented()
+        return self._augmented
+
+    @property
+    def automaton(self) -> LR0Automaton:
+        if self._automaton is None:
+            self._automaton = LR0Automaton(self.augmented)
+        return self._automaton
+
+    @property
+    def lalr(self):
+        """The DeRemer–Pennello analysis (LalrAnalysis)."""
+        if self._lalr is None:
+            from ..core.lalr import LalrAnalysis
+
+            self._lalr = LalrAnalysis(self.augmented, self.automaton)
+        return self._lalr
+
+    @property
+    def merged(self):
+        """The canonical-LR(1)-merging baseline (MergedLr1Analysis)."""
+        if self._merged is None:
+            from ..baselines.merge_lr1 import MergedLr1Analysis
+
+            self._merged = MergedLr1Analysis(self.augmented, self.automaton)
+        return self._merged
+
+    @property
+    def lalr_table(self):
+        if self._lalr_table is None:
+            from ..tables.build import build_lalr_table
+
+            self._lalr_table = build_lalr_table(self.augmented, self.automaton)
+        return self._lalr_table
+
+    @property
+    def clr_table(self):
+        if self._clr_table is None:
+            from ..tables.build import build_clr_table
+
+            self._clr_table = build_clr_table(self.augmented)
+        return self._clr_table
+
+    @property
+    def clr_in_bounds(self) -> bool:
+        """Whether CLR-based oracles should run on this grammar."""
+        bound = self.clr_state_bound
+        return bound <= 0 or len(self.automaton) <= bound
+
+    def sentences(self) -> List[list]:
+        """The round-trip workload: deterministic sentences of the grammar."""
+        from ..analysis.derive import SentenceGenerator
+
+        generator = SentenceGenerator(self.augmented, seed=self.seed)
+        return generator.sentences(self.sentence_count, budget=self.sentence_budget)
+
+
+def run_oracles(
+    grammar: Grammar,
+    names: "Optional[Sequence[str]]" = None,
+    context: "Optional[OracleContext]" = None,
+    **context_knobs,
+) -> List[OracleFailure]:
+    """Run (a subset of) the oracle stack on one grammar.
+
+    Args:
+        grammar: The grammar under test.
+        names: Oracle names to run (default: the whole stack, in order).
+            Unknown names raise KeyError — callers validate user input.
+        context: A pre-built context to reuse; otherwise one is created
+            from *context_knobs* (seed, sentence_count, ...).
+
+    Returns:
+        Every disagreement found (empty list == full agreement).  An
+        oracle that crashes contributes a ``kind="crash"`` failure.
+    """
+    if context is None:
+        context = OracleContext(grammar, **context_knobs)
+    selected = list(ORACLES) if names is None else list(names)
+    failures: List[OracleFailure] = []
+    for name in selected:
+        check = ORACLES[name]
+        with instrument.span(f"fuzz.oracle.{name}"):
+            try:
+                detail = check(context)
+            except Exception as error:  # a crash is a finding, not an abort
+                failures.append(
+                    OracleFailure(
+                        name,
+                        f"{type(error).__name__}: {error}",
+                        grammar,
+                        kind="crash",
+                    )
+                )
+                continue
+        if detail is not None:
+            failures.append(OracleFailure(name, detail, grammar))
+    instrument.count("fuzz.oracle_runs", len(selected))
+    return failures
+
+
+# -- the stack ---------------------------------------------------------
+
+
+@oracle("lookahead-equivalence")
+def check_lookahead_equivalence(ctx: OracleContext) -> Optional[str]:
+    """LA_DP == LA_merge == LA_propagation, site for site."""
+    from ..baselines.propagation import PropagationAnalysis
+
+    dp = ctx.lalr.lookahead_table()
+    merged = ctx.merged.lookahead_table()
+    propagated = PropagationAnalysis(ctx.augmented, ctx.automaton).lookahead_table()
+    if dp.keys() != merged.keys() or dp.keys() != propagated.keys():
+        return (
+            f"reduction-site sets differ: dp={len(dp)}, "
+            f"merge={len(merged)}, propagation={len(propagated)}"
+        )
+    for site in dp:
+        if not (dp[site] == merged[site] == propagated[site]):
+            return (
+                f"LA{site}: dp={_spell(dp[site])} "
+                f"merge={_spell(merged[site])} propagation={_spell(propagated[site])}"
+            )
+    return None
+
+
+@oracle("superset-chain")
+def check_superset_chain(ctx: OracleContext) -> Optional[str]:
+    """LA ⊆ LA_NQLALR ⊆ FOLLOW on every reduction site."""
+    from ..baselines.nqlalr import NqlalrAnalysis
+    from ..baselines.slr import SlrAnalysis
+
+    exact = ctx.lalr.lookahead_table()
+    loose = NqlalrAnalysis(ctx.augmented, ctx.automaton).lookahead_table()
+    follow = SlrAnalysis(ctx.augmented, ctx.automaton).lookahead_table()
+    if exact.keys() != loose.keys() or exact.keys() != follow.keys():
+        return (
+            f"reduction-site sets differ: dp={len(exact)}, "
+            f"nqlalr={len(loose)}, slr={len(follow)}"
+        )
+    for site in exact:
+        if not exact[site] <= loose[site]:
+            return f"LA{site} ⊄ NQLALR{site}: {_spell(exact[site] - loose[site])} missing"
+        if not loose[site] <= follow[site]:
+            return f"NQLALR{site} ⊄ FOLLOW: {_spell(loose[site] - follow[site])} missing"
+    return None
+
+
+@oracle("digraph-identity")
+def check_digraph_identity(ctx: OracleContext) -> Optional[str]:
+    """Generic digraph vs digraph_int: identical F*, SCCs and stats.
+
+    Both implementations run on the *same* CSR input (the relations the
+    LALR pipeline actually built), for both passes — `reads` seeded with
+    DR and `includes` seeded with the Read masks — so any divergence in
+    traversal order, union counts or SCC detection is caught.
+    """
+    relations = ctx.lalr.relations
+    n = relations.n_nodes
+    passes = [
+        ("reads", relations.reads_offsets, relations.reads_adj, relations.dr_masks),
+        (
+            "includes",
+            relations.includes_offsets,
+            relations.includes_adj,
+            ctx.lalr._read_masks,
+        ),
+    ]
+    for label, offsets, adj, initial in passes:
+        generic_stats, int_stats = DigraphStats(), DigraphStats()
+        adjacency = {
+            x: list(adj[offsets[x] : offsets[x + 1]]) for x in range(n)
+        }
+        generic_result, generic_sccs = digraph(
+            list(range(n)),
+            lambda x: adjacency[x],
+            lambda x: initial[x],
+            generic_stats,
+        )
+        int_result, int_sccs = digraph_int(n, offsets, adj, initial, int_stats)
+        if [generic_result[x] for x in range(n)] != list(int_result):
+            return f"{label}: F* masks differ between digraph and digraph_int"
+        if sorted(map(sorted, generic_sccs)) != sorted(map(sorted, int_sccs)):
+            return f"{label}: SCC sets differ ({generic_sccs} vs {int_sccs})"
+        if generic_stats.as_dict() != int_stats.as_dict():
+            return (
+                f"{label}: DigraphStats differ "
+                f"({generic_stats.as_dict()} vs {int_stats.as_dict()})"
+            )
+    return None
+
+
+@oracle("table-agreement")
+def check_table_agreement(ctx: OracleContext) -> Optional[str]:
+    """The LALR table equals one filled from merged-LR(1) lookaheads.
+
+    Both tables live on the same LR(0) automaton, so the comparison is
+    cell-for-cell: ACTION, GOTO and the determinism verdict must all
+    match.  (On conflicted grammars the yacc tie-breaks are deterministic
+    functions of the lookahead sets, so equality must still hold.)
+    """
+    from ..tables.build import build_lalr_table
+
+    dp_table = ctx.lalr_table
+    merged_table = build_lalr_table(
+        ctx.augmented, ctx.automaton, lookahead_table=ctx.merged.lookahead_table()
+    )
+    if dp_table.is_deterministic != merged_table.is_deterministic:
+        return (
+            f"determinism differs: dp={dp_table.is_deterministic} "
+            f"merge={merged_table.is_deterministic}"
+        )
+    for state in range(dp_table.n_states):
+        if dp_table.actions[state] != merged_table.actions[state]:
+            return f"ACTION row {state} differs between dp and merged-LR(1) fills"
+        if dp_table.gotos[state] != merged_table.gotos[state]:
+            return f"GOTO row {state} differs between dp and merged-LR(1) fills"
+    return None
+
+
+@oracle("sentence-roundtrip")
+def check_sentence_roundtrip(ctx: OracleContext) -> Optional[str]:
+    """Generated sentences parse identically under LALR and CLR engines.
+
+    Applies to grammars whose LALR table is deterministic (then CLR must
+    be too — merging never removes conflicts); skipped when the automaton
+    exceeds the context's CLR bound.
+    """
+    from ..parser.engine import Parser
+
+    if not ctx.clr_in_bounds:
+        return None
+    lalr_table = ctx.lalr_table
+    if not lalr_table.is_deterministic:
+        return None
+    clr_table = ctx.clr_table
+    if not clr_table.is_deterministic:
+        return "LALR table is deterministic but the canonical-LR(1) table is not"
+    lalr_parser = Parser(lalr_table)
+    clr_parser = Parser(clr_table)
+    for sentence in ctx.sentences():
+        words = [symbol.name for symbol in sentence]
+        lalr_tree = lalr_parser.parse(sentence)
+        clr_tree = clr_parser.parse(sentence)
+        if lalr_tree.sexpr() != clr_tree.sexpr():
+            return (
+                f"derivations differ on {' '.join(words)!r}: "
+                f"LALR={lalr_tree.sexpr()} CLR={clr_tree.sexpr()}"
+            )
+    return None
+
+
+def _spell(terminals) -> str:
+    return "{" + ", ".join(sorted(t.name for t in terminals)) + "}"

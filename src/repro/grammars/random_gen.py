@@ -22,6 +22,39 @@ from ..grammar.grammar import Grammar
 from ..grammar.transforms import reduce_grammar
 
 
+#: Retry budget: shapes this small virtually always reduce within a few
+#: tries; degenerate knob settings exhaust it and raise instead of looping.
+_MAX_ATTEMPTS = 64
+
+
+def _validate_knobs(
+    n_nonterminals: int,
+    n_terminals: int,
+    max_alternatives: int,
+    max_rhs_len: int,
+    epsilon_weight: float,
+) -> None:
+    """Reject knob values for which no sample could ever be a grammar.
+
+    Degenerate-but-meaningful settings (``n_terminals=1``,
+    ``max_rhs_len=1``, ``epsilon_weight=1.0``) stay legal — they produce
+    boundary-shaped grammars the fuzzer wants; only structurally
+    impossible ones raise.
+    """
+    if n_nonterminals < 1:
+        raise ValueError(f"n_nonterminals must be >= 1, got {n_nonterminals}")
+    if n_terminals < 1:
+        raise ValueError(f"n_terminals must be >= 1, got {n_terminals}")
+    if max_alternatives < 1:
+        raise ValueError(f"max_alternatives must be >= 1, got {max_alternatives}")
+    if max_rhs_len < 1:
+        raise ValueError(f"max_rhs_len must be >= 1, got {max_rhs_len}")
+    if not 0.0 <= epsilon_weight <= 1.0:
+        raise ValueError(
+            f"epsilon_weight must be within [0.0, 1.0], got {epsilon_weight}"
+        )
+
+
 def random_grammar(
     seed: int,
     n_nonterminals: int = 4,
@@ -35,10 +68,18 @@ def random_grammar(
 
     The raw sample may contain useless symbols or generate the empty
     language; generation retries with perturbed sub-seeds until reduction
-    succeeds (bounded — shapes this small virtually always succeed within
-    a few tries).
+    succeeds.  The retry loop is bounded: when a knob combination cannot
+    produce a reduced grammar, the error names the seed and the knobs so
+    the draw is reproducible (campaign drivers depend on this).
+
+    Raises:
+        ValueError: On structurally impossible knob values.
+        GrammarValidationError: When the bounded retry loop exhausts.
     """
-    for attempt in range(64):
+    _validate_knobs(
+        n_nonterminals, n_terminals, max_alternatives, max_rhs_len, epsilon_weight
+    )
+    for attempt in range(_MAX_ATTEMPTS):
         grammar = _sample(
             random.Random(seed * 1_000_003 + attempt),
             n_nonterminals,
@@ -54,8 +95,14 @@ def random_grammar(
             return reduce_grammar(grammar)
         except GrammarValidationError:
             continue
+    knobs = (
+        f"n_nonterminals={n_nonterminals}, n_terminals={n_terminals}, "
+        f"max_alternatives={max_alternatives}, max_rhs_len={max_rhs_len}, "
+        f"epsilon_weight={epsilon_weight}"
+    )
     raise GrammarValidationError(
-        f"could not generate a reduced grammar from seed {seed}"
+        f"could not generate a reduced grammar from seed {seed} "
+        f"within {_MAX_ATTEMPTS} attempts ({knobs})"
     )
 
 

@@ -1,0 +1,208 @@
+"""Integration tests: the ``repro fuzz`` CLI and its exit-code contract.
+
+The contract (satellite task): ``0`` = campaign/replay clean, ``1`` =
+an oracle disagreement (CI must fail), ``2`` = usage error (unknown
+oracle, bucket, or fingerprint; bad flags) — the same code argparse
+itself uses, so misconfigured invocations never masquerade as clean
+runs *or* as theorem violations.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.corpus import FailureCorpus
+from repro.fuzz.oracles import ORACLES
+
+COMMITTED_CORPUS = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+
+def run(argv):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        code = main(argv)
+    return code, captured.getvalue()
+
+
+@pytest.fixture
+def broken_oracle():
+    def broken(ctx):
+        return "synthetic disagreement"
+
+    ORACLES["test-cli-broken"] = broken
+    yield "test-cli-broken"
+    del ORACLES["test-cli-broken"]
+
+
+class TestFuzzRun:
+    def test_clean_campaign_exits_zero(self):
+        code, output = run(["fuzz", "run", "--seed", "1", "--count", "10"])
+        assert code == 0
+        assert "campaign: seed=1 count=10" in output
+        assert "grammars: 10" in output
+        assert "verdict: clean" in output
+
+    def test_disagreement_exits_one_and_prints_failures(self, broken_oracle):
+        code, output = run([
+            "fuzz", "run", "--seed", "1", "--count", "3",
+            "--oracles", broken_oracle,
+        ])
+        assert code == 1
+        assert output.count("FAIL ") == 3
+        assert "verdict: disagreement" in output
+
+    def test_unknown_oracle_is_a_usage_error(self, capsys):
+        code, _ = run(["fuzz", "run", "--oracles", "no-such-oracle"])
+        assert code == 2
+        assert "unknown oracle(s): no-such-oracle" in capsys.readouterr().err
+
+    def test_unknown_bucket_is_a_usage_error(self, capsys):
+        code, _ = run(["fuzz", "run", "--buckets", "small,bogus"])
+        assert code == 2
+        assert "unknown bucket(s): bogus" in capsys.readouterr().err
+
+    def test_bucket_subset_is_honoured(self):
+        code, output = run([
+            "fuzz", "run", "--seed", "2", "--count", "6",
+            "--buckets", "small,lean",
+        ])
+        assert code == 0
+        assert "buckets=small,lean" in output
+        assert "small=3" in output and "lean=3" in output
+
+    def test_failures_land_in_the_corpus_dir(self, broken_oracle, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        code, output = run([
+            "fuzz", "run", "--seed", "1", "--count", "2",
+            "--oracles", broken_oracle, "--corpus", corpus_dir,
+        ])
+        assert code == 1
+        assert "new corpus entries: 2" in output
+        assert len(FailureCorpus(corpus_dir)) == 2
+
+    def test_profile_flag_appends_breakdown(self):
+        code, output = run(["fuzz", "run", "--count", "4", "--profile"])
+        assert code == 0
+        assert "fuzz.campaign" in output
+
+
+class TestFuzzReplay:
+    def test_committed_corpus_replays_clean(self):
+        code, output = run(["fuzz", "replay", COMMITTED_CORPUS,
+                            "--clr-bound", "0"])
+        assert code == 0
+        assert "still failing" in output and "verdict: clean" in output
+
+    def test_empty_corpus_is_clean(self, tmp_path):
+        code, output = run(["fuzz", "replay", str(tmp_path / "nothing")])
+        assert code == 0
+        assert "corpus is empty" in output
+
+    def test_unknown_fingerprint_is_a_usage_error(self, capsys):
+        code, _ = run(["fuzz", "replay", COMMITTED_CORPUS,
+                       "--fingerprint", "zzzz"])
+        assert code == 2
+        assert "no corpus entry" in capsys.readouterr().err
+
+    def test_surviving_failure_exits_one(self, broken_oracle, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        run(["fuzz", "run", "--seed", "1", "--count", "1",
+             "--oracles", broken_oracle, "--corpus", corpus_dir])
+        code, output = run(["fuzz", "replay", corpus_dir])
+        assert code == 1
+        assert "1 still failing" in output
+        assert "verdict: disagreement" in output
+
+    def test_single_entry_by_prefix(self):
+        store = FailureCorpus(COMMITTED_CORPUS)
+        fingerprint = store.fingerprints()[0]
+        code, output = run(["fuzz", "replay", COMMITTED_CORPUS,
+                            "--fingerprint", fingerprint[:10],
+                            "--clr-bound", "0"])
+        assert code == 0
+        assert "replayed: 1 entries" in output
+
+
+class TestFuzzMinimize:
+    def test_minimizes_a_live_failure_end_to_end(self, broken_oracle, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        run(["fuzz", "run", "--seed", "1", "--count", "1",
+             "--oracles", broken_oracle, "--corpus", corpus_dir])
+        store = FailureCorpus(corpus_dir)
+        fingerprint = store.fingerprints()[0]
+
+        code, output = run(["fuzz", "minimize", corpus_dir, fingerprint[:12]])
+        assert code == 0
+        assert f"minimized {fingerprint[:12]}" in output
+        # The shrunk grammar was written back onto the entry.
+        entry = FailureCorpus(corpus_dir).get(fingerprint)
+        assert entry.minimized_text
+        assert len(entry.grammar(minimized=True).productions) <= 4
+
+    def test_stale_entry_exits_one(self, tmp_path):
+        # An entry whose oracle now agrees: nothing to shrink.
+        def broken(ctx):
+            return "transient"
+
+        ORACLES["test-cli-transient"] = broken
+        corpus_dir = str(tmp_path / "corpus")
+        try:
+            run(["fuzz", "run", "--seed", "1", "--count", "1",
+                 "--oracles", "test-cli-transient", "--corpus", corpus_dir])
+        finally:
+            del ORACLES["test-cli-transient"]
+
+        def fixed(ctx):
+            return None
+
+        ORACLES["test-cli-transient"] = fixed
+        try:
+            fingerprint = FailureCorpus(corpus_dir).fingerprints()[0]
+            code, output = run(["fuzz", "minimize", corpus_dir, fingerprint])
+        finally:
+            del ORACLES["test-cli-transient"]
+        assert code == 1
+        assert "no longer reproduces" in output
+
+    def test_unknown_fingerprint_is_a_usage_error(self, tmp_path, capsys):
+        code, _ = run(["fuzz", "minimize", str(tmp_path / "empty"), "abcd"])
+        assert code == 2
+        assert "no corpus entry" in capsys.readouterr().err
+
+    def test_output_flag_writes_the_grammar(self, broken_oracle, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        run(["fuzz", "run", "--seed", "1", "--count", "1",
+             "--oracles", broken_oracle, "--corpus", corpus_dir])
+        fingerprint = FailureCorpus(corpus_dir).fingerprints()[0]
+        out_path = str(tmp_path / "minimal.cfg")
+        code, _ = run(["fuzz", "minimize", corpus_dir, fingerprint,
+                       "--output", out_path])
+        assert code == 0
+        with open(out_path, "r", encoding="utf-8") as handle:
+            assert "%start" in handle.read()
+
+
+class TestArgparseContract:
+    def test_missing_fuzz_subcommand_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz"])
+        assert excinfo.value.code == 2
+
+    def test_bad_flag_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "run", "--no-such-flag"])
+        assert excinfo.value.code == 2
+
+    def test_missing_minimize_positionals_exit_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "minimize"])
+        assert excinfo.value.code == 2
+
+    def test_usage_and_domain_codes_are_distinct(self, broken_oracle):
+        domain, _ = run(["fuzz", "run", "--count", "1",
+                         "--oracles", broken_oracle])
+        usage, _ = run(["fuzz", "run", "--oracles", "nope"])
+        assert domain == 1 and usage == 2

@@ -1,0 +1,142 @@
+"""Unit tests: the persistent failure corpus (and the committed one).
+
+``tests/fuzz_corpus/`` is the repository's live corpus: entries pinned
+there replay on every tier-1 run, so a disagreement that was ever found
+(or a boundary witness deliberately pinned) can never silently return.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.corpus import FailureCorpus, FailureEntry
+from repro.fuzz.oracles import ORACLES, failure_fingerprint
+from repro.grammar.writer import write_arrow
+from repro.grammars import corpus as grammar_corpus
+
+#: The corpus committed with the repository.
+COMMITTED_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FailureCorpus(str(tmp_path / "corpus"))
+
+
+def make_entry(oracle="lookahead-equivalence", grammar_name="expr", **overrides):
+    grammar = grammar_corpus.load(grammar_name)
+    fields = dict(
+        fingerprint=failure_fingerprint(oracle, grammar),
+        oracle=oracle,
+        detail="test entry",
+        grammar_text=write_arrow(grammar),
+        bucket="test",
+        seed=3,
+        knobs={"n_terminals": 3},
+    )
+    fields.update(overrides)
+    return FailureEntry(**fields)
+
+
+class TestPersistence:
+    def test_add_then_load_round_trips(self, store):
+        entry = make_entry()
+        assert store.add(entry)
+        loaded = store.get(entry.fingerprint[:12])
+        assert loaded.to_dict() == entry.to_dict()
+
+    def test_add_is_deduplicated_by_fingerprint(self, store):
+        entry = make_entry()
+        assert store.add(entry)
+        assert not store.add(make_entry())
+        assert len(store) == 1
+
+    def test_update_rewrites_in_place(self, store):
+        entry = make_entry()
+        store.add(entry)
+        entry.minimized_text = "%start N0\nN0 -> t0\n"
+        store.update(entry)
+        assert store.get(entry.fingerprint[:8]).minimized_text == entry.minimized_text
+        assert len(store) == 1
+
+    def test_writes_are_atomic_no_tmp_litter(self, store):
+        for name in ("expr", "json", "lvalue"):
+            store.add(make_entry(grammar_name=name))
+        leftovers = [
+            f for f in os.listdir(store.directory) if not f.endswith(".json")
+        ]
+        assert leftovers == []
+        # Every file on disk is complete, valid JSON.
+        for fingerprint in store.fingerprints():
+            with open(store.path_for(fingerprint), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["version"] == 1 and payload["grammar"]
+
+    def test_get_unknown_and_ambiguous_prefixes(self, store):
+        store.add(make_entry(grammar_name="expr"))
+        store.add(make_entry(grammar_name="json"))
+        with pytest.raises(KeyError, match="no corpus entry"):
+            store.get("zzzz")
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.get("")  # empty prefix matches both
+
+    def test_missing_directory_is_an_empty_corpus(self, tmp_path):
+        store = FailureCorpus(str(tmp_path / "never-created"))
+        assert len(store) == 0 and store.entries() == []
+
+
+class TestReplay:
+    def test_fixed_entry_replays_clean(self, store):
+        # The recorded oracle agrees on the stored grammar today: the
+        # entry acts as a pinned regression test.
+        entry = make_entry()
+        store.add(entry)
+        assert store.replay_all() == {entry.fingerprint: []}
+
+    def test_live_failure_still_reproduces(self, store):
+        def broken(ctx):
+            return "still here"
+
+        ORACLES["test-corpus-broken"] = broken
+        try:
+            entry = make_entry(oracle="test-corpus-broken")
+            store.add(entry)
+            surviving = store.replay_all()[entry.fingerprint]
+            assert [f.detail for f in surviving] == ["still here"]
+        finally:
+            del ORACLES["test-corpus-broken"]
+
+    def test_replay_parses_the_stored_grammar(self, store):
+        entry = make_entry(grammar_name="lvalue")
+        grammar = entry.grammar()
+        assert grammar.productions
+        assert {t.name for t in grammar.terminals} >= {"=", "id"}
+
+
+class TestCommittedCorpus:
+    """tier-1 contract: the repository's corpus always replays clean."""
+
+    def test_committed_corpus_exists_and_is_wellformed(self):
+        store = FailureCorpus(COMMITTED_DIR)
+        entries = store.entries()
+        assert entries, "the committed corpus must hold at least one entry"
+        for entry in entries:
+            assert entry.oracle in ORACLES, entry.oracle
+            assert entry.fingerprint and entry.grammar_text
+
+    def test_committed_corpus_replays_clean(self):
+        store = FailureCorpus(COMMITTED_DIR)
+        for fingerprint, surviving in store.replay_all(clr_state_bound=0).items():
+            assert surviving == [], (
+                f"corpus entry {fingerprint[:12]} regressed: "
+                + "; ".join(f.describe() for f in surviving)
+            )
+
+    def test_committed_fingerprints_match_their_grammars(self):
+        # An entry whose grammar text was edited by hand would silently
+        # guard the wrong thing; recompute identity from content.
+        store = FailureCorpus(COMMITTED_DIR)
+        for entry in store.entries():
+            recomputed = failure_fingerprint(entry.oracle, entry.grammar())
+            assert recomputed == entry.fingerprint, entry.fingerprint

@@ -1,0 +1,136 @@
+"""Unit tests: the hypothesis-independent delta-debugging shrinker."""
+
+import pytest
+
+from repro.fuzz.corpus import FailureCorpus, FailureEntry
+from repro.fuzz.minimize import (
+    build_rules,
+    grammar_rules,
+    minimize_grammar,
+    oracle_predicate,
+)
+from repro.fuzz.oracles import ORACLES, failure_fingerprint
+from repro.grammar.writer import write_arrow
+from repro.grammars import corpus
+from repro.grammars.random_gen import random_grammar
+
+
+class TestRulesRoundTrip:
+    def test_grammar_rules_strip_augmentation(self):
+        grammar = corpus.load("expr", augment=True)
+        rules = grammar_rules(grammar)
+        assert all(lhs != grammar.start.name for lhs, _ in rules)
+
+    def test_build_rules_reduces(self):
+        rules = [("S", ("a",)), ("S", ("Dead",)), ("Dead", ("Dead",))]
+        grammar = build_rules(rules, "S")
+        assert grammar is not None
+        assert [str(p) for p in grammar.productions] == ["S -> a"]
+
+    def test_build_rules_rejects_start_loss_and_empty_language(self):
+        assert build_rules([("A", ("a",))], "S") is None
+        assert build_rules([("S", ("S",))], "S") is None
+
+
+class TestSyntheticFailureShrinks:
+    """Acceptance: a deliberately broken oracle's failure must shrink to
+    at most 4 productions."""
+
+    def test_shrinks_to_at_most_four_productions(self):
+        # A rich grammar (many nonterminals, alternatives, long rhs)...
+        grammar = random_grammar(
+            42, n_nonterminals=6, n_terminals=5, max_alternatives=3, max_rhs_len=5
+        )
+        assert len(grammar.productions) >= 8
+        # ...and a broken "oracle" that disagrees whenever the grammar
+        # still derives anything mentioning terminal t1.
+        def still_fails(g):
+            return any(any(s.name == "t1" for s in p.rhs) for p in g.productions)
+
+        assert still_fails(grammar)
+        result = minimize_grammar(grammar, still_fails)
+        assert still_fails(result.grammar)  # the failure survived shrinking
+        assert result.final_productions <= 4
+        assert result.final_productions < result.initial_productions
+        assert result.steps_applied > 0
+
+    def test_minimum_is_one_minimal(self):
+        # Removing anything else from the result must kill the failure.
+        grammar = random_grammar(77, n_nonterminals=5, n_terminals=4)
+
+        def still_fails(g):
+            return any(len(p.rhs) >= 2 for p in g.productions)
+
+        if not still_fails(grammar):
+            pytest.skip("draw has no long rhs")
+        result = minimize_grammar(grammar, still_fails)
+        rules = result.rules
+        for index in range(len(rules)):
+            candidate = build_rules(
+                rules[:index] + rules[index + 1 :],
+                result.grammar.start.name,
+            )
+            assert candidate is None or not still_fails(candidate)
+
+    def test_broken_oracle_end_to_end_via_registry(self):
+        def broken(ctx):
+            if any(any(s.name == "t0" for s in p.rhs)
+                   for p in ctx.grammar.productions):
+                return "t0 still derivable"
+            return None
+
+        ORACLES["test-minimize-broken"] = broken
+        try:
+            grammar = random_grammar(11, n_nonterminals=5, n_terminals=4)
+            predicate = oracle_predicate("test-minimize-broken")
+            assert predicate(grammar)
+            result = minimize_grammar(grammar, predicate)
+            assert result.final_productions <= 4
+            assert predicate(result.grammar)
+        finally:
+            del ORACLES["test-minimize-broken"]
+
+
+class TestNoReproduction:
+    def test_passing_grammar_is_returned_unchanged(self):
+        grammar = corpus.load("expr")
+        result = minimize_grammar(grammar, lambda g: False)
+        assert result.steps_applied == 0 and result.rounds == 0
+        assert result.rules == grammar_rules(grammar)
+
+
+class TestMinimizedEntryFlow:
+    """Corpus entry -> minimize -> minimized text stored and loadable."""
+
+    def test_minimize_updates_the_entry(self, tmp_path):
+        def broken(ctx):
+            return (
+                "has-plus"
+                if any(any(s.name == "+" for s in p.rhs)
+                       for p in ctx.grammar.productions)
+                else None
+            )
+
+        ORACLES["test-entry-broken"] = broken
+        try:
+            grammar = corpus.load("expr")
+            store = FailureCorpus(str(tmp_path / "corpus"))
+            entry = FailureEntry(
+                fingerprint=failure_fingerprint("test-entry-broken", grammar),
+                oracle="test-entry-broken",
+                detail="has-plus",
+                grammar_text=write_arrow(grammar),
+            )
+            store.add(entry)
+
+            predicate = oracle_predicate("test-entry-broken")
+            result = minimize_grammar(entry.grammar(), predicate)
+            entry.minimized_text = write_arrow(result.grammar)
+            store.update(entry)
+
+            reloaded = store.get(entry.fingerprint[:12])
+            minimized = reloaded.grammar(minimized=True)
+            assert len(minimized.productions) <= 4
+            assert predicate(minimized)
+        finally:
+            del ORACLES["test-entry-broken"]

@@ -1,0 +1,143 @@
+"""Unit tests: the shared differential-fuzzing oracle stack."""
+
+import pytest
+
+from repro.fuzz.oracles import (
+    ORACLES,
+    OracleContext,
+    OracleFailure,
+    failure_fingerprint,
+    oracle,
+    oracle_names,
+    run_oracles,
+)
+from repro.grammars import corpus
+from repro.grammars.random_gen import random_grammar
+
+ALL_CORPUS = corpus.names()
+
+
+class TestRegistry:
+    def test_stack_order_is_stable(self):
+        assert oracle_names() == [
+            "lookahead-equivalence",
+            "superset-chain",
+            "digraph-identity",
+            "table-agreement",
+            "sentence-roundtrip",
+        ]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(AssertionError):
+            oracle("lookahead-equivalence")(lambda ctx: None)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_oracles(corpus.load("expr"), names=["no-such-oracle"])
+
+
+class TestFullStackOnCorpus:
+    """Every corpus grammar must clear the whole stack (unbounded CLR)."""
+
+    @pytest.mark.parametrize("name", ALL_CORPUS)
+    def test_corpus_grammar_agrees(self, name):
+        failures = run_oracles(
+            corpus.load(name), seed=11, clr_state_bound=0
+        )
+        assert failures == [], [f.describe() for f in failures]
+
+
+class TestSentenceRoundTrip:
+    """Satellite: the fuzzer's round-trip oracle pinned corpus-wide —
+    for every grammar in repro.grammars, generated sentences parse to
+    identical derivations under the LALR and canonical-LR tables."""
+
+    @pytest.mark.parametrize("name", ALL_CORPUS)
+    def test_lalr_and_clr_derivations_identical(self, name):
+        failures = run_oracles(
+            corpus.load(name),
+            names=["sentence-roundtrip"],
+            seed=11,
+            sentence_count=6,
+            sentence_budget=16,
+            clr_state_bound=0,
+        )
+        assert failures == [], [f.describe() for f in failures]
+
+
+class TestFailureDetection:
+    """The stack actually reports, not just passes: inject breakage."""
+
+    def test_broken_oracle_is_reported(self):
+        grammar = corpus.load("expr")
+
+        def broken(ctx):
+            return "synthetic disagreement"
+
+        ORACLES["test-broken"] = broken
+        try:
+            failures = run_oracles(grammar, names=["test-broken"])
+        finally:
+            del ORACLES["test-broken"]
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure.oracle == "test-broken"
+        assert failure.kind == "disagreement"
+        assert "synthetic disagreement" in failure.describe()
+
+    def test_crashing_oracle_is_a_finding_not_an_abort(self):
+        grammar = corpus.load("expr")
+
+        def crashes(ctx):
+            raise RuntimeError("boom")
+
+        ORACLES["test-crash"] = crashes
+        try:
+            failures = run_oracles(grammar, names=["test-crash", "lookahead-equivalence"])
+        finally:
+            del ORACLES["test-crash"]
+        # The crash is reported AND the rest of the stack still ran.
+        assert [f.kind for f in failures] == ["crash"]
+        assert "RuntimeError: boom" in failures[0].detail
+
+
+class TestOracleContext:
+    def test_artifacts_are_cached(self):
+        context = OracleContext(corpus.load("expr"))
+        assert context.automaton is context.automaton
+        assert context.lalr is context.lalr
+        assert context.merged is context.merged
+        assert context.lalr_table is context.lalr_table
+
+    def test_clr_bound_gates_roundtrip(self):
+        grammar = corpus.load("toy_java")  # comfortably over 2 states
+        context = OracleContext(grammar, clr_state_bound=2)
+        assert not context.clr_in_bounds
+        # The oracle must skip (vacuous agreement), not build CLR.
+        assert ORACLES["sentence-roundtrip"](context) is None
+        assert context._clr_table is None
+
+    def test_zero_bound_disables_the_gate(self):
+        context = OracleContext(corpus.load("expr"), clr_state_bound=0)
+        assert context.clr_in_bounds
+
+    def test_sentences_are_deterministic_per_seed(self):
+        grammar = corpus.load("expr")
+        a = OracleContext(grammar, seed=5).sentences()
+        b = OracleContext(grammar, seed=5).sentences()
+        assert a == b
+
+
+class TestFingerprint:
+    def test_stable_across_processes_and_draws(self):
+        # Same reduced grammar text + same oracle => same identity.
+        a = failure_fingerprint("lookahead-equivalence", random_grammar(17))
+        b = failure_fingerprint("lookahead-equivalence", random_grammar(17))
+        assert a == b and len(a) == 64
+
+    def test_differs_by_oracle_and_by_grammar(self):
+        grammar = random_grammar(17)
+        assert failure_fingerprint("a", grammar) != failure_fingerprint("b", grammar)
+        assert failure_fingerprint("a", grammar) != failure_fingerprint(
+            "a", random_grammar(18)
+        )

@@ -11,9 +11,9 @@ from hypothesis import strategies as st
 
 from repro.analysis import FirstSets, FollowSets, SentenceGenerator, leftmost_derivation
 from repro.automaton import LR0Automaton
-from repro.baselines import MergedLr1Analysis, PropagationAnalysis, SlrAnalysis
 from repro.core import LalrAnalysis
 from repro.core.digraph import digraph, naive_closure
+from repro.fuzz.oracles import run_oracles
 from repro.grammars.random_gen import random_grammar
 from repro.parser import Parser
 from repro.tables import build_clr_table, build_lalr_table
@@ -38,30 +38,30 @@ grammar_shapes = st.builds(
 
 
 class TestLookaheadEquivalence:
-    """LA_DP == LA_merge == LA_propagation — the headline theorem."""
+    """The headline theorem and its neighbours, via the shared oracle
+    stack (repro.fuzz.oracles) — the same checks the fuzz campaign and
+    the Table 6 benchmark run, here driven by hypothesis shapes."""
 
     @given(grammar=grammar_shapes)
     @settings(max_examples=60, **COMMON)
-    def test_three_way_equivalence(self, grammar):
-        grammar = grammar.augmented()
-        automaton = LR0Automaton(grammar)
-        dp = LalrAnalysis(grammar, automaton).lookahead_table()
-        merged = MergedLr1Analysis(grammar, automaton).lookahead_table()
-        propagated = PropagationAnalysis(grammar, automaton).lookahead_table()
-        assert dp.keys() == merged.keys() == propagated.keys()
-        for site in dp:
-            assert dp[site] == merged[site] == propagated[site]
+    def test_lookahead_oracles_agree(self, grammar):
+        """LA_DP == LA_merge == LA_propagation, LA ⊆ NQLALR ⊆ FOLLOW,
+        and generic-vs-integer Digraph identity."""
+        failures = run_oracles(
+            grammar,
+            names=["lookahead-equivalence", "superset-chain", "digraph-identity"],
+        )
+        assert failures == [], [f.describe() for f in failures]
 
     @given(grammar=grammar_shapes)
-    @settings(max_examples=40, **COMMON)
-    def test_la_subset_of_follow(self, grammar):
-        """LA(q, A->w) ⊆ FOLLOW(A): per-state never exceeds global."""
-        grammar = grammar.augmented()
-        automaton = LR0Automaton(grammar)
-        dp = LalrAnalysis(grammar, automaton)
-        slr = SlrAnalysis(grammar, automaton)
-        for site, la in dp.lookahead_table().items():
-            assert la <= slr.lookahead(*site)
+    @settings(max_examples=30, **COMMON)
+    def test_table_and_roundtrip_oracles_agree(self, grammar):
+        """Cell-identical tables from DP vs merged lookaheads, and
+        identical LALR/CLR derivations on generated sentences."""
+        failures = run_oracles(
+            grammar, names=["table-agreement", "sentence-roundtrip"], seed=7
+        )
+        assert failures == [], [f.describe() for f in failures]
 
     @given(grammar=grammar_shapes)
     @settings(max_examples=40, **COMMON)
@@ -175,22 +175,9 @@ class TestParserRoundTrip:
             tree = parser.parse(sentence)
             assert [s.name for s in tree.fringe()] == [s.name for s in sentence]
 
-    @given(grammar=grammar_shapes)
-    @settings(max_examples=40, **COMMON)
-    def test_lalr_and_clr_agree_on_lalr_grammars(self, grammar):
-        grammar = grammar.augmented()
-        assume(len(LR0Automaton(grammar)) <= 40)
-        lalr = build_lalr_table(grammar)
-        if not lalr.is_deterministic:
-            return  # only LALR(1) grammars carry the agreement obligation
-        clr = build_clr_table(grammar)
-        assert clr.is_deterministic
-        lalr_parser = Parser(lalr)
-        clr_parser = Parser(clr)
-        generator = SentenceGenerator(grammar, seed=5)
-        for _ in range(4):
-            sentence = generator.sentence(budget=10)
-            assert lalr_parser.parse(sentence).sexpr() == clr_parser.parse(sentence).sexpr()
+    # (The LALR-vs-CLR sentence agreement that used to live here is now
+    # the `sentence-roundtrip` oracle, exercised above and by the fuzz
+    # campaign.)
 
 
 class TestTableInvariants:
@@ -230,20 +217,6 @@ class TestTableInvariants:
 
 
 class TestNewComponentProperties:
-    @given(grammar=grammar_shapes)
-    @settings(max_examples=40, **COMMON)
-    def test_nqlalr_superset(self, grammar):
-        """LA ⊆ LA_NQLALR on arbitrary grammars (paper §7's safety half)."""
-        from repro.baselines import NqlalrAnalysis
-
-        grammar = grammar.augmented()
-        automaton = LR0Automaton(grammar)
-        exact = LalrAnalysis(grammar, automaton).lookahead_table()
-        loose = NqlalrAnalysis(grammar, automaton).lookahead_table()
-        assert exact.keys() == loose.keys()
-        for site in exact:
-            assert exact[site] <= loose[site]
-
     @given(grammar=grammar_shapes)
     @settings(max_examples=30, **COMMON)
     def test_compressed_table_equivalent_on_sentences(self, grammar):

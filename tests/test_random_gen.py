@@ -1,0 +1,106 @@
+"""Regression tests: random grammar generation at degenerate knobs.
+
+The fuzz campaign leans on :func:`repro.grammars.random_gen.random_grammar`
+being total over its legal knob space: boundary shapes must still produce
+reduced grammars the whole pipeline accepts, impossible shapes must raise
+immediately, and an exhausted retry loop must raise with the seed and the
+knobs in the message — never loop forever.
+"""
+
+import pytest
+
+from repro.fuzz.oracles import run_oracles
+from repro.grammar.errors import GrammarValidationError
+from repro.grammars import random_gen
+from repro.grammars.random_gen import random_grammar, random_grammar_batch
+
+
+class TestDegenerateKnobs:
+    """Boundary-but-legal shapes: every draw must build and analyse."""
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            dict(n_terminals=1),
+            dict(epsilon_weight=1.0),
+            dict(max_rhs_len=1),
+            dict(n_nonterminals=1, n_terminals=1, max_rhs_len=1, max_alternatives=1),
+            dict(epsilon_weight=0.0),
+        ],
+        ids=["one-terminal", "all-epsilon", "unit-rhs", "minimal-everything",
+             "no-epsilon"],
+    )
+    def test_degenerate_shapes_produce_reduced_grammars(self, knobs):
+        for seed in range(20):
+            grammar = random_grammar(seed, **knobs)
+            assert grammar.productions
+            # Reduced: every nonterminal both reachable and generating.
+            from repro.grammar.transforms import (
+                generating_nonterminals,
+                reachable_symbols,
+            )
+
+            assert set(grammar.nonterminals) <= generating_nonterminals(grammar)
+            assert set(grammar.nonterminals) <= reachable_symbols(grammar)
+
+    def test_all_epsilon_grammar_survives_the_oracle_stack(self):
+        """epsilon_weight=1.0 yields {ε}-language grammars; the whole
+        lookahead pipeline (and all its baselines) must agree on them."""
+        grammar = random_grammar(0, epsilon_weight=1.0)
+        failures = run_oracles(grammar)
+        assert failures == [], [f.describe() for f in failures]
+
+    def test_single_terminal_grammar_survives_the_oracle_stack(self):
+        grammar = random_grammar(3, n_terminals=1)
+        failures = run_oracles(grammar)
+        assert failures == [], [f.describe() for f in failures]
+
+    def test_deterministic_per_seed(self):
+        a = random_grammar(99, n_terminals=1, epsilon_weight=1.0)
+        b = random_grammar(99, n_terminals=1, epsilon_weight=1.0)
+        assert str(a) == str(b)
+
+
+class TestImpossibleKnobs:
+    """Structurally impossible shapes raise ValueError up front."""
+
+    @pytest.mark.parametrize(
+        "knobs,needle",
+        [
+            (dict(n_nonterminals=0), "n_nonterminals"),
+            (dict(n_terminals=0), "n_terminals"),
+            (dict(max_alternatives=0), "max_alternatives"),
+            (dict(max_rhs_len=0), "max_rhs_len"),
+            (dict(epsilon_weight=-0.1), "epsilon_weight"),
+            (dict(epsilon_weight=1.5), "epsilon_weight"),
+        ],
+    )
+    def test_rejected_with_the_knob_named(self, knobs, needle):
+        with pytest.raises(ValueError, match=needle):
+            random_grammar(0, **knobs)
+
+
+class TestRetryExhaustion:
+    """The bounded retry loop raises a reproducible error, never spins."""
+
+    def test_exhaustion_names_seed_and_knobs(self, monkeypatch):
+        calls = []
+
+        def never_sample(*args, **kwargs):
+            calls.append(1)
+            return None
+
+        monkeypatch.setattr(random_gen, "_sample", never_sample)
+        with pytest.raises(GrammarValidationError) as excinfo:
+            random_grammar(1234, n_terminals=2, epsilon_weight=0.5)
+        message = str(excinfo.value)
+        assert "seed 1234" in message
+        assert "n_terminals=2" in message
+        assert "epsilon_weight=0.5" in message
+        # Bounded: exactly the documented attempt budget, not forever.
+        assert len(calls) == random_gen._MAX_ATTEMPTS
+
+    def test_batch_propagates_the_same_error(self, monkeypatch):
+        monkeypatch.setattr(random_gen, "_sample", lambda *a, **k: None)
+        with pytest.raises(GrammarValidationError, match="seed 7"):
+            random_grammar_batch(1, base_seed=7)

@@ -201,3 +201,54 @@ class TestFormatMigration:
             assert json.load(handle)["format"] == 2
         cache.load_or_build(grammar, "lalr1", builder)
         assert cache.hits == 1 and calls == [grammar.name]
+
+
+def _concurrent_writer(directory, barrier, iterations):
+    """Subprocess body: hammer save_table at one fingerprint in lockstep."""
+    from repro.grammars import corpus
+    from repro.tables import TableCache, build_lalr_table
+
+    grammar = corpus.load("expr", augment=True)
+    table = build_lalr_table(grammar)
+    cache = TableCache(directory)
+    barrier.wait()  # maximise overlap between the two writers
+    for _ in range(iterations):
+        assert cache.store(table)
+
+
+class TestConcurrentWriters:
+    """Two processes save_table the same fingerprint simultaneously.
+
+    The atomic temp-file + os.replace protocol guarantees (a) whichever
+    write wins, the surviving entry is a complete, loadable JSON file —
+    never an interleaving of the two — and (b) no orphaned ``*.tmp``
+    files are left behind.
+    """
+
+    def test_simultaneous_stores_leave_a_loadable_entry_and_no_litter(self, tmp_path):
+        import multiprocessing
+
+        directory = str(tmp_path / "cache")
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(
+                target=_concurrent_writer, args=(directory, barrier, 25)
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+
+        # The survivor always loads (os.replace is all-or-nothing)...
+        grammar = corpus.load("expr", augment=True)
+        cache = TableCache(directory)
+        table = cache.load(grammar, "lalr1")
+        assert table is not None and table.is_deterministic
+        assert cache.stats()["corrupt"] == 0
+        # ...and the directory holds exactly the entry, no .tmp litter.
+        leftovers = sorted(os.listdir(directory))
+        assert leftovers == [os.path.basename(cache.path_for(grammar, "lalr1"))]
