@@ -1,0 +1,123 @@
+"""The eager, frozenset-based LR(0) builder, retained as a test oracle.
+
+This is the construction :class:`repro.automaton.lr0.LR0Automaton` used
+before the kernel-centric rewrite: items are :class:`Item` tuples, kernels
+are frozensets, every state's full closure is materialized eagerly by the
+classic item-level worklist algorithm, and transitions are Symbol-keyed
+dicts.  It is deliberately simple and slow — its job is to define the
+*meaning* the optimized builder must match bit for bit: the equivalence
+tests compare state numbering, kernels, closure order, transition maps
+and reduction order across the whole grammar corpus and hundreds of
+random grammars.
+
+Nothing in the pipeline imports this module; only tests (and anyone
+debugging a suspected automaton divergence) should.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import Symbol
+from .items import Item
+
+
+class ReferenceState:
+    """One state of the reference automaton (plain containers only)."""
+
+    __slots__ = ("state_id", "kernel", "closure", "transitions", "reductions")
+
+    def __init__(
+        self,
+        state_id: int,
+        kernel: FrozenSet[Item],
+        closure: Tuple[Item, ...],
+        reductions: Tuple[Item, ...],
+    ):
+        self.state_id = state_id
+        self.kernel = kernel
+        self.closure = closure
+        self.transitions: Dict[Symbol, int] = {}
+        self.reductions = reductions
+
+
+class ReferenceLR0Automaton:
+    """The pre-optimization LR(0) construction, verbatim."""
+
+    def __init__(self, grammar: Grammar):
+        if not grammar.is_augmented:
+            grammar = grammar.augmented()
+        self.grammar = grammar
+        self.ids = grammar.ids
+        self.states: List[ReferenceState] = []
+        self._kernel_index: Dict[FrozenSet[Item], int] = {}
+        self._build()
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def _closure(self, kernel: Iterable[Item]) -> Tuple[Item, ...]:
+        grammar = self.grammar
+        productions = grammar.productions
+        num_terminals = self.ids.num_terminals
+        items = list(kernel)
+        seen = set(items)
+        added = bytearray(self.ids.num_nonterminals)
+        i = 0
+        while i < len(items):
+            item = items[i]
+            i += 1
+            rhs_sids = productions[item.production].rhs_sids
+            if item.dot >= len(rhs_sids):
+                continue
+            sid = rhs_sids[item.dot]
+            if sid < num_terminals:
+                continue
+            nt_id = sid - num_terminals
+            if added[nt_id]:
+                continue
+            added[nt_id] = 1
+            for production in grammar.productions_for_ntid(nt_id):
+                fresh = Item(production.index, 0)
+                if fresh not in seen:
+                    seen.add(fresh)
+                    items.append(fresh)
+        return tuple(items)
+
+    def _intern(self, kernel: FrozenSet[Item]) -> int:
+        existing = self._kernel_index.get(kernel)
+        if existing is not None:
+            return existing
+        state_id = len(self.states)
+        closure = self._closure(sorted(kernel))
+        productions = self.grammar.productions
+        reductions = tuple(
+            item
+            for item in closure
+            if item.dot >= len(productions[item.production].rhs_sids)
+        )
+        self.states.append(ReferenceState(state_id, kernel, closure, reductions))
+        self._kernel_index[kernel] = state_id
+        return state_id
+
+    def _build(self) -> None:
+        productions = self.grammar.productions
+        symbol_of = self.ids.by_sid
+        order = self.ids.declaration_order()
+        self._intern(frozenset((Item(0, 0),)))
+        worklist = [0]
+        while worklist:
+            state = self.states[worklist.pop()]
+            by_sid: Dict[int, List[Item]] = {}
+            for item in state.closure:
+                rhs_sids = productions[item.production].rhs_sids
+                if item.dot < len(rhs_sids):
+                    by_sid.setdefault(rhs_sids[item.dot], []).append(item.advanced())
+            for sid in sorted(by_sid, key=order.__getitem__):
+                kernel = frozenset(by_sid[sid])
+                known = kernel in self._kernel_index
+                successor = self._intern(kernel)
+                state.transitions[symbol_of[sid]] = successor
+                if not known:
+                    worklist.append(successor)

@@ -177,19 +177,55 @@ def bench_snapshot(
     """
     grammars: Dict[str, Dict] = {}
     for name, grammar in named_grammars:
-        grammar = grammar.augmented()
-        automaton = LR0Automaton(grammar)
-        seconds = time_callable(
-            lambda: LalrAnalysis(grammar, automaton), repeats
-        )
-        analysis = LalrAnalysis(grammar, automaton)
-        collector = profile_pipeline(grammar)
-        grammars[name] = {
-            "lookahead_seconds": seconds,
-            "phases": collector.phase_totals(),
-            "counters": analysis.cost_summary(),
-        }
+        grammars[name] = _snapshot_entry(grammar, repeats)
     return {"format": BASELINE_FORMAT, "grammars": grammars}
+
+
+def _snapshot_entry(grammar: Grammar, repeats: int) -> Dict:
+    """One grammar's snapshot row (see :func:`bench_snapshot`)."""
+    grammar = grammar.augmented()
+    automaton = LR0Automaton(grammar)
+    seconds = time_callable(
+        lambda: LalrAnalysis(grammar, automaton), repeats
+    )
+    analysis = LalrAnalysis(grammar, automaton)
+    collector = profile_pipeline(grammar)
+    return {
+        "lookahead_seconds": seconds,
+        "phases": collector.phase_totals(),
+        "counters": analysis.cost_summary(),
+    }
+
+
+def _load_spec(spec: str) -> "Tuple[str, Grammar]":
+    """(display name, grammar) for a CLI grammar spec."""
+    import os
+
+    from ..grammar.reader import load_grammar_file
+    from ..grammars import corpus
+
+    if spec.startswith("corpus:"):
+        name = spec.split(":", 1)[1]
+        return name, corpus.load(name)
+    return os.path.basename(spec), load_grammar_file(spec)
+
+
+def _snapshot_worker(task: "Tuple[str, int]") -> "Tuple[str, Dict]":
+    """Parallel-map worker: snapshot one grammar *spec*.
+
+    Takes the spec string, not a Grammar — grammars are re-loaded inside
+    the worker so no interned symbols cross the process boundary.
+    """
+    spec, repeats = task
+    name, grammar = _load_spec(spec)
+    return name, _snapshot_entry(grammar, repeats)
+
+
+def _measure_worker(task: "Tuple[str, int]") -> "Tuple[str, Dict[str, float]]":
+    """Parallel-map worker: the method-timing row for one grammar spec."""
+    spec, repeats = task
+    name, grammar = _load_spec(spec)
+    return name, measure_methods(grammar, repeats=repeats)
 
 
 def compare_baseline(current: Dict, baseline: Dict) -> "Tuple[List[List], List[str]]":
@@ -255,8 +291,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     import json
     import os
 
-    from ..grammar.reader import load_grammar_file
-    from ..grammars import corpus
+    from ..core.parallel import parallel_map
 
     parser = argparse.ArgumentParser(prog="repro.bench.harness")
     parser.add_argument("grammars", nargs="+",
@@ -264,6 +299,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     parser.add_argument("--method", default="lalr1",
                         choices=["lr0", "slr1", "lalr1", "clr1"])
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="bench grammars across N worker processes; "
+                             "operation counters are unaffected, wall "
+                             "times get noisier under CPU contention "
+                             "(default 1)")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase pipeline breakdown")
     parser.add_argument("--profile-dir", default="",
@@ -275,15 +315,13 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                         help="write a snapshot JSON instead of reporting")
     args = parser.parse_args(argv)
 
-    named: "List[Tuple[str, Grammar]]" = []
-    for spec in args.grammars:
-        if spec.startswith("corpus:"):
-            named.append((spec.split(":", 1)[1], corpus.load(spec.split(":", 1)[1])))
-        else:
-            named.append((os.path.basename(spec), load_grammar_file(spec)))
+    def snapshot_all() -> Dict:
+        tasks = [(spec, args.repeats) for spec in args.grammars]
+        rows = parallel_map(_snapshot_worker, tasks, workers=args.workers)
+        return {"format": BASELINE_FORMAT, "grammars": dict(rows)}
 
     if args.write_baseline:
-        snapshot = bench_snapshot(named, repeats=args.repeats)
+        snapshot = snapshot_all()
         with open(args.write_baseline, "w", encoding="utf-8") as handle:
             json.dump(snapshot, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -293,7 +331,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
-        snapshot = bench_snapshot(named, repeats=args.repeats)
+        snapshot = snapshot_all()
         rows, drift = compare_baseline(snapshot, baseline)
         header = (f"{'grammar':20s} {'phase':24s} "
                   f"{'base ms':>10s} {'now ms':>10s} {'speedup':>8s}")
@@ -308,9 +346,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         print("operation counters match the baseline")
         return 0
 
-    for name, grammar in named:
-        print(f"== {name} ==")
-        if args.profile:
+    if args.profile:
+        for spec in args.grammars:
+            name, grammar = _load_spec(spec)
+            print(f"== {name} ==")
             collector = profile_pipeline(grammar, method=args.method)
             print(collector.format())
             if args.profile_dir:
@@ -319,9 +358,13 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 with open(out, "w", encoding="utf-8") as handle:
                     handle.write(collector.to_json())
                 print(f"wrote {out}")
-        else:
-            for method, seconds in measure_methods(grammar, repeats=args.repeats).items():
-                print(f"  {method:20s} {seconds * 1e3:10.3f} ms")
+        return 0
+
+    tasks = [(spec, args.repeats) for spec in args.grammars]
+    for name, times in parallel_map(_measure_worker, tasks, workers=args.workers):
+        print(f"== {name} ==")
+        for method, seconds in times.items():
+            print(f"  {method:20s} {seconds * 1e3:10.3f} ms")
     return 0
 
 

@@ -15,6 +15,9 @@ Commands:
     ambiguity  Search for an ambiguous sentence up to a length bound.
     fuzz       Differential fuzzing: run/replay/minimize campaigns
                (see repro.fuzz; takes no grammar file).
+    batch      Compile every grammar file in a directory through the
+               (optionally cached) table pipeline, across --workers N
+               processes (takes a directory, no grammar file).
 
 Exit codes follow one contract across every command: ``0`` success /
 clean, ``1`` a domain failure (conflicted table, invalid input, oracle
@@ -278,7 +281,7 @@ def _cmd_fuzz_run(_, args) -> int:
         time_budget=args.time_budget,
         clr_state_bound=args.clr_bound,
     )
-    report = run_campaign(config, corpus=corpus_store)
+    report = run_campaign(config, corpus=corpus_store, workers=args.workers)
     print(f"campaign: seed={args.seed} count={args.count} "
           f"buckets={','.join(b.label for b in buckets)} "
           f"oracles={','.join(names) if names else 'all'}")
@@ -349,6 +352,83 @@ def _cmd_fuzz_minimize(_, args) -> int:
             handle.write(text)
         print(f"wrote {args.output}")
     return 0
+
+
+#: Extensions ``repro batch`` picks up when no --pattern is given.
+_BATCH_EXTENSIONS = (".y", ".cfg")
+
+
+def _batch_worker(task: "tuple") -> dict:
+    """Compile one grammar file; returns a plain-data row.
+
+    Module-level and built from picklable plain data so the parallel
+    executor can ship it to forked workers unchanged.
+    """
+    path, method, cache_dir = task
+    from .grammar.errors import GrammarError
+
+    try:
+        grammar = load_grammar_file(path)
+        builder = _BUILDERS[method]
+        augmented = grammar.augmented()
+        if cache_dir:
+            table = TableCache(cache_dir).load_or_build(augmented, method, builder)
+        else:
+            table = builder(augmented)
+    except (GrammarError, OSError, ValueError) as error:
+        return {"path": path, "status": "error", "detail": str(error)}
+    summary = table.conflict_summary()
+    return {
+        "path": path,
+        "status": "ok",
+        "grammar": grammar.name,
+        "states": table.n_states,
+        "deterministic": table.is_deterministic,
+        "shift_reduce": summary["shift_reduce"],
+        "reduce_reduce": summary["reduce_reduce"],
+    }
+
+
+def _cmd_batch(_, args) -> int:
+    """Compile every grammar file in a directory through the pipeline."""
+    import glob
+    import os
+
+    from .core.parallel import parallel_map
+
+    if not os.path.isdir(args.directory):
+        return _usage_error(f"not a directory: {args.directory}")
+    if args.pattern:
+        paths = sorted(glob.glob(os.path.join(args.directory, args.pattern)))
+    else:
+        paths = sorted(
+            path
+            for ext in _BATCH_EXTENSIONS
+            for path in glob.glob(os.path.join(args.directory, f"*{ext}"))
+        )
+    paths = [path for path in paths if os.path.isfile(path)]
+    if not paths:
+        return _usage_error(f"no grammar files found in {args.directory}")
+    tasks = [(path, args.method, args.cache) for path in paths]
+    rows = parallel_map(_batch_worker, tasks, workers=args.workers)
+    errors = conflicted = 0
+    for row in rows:
+        name = os.path.basename(row["path"])
+        if row["status"] == "error":
+            errors += 1
+            print(f"ERROR {name}: {row['detail']}")
+            continue
+        verdict = "ok" if row["deterministic"] else "conflicted"
+        if not row["deterministic"]:
+            conflicted += 1
+        print(f"{verdict:<10} {name}: {row['states']} states, "
+              f"{row['shift_reduce']} s/r, {row['reduce_reduce']} r/r "
+              f"[{args.method}]")
+    print(f"batch: {len(rows)} grammars, "
+          f"{len(rows) - errors - conflicted} clean, "
+          f"{conflicted} conflicted, {errors} errors "
+          f"(workers={args.workers})")
+    return 1 if errors or conflicted else 0
 
 
 def _print_profile(collector: "instrument.ProfileCollector", json_path: str) -> None:
@@ -438,6 +518,28 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ambiguity_cmd.add_argument("--bound", type=int, default=6,
                                help="max sentence length to search (default 6)")
 
+    batch_cmd = sub.add_parser(
+        "batch", help="compile every grammar file in a directory"
+    )
+    batch_cmd.add_argument("directory", help="directory of grammar files")
+    batch_cmd.add_argument("--pattern", default="", metavar="GLOB",
+                           help="file glob within the directory "
+                                "(default: *.y and *.cfg)")
+    batch_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    batch_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="compile across N worker processes "
+                                "(default 1)")
+    batch_cmd.add_argument("--cache", nargs="?", const=default_cache_dir(),
+                           default="", metavar="DIR",
+                           help="load/store parse tables in an on-disk cache "
+                                "(default DIR: $REPRO_TABLE_CACHE or the "
+                                "system tmp)")
+    batch_cmd.add_argument("--profile", action="store_true",
+                           help="print a per-phase timing/counter breakdown")
+    batch_cmd.add_argument("--profile-json", default="", metavar="FILE",
+                           help="also write the profile as JSON to FILE")
+    batch_cmd.set_defaults(fn=_cmd_batch)
+
     fuzz_cmd = sub.add_parser(
         "fuzz", help="differential fuzzing of the equivalence theorem"
     )
@@ -469,6 +571,10 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                           help="persist distinct failures to this corpus dir")
     fuzz_run.add_argument("--time-budget", type=float, default=0.0, metavar="SEC",
                           help="stop sweeping after SEC wall-clock seconds")
+    fuzz_run.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="fan the sweep across N worker processes; "
+                               "results are identical to --workers 1 "
+                               "(default 1)")
 
     fuzz_replay = add_fuzz("replay", _cmd_fuzz_replay)
     fuzz_replay.add_argument("corpus", help="failure corpus directory")

@@ -1,10 +1,11 @@
 """The paper's contribution: DeRemer-Pennello LALR(1) look-ahead sets."""
 
-from . import instrument
+from . import instrument, parallel
 from .bitset import TerminalVocabulary
 from .digraph import DigraphStats, digraph, naive_closure
 from .instrument import ProfileCollector, profile, span
 from .lalr import LalrAnalysis, compute_lookaheads
+from .parallel import parallel_imap, parallel_map
 from .relations import LalrRelations
 
 __all__ = [
@@ -17,6 +18,9 @@ __all__ = [
     "digraph",
     "instrument",
     "naive_closure",
+    "parallel",
+    "parallel_imap",
+    "parallel_map",
     "profile",
     "span",
 ]

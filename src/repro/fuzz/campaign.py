@@ -16,12 +16,15 @@ under CI time limits: the sweep stops early but reports how far it got.
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import instrument
+from ..core.parallel import chunked, parallel_imap
 from ..grammar.errors import GrammarValidationError
 from ..grammar.grammar import Grammar
+from ..grammar.reader import load_grammar
 from ..grammar.writer import write_arrow
 from ..grammars.random_gen import random_grammar
 from .corpus import FailureCorpus
@@ -178,23 +181,143 @@ class CampaignReport:
         return lines
 
 
+#: Sweep indices per worker task: large enough to amortize process IPC,
+#: small enough for responsive progress and time-budget checks.
+_PARALLEL_CHUNK = 25
+
+
+def _sweep_chunk(config: CampaignConfig, indices: "List[int]") -> "List[tuple]":
+    """Worker: one slice of the sweep as plain picklable records.
+
+    Each record is ``(index, bucket_label, seed, grammar_text, failures)``
+    where *grammar_text* is None for a generation error and *failures* is
+    a tuple of ``(oracle, detail, kind, fingerprint)``.  Grammar objects
+    never cross the process boundary; the merge side reparses the arrow
+    text for the (rare) failing draws only.
+    """
+    records: "List[tuple]" = []
+    for index in indices:
+        bucket = config.buckets[index % len(config.buckets)]
+        seed = grammar_seed(config.seed, index)
+        try:
+            grammar = random_grammar(seed, **bucket.knobs)
+        except GrammarValidationError:
+            records.append((index, bucket.label, seed, None, ()))
+            continue
+        failures = run_oracles(
+            grammar,
+            names=config.oracles,
+            seed=seed,
+            sentence_count=config.sentence_count,
+            sentence_budget=config.sentence_budget,
+            clr_state_bound=config.clr_state_bound,
+        )
+        records.append(
+            (
+                index,
+                bucket.label,
+                seed,
+                write_arrow(grammar) if failures else "",
+                tuple(
+                    (f.oracle, f.detail, f.kind, failure_fingerprint(f.oracle, grammar))
+                    for f in failures
+                ),
+            )
+        )
+    return records
+
+
+def _run_campaign_parallel(
+    config: CampaignConfig,
+    corpus: "Optional[FailureCorpus]",
+    progress: "Optional[Callable[[int, int], None]]",
+    workers: int,
+) -> CampaignReport:
+    """The multi-worker sweep: fan chunks out, merge records in order.
+
+    Dedup, corpus persistence and bucket accounting all happen on the
+    merge side in draw-index order, so the report and any corpus writes
+    are identical to a serial run of the same config.  The wall-clock
+    budget is checked between chunks (a serial run checks between
+    draws), so an early stop may land on a chunk boundary.
+    """
+    report = CampaignReport()
+    seen: "set[str]" = set()
+    start = time.monotonic()
+    with instrument.span("fuzz.campaign"):
+        chunks = chunked(range(config.count), _PARALLEL_CHUNK)
+        sweep = parallel_imap(
+            functools.partial(_sweep_chunk, config), chunks, workers=workers
+        )
+        for records in sweep:
+            for index, label, seed, grammar_text, failures in records:
+                if grammar_text is None:
+                    report.generation_errors += 1
+                    instrument.count("fuzz.generation_errors")
+                    continue
+                report.grammars_run += 1
+                report.per_bucket[label] = report.per_bucket.get(label, 0) + 1
+                instrument.count("fuzz.grammars")
+                if not failures:
+                    continue
+                grammar = load_grammar(grammar_text)
+                knobs = config.buckets[index % len(config.buckets)].knobs
+                for oracle_name, detail, kind, fingerprint in failures:
+                    instrument.count("fuzz.failures")
+                    if fingerprint in seen:
+                        report.duplicate_failures += 1
+                        continue
+                    seen.add(fingerprint)
+                    campaign_failure = CampaignFailure(
+                        label,
+                        seed,
+                        knobs,
+                        OracleFailure(oracle_name, detail, grammar, kind=kind),
+                        fingerprint,
+                        grammar_text,
+                    )
+                    report.failures.append(campaign_failure)
+                    if corpus is not None:
+                        if corpus.add_failure(campaign_failure):
+                            report.new_corpus_entries += 1
+                        else:
+                            report.duplicate_failures += 1
+            if progress is not None and records:
+                progress(records[-1][0] + 1, config.count)
+            if config.time_budget and time.monotonic() - start > config.time_budget:
+                if records[-1][0] + 1 < config.count:
+                    report.stopped_early = True
+                break
+    report.elapsed = time.monotonic() - start
+    return report
+
+
 def run_campaign(
     config: CampaignConfig,
     corpus: "Optional[FailureCorpus]" = None,
     progress: "Optional[Callable[[int, int], None]]" = None,
+    workers: int = 1,
 ) -> CampaignReport:
     """Run one campaign: generate, check, fingerprint, persist.
 
     Draw *i* uses bucket ``i % len(buckets)`` and grammar seed
     :func:`grammar_seed`, so the whole sweep is a pure function of
-    *config* — any failure line can be replayed in isolation.
+    *config* — any failure line can be replayed in isolation.  With
+    ``workers > 1`` the sweep fans out over forked worker processes via
+    :mod:`repro.core.parallel`; results merge in draw order, so the
+    report, failure list and corpus contents stay identical to a serial
+    run (only profile counters recorded inside workers, and the exact
+    draw a time budget stops on, can differ).
 
     Args:
         config: The campaign parameters.
         corpus: When given, every distinct failure is persisted to it
             (and failures already on disk count as duplicates).
         progress: Optional ``progress(done, total)`` callback.
+        workers: Worker process count; ``<= 1`` runs serial in-process.
     """
+    if workers > 1:
+        return _run_campaign_parallel(config, corpus, progress, workers)
     report = CampaignReport()
     seen: "set[str]" = set()
     start = time.monotonic()

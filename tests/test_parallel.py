@@ -1,0 +1,114 @@
+"""Unit tests for the deterministic parallel executor.
+
+The executor's contract is that ``workers=N`` is observationally
+identical to ``workers=1`` for pure task functions: same results, same
+order, same exceptions.  Worker functions here are module-level so they
+pickle across the fork boundary.
+"""
+
+import pytest
+
+from repro.core import instrument
+from repro.core.parallel import (
+    chunked,
+    derive_seed,
+    effective_workers,
+    fork_available,
+    parallel_imap,
+    parallel_map,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError(f"task {x} exploded")
+    return x
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 7) == derive_seed(42, 7)
+
+    def test_distinct_per_index(self):
+        seeds = [derive_seed(42, i) for i in range(100)]
+        assert len(set(seeds)) == 100
+
+    def test_in_31_bit_range(self):
+        for base in (0, 1, 2**30, 2**62):
+            assert 0 <= derive_seed(base, 999) < 2**31
+
+
+class TestChunked:
+    def test_splits_evenly(self):
+        assert chunked(range(6), 2) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_last_chunk_is_short(self):
+        assert chunked(range(5), 2) == [[0, 1], [2, 3], [4]]
+
+    def test_empty_input(self):
+        assert chunked([], 3) == []
+
+    def test_bad_size_raises(self):
+        with pytest.raises(ValueError):
+            chunked(range(3), 0)
+
+
+class TestEffectiveWorkers:
+    def test_serial_when_one_worker(self):
+        assert effective_workers(1, 100) == 1
+
+    def test_serial_when_one_task(self):
+        assert effective_workers(8, 1) == 1
+
+    def test_clamped_to_task_count(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        assert effective_workers(8, 3) == 3
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        tasks = list(range(20))
+        assert parallel_map(_square, tasks, workers=1) == [x * x for x in tasks]
+
+    def test_parallel_matches_serial_in_order(self):
+        tasks = list(range(50))
+        serial = parallel_map(_square, tasks, workers=1)
+        fanned = parallel_map(_square, tasks, workers=4)
+        assert fanned == serial
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            parallel_map(_boom, range(6), workers=2)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            parallel_map(_boom, range(6), workers=1)
+
+    def test_records_instrument_counters(self):
+        with instrument.profile() as collector:
+            parallel_map(_square, range(7), workers=1)
+        assert collector.counters["parallel.tasks"] == 7
+
+
+class TestParallelImap:
+    def test_yields_in_task_order(self):
+        tasks = list(range(40))
+        assert list(parallel_imap(_square, tasks, workers=4)) == [
+            x * x for x in tasks
+        ]
+
+    def test_early_close_abandons_tail(self):
+        sweep = parallel_imap(_square, range(100), workers=2)
+        first = [next(sweep) for _ in range(3)]
+        sweep.close()
+        assert first == [0, 1, 4]
+
+    def test_serial_generator(self):
+        assert list(parallel_imap(_square, range(5), workers=1)) == [
+            0, 1, 4, 9, 16,
+        ]
