@@ -15,7 +15,7 @@ Quickstart:
 
 from .analysis import FirstSets, FollowSets, SentenceGenerator
 from .baselines import MergedLr1Analysis, PropagationAnalysis, SlrAnalysis
-from .core import LalrAnalysis, compute_lookaheads, digraph
+from .core import Budget, BudgetExceeded, LalrAnalysis, compute_lookaheads, digraph
 from .grammar import (
     Grammar,
     GrammarBuilder,
@@ -39,6 +39,8 @@ from .tables import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
     "FirstSets",
     "FollowSets",
     "Grammar",

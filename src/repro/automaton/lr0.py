@@ -156,7 +156,7 @@ class LR0State:
 class LR0Automaton:
     """Canonical LR(0) collection for an augmented grammar."""
 
-    def __init__(self, grammar: Grammar):
+    def __init__(self, grammar: Grammar, budget=None):
         # Imported here, not at module level: repro.core.lalr imports this
         # module, so a top-level import of repro.core would be circular.
         from ..core import instrument
@@ -171,9 +171,17 @@ class LR0Automaton:
         # goto(p, symbol(sid)) = q.  Built lazily: only lookback-style
         # backward walks and a few diagnostics ever need it.
         self._predecessors: "Optional[Dict[int, Dict[int, Tuple[int, ...]]]]" = None
+        # Held only for the duration of construction; cleared afterwards
+        # so automata never pin a request's Budget alive.
+        self._budget = budget
+        if budget is not None:
+            budget.enter_phase("lr0")
         with instrument.span("lr0.build"):
             self._prepare_closure_tables()
             self._build()
+        if budget is not None:
+            self._budget = None
+            budget.publish()
         if instrument.enabled():
             instrument.count("lr0.states", len(self.states))
             instrument.count(
@@ -275,6 +283,8 @@ class LR0Automaton:
         state = LR0State(state_id, kernel_codes, derived, tuple(reductions), self)
         self.states.append(state)
         self._kernel_index[kernel_codes] = state_id
+        if self._budget is not None:
+            self._budget.charge_states(len(self.states))
         return state_id, kernel_shifts
 
     def _build(self) -> None:

@@ -45,14 +45,18 @@ class ReferenceState:
 class ReferenceLR0Automaton:
     """The pre-optimization LR(0) construction, verbatim."""
 
-    def __init__(self, grammar: Grammar):
+    def __init__(self, grammar: Grammar, budget=None):
         if not grammar.is_augmented:
             grammar = grammar.augmented()
         self.grammar = grammar
         self.ids = grammar.ids
         self.states: List[ReferenceState] = []
         self._kernel_index: Dict[FrozenSet[Item], int] = {}
+        self._budget = budget
+        if budget is not None:
+            budget.enter_phase("lr0.reference")
         self._build()
+        self._budget = None
 
     def __len__(self) -> int:
         return len(self.states)
@@ -99,6 +103,8 @@ class ReferenceLR0Automaton:
         )
         self.states.append(ReferenceState(state_id, kernel, closure, reductions))
         self._kernel_index[kernel] = state_id
+        if self._budget is not None:
+            self._budget.charge_states(len(self.states))
         return state_id
 
     def _build(self) -> None:

@@ -59,7 +59,12 @@ class LR1State:
 class LR1Automaton:
     """Canonical collection of LR(1) item sets for an augmented grammar."""
 
-    def __init__(self, grammar: Grammar, first_sets: "FirstSets | None" = None):
+    def __init__(
+        self,
+        grammar: Grammar,
+        first_sets: "FirstSets | None" = None,
+        budget=None,
+    ):
         # Deferred to dodge the repro.core <-> repro.automaton cycle.
         from ..core import instrument
 
@@ -71,8 +76,14 @@ class LR1Automaton:
         self._kernel_index: Dict[
             FrozenSet[Tuple[Item, FrozenSet[Symbol]]], int
         ] = {}
+        self._budget = budget
+        if budget is not None:
+            budget.enter_phase("lr1")
         with instrument.span("lr1.build"):
             self._build()
+        if budget is not None:
+            self._budget = None
+            budget.publish()
         instrument.count("lr1.states", len(self.states))
 
     # -- construction ------------------------------------------------------
@@ -115,6 +126,8 @@ class LR1Automaton:
         state = LR1State(state_id, kernel, closure)
         self.states.append(state)
         self._kernel_index[kernel] = state_id
+        if self._budget is not None:
+            self._budget.charge_states(len(self.states))
         return state_id
 
     def _build(self) -> None:

@@ -23,6 +23,7 @@ from ..baselines.merge_lr1 import MergedLr1Analysis
 from ..baselines.propagation import PropagationAnalysis
 from ..baselines.slr import SlrAnalysis
 from ..core import instrument
+from ..core.budget import Budget, BudgetExceeded
 from ..core.lalr import LalrAnalysis
 from ..grammar.grammar import Grammar
 
@@ -38,14 +39,16 @@ def time_callable(fn: Callable[[], object], repeats: int = 5) -> float:
 
 
 #: The lookahead methods compared throughout: name -> analysis factory.
-#: Each factory takes (grammar, shared LR(0) automaton) so the automaton
-#: cost — common to all LR(0)-based methods — is excluded, exactly as the
-#: paper charges only the lookahead phase to each method.
-METHODS: "Dict[str, Callable[[Grammar, LR0Automaton], object]]" = {
-    "deremer_pennello": lambda g, a: LalrAnalysis(g, a),
-    "propagation": lambda g, a: PropagationAnalysis(g, a),
-    "lr1_merge": lambda g, a: MergedLr1Analysis(g, a),
-    "slr_follow": lambda g, a: SlrAnalysis(g, a).lookahead_table(),
+#: Each factory takes (grammar, shared LR(0) automaton, budget) so the
+#: automaton cost — common to all LR(0)-based methods — is excluded,
+#: exactly as the paper charges only the lookahead phase to each method.
+#: Only the DP analysis is budget-aware; the baselines ignore it (their
+#: cost is bounded by the automaton the budget already gated).
+METHODS: "Dict[str, Callable[..., object]]" = {
+    "deremer_pennello": lambda g, a, b=None: LalrAnalysis(g, a, budget=b),
+    "propagation": lambda g, a, b=None: PropagationAnalysis(g, a),
+    "lr1_merge": lambda g, a, b=None: MergedLr1Analysis(g, a),
+    "slr_follow": lambda g, a, b=None: SlrAnalysis(g, a).lookahead_table(),
 }
 
 
@@ -53,13 +56,22 @@ def measure_methods(
     grammar: Grammar,
     methods: "Sequence[str] | None" = None,
     repeats: int = 5,
+    budget_seconds: float = 0.0,
 ) -> Dict[str, float]:
-    """Median lookahead-computation time per method for one grammar."""
+    """Median lookahead-computation time per method for one grammar.
+
+    A nonzero *budget_seconds* caps the whole measurement (automaton
+    build plus every repeat) with one :class:`Budget` deadline; blowing
+    it raises :class:`BudgetExceeded` with the phase reached.
+    """
     grammar = grammar.augmented()
-    automaton = LR0Automaton(grammar)
+    budget = Budget(timeout=budget_seconds) if budget_seconds else None
+    automaton = LR0Automaton(grammar, budget=budget)
     chosen = methods or list(METHODS)
     return {
-        name: time_callable(lambda n=name: METHODS[n](grammar, automaton), repeats)
+        name: time_callable(
+            lambda n=name: METHODS[n](grammar, automaton, budget), repeats
+        )
         for name in chosen
     }
 
@@ -166,6 +178,7 @@ BASELINE_FORMAT = 1
 def bench_snapshot(
     named_grammars: "Sequence[Tuple[str, Grammar]]",
     repeats: int = 5,
+    budget_seconds: float = 0.0,
 ) -> Dict:
     """A machine-readable benchmark snapshot for baseline comparison.
 
@@ -177,19 +190,31 @@ def bench_snapshot(
     """
     grammars: Dict[str, Dict] = {}
     for name, grammar in named_grammars:
-        grammars[name] = _snapshot_entry(grammar, repeats)
+        grammars[name] = _snapshot_entry(grammar, repeats, budget_seconds)
     return {"format": BASELINE_FORMAT, "grammars": grammars}
 
 
-def _snapshot_entry(grammar: Grammar, repeats: int) -> Dict:
-    """One grammar's snapshot row (see :func:`bench_snapshot`)."""
+def _snapshot_entry(
+    grammar: Grammar, repeats: int, budget_seconds: float = 0.0
+) -> Dict:
+    """One grammar's snapshot row (see :func:`bench_snapshot`).
+
+    With a nonzero *budget_seconds*, a grammar that blows the per-grammar
+    deadline yields a ``{"budget_exceeded": ...}`` marker row instead of
+    hanging the whole sweep; :func:`compare_baseline` reports such rows
+    as drift rather than crashing on the missing timings.
+    """
     grammar = grammar.augmented()
-    automaton = LR0Automaton(grammar)
-    seconds = time_callable(
-        lambda: LalrAnalysis(grammar, automaton), repeats
-    )
-    analysis = LalrAnalysis(grammar, automaton)
-    collector = profile_pipeline(grammar)
+    try:
+        budget = Budget(timeout=budget_seconds) if budget_seconds else None
+        automaton = LR0Automaton(grammar, budget=budget)
+        seconds = time_callable(
+            lambda: LalrAnalysis(grammar, automaton, budget=budget), repeats
+        )
+        analysis = LalrAnalysis(grammar, automaton, budget=budget)
+        collector = profile_pipeline(grammar)
+    except BudgetExceeded as error:
+        return {"budget_exceeded": error.describe()}
     return {
         "lookahead_seconds": seconds,
         "phases": collector.phase_totals(),
@@ -210,22 +235,31 @@ def _load_spec(spec: str) -> "Tuple[str, Grammar]":
     return os.path.basename(spec), load_grammar_file(spec)
 
 
-def _snapshot_worker(task: "Tuple[str, int]") -> "Tuple[str, Dict]":
+def _snapshot_worker(task: "Tuple[str, int, float]") -> "Tuple[str, Dict]":
     """Parallel-map worker: snapshot one grammar *spec*.
 
     Takes the spec string, not a Grammar — grammars are re-loaded inside
     the worker so no interned symbols cross the process boundary.
     """
-    spec, repeats = task
+    spec, repeats, budget_seconds = task
     name, grammar = _load_spec(spec)
-    return name, _snapshot_entry(grammar, repeats)
+    return name, _snapshot_entry(grammar, repeats, budget_seconds)
 
 
-def _measure_worker(task: "Tuple[str, int]") -> "Tuple[str, Dict[str, float]]":
-    """Parallel-map worker: the method-timing row for one grammar spec."""
-    spec, repeats = task
+def _measure_worker(task: "Tuple[str, int, float]") -> "Tuple[str, object]":
+    """Parallel-map worker: the method-timing row for one grammar spec.
+
+    Returns the timing dict, or the budget diagnostic string when the
+    grammar blew the per-grammar ``--budget`` deadline.
+    """
+    spec, repeats, budget_seconds = task
     name, grammar = _load_spec(spec)
-    return name, measure_methods(grammar, repeats=repeats)
+    try:
+        return name, measure_methods(
+            grammar, repeats=repeats, budget_seconds=budget_seconds
+        )
+    except BudgetExceeded as error:
+        return name, error.describe()
 
 
 def compare_baseline(current: Dict, baseline: Dict) -> "Tuple[List[List], List[str]]":
@@ -250,6 +284,15 @@ def compare_baseline(current: Dict, baseline: Dict) -> "Tuple[List[List], List[s
         base = base_grammars.get(name)
         if base is None:
             drift.append(f"{name}: not present in baseline")
+            continue
+        # Marker rows from a budget-governed sweep carry no timings or
+        # counters; surface them as drift instead of KeyError-ing.
+        if "lookahead_seconds" not in entry:
+            drift.append(f"{name}: {entry.get('budget_exceeded', 'no timings')}")
+            continue
+        if "lookahead_seconds" not in base:
+            drift.append(f"{name}: baseline has no timings "
+                         f"({base.get('budget_exceeded', 'marker row')})")
             continue
         base_seconds = base["lookahead_seconds"]
         entry_seconds = entry["lookahead_seconds"]
@@ -304,6 +347,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                              "operation counters are unaffected, wall "
                              "times get noisier under CPU contention "
                              "(default 1)")
+    parser.add_argument("--budget", type=float, default=0.0, metavar="SEC",
+                        help="per-grammar analysis deadline; a grammar "
+                             "that blows it reports 'budget exceeded' "
+                             "instead of hanging the sweep (default: none)")
     parser.add_argument("--profile", action="store_true",
                         help="print a per-phase pipeline breakdown")
     parser.add_argument("--profile-dir", default="",
@@ -316,7 +363,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     def snapshot_all() -> Dict:
-        tasks = [(spec, args.repeats) for spec in args.grammars]
+        tasks = [(spec, args.repeats, args.budget) for spec in args.grammars]
         rows = parallel_map(_snapshot_worker, tasks, workers=args.workers)
         return {"format": BASELINE_FORMAT, "grammars": dict(rows)}
 
@@ -360,9 +407,12 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 print(f"wrote {out}")
         return 0
 
-    tasks = [(spec, args.repeats) for spec in args.grammars]
+    tasks = [(spec, args.repeats, args.budget) for spec in args.grammars]
     for name, times in parallel_map(_measure_worker, tasks, workers=args.workers):
         print(f"== {name} ==")
+        if isinstance(times, str):
+            print(f"  budget exceeded: {times}")
+            continue
         for method, seconds in times.items():
             print(f"  {method:20s} {seconds * 1e3:10.3f} ms")
     return 0

@@ -31,6 +31,12 @@ at the end, and ``--cache [DIR]`` makes table-building commands load
 tables from the on-disk cache instead of rebuilding (corrupt or stale
 entries rebuild silently).
 
+Every grammar command also takes the resource-budget flags ``--timeout
+SEC`` and ``--max-states N`` (see repro.core.budget): when a limit is
+hit the command exits 1 with a diagnostic naming the phase reached, the
+resource that ran out and the partial progress made, instead of hanging
+on a pathological grammar.
+
 Grammar files use either supported format (see repro.grammar.reader).
 Corpus grammars can be used anywhere a file is expected via
 ``corpus:<name>`` (e.g. ``corpus:expr``).
@@ -39,12 +45,13 @@ Corpus grammars can be used anywhere a file is expected via
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import List, Optional
 
 from .automaton import LR0Automaton
 from .bench import format_table, grammar_row
-from .core import LalrAnalysis, instrument
+from .core import Budget, BudgetExceeded, LalrAnalysis, instrument
 from .grammar import Grammar, load_grammar_file
 from .grammars import corpus
 from .parser import ParseError, Parser
@@ -73,10 +80,21 @@ def _load(spec: str) -> Grammar:
     return load_grammar_file(spec)
 
 
-def _table_for(grammar: Grammar, args) -> "tuple":
+def _budget_from(args) -> "Optional[Budget]":
+    """The request Budget for --timeout/--max-states, or None when unset."""
+    timeout = getattr(args, "timeout", 0.0)
+    max_states = getattr(args, "max_states", 0)
+    if not timeout and not max_states:
+        return None
+    return Budget(timeout=timeout or None, max_states=max_states or None)
+
+
+def _table_for(grammar: Grammar, args, budget: "Optional[Budget]" = None) -> "tuple":
     """(table, cache) for a table-building command, honouring --cache."""
     method = getattr(args, "method", "lalr1")
     builder = _BUILDERS[method]
+    if budget is not None:
+        builder = functools.partial(builder, budget=budget)
     augmented = grammar.augmented()
     cache_dir = getattr(args, "cache", None)
     if cache_dir:
@@ -88,7 +106,8 @@ def _table_for(grammar: Grammar, args) -> "tuple":
 def _cmd_pipeline(grammar: Grammar, args) -> int:
     """Run the whole pipeline: grammar -> LR(0) -> lookaheads -> table
     (through the cache when enabled), optionally parsing --input."""
-    table, cache = _table_for(grammar, args)
+    budget = _budget_from(args)
+    table, cache = _table_for(grammar, args, budget)
     summary = table.conflict_summary()
     print(f"grammar: {grammar.name}")
     print(f"method: {table.method}")
@@ -107,7 +126,7 @@ def _cmd_pipeline(grammar: Grammar, args) -> int:
     if args.input:
         parser = Parser(table)
         try:
-            parser.parse(args.input.split())
+            parser.parse(args.input.split(), budget=budget)
         except ParseError as error:
             print(f"input: invalid ({error})")
             return 1
@@ -130,14 +149,14 @@ def _cmd_classify(grammar: Grammar, args) -> int:
 
 
 def _cmd_la(grammar: Grammar, args) -> int:
-    analysis = LalrAnalysis(grammar.augmented())
+    analysis = LalrAnalysis(grammar.augmented(), budget=_budget_from(args))
     print(analysis.describe())
     return 0
 
 
 def _cmd_table(grammar: Grammar, args) -> int:
-    table, _ = _table_for(grammar, args)
-    print(table.format(max_states=args.max_states))
+    table, _ = _table_for(grammar, args, _budget_from(args))
+    print(table.format(max_states=args.print_states))
     summary = table.conflict_summary()
     print(
         f"\n{table.n_states} states, "
@@ -149,7 +168,7 @@ def _cmd_table(grammar: Grammar, args) -> int:
 
 
 def _cmd_states(grammar: Grammar, args) -> int:
-    automaton = LR0Automaton(grammar.augmented())
+    automaton = LR0Automaton(grammar.augmented(), budget=_budget_from(args))
     for state in automaton.states:
         print(automaton.format_state(state.state_id, kernel_only=args.kernel))
         print()
@@ -159,9 +178,10 @@ def _cmd_states(grammar: Grammar, args) -> int:
 def _cmd_conflicts(grammar: Grammar, args) -> int:
     from .tables.explain import explain_conflict
 
+    budget = _budget_from(args)
     augmented = grammar.augmented()
-    automaton = LR0Automaton(augmented)
-    table = _BUILDERS[args.method](augmented)
+    automaton = LR0Automaton(augmented, budget=budget)
+    table = _BUILDERS[args.method](augmented, budget=budget)
     if not table.conflicts:
         print("no conflicts")
         return 0
@@ -175,11 +195,12 @@ def _cmd_conflicts(grammar: Grammar, args) -> int:
 
 
 def _cmd_parse(grammar: Grammar, args) -> int:
-    table, _ = _table_for(grammar, args)
+    budget = _budget_from(args)
+    table, _ = _table_for(grammar, args, budget)
     parser = Parser(table)
     tokens = args.input.split()
     try:
-        tree = parser.parse(tokens)
+        tree = parser.parse(tokens, budget=budget)
     except ParseError as error:
         print(f"invalid: {error}")
         return 1
@@ -190,7 +211,7 @@ def _cmd_parse(grammar: Grammar, args) -> int:
 
 
 def _cmd_generate(grammar: Grammar, args) -> int:
-    table, _ = _table_for(grammar, args)
+    table, _ = _table_for(grammar, args, _budget_from(args))
     source = generate_parser_module(table, name=grammar.name)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -278,7 +299,7 @@ def _cmd_fuzz_run(_, args) -> int:
         count=args.count,
         buckets=buckets,
         oracles=names,
-        time_budget=args.time_budget,
+        time_budget=args.time_budget or getattr(args, "timeout", 0.0),
         clr_state_bound=args.clr_bound,
     )
     report = run_campaign(config, corpus=corpus_store, workers=args.workers)
@@ -431,6 +452,14 @@ def _cmd_batch(_, args) -> int:
     return 1 if errors or conflicted else 0
 
 
+def _report_budget_exceeded(error: BudgetExceeded) -> int:
+    """Print the degradation diagnostics for a blown --timeout/--max-states."""
+    print(f"budget exceeded: {error.describe()}", file=sys.stderr)
+    for key, value in sorted(error.progress.items()):
+        print(f"  {key}: {value}", file=sys.stderr)
+    return 1
+
+
 def _print_profile(collector: "instrument.ProfileCollector", json_path: str) -> None:
     print()
     print(collector.format())
@@ -460,6 +489,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                              help="print a per-phase timing/counter breakdown")
         command.add_argument("--profile-json", default="", metavar="FILE",
                              help="also write the profile as JSON to FILE")
+        command.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                             help="abort the analysis after SEC wall-clock "
+                                  "seconds (exit 1 with partial progress)")
+        command.add_argument("--max-states", type=int, default=0, metavar="N",
+                             help="abort once the automaton exceeds N states")
         if cache:
             command.add_argument(
                 "--cache", nargs="?", const=default_cache_dir(), default="",
@@ -483,7 +517,9 @@ def main(argv: "Optional[List[str]]" = None) -> int:
 
     table_cmd = add("table", _cmd_table, cache=True)
     table_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
-    table_cmd.add_argument("--max-states", type=int, default=0)
+    table_cmd.add_argument("--print-states", type=int, default=0, metavar="N",
+                           help="print at most N states of the table "
+                                "(0 = all; --max-states is the build cap)")
 
     states_cmd = add("states", _cmd_states)
     states_cmd.add_argument("--kernel", action="store_true")
@@ -571,6 +607,9 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                           help="persist distinct failures to this corpus dir")
     fuzz_run.add_argument("--time-budget", type=float, default=0.0, metavar="SEC",
                           help="stop sweeping after SEC wall-clock seconds")
+    fuzz_run.add_argument("--timeout", type=float, default=0.0, metavar="SEC",
+                          help="synonym for --time-budget (the uniform "
+                               "budget flag)")
     fuzz_run.add_argument("--workers", type=int, default=1, metavar="N",
                           help="fan the sweep across N worker processes; "
                                "results are identical to --workers 1 "
@@ -603,11 +642,17 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     if getattr(args, "profile", False):
         with instrument.profile() as collector:
             grammar = _load(args.grammar) if needs_grammar else None
-            code = args.fn(grammar, args)
+            try:
+                code = args.fn(grammar, args)
+            except BudgetExceeded as error:
+                code = _report_budget_exceeded(error)
         _print_profile(collector, args.profile_json)
         return code
     grammar = _load(args.grammar) if needs_grammar else None
-    return args.fn(grammar, args)
+    try:
+        return args.fn(grammar, args)
+    except BudgetExceeded as error:
+        return _report_budget_exceeded(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

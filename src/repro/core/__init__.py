@@ -2,6 +2,7 @@
 
 from . import instrument, parallel
 from .bitset import TerminalVocabulary
+from .budget import Budget, BudgetExceeded
 from .digraph import DigraphStats, digraph, naive_closure
 from .instrument import ProfileCollector, profile, span
 from .lalr import LalrAnalysis, compute_lookaheads
@@ -9,6 +10,8 @@ from .parallel import parallel_imap, parallel_map
 from .relations import LalrRelations
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
     "DigraphStats",
     "LalrAnalysis",
     "LalrRelations",

@@ -88,6 +88,7 @@ def digraph(
     relation: Callable[[Node], Iterable[Node]],
     initial: Callable[[Node], int],
     stats: "DigraphStats | None" = None,
+    budget=None,
 ) -> Tuple[Dict[Node, int], List[Tuple[Node, ...]]]:
     """Run the Digraph algorithm.
 
@@ -98,6 +99,8 @@ def digraph(
             stable.
         initial: ``initial(x)`` is F(x) as an int bitmask.
         stats: Optional operation counter to fill in.
+        budget: Optional :class:`repro.core.budget.Budget`; charged one
+            digraph step per frame visit plus one per edge inspected.
 
     Returns:
         ``(result, nontrivial_sccs)`` where ``result[x]`` is the bitmask
@@ -130,7 +133,9 @@ def digraph(
             frame = frames[-1]
             node, successors, node_depth = frame[0], frame[1], frame[2]
             advanced = False
+            scanned = 0
             for successor in successors:
+                scanned += 1
                 if stats is not None:
                     stats.edges += 1
                 if successor == node:
@@ -151,6 +156,8 @@ def digraph(
                 result[node] |= result[successor]
                 if stats is not None:
                     stats.unions += 1
+            if budget is not None:
+                budget.charge_digraph(scanned + 1)
             if advanced:
                 continue
             frames.pop()
@@ -193,6 +200,7 @@ def digraph_int(
     edges: Sequence[int],
     initial: Sequence[int],
     stats: "DigraphStats | None" = None,
+    budget=None,
 ) -> Tuple[List[int], List[Tuple[int, ...]]]:
     """The Digraph algorithm over dense integer nodes ``0..num_nodes-1``.
 
@@ -238,6 +246,7 @@ def digraph_int(
             frame = frames[-1]
             node, node_depth = frame[0], frame[2]
             edge_ptr = frame[1]
+            begin_ptr = edge_ptr
             edge_end = offsets[node + 1]
             node_depth_now = depth[node]
             node_result = result[node]
@@ -266,6 +275,11 @@ def digraph_int(
                 node_result |= result[successor]
                 if counting:
                     stats.unions += 1
+            if budget is not None:
+                # One step per frame visit plus one per edge inspected:
+                # bounded by 2·nodes + edges, so a cap stays linear in
+                # the relation size it is meant to govern.
+                budget.charge_digraph(edge_ptr - begin_ptr + 1)
             if advanced:
                 continue
             depth[node] = node_depth_now

@@ -40,6 +40,11 @@ class LalrAnalysis:
     Args:
         grammar: Any grammar; it is augmented if necessary.
         automaton: Optionally, a pre-built LR(0) automaton to reuse.
+        budget: Optional :class:`repro.core.budget.Budget` governing the
+            whole pipeline (LR(0) build when not pre-built, relations,
+            both Digraph passes, LA unions); exhaustion raises
+            :class:`repro.core.budget.BudgetExceeded` carrying the phase
+            reached and partial-progress counters.
 
     Attributes:
         automaton: The LR(0) automaton everything is computed on.
@@ -53,13 +58,14 @@ class LalrAnalysis:
         self,
         grammar: Grammar,
         automaton: "LR0Automaton | None" = None,
+        budget=None,
     ):
         if automaton is None:
-            automaton = LR0Automaton(grammar)
+            automaton = LR0Automaton(grammar, budget=budget)
         self.automaton = automaton
         self.grammar = automaton.grammar
         self.vocabulary = TerminalVocabulary(self.grammar)
-        self.relations = LalrRelations(automaton, self.vocabulary)
+        self.relations = LalrRelations(automaton, self.vocabulary, budget=budget)
         self.stats = DigraphStats()
 
         relations = self.relations
@@ -69,6 +75,8 @@ class LalrAnalysis:
         # indices, CSR adjacency, flat mask lists — no Symbol hashing.
 
         # Phase 1: Read = Digraph over `reads`, seeded with DR.
+        if budget is not None:
+            budget.enter_phase("digraph.reads")
         with instrument.span("lalr.digraph.reads"):
             self._read_masks, reads_scc_nodes = digraph_int(
                 n_nodes,
@@ -76,9 +84,12 @@ class LalrAnalysis:
                 relations.reads_adj,
                 relations.dr_masks,
                 self.stats,
+                budget=budget,
             )
 
         # Phase 2: Follow = Digraph over `includes`, seeded with Read.
+        if budget is not None:
+            budget.enter_phase("digraph.includes")
         with instrument.span("lalr.digraph.includes"):
             self._follow_masks, includes_scc_nodes = digraph_int(
                 n_nodes,
@@ -86,19 +97,26 @@ class LalrAnalysis:
                 relations.includes_adj,
                 self._read_masks,
                 self.stats,
+                budget=budget,
             )
 
         # Phase 3: LA = union of Follow over `lookback`.
+        if budget is not None:
+            budget.enter_phase("la")
         with instrument.span("lalr.la"):
             follow_masks = self._follow_masks
             stats = self.stats
             self.la_masks: Dict[ReductionSite, int] = {}
             for site, lookback_nodes in relations.lookback_nodes.items():
+                if budget is not None:
+                    budget.tick()
                 mask = 0
                 for node in lookback_nodes:
                     mask |= follow_masks[node]
                     stats.unions += 1
                 self.la_masks[site] = mask
+        if budget is not None:
+            budget.publish()
         instrument.count("lalr.lookahead_sites", len(self.la_masks))
 
         # SCC diagnostics are rare and small: widen to Symbol-level
@@ -209,7 +227,7 @@ class LalrAnalysis:
 
 
 def compute_lookaheads(
-    grammar: Grammar, automaton: "LR0Automaton | None" = None
+    grammar: Grammar, automaton: "LR0Automaton | None" = None, budget=None
 ) -> Dict[ReductionSite, FrozenSet[Symbol]]:
     """Convenience one-shot: LA sets for every reduction site of *grammar*."""
-    return LalrAnalysis(grammar, automaton).lookahead_table()
+    return LalrAnalysis(grammar, automaton, budget=budget).lookahead_table()

@@ -108,12 +108,21 @@ def parallel_imap(
     fn: "Callable[[Task], Result]",
     tasks: "Iterable[Task]",
     workers: int = 1,
+    budget=None,
 ) -> "Iterator[Result]":
     """Lazily yield ``fn(t)`` per task, in task order.
 
     Closing the generator early (``break`` in the consuming loop) tears
     the pool down and abandons unstarted tasks — the hook wall-clock-
     budgeted drivers use to stop a sweep mid-flight.
+
+    A *budget* (:class:`repro.core.budget.Budget`) with a timeout makes
+    the executor enforce the deadline itself: the serial path polls
+    between tasks, and the pool path waits for each result at most the
+    remaining time — when the deadline passes mid-task the pool is
+    terminated (cancelling the in-flight workers) and the generator
+    stops gracefully, exactly like a caller breaking out of the loop.
+    Results already completed in task order are still yielded.
     """
     task_list = list(tasks)
     n = effective_workers(workers, len(task_list))
@@ -122,15 +131,37 @@ def parallel_imap(
         instrument.count("parallel.worker_batches")
     if n <= 1:
         for task in task_list:
+            if budget is not None and budget.expired():
+                return
             yield fn(task)
         return
     pool = _pool(n)
     if pool is None:  # pragma: no cover - resource exhaustion only
         for task in task_list:
+            if budget is not None and budget.expired():
+                return
             yield fn(task)
         return
     try:
-        for result in pool.imap(fn, task_list):
+        results = pool.imap(fn, task_list)
+        while True:
+            if budget is None:
+                try:
+                    result = results.next()
+                except StopIteration:
+                    break
+            else:
+                remaining = budget.remaining()
+                if remaining is not None and remaining <= 0:
+                    return
+                try:
+                    # IMapIterator.next honours a timeout, which is what
+                    # lets the deadline cancel an in-flight worker task.
+                    result = results.next(timeout=remaining)
+                except multiprocessing.TimeoutError:
+                    return
+                except StopIteration:
+                    break
             yield result
         pool.close()
     finally:

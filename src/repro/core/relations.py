@@ -77,7 +77,12 @@ class LalrRelations:
     ``lookback``.
     """
 
-    def __init__(self, automaton: LR0Automaton, vocabulary: "TerminalVocabulary | None" = None):
+    def __init__(
+        self,
+        automaton: LR0Automaton,
+        vocabulary: "TerminalVocabulary | None" = None,
+        budget=None,
+    ):
         self.automaton = automaton
         self.grammar = automaton.grammar
         self.ids = self.grammar.ids
@@ -106,9 +111,15 @@ class LalrRelations:
         self._includes_view: "Dict[Transition, List[Transition]] | None" = None
         self._lookback_view: "Dict[ReductionSite, List[Transition]] | None" = None
 
+        self._budget = budget
+        if budget is not None:
+            budget.enter_phase("relations")
         with instrument.span("lalr.relations"):
             self._compute_dr_and_reads()
             self._compute_includes_and_lookback()
+        if budget is not None:
+            self._budget = None
+            budget.publish()
         if instrument.enabled():
             instrument.absorb("relations", self.stats())
 
@@ -131,9 +142,12 @@ class LalrRelations:
 
         node_index = self.node_index
         dr_masks = self.dr_masks
+        budget = self._budget
         offsets, adj = self.reads_offsets, self.reads_adj
         offsets.append(0)
         for packed_id in self.packed:
+            if budget is not None:
+                budget.tick()
             state_id, nt_id = divmod(packed_id, num_nonterminals)
             successor = states[state_id].targets[num_terminals + nt_id]
             successor_state = states[successor]
@@ -172,10 +186,13 @@ class LalrRelations:
             nullable_ids[ids.nonterminal_id(symbol)] = 1
         node_index = self.node_index
 
+        budget = self._budget
         buckets: List[List[int]] = [[] for _ in range(self.n_nodes)]
         for node, packed_id in enumerate(self.packed):
             source, lhs_nt_id = divmod(packed_id, num_nonterminals)
             for production in grammar.productions_for_ntid(lhs_nt_id):
+                if budget is not None:
+                    budget.tick()
                 rhs_sids = production.rhs_sids
                 n = len(rhs_sids)
                 # suffix_nullable[i] iff rhs[i:] =>* epsilon.

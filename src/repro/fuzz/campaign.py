@@ -21,6 +21,7 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import instrument
+from ..core.budget import Budget
 from ..core.parallel import chunked, parallel_imap
 from ..grammar.errors import GrammarValidationError
 from ..grammar.grammar import Grammar
@@ -232,22 +233,28 @@ def _run_campaign_parallel(
     corpus: "Optional[FailureCorpus]",
     progress: "Optional[Callable[[int, int], None]]",
     workers: int,
+    budget: "Optional[Budget]",
 ) -> CampaignReport:
     """The multi-worker sweep: fan chunks out, merge records in order.
 
     Dedup, corpus persistence and bucket accounting all happen on the
     merge side in draw-index order, so the report and any corpus writes
-    are identical to a serial run of the same config.  The wall-clock
-    budget is checked between chunks (a serial run checks between
-    draws), so an early stop may land on a chunk boundary.
+    are identical to a serial run of the same config.  Deadline
+    enforcement lives in the executor: :func:`parallel_imap` stops
+    yielding (and cancels in-flight workers) once the budget expires, so
+    an early stop may land on a chunk boundary.
     """
     report = CampaignReport()
     seen: "set[str]" = set()
     start = time.monotonic()
+    done = 0
     with instrument.span("fuzz.campaign"):
         chunks = chunked(range(config.count), _PARALLEL_CHUNK)
         sweep = parallel_imap(
-            functools.partial(_sweep_chunk, config), chunks, workers=workers
+            functools.partial(_sweep_chunk, config),
+            chunks,
+            workers=workers,
+            budget=budget,
         )
         for records in sweep:
             for index, label, seed, grammar_text, failures in records:
@@ -282,12 +289,12 @@ def _run_campaign_parallel(
                             report.new_corpus_entries += 1
                         else:
                             report.duplicate_failures += 1
+            if records:
+                done = records[-1][0] + 1
             if progress is not None and records:
-                progress(records[-1][0] + 1, config.count)
-            if config.time_budget and time.monotonic() - start > config.time_budget:
-                if records[-1][0] + 1 < config.count:
-                    report.stopped_early = True
-                break
+                progress(done, config.count)
+    if budget is not None and done < config.count:
+        report.stopped_early = True
     report.elapsed = time.monotonic() - start
     return report
 
@@ -297,6 +304,7 @@ def run_campaign(
     corpus: "Optional[FailureCorpus]" = None,
     progress: "Optional[Callable[[int, int], None]]" = None,
     workers: int = 1,
+    budget: "Optional[Budget]" = None,
 ) -> CampaignReport:
     """Run one campaign: generate, check, fingerprint, persist.
 
@@ -307,7 +315,7 @@ def run_campaign(
     :mod:`repro.core.parallel`; results merge in draw order, so the
     report, failure list and corpus contents stay identical to a serial
     run (only profile counters recorded inside workers, and the exact
-    draw a time budget stops on, can differ).
+    draw a deadline stops on, can differ).
 
     Args:
         config: The campaign parameters.
@@ -315,15 +323,21 @@ def run_campaign(
             (and failures already on disk count as duplicates).
         progress: Optional ``progress(done, total)`` callback.
         workers: Worker process count; ``<= 1`` runs serial in-process.
+        budget: Shared :class:`repro.core.budget.Budget`; the campaign
+            polls it (never raises) and stops gracefully at a draw/chunk
+            boundary, reporting ``stopped_early``.  When omitted, a
+            nonzero ``config.time_budget`` is wrapped in one.
     """
+    if budget is None and config.time_budget:
+        budget = Budget(timeout=config.time_budget)
     if workers > 1:
-        return _run_campaign_parallel(config, corpus, progress, workers)
+        return _run_campaign_parallel(config, corpus, progress, workers, budget)
     report = CampaignReport()
     seen: "set[str]" = set()
     start = time.monotonic()
     with instrument.span("fuzz.campaign"):
         for index in range(config.count):
-            if config.time_budget and time.monotonic() - start > config.time_budget:
+            if budget is not None and budget.expired():
                 report.stopped_early = True
                 break
             bucket = config.buckets[index % len(config.buckets)]

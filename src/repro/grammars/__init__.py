@@ -8,6 +8,7 @@ from .families import (
     family_sweep,
     keyword_statement_family,
     nullable_chain_family,
+    state_explosion_family,
     unit_chain_family,
 )
 from .random_gen import random_grammar, random_grammar_batch, random_token_stream
@@ -27,5 +28,6 @@ __all__ = [
     "random_grammar",
     "random_grammar_batch",
     "random_token_stream",
+    "state_explosion_family",
     "unit_chain_family",
 ]

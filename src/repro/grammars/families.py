@@ -101,6 +101,30 @@ def keyword_statement_family(n: int) -> Grammar:
     return builder.build(start="program")
 
 
+def state_explosion_family(n: int) -> Grammar:
+    """A right-linear grammar whose LR(0) automaton has ~2^n states.
+
+    Encodes the classic subset-construction blowup language
+    ``(a|b)* a (a|b)^{n-1} c``: after any prefix the automaton must
+    remember which of the last *n* symbols were ``a``, so kernels range
+    over all 2^n subsets of the counting chain ``T1..Tn``.  At n=14 the
+    build already takes tens of thousands of states — the pathological
+    workload the resource budgets (:mod:`repro.core.budget`) exist for,
+    and the timeout-regression fixture in CI.
+    """
+    if n < 1:
+        raise ValueError("state_explosion_family needs n >= 1")
+    builder = GrammarBuilder(f"state_explosion_{n}")
+    builder.rule("S", ["a", "S"])
+    builder.rule("S", ["b", "S"])
+    builder.rule("S", ["a", "T1"])
+    for i in range(1, n):
+        builder.rule(f"T{i}", ["a", f"T{i + 1}"])
+        builder.rule(f"T{i}", ["b", f"T{i + 1}"])
+    builder.rule(f"T{n}", ["c"])
+    return builder.build(start="S")
+
+
 def family_sweep(
     family: "callable", sizes: "List[int]"
 ) -> "List[Tuple[int, Grammar]]":

@@ -54,9 +54,16 @@ class Parser:
 
     # -- public API ---------------------------------------------------
 
-    def parse(self, tokens: Iterable[TokenLike]) -> Node:
+    def parse(self, tokens: Iterable[TokenLike], budget=None) -> Node:
         """Parse *tokens* and return the parse tree rooted at the user's
-        start symbol.  Raises ParseError on invalid input."""
+        start symbol.  Raises ParseError on invalid input.
+
+        A *budget* (:class:`repro.core.budget.Budget`) bounds the parse:
+        ``max_tokens`` caps input consumed (the guard for unbounded
+        streams), ``max_parse_steps`` caps actions, and a ``timeout``
+        bounds wall-clock time; exhaustion raises
+        :class:`~repro.core.budget.BudgetExceeded`.
+        """
 
         def build(production: Production, children: Sequence[Node]) -> Node:
             return Node(production.lhs, list(children), production=production)
@@ -64,30 +71,31 @@ class Parser:
         def leaf(token: Token) -> Node:
             return Node(token.symbol, value=token.value)
 
-        return self._run(tokens, reduce_fn=build, shift_fn=leaf)
+        return self._run(tokens, reduce_fn=build, shift_fn=leaf, budget=budget)
 
     def parse_with_actions(
         self,
         tokens: Iterable[TokenLike],
         reduce_fn: Callable[[Production, Sequence[object]], object],
         shift_fn: "Callable[[Token], object] | None" = None,
+        budget=None,
     ) -> object:
         """Parse, folding *reduce_fn* over reductions (syntax-directed
         translation).  *shift_fn* maps a token to its initial semantic
         value (defaults to the token's own value)."""
         if shift_fn is None:
             shift_fn = lambda token: token.value
-        return self._run(tokens, reduce_fn=reduce_fn, shift_fn=shift_fn)
+        return self._run(tokens, reduce_fn=reduce_fn, shift_fn=shift_fn, budget=budget)
 
-    def accepts(self, tokens: Iterable[TokenLike]) -> bool:
+    def accepts(self, tokens: Iterable[TokenLike], budget=None) -> bool:
         """True iff *tokens* is a sentence of the grammar."""
         try:
-            self.parse(tokens)
+            self.parse(tokens, budget=budget)
         except ParseError:
             return False
         return True
 
-    def trace(self, tokens: Iterable[TokenLike]) -> List[str]:
+    def trace(self, tokens: Iterable[TokenLike], budget=None) -> List[str]:
         """Parse while recording one line per action — a teaching aid and
         the fixture for the engine's unit tests."""
         log: List[str] = []
@@ -100,7 +108,7 @@ class Parser:
             log.append(f"shift {token.symbol.name}")
             return None
 
-        self._run(tokens, reduce_fn=build, shift_fn=leaf)
+        self._run(tokens, reduce_fn=build, shift_fn=leaf, budget=budget)
         log.append("accept")
         return log
 
@@ -143,16 +151,20 @@ class Parser:
         tokens: Iterable[TokenLike],
         reduce_fn: Callable[[Production, Sequence[object]], object],
         shift_fn: Callable[[Token], object],
+        budget=None,
     ) -> object:
         with instrument.span("parse.run"):
-            return self._run_loop(tokens, reduce_fn, shift_fn)
+            return self._run_loop(tokens, reduce_fn, shift_fn, budget)
 
     def _run_loop(
         self,
         tokens: Iterable[TokenLike],
         reduce_fn: Callable[[Production, Sequence[object]], object],
         shift_fn: Callable[[Token], object],
+        budget=None,
     ) -> object:
+        if budget is not None:
+            budget.enter_phase("parse")
         state_stack: List[int] = [0]
         value_stack: List[object] = []
 
@@ -183,6 +195,8 @@ class Parser:
 
         try:
             while True:
+                if budget is not None:
+                    budget.charge_parse_step()
                 action = action_rows[state_stack[-1]][tid] if tid is not None else None
                 if action is None:
                     raise self._syntax_error(position, token, state_stack[-1])
@@ -191,6 +205,8 @@ class Parser:
                     state_stack.append(action.state)
                     position += 1
                     shifts += 1
+                    if budget is not None:
+                        budget.charge_tokens(1)
                     try:
                         raw = next(stream)
                     except StopIteration:
@@ -229,6 +245,8 @@ class Parser:
                     )
                 return value_stack[0]
         finally:
+            if budget is not None:
+                budget.publish()
             if instrument.enabled():
                 instrument.count("parse.tokens", position)
                 instrument.count("parse.shifts", shifts)
@@ -236,8 +254,15 @@ class Parser:
                 instrument.count("parse.actions", shifts + reduces)
 
     def _syntax_error(self, position: int, token: Token, state: int) -> ParseError:
+        # The expected set comes from the dense row, not the Symbol-keyed
+        # `actions` dict: on a CompressedTable the dict holds only the
+        # cells not folded into the row's default reduce, which would
+        # understate what the parser actually accepts in this state.
+        row = self.table.action_rows[state]
+        by_sid = self._ids.by_sid
         expected = sorted(
-            (t for t in self.table.actions[state]), key=lambda s: s.name
+            (by_sid[tid] for tid in range(len(row)) if row[tid] is not None),
+            key=lambda s: s.name,
         )
         names = ", ".join(t.name for t in expected) or "<nothing>"
         what = token.symbol.name if token.symbol is not self._eof else "end of input"

@@ -35,76 +35,119 @@ class RecoveringParser:
             if symbol.is_nonterminal:
                 raise ValueError(f"sync token {name!r} must be a terminal")
             self.sync.append(symbol)
+        terminal_id = self.grammar.ids.terminal_id
+        self._sync_tids = frozenset(terminal_id(symbol) for symbol in self.sync)
 
-    def check(self, tokens: "Sequence[TokenLike]", max_errors: int = 25) -> List[ParseError]:
-        """Parse *tokens*, recovering at sync points; returns all errors."""
-        table = self.parser.table
-        eof = self.grammar.eof
-        stream = [self.parser._normalise(t, i) for i, t in enumerate(tokens)]
-        stream.append(Token(eof, None))
+    def check(
+        self,
+        tokens: "Sequence[TokenLike]",
+        max_errors: int = 25,
+        budget=None,
+    ) -> List[ParseError]:
+        """Parse *tokens*, recovering at sync points; returns all errors.
 
+        Drives the same dense ``action_rows``/``goto_rows`` fast path as
+        the engine, so error detection states, positions and expected
+        sets are identical to a plain :meth:`Parser.parse` of the same
+        prefix — on compressed tables included.  A *budget* bounds the
+        whole check with the engine's token/step/deadline limits.
+        """
+        parser = self.parser
+        ids = parser._ids
+        sid_or_none = ids.sid_or_none
+        num_terminals = ids.num_terminals
+        action_rows = parser.table.action_rows
+        goto_rows = parser.table.goto_rows
+        productions = self.grammar.productions
+
+        stream = [parser._normalise(t, i) for i, t in enumerate(tokens)]
+        stream.append(Token(self.grammar.eof, None))
+        # One ID conversion per token up front; None marks symbols
+        # outside this grammar's layout (always a syntax error below).
+        tids = [sid_or_none(token.symbol) for token in stream]
+
+        if budget is not None:
+            budget.enter_phase("parse.check")
         errors: List[ParseError] = []
         state_stack: List[int] = [0]
         position = 0
 
-        while True:
-            token = stream[position]
-            action = table.action(state_stack[-1], token.symbol)
+        try:
+            while True:
+                if budget is not None:
+                    budget.charge_parse_step()
+                tid = tids[position]
+                action = (
+                    action_rows[state_stack[-1]][tid] if tid is not None else None
+                )
 
-            if action is None:
-                error = self.parser._syntax_error(position, token, state_stack[-1])
-                errors.append(error)
-                if len(errors) >= max_errors:
-                    return errors
-                recovered = self._recover(state_stack, stream, position)
-                if recovered is None:
-                    return errors
-                position = recovered
-                continue
+                if action is None:
+                    error = parser._syntax_error(
+                        position, stream[position], state_stack[-1]
+                    )
+                    errors.append(error)
+                    if len(errors) >= max_errors:
+                        return errors
+                    recovered = self._recover(state_stack, tids, position)
+                    if recovered is None:
+                        return errors
+                    position = recovered
+                    continue
 
-            if action.kind == "shift":
-                state_stack.append(action.state)
-                position += 1
-                continue
-            if action.kind == "reduce":
-                production = self.grammar.productions[action.production]
-                if len(production.rhs):
-                    del state_stack[-len(production.rhs):]
-                goto = table.goto(state_stack[-1], production.lhs)
-                if goto is None:
-                    # Recovery left the stack in a dead configuration.
-                    return errors
-                state_stack.append(goto)
-                continue
-            return errors  # accept
+                if action.kind == "shift":
+                    state_stack.append(action.state)
+                    position += 1
+                    if budget is not None:
+                        budget.charge_tokens(1)
+                    continue
+                if action.kind == "reduce":
+                    production = productions[action.production]
+                    arity = len(production.rhs_sids)
+                    if arity:
+                        del state_stack[-arity:]
+                    goto = goto_rows[state_stack[-1]][
+                        production.lhs_sid - num_terminals
+                    ]
+                    if goto < 0:
+                        # Recovery left the stack in a dead configuration.
+                        return errors
+                    state_stack.append(goto)
+                    continue
+                return errors  # accept
+        finally:
+            if budget is not None:
+                budget.publish()
 
     def _recover(
         self,
         state_stack: List[int],
-        stream: "List[Token]",
+        tids: "List[Optional[int]]",
         position: int,
     ) -> Optional[int]:
         """Panic: skip to a sync token, pop states until it is actionable.
 
         Returns the position to resume at, or None when unrecoverable.
         """
-        table = self.parser.table
+        action_rows = self.parser.table.action_rows
+        sync_tids = self._sync_tids
+        eof_tid = self.parser._eof_tid
         index = position
-        while index < len(stream):
-            token = stream[index]
-            if token.symbol is self.grammar.eof:
+        while index < len(tids):
+            tid = tids[index]
+            if tid == eof_tid:
                 return None  # nothing left to resynchronise on
-            if token.symbol in self.sync:
+            if tid in sync_tids:
                 # Resume AFTER the sync token: pop to the shallowest state
                 # that can act on the follower (a fresh-context restart);
                 # when none can, hard-reset to the start state and let the
                 # parser re-derive the next error.  Either way the resume
                 # position strictly advances, so recovery always terminates.
-                follower = stream[index + 1]
-                for depth in range(len(state_stack)):
-                    if table.action(state_stack[depth], follower.symbol) is not None:
-                        del state_stack[depth + 1 :]
-                        return index + 1
+                follower_tid = tids[index + 1]
+                if follower_tid is not None:
+                    for depth in range(len(state_stack)):
+                        if action_rows[state_stack[depth]][follower_tid] is not None:
+                            del state_stack[depth + 1 :]
+                            return index + 1
                 del state_stack[1:]
                 return index + 1
             index += 1

@@ -32,53 +32,55 @@ from .table import ACCEPT, Action, ParseTable, Reduce, Shift
 
 
 def build_lr0_table(
-    grammar: Grammar, automaton: "LR0Automaton | None" = None
+    grammar: Grammar, automaton: "LR0Automaton | None" = None, budget=None
 ) -> ParseTable:
     """The LR(0) table: final items reduce on *every* terminal."""
     with instrument.span("table.build.lr0"):
         if automaton is None:
-            automaton = LR0Automaton(grammar)
+            automaton = LR0Automaton(grammar, budget=budget)
         all_mask = (1 << automaton.ids.num_terminals) - 1
 
         def lookahead_mask(site: ReductionSite) -> int:
             return all_mask
 
-        return _fill_lr0_based(automaton, "lr0", lookahead_mask)
+        return _fill_lr0_based(automaton, "lr0", lookahead_mask, budget)
 
 
 def build_slr_table(
-    grammar: Grammar, automaton: "LR0Automaton | None" = None
+    grammar: Grammar, automaton: "LR0Automaton | None" = None, budget=None
 ) -> ParseTable:
     """The SLR(1) table: reduce on FOLLOW of the production's lhs."""
     with instrument.span("table.build.slr1"):
         if automaton is None:
-            automaton = LR0Automaton(grammar)
+            automaton = LR0Automaton(grammar, budget=budget)
         analysis = SlrAnalysis(grammar, automaton)
         mask_of = _symbol_set_masker(automaton)
 
         def lookahead_mask(site: ReductionSite) -> int:
             return mask_of(analysis.lookahead(*site))
 
-        return _fill_lr0_based(automaton, "slr1", lookahead_mask)
+        return _fill_lr0_based(automaton, "slr1", lookahead_mask, budget)
 
 
 def build_lalr_table(
     grammar: Grammar,
     automaton: "LR0Automaton | None" = None,
     lookahead_table: "Dict[ReductionSite, FrozenSet[Symbol]] | None" = None,
+    budget=None,
 ) -> ParseTable:
     """The LALR(1) table.
 
     By default lookaheads come straight from the DeRemer–Pennello
     analysis's LA bitmasks (no Symbol round-trip); pass *lookahead_table*
     (e.g. from a baseline) to build from other sources — the classifier
-    and the equivalence tests use this hook.
+    and the equivalence tests use this hook.  A *budget* governs the
+    whole build (automaton, analysis and fill share one deadline).
     """
     with instrument.span("table.build.lalr1"):
         if automaton is None:
-            automaton = LR0Automaton(grammar)
+            automaton = LR0Automaton(grammar, budget=budget)
         if lookahead_table is None:
-            la_masks = LalrAnalysis(grammar, automaton).la_masks
+            la_masks = LalrAnalysis(grammar, automaton, budget=budget).la_masks
 
             def lookahead_mask(site: ReductionSite) -> int:
                 return la_masks.get(site, 0)
@@ -89,7 +91,7 @@ def build_lalr_table(
             def lookahead_mask(site: ReductionSite) -> int:
                 return mask_of(lookahead_table.get(site, frozenset()))
 
-        return _fill_lr0_based(automaton, "lalr1", lookahead_mask)
+        return _fill_lr0_based(automaton, "lalr1", lookahead_mask, budget)
 
 
 def _symbol_set_masker(automaton: LR0Automaton) -> "callable":
@@ -118,6 +120,7 @@ def _fill_lr0_based(
     automaton: LR0Automaton,
     method: str,
     lookahead_mask_for: "callable",
+    budget=None,
 ) -> ParseTable:
     """Fill ACTION/GOTO walking the automaton's integer core.
 
@@ -136,8 +139,12 @@ def _fill_lr0_based(
     gotos: List[Dict[Symbol, int]] = []
     conflicts: List[Conflict] = []
 
+    if budget is not None:
+        budget.enter_phase("table.fill")
     with instrument.span("table.fill"):
         for state in automaton.states:
+            if budget is not None:
+                budget.tick()
             action_row: Dict[Symbol, Action] = {}
             goto_row: Dict[Symbol, int] = {}
             targets = state.targets
@@ -168,6 +175,8 @@ def _fill_lr0_based(
                     )
             actions.append(action_row)
             gotos.append(goto_row)
+    if budget is not None:
+        budget.publish()
     if instrument.enabled():
         instrument.count("table.states", len(actions))
         instrument.count("table.action_cells", sum(len(row) for row in actions))
@@ -176,20 +185,27 @@ def _fill_lr0_based(
 
 
 def build_clr_table(
-    grammar: Grammar, lr1: "LR1Automaton | None" = None
+    grammar: Grammar, lr1: "LR1Automaton | None" = None, budget=None
 ) -> ParseTable:
     """The canonical LR(1) table (Knuth), on the LR(1) automaton's states."""
     with instrument.span("table.build.clr1"):
         if lr1 is None:
-            lr1 = LR1Automaton(grammar.augmented() if not grammar.is_augmented else grammar)
+            lr1 = LR1Automaton(
+                grammar.augmented() if not grammar.is_augmented else grammar,
+                budget=budget,
+            )
         grammar = lr1.grammar
         eof = grammar.eof
         actions: List[Dict[Symbol, Action]] = []
         gotos: List[Dict[Symbol, int]] = []
         conflicts: List[Conflict] = []
 
+        if budget is not None:
+            budget.enter_phase("table.fill")
         with instrument.span("table.fill"):
             for state in lr1.states:
+                if budget is not None:
+                    budget.tick()
                 action_row: Dict[Symbol, Action] = {}
                 goto_row: Dict[Symbol, int] = {}
                 for symbol, successor in state.transitions.items():
@@ -214,6 +230,8 @@ def build_clr_table(
                         )
                 actions.append(action_row)
                 gotos.append(goto_row)
+        if budget is not None:
+            budget.publish()
         if instrument.enabled():
             instrument.count("table.states", len(actions))
             instrument.count("table.action_cells", sum(len(row) for row in actions))

@@ -6,12 +6,16 @@ are dropped, and the parser takes the default whenever the lookahead has
 no entry.  Rows that contain only one distinct reduce shrink to a single
 default cell.
 
-Consequence (and the reason it is safe): erroneous input may trigger a
-few extra reductions before the error is detected — but never an extra
-*shift*, so no input is ever wrongly accepted, and the error position can
-move only past reductions, never past consumed tokens.  This is the same
-contract Bison documents; the test suite checks both halves (acceptance
-unchanged; detection possibly delayed but consumption identical).
+Consequence (and the reason it is safe): under the classic lookup
+scheme erroneous input may trigger a few extra reductions before the
+error is detected — but never an extra *shift*, so no input is ever
+wrongly accepted, and the error position can move only past reductions,
+never past consumed tokens.  This is the same contract Bison documents.
+Here that deferred-detection behaviour lives only in the Symbol-keyed
+:meth:`CompressedTable.action` lookup; the dense rows the engine drives
+resolve every default back into the cells it was folded from, so engine
+error *messages and positions* are identical to the uncompressed table
+(the expected-set regression tests pin this down).
 """
 
 from __future__ import annotations
@@ -28,6 +32,20 @@ class CompressedTable:
 
     Exposes the same ``action``/``goto`` interface as ParseTable, so the
     parse engine can drive either interchangeably.
+
+    Two lookup surfaces with deliberately different default semantics:
+
+    - :meth:`action` (the Symbol-keyed slow path) consults the row
+      default on any miss — the classic yacc storage scheme, where
+      erroneous lookaheads may trigger a few extra reductions before
+      the error surfaces.
+    - ``action_rows`` (the engine's dense fast path) resolves each
+      default into exactly the cells it was folded *from* at
+      construction time; genuine error cells stay empty.  The engine
+      therefore detects errors in the identical state, at the identical
+      position, with the identical expected set as the uncompressed
+      table — compression is a storage measure (:meth:`size_cells`),
+      never a diagnostics change.
     """
 
     def __init__(self, table: ParseTable):
@@ -35,21 +53,29 @@ class CompressedTable:
         self.method = table.method + "+default-reductions"
         self.gotos = table.gotos
         self.conflicts = table.conflicts
+        eof = self.grammar.eof
+        if not any(
+            action is not None and action.kind == "accept"
+            for row in table.actions
+            for terminal, action in row.items()
+            if terminal is eof
+        ):
+            # Without this guard a default reduce in the $end column
+            # would silently stand in for the missing accept and the
+            # parser would reduce forever at end of input.
+            raise ValueError(
+                "cannot compress a table with no accept action on "
+                f"{eof.name}: a column default would mask the missing accept"
+            )
         self.defaults: List[Optional[Reduce]] = []
         self.actions: List[Dict[Symbol, Action]] = []
         self._compress(table)
-        # Dense ID-indexed rows for the engine's fast path.  The default
-        # reduce fills every cell the explicit row leaves empty — exactly
-        # the lookup semantics of :meth:`action`.
-        ids = self.grammar.ids
-        terminal_id = ids.terminal_id
-        num_terminals = ids.num_terminals
-        self.action_rows: List[List[Optional[Action]]] = []
-        for row, default in zip(self.actions, self.defaults):
-            dense: List[Optional[Action]] = [default] * num_terminals
-            for terminal, action in row.items():
-                dense[terminal_id(terminal)] = action
-            self.action_rows.append(dense)
+        # Dense ID-indexed rows for the engine's fast path: identical to
+        # the source table's rows, i.e. every folded default already
+        # resolved into its original cells and nothing else.
+        self.action_rows: List[List[Optional[Action]]] = [
+            list(row) for row in table.action_rows
+        ]
         self.goto_rows = table.goto_rows
 
     def _compress(self, table: ParseTable) -> None:
@@ -107,6 +133,5 @@ def compress(table: ParseTable) -> CompressedTable:
 
 def compression_ratio(table: ParseTable) -> float:
     """Original cells / compressed cells (>1 means savings)."""
-    compressed = compress(table)
-    original = table.size_cells()
-    return original / compressed.size_cells() if compressed.size_cells() else 1.0
+    compressed_cells = compress(table).size_cells()
+    return table.size_cells() / compressed_cells if compressed_cells else 1.0

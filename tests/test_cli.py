@@ -177,8 +177,8 @@ class TestTable:
         code, output = run(["table", grammar_file, "--method", "clr1"])
         assert code == 0
 
-    def test_max_states(self, grammar_file):
-        code, output = run(["table", grammar_file, "--max-states", "2"])
+    def test_print_states_truncates(self, grammar_file):
+        code, output = run(["table", grammar_file, "--print-states", "2"])
         assert "more states" in output
 
 

@@ -86,6 +86,99 @@ class TestCompression:
         for i in reduce_rows:
             assert compressed.actions[i] == {}
 
+    def test_error_messages_identical_plain_vs_compressed(self):
+        # Regression: the compressed table used to report the expected
+        # set from its post-folding sparse dict, understating what the
+        # parser accepts ("expected one of: $end" instead of "$end, b").
+        from repro.parser import ParseError
+
+        grammar = corpus.load("slr_not_lr0", augment=True)
+        table = build_lalr_table(grammar)
+        exact = Parser(table)
+        compact = Parser(compress(table))
+        for bad in (["a", "a"], ["b"], ["a", "b", "b"], []):
+            with pytest.raises(ParseError) as exact_info:
+                exact.parse(bad)
+            with pytest.raises(ParseError) as compact_info:
+                compact.parse(bad)
+            assert str(compact_info.value) == str(exact_info.value), bad
+            assert compact_info.value.position == exact_info.value.position
+            assert compact_info.value.expected == exact_info.value.expected
+
+    def test_error_diagnostics_identical_corpus_wide(self, corpus_grammar):
+        """Position, message and expected set match on every corpus
+        grammar with a deterministic LALR table, across mutated inputs."""
+        from repro.parser import ParseError
+
+        grammar = corpus_grammar.augmented()
+        table = build_lalr_table(grammar)
+        if not table.is_deterministic:
+            pytest.skip("needs a deterministic LALR table")
+        exact = Parser(table)
+        compact = Parser(compress(table))
+        terminals = [t for t in grammar.terminals if t is not grammar.eof]
+
+        def error_of(parser, tokens):
+            try:
+                parser.parse(tokens)
+            except ParseError as error:
+                return error
+            return None
+
+        generator = SentenceGenerator(grammar, seed=11)
+        compared = 0
+        for sentence in generator.sentences(8, budget=8):
+            mutants = [sentence[:-1], sentence + sentence[-1:]]
+            for i in range(len(sentence)):
+                mutants.append(
+                    sentence[:i] + [terminals[i % len(terminals)].name]
+                    + sentence[i + 1:]
+                )
+            for bad in mutants:
+                plain_error = error_of(exact, bad)
+                compact_error = error_of(compact, bad)
+                if plain_error is None:
+                    assert compact_error is None
+                    continue
+                assert compact_error is not None
+                assert compact_error.position == plain_error.position
+                assert compact_error.expected == plain_error.expected
+                assert str(compact_error) == str(plain_error)
+                compared += 1
+        assert compared > 0
+
+    def test_compression_ratio_builds_once(self, tables, monkeypatch):
+        # Regression: the ratio used to compress (and size) the table
+        # twice — once for the numerator's guard, once for the value.
+        from repro.tables.compress import CompressedTable
+
+        grammar, table, _ = tables
+        builds = []
+        original = CompressedTable.__init__
+
+        def counting(self, source):
+            builds.append(1)
+            original(self, source)
+
+        monkeypatch.setattr(CompressedTable, "__init__", counting)
+        assert compression_ratio(table) > 1.0
+        assert len(builds) == 1
+
+    def test_missing_accept_rejected(self, tables):
+        # A table with no accept on $end must refuse to compress: a
+        # column default would stand in for the missing accept and the
+        # parser would reduce forever at end of input.
+        grammar, table, _ = tables
+        for row, dense in zip(table.actions, table.action_rows):
+            for terminal, action in list(row.items()):
+                if action.kind == "accept":
+                    del row[terminal]
+            for i, action in enumerate(dense):
+                if action is not None and action.kind == "accept":
+                    dense[i] = None
+        with pytest.raises(ValueError, match="accept"):
+            compress(table)
+
 
 class TestRecovery:
     @pytest.fixture
@@ -134,6 +227,39 @@ stmt : ID '=' ID ';' ;
     def test_nonterminal_sync_rejected(self, recovering):
         with pytest.raises(ValueError):
             RecoveringParser(recovering.parser, sync_tokens=["stmt"])
+
+    def test_sync_as_last_real_token_terminates(self, recovering):
+        # The sync token is the last real token, so its follower is the
+        # appended end-of-input sentinel; no state on the stack acts on
+        # it, recovery hard-resets, and the re-derived error at the
+        # sentinel itself is the final one (the next recovery scan sees
+        # only end-of-input and gives up).
+        errors = recovering.check("= ;".split())
+        assert [e.position for e in errors] == [0, 2]
+
+    def test_unactionable_follower_hard_resets(self, recovering):
+        # After "ID = ;" the sync follower is another ';' that no
+        # stacked state can act on: recovery resets to the start state
+        # and the parser re-derives each subsequent error exactly.
+        errors = recovering.check("ID = ; ;".split())
+        assert [e.position for e in errors] == [2, 3, 4]
+
+    def test_max_errors_truncates_hard_reset_storm(self, recovering):
+        # Every "= ;" pair hard-resets; the cap must stop the walk with
+        # one error per pair, in position order.
+        errors = recovering.check(("= ; " * 30).split(), max_errors=5)
+        assert [e.position for e in errors] == [0, 2, 4, 6, 8]
+
+    def test_check_honours_budget(self, recovering):
+        from repro.core import Budget, BudgetExceeded
+
+        with pytest.raises(BudgetExceeded) as info:
+            recovering.check("ID = ID ;".split(),
+                             budget=Budget(max_parse_steps=3))
+        assert info.value.phase == "parse.check"
+        budget = Budget(max_parse_steps=10_000)
+        assert recovering.check("ID = ID ;".split(), budget=budget) == []
+        assert budget.parse_steps > 0
 
 
 class TestDot:
