@@ -98,7 +98,7 @@ def _table_for(grammar: Grammar, args, budget: "Optional[Budget]" = None) -> "tu
     augmented = grammar.augmented()
     cache_dir = getattr(args, "cache", None)
     if cache_dir:
-        cache = TableCache(cache_dir)
+        cache = TableCache(cache_dir, backend=getattr(args, "format", "json"))
         return cache.load_or_build(augmented, method, builder), cache
     return builder(augmented), None
 
@@ -155,6 +155,14 @@ def _cmd_la(grammar: Grammar, args) -> int:
 
 
 def _cmd_table(grammar: Grammar, args) -> int:
+    from .tables import (
+        BINARY_SUFFIX,
+        compress,
+        displace,
+        save_binary_table,
+        save_table,
+    )
+
     table, _ = _table_for(grammar, args, _budget_from(args))
     print(table.format(max_states=args.print_states))
     summary = table.conflict_summary()
@@ -164,6 +172,42 @@ def _cmd_table(grammar: Grammar, args) -> int:
         f"{summary['reduce_reduce']} reduce/reduce, "
         f"{summary['resolved']} resolved by precedence"
     )
+    if args.compress != "none":
+        if table.unresolved_conflicts:
+            print("compression: skipped (table has unresolved conflicts)")
+        elif args.compress == "displace":
+            stats = displace(table).packing_stats()
+            ratio = stats["dense_cells"] / stats["stored_cells"]
+            print(
+                f"compression[displace]: {stats['dense_cells']} dense cells "
+                f"-> {stats['stored_cells']} stored "
+                f"({stats['comb_slots']} comb slots, "
+                f"{stats['comb_gaps']} gaps; ratio {ratio:.2f}x)"
+            )
+        else:
+            compressed = compress(table)
+            dense = table.size_cells()
+            stored = compressed.size_cells()
+            ratio = dense / stored if stored else 1.0
+            print(
+                f"compression[default]: {dense} populated cells "
+                f"-> {stored} stored (ratio {ratio:.2f}x)"
+            )
+    if args.output:
+        if table.unresolved_conflicts:
+            print("error: cannot write an artifact for a table with "
+                  "unresolved conflicts", file=sys.stderr)
+            return 1
+        as_binary = args.format == "bin" or args.output.endswith(BINARY_SUFFIX)
+        if as_binary:
+            written = save_binary_table(table, args.output)
+        else:
+            save_table(table, args.output)
+            import os
+
+            written = os.path.getsize(args.output)
+        print(f"wrote {args.output} ({written} bytes, "
+              f"{'binary' if as_binary else 'json'})")
     return 0 if table.is_deterministic else 1
 
 
@@ -212,7 +256,7 @@ def _cmd_parse(grammar: Grammar, args) -> int:
 
 def _cmd_generate(grammar: Grammar, args) -> int:
     table, _ = _table_for(grammar, args, _budget_from(args))
-    source = generate_parser_module(table, name=grammar.name)
+    source = generate_parser_module(table, name=grammar.name, style=args.style)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(source)
@@ -385,7 +429,7 @@ def _batch_worker(task: "tuple") -> dict:
     Module-level and built from picklable plain data so the parallel
     executor can ship it to forked workers unchanged.
     """
-    path, method, cache_dir = task
+    path, method, cache_dir, backend = task
     from .grammar.errors import GrammarError
 
     try:
@@ -393,7 +437,9 @@ def _batch_worker(task: "tuple") -> dict:
         builder = _BUILDERS[method]
         augmented = grammar.augmented()
         if cache_dir:
-            table = TableCache(cache_dir).load_or_build(augmented, method, builder)
+            table = TableCache(cache_dir, backend=backend).load_or_build(
+                augmented, method, builder
+            )
         else:
             table = builder(augmented)
     except (GrammarError, OSError, ValueError) as error:
@@ -430,7 +476,7 @@ def _cmd_batch(_, args) -> int:
     paths = [path for path in paths if os.path.isfile(path)]
     if not paths:
         return _usage_error(f"no grammar files found in {args.directory}")
-    tasks = [(path, args.method, args.cache) for path in paths]
+    tasks = [(path, args.method, args.cache, args.format) for path in paths]
     rows = parallel_map(_batch_worker, tasks, workers=args.workers)
     errors = conflicted = 0
     for row in rows:
@@ -501,6 +547,12 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                 help="load/store the parse table in an on-disk cache "
                      "(default DIR: $REPRO_TABLE_CACHE or the system tmp)",
             )
+            command.add_argument(
+                "--format", choices=["json", "bin"], default="json",
+                help="table artifact format: readable JSON or the "
+                     "versioned binary layout (mmap-loaded, no JSON "
+                     "parse on the hot path)",
+            )
         command.set_defaults(fn=fn)
         return command
 
@@ -520,6 +572,15 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     table_cmd.add_argument("--print-states", type=int, default=0, metavar="N",
                            help="print at most N states of the table "
                                 "(0 = all; --max-states is the build cap)")
+    table_cmd.add_argument("--compress", choices=["none", "default", "displace"],
+                           default="none",
+                           help="also report a compressed representation: "
+                                "'default' (sparse + default-reduce) or "
+                                "'displace' (comb-packed check/value arrays)")
+    table_cmd.add_argument("--output", "-o", default="", metavar="FILE",
+                           help="write the table artifact to FILE "
+                                "(binary when --format bin or FILE ends "
+                                "in .rtb, else JSON)")
 
     states_cmd = add("states", _cmd_states)
     states_cmd.add_argument("--kernel", action="store_true")
@@ -541,6 +602,11 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     generate_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
     generate_cmd.add_argument("--output", "-o", default="",
                               help="write to file instead of stdout")
+    generate_cmd.add_argument("--style", choices=["dict", "dense", "displace"],
+                              default="dict",
+                              help="emitted table representation: per-state "
+                                   "dicts, flat array('i') matrices, or "
+                                   "comb-packed arrays")
 
     dot_cmd = add("dot", _cmd_dot)
     dot_cmd.add_argument("--graph", choices=["automaton", "reads", "includes"],
@@ -570,6 +636,9 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                            help="load/store parse tables in an on-disk cache "
                                 "(default DIR: $REPRO_TABLE_CACHE or the "
                                 "system tmp)")
+    batch_cmd.add_argument("--format", choices=["json", "bin"], default="json",
+                           help="cache artifact format (JSON or versioned "
+                                "binary)")
     batch_cmd.add_argument("--profile", action="store_true",
                            help="print a per-phase timing/counter breakdown")
     batch_cmd.add_argument("--profile-json", default="", metavar="FILE",

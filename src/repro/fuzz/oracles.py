@@ -20,6 +20,11 @@ Registered oracles (in stack order):
   cell-for-cell identical to one filled from merged-LR(1) lookaheads.
 - ``sentence-roundtrip`` — generated sentences parse to identical
   derivation trees under the LALR and canonical-LR(1) engines.
+- ``representation-parity`` — the plain LALR table, its compressed
+  (default-reduce) form, its displacement-packed form and a binary
+  serialisation round-trip drive the engine to identical derivations
+  *and* identical diagnostics (message, position, expected set) on both
+  accepted sentences and deterministic mutants.
 
 Each oracle takes an :class:`OracleContext` (which lazily builds and
 caches the shared artifacts — automaton, analyses, tables) and returns
@@ -389,6 +394,77 @@ def check_sentence_roundtrip(ctx: OracleContext) -> Optional[str]:
                 f"derivations differ on {' '.join(words)!r}: "
                 f"LALR={lalr_tree.sexpr()} CLR={clr_tree.sexpr()}"
             )
+    return None
+
+
+@oracle("representation-parity")
+def check_representation_parity(ctx: OracleContext) -> Optional[str]:
+    """Every table representation is observationally identical.
+
+    The compressed (default-reduce) table, the displacement-packed table
+    and a binary round-trip (``table_from_bytes(table_to_bytes(t))``)
+    must all drive the engine to the same derivation on every generated
+    sentence and to the *same error* — message text, position and
+    expected set — on deterministic mutants of those sentences.  This is
+    the live form of the representation-parity regression suite, run on
+    every fuzz-campaign grammar.
+    """
+    from ..parser.engine import Parser
+    from ..parser.errors import ParseError
+    from ..tables.binfmt import table_from_bytes, table_to_bytes
+    from ..tables.compress import compress
+    from ..tables.displace import displace
+
+    base = ctx.lalr_table
+    if not base.is_deterministic:
+        return None
+    reference = Parser(base)
+    variants = [
+        ("compressed", Parser(compress(base))),
+        ("displaced", Parser(displace(base))),
+        ("binary", Parser(table_from_bytes(table_to_bytes(base), ctx.augmented))),
+    ]
+
+    sentences = ctx.sentences()
+    terminals = sorted(ctx.augmented.terminals, key=lambda s: s.name)
+    streams: List[list] = [list(sentence) for sentence in sentences]
+    # Deterministic mutants, kept inside the grammar's own terminal
+    # alphabet (out-of-grammar names take the engine's "unknown terminal"
+    # path, which generated drivers deliberately do not share).
+    for index, sentence in enumerate(sentences):
+        if sentence:
+            streams.append(list(sentence[:-1]))
+            swapped = list(sentence)
+            swapped[index % len(swapped)] = terminals[index % len(terminals)]
+            streams.append(swapped)
+    streams.append([])
+
+    for words in streams:
+        try:
+            expected_outcome = ("tree", reference.parse(list(words)).sexpr())
+        except ParseError as error:
+            expected_outcome = (
+                "error",
+                str(error),
+                error.position,
+                [s.name for s in error.expected],
+            )
+        for label, parser in variants:
+            try:
+                outcome = ("tree", parser.parse(list(words)).sexpr())
+            except ParseError as error:
+                outcome = (
+                    "error",
+                    str(error),
+                    error.position,
+                    [s.name for s in error.expected],
+                )
+            if outcome != expected_outcome:
+                rendered = " ".join(t.name for t in words) or "<empty>"
+                return (
+                    f"{label} table diverges on {rendered!r}: "
+                    f"{outcome!r} != {expected_outcome!r}"
+                )
     return None
 
 

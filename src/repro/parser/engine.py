@@ -264,7 +264,14 @@ class Parser:
             (by_sid[tid] for tid in range(len(row)) if row[tid] is not None),
             key=lambda s: s.name,
         )
-        names = ", ".join(t.name for t in expected) or "<nothing>"
+        # The end marker is an augmentation artifact; spell it the same
+        # way the offending-token text does instead of leaking "$end".
+        # Generated standalone parsers render identically (parity-tested).
+        names = ", ".join(
+            sorted(
+                "end of input" if t is self._eof else t.name for t in expected
+            )
+        ) or "<nothing>"
         what = token.symbol.name if token.symbol is not self._eof else "end of input"
         return ParseError(
             f"syntax error at position {position}: unexpected {what}; expected one of: {names}",

@@ -1,7 +1,7 @@
 """Parse tables, conflicts, precedence resolution, and classification."""
 
 from .build import build_clr_table, build_lalr_table, build_lr0_table, build_slr_table
-from .cache import TableCache, default_cache_dir
+from .cache import BACKENDS, TableCache, default_cache_dir
 from .serialize import (
     TableCacheError,
     load_table,
@@ -9,8 +9,18 @@ from .serialize import (
     table_from_dict,
     table_to_dict,
 )
+from .binfmt import (
+    BINARY_FORMAT_VERSION,
+    BINARY_SUFFIX,
+    BinaryTable,
+    load_binary_table,
+    save_binary_table,
+    table_from_bytes,
+    table_to_bytes,
+)
+from .displace import DisplacedTable, displace, displacement_ratio
 from .explain import ConflictExample, explain_conflict, explain_table_conflicts
-from .codegen import generate_parser_module, write_parser_module
+from .codegen import STYLES, generate_parser_module, write_parser_module
 from .compress import CompressedTable, compress, compression_ratio
 from .classify import Classification, GrammarClass, class_at_most, classify
 from .conflicts import Conflict, resolve_shift_reduce
@@ -20,17 +30,29 @@ __all__ = [
     "ACCEPT",
     "Accept",
     "Action",
+    "BACKENDS",
+    "BINARY_FORMAT_VERSION",
+    "BINARY_SUFFIX",
+    "BinaryTable",
     "Classification",
     "CompressedTable",
     "ConflictExample",
+    "DisplacedTable",
     "explain_conflict",
     "explain_table_conflicts",
+    "STYLES",
     "TableCache",
     "TableCacheError",
     "default_cache_dir",
+    "displace",
+    "displacement_ratio",
+    "load_binary_table",
     "load_table",
+    "save_binary_table",
     "save_table",
+    "table_from_bytes",
     "table_from_dict",
+    "table_to_bytes",
     "table_to_dict",
     "generate_parser_module",
     "write_parser_module",

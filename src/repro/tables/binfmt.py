@@ -1,0 +1,417 @@
+"""Versioned binary parse-table format — the zero-copy startup path.
+
+JSON table entries (:mod:`repro.tables.serialize`) pay a full parse +
+Symbol-dict reconstruction on every load.  This module stores the same
+deterministic information as a **packed binary artifact** that a service
+worker can attach to instantly:
+
+- a fixed header (magic, format version, ID-layout version, dimensions,
+  a CRC-32 of the payload) plus the grammar fingerprint and method name;
+- two ``int32`` sections — the dense ACTION matrix (``n_states x
+  num_terminals`` encoded action ints, see
+  :mod:`repro.tables.displace`) and the dense GOTO matrix (``n_states x
+  num_nonterminals`` targets, ``-1`` = absent) — written little-endian.
+
+Loading ``mmap``\\ s the file and casts the sections to flat int views
+(`memoryview.cast`) without parsing anything; per-state rows are decoded
+lazily, on first touch, into the same dense rows a
+:class:`~repro.tables.table.ParseTable` carries, so the engine drives a
+:class:`BinaryTable` unchanged and diagnostics stay byte-identical.
+
+Every defect — bad magic, foreign format or ID-layout version, grammar
+fingerprint mismatch, truncation, payload corruption (CRC), dimension
+mismatch — raises :class:`~repro.tables.serialize.TableCacheError`, so
+the cache layer treats binary entries exactly like JSON ones: evict and
+rebuild, never crash.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+import sys
+import tempfile
+import zlib
+from array import array
+from typing import Dict, List, Optional
+
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import ID_LAYOUT_VERSION, Symbol
+from .displace import ACTION_ERROR, ActionDecoder, encode_action
+from .serialize import TableCacheError, grammar_fingerprint
+from .table import Action, ParseTable
+
+__all__ = [
+    "BINARY_FORMAT_VERSION",
+    "BINARY_SUFFIX",
+    "BinaryTable",
+    "load_binary_table",
+    "save_binary_table",
+    "table_from_bytes",
+    "table_to_bytes",
+]
+
+#: Bump on any layout change; readers reject foreign versions outright.
+BINARY_FORMAT_VERSION = 1
+
+#: File extension the cache uses to select the binary backend.
+BINARY_SUFFIX = ".rtb"
+
+_MAGIC = b"RPTB"
+#: magic, format version, id-layout version, n_states, num_terminals,
+#: num_nonterminals, n_productions, method length, payload CRC-32.
+_HEADER = struct.Struct("<4sHHiiiiiI")
+_FINGERPRINT_LEN = 64
+
+
+def _section_to_le_bytes(section: array) -> bytes:
+    """*section* (``array('i')``) as little-endian bytes."""
+    if sys.byteorder == "big":  # pragma: no cover - exercised on BE hosts
+        section = array("i", section)
+        section.byteswap()
+    return section.tobytes()
+
+
+def table_to_bytes(table: ParseTable) -> bytes:
+    """Serialise *table* into the binary artifact format."""
+    if table.unresolved_conflicts:
+        raise ValueError(
+            f"refusing to serialise a table with "
+            f"{len(table.unresolved_conflicts)} unresolved conflicts"
+        )
+    ids = table.grammar.ids
+    actions = array("i")
+    for row in table.action_rows:
+        actions.extend(encode_action(cell) for cell in row)
+    gotos = array("i")
+    for row in table.goto_rows:
+        gotos.extend(row)
+    payload = _section_to_le_bytes(actions) + _section_to_le_bytes(gotos)
+    method = table.method.encode("utf-8")
+    fingerprint = grammar_fingerprint(table.grammar).encode("ascii")
+    assert len(fingerprint) == _FINGERPRINT_LEN
+    header = _HEADER.pack(
+        _MAGIC,
+        BINARY_FORMAT_VERSION,
+        ID_LAYOUT_VERSION,
+        table.n_states,
+        ids.num_terminals,
+        ids.num_nonterminals,
+        len(table.grammar.productions),
+        len(method),
+        zlib.crc32(payload),
+    )
+    return header + fingerprint + method + payload
+
+
+class _LazyActionRows:
+    """Sequence of per-state ACTION rows decoded lazily from the flat
+    int section.  First touch of a state materialises (and caches) the
+    same dense ``[Action | None]`` row a ParseTable carries."""
+
+    __slots__ = ("_flat", "_width", "_decoder", "_cache")
+
+    def __init__(self, flat, width: int, n_states: int, decoder: ActionDecoder):
+        self._flat = flat
+        self._width = width
+        self._decoder = decoder
+        self._cache: List[Optional[List[Optional[Action]]]] = [None] * n_states
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, state: int) -> "List[Optional[Action]]":
+        row = self._cache[state]
+        if row is None:
+            decode = self._decoder.decode
+            start = state * self._width
+            row = [decode(cell) for cell in self._flat[start : start + self._width]]
+            self._cache[state] = row
+        return row
+
+
+class _LazyGotoRows:
+    """Sequence of per-state GOTO rows: zero-copy slices of the flat
+    section (``-1`` = absent), cached per state."""
+
+    __slots__ = ("_flat", "_width", "_cache")
+
+    def __init__(self, flat, width: int, n_states: int):
+        self._flat = flat
+        self._width = width
+        self._cache: List[Optional[object]] = [None] * n_states
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, state: int):
+        row = self._cache[state]
+        if row is None:
+            start = state * self._width
+            row = self._flat[start : start + self._width]
+            self._cache[state] = row
+        return row
+
+
+class BinaryTable:
+    """A parse table attached to a binary artifact — rows decode lazily.
+
+    Duck-compatible with :class:`~repro.tables.table.ParseTable`
+    everywhere the engine and the diagnostics paths look: ``grammar``,
+    ``method``, ``action_rows``/``goto_rows``, Symbol-keyed
+    ``actions``/``gotos`` (materialised on first use), ``conflicts`` (a
+    stored table is conflict-free by construction), and the summary
+    helpers.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        method: str,
+        actions_flat,
+        gotos_flat,
+        n_states: int,
+        backing: "Optional[object]" = None,
+    ):
+        self.grammar = grammar
+        self.method = method
+        self.conflicts: list = []
+        self._n_states = n_states
+        self._actions_flat = actions_flat
+        self._gotos_flat = gotos_flat
+        # Keep the mmap (and its file) alive as long as the table: the
+        # flat sections are views straight into it.
+        self._backing = backing
+        ids = grammar.ids
+        self.num_terminals = ids.num_terminals
+        self.num_nonterminals = ids.num_nonterminals
+        self.action_rows = _LazyActionRows(
+            actions_flat, ids.num_terminals, n_states, ActionDecoder()
+        )
+        self.goto_rows = _LazyGotoRows(gotos_flat, ids.num_nonterminals, n_states)
+        self._actions_dicts: "Optional[List[Dict[Symbol, Action]]]" = None
+        self._gotos_dicts: "Optional[List[Dict[Symbol, int]]]" = None
+
+    # -- ParseTable-compatible surface ---------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    @property
+    def is_deterministic(self) -> bool:
+        return True
+
+    @property
+    def unresolved_conflicts(self) -> list:
+        return []
+
+    @property
+    def actions(self) -> "List[Dict[Symbol, Action]]":
+        if self._actions_dicts is None:
+            terminals = self.grammar.ids.terminals
+            self._actions_dicts = [
+                {
+                    terminals[tid]: action
+                    for tid, action in enumerate(self.action_rows[state])
+                    if action is not None
+                }
+                for state in range(self._n_states)
+            ]
+        return self._actions_dicts
+
+    @property
+    def gotos(self) -> "List[Dict[Symbol, int]]":
+        if self._gotos_dicts is None:
+            nonterminals = self.grammar.ids.nonterminals
+            self._gotos_dicts = [
+                {
+                    nonterminals[nt_id]: target
+                    for nt_id, target in enumerate(self.goto_rows[state])
+                    if target >= 0
+                }
+                for state in range(self._n_states)
+            ]
+        return self._gotos_dicts
+
+    def action(self, state: int, terminal: Symbol) -> "Optional[Action]":
+        return self.action_rows[state][self.grammar.ids.terminal_id(terminal)]
+
+    def goto(self, state: int, nonterminal: Symbol) -> "Optional[int]":
+        target = self.goto_rows[state][self.grammar.ids.nonterminal_id(nonterminal)]
+        return target if target >= 0 else None
+
+    def action_by_id(self, state: int, terminal_id: int) -> "Optional[Action]":
+        return self.action_rows[state][terminal_id]
+
+    def goto_by_id(self, state: int, nt_id: int) -> int:
+        return self.goto_rows[state][nt_id]
+
+    def conflict_summary(self) -> Dict[str, int]:
+        return {"shift_reduce": 0, "reduce_reduce": 0, "resolved": 0}
+
+    def size_cells(self) -> int:
+        return sum(len(row) for row in self.actions) + sum(
+            len(row) for row in self.gotos
+        )
+
+    def close(self) -> None:
+        """Detach from the backing mmap (the table becomes unusable for
+        states not yet decoded); idempotent."""
+        backing = self._backing
+        self._backing = None
+        if backing is not None:
+            backing.close()
+
+
+def _flat_int_view(buffer: "memoryview"):
+    """*buffer* (little-endian int32 bytes) as an indexable int sequence.
+
+    On little-endian hosts this is a zero-copy ``memoryview.cast('i')``;
+    big-endian hosts fall back to one byte-swapped ``array('i')`` copy.
+    """
+    if sys.byteorder == "little":
+        return buffer.cast("i")
+    section = array("i")  # pragma: no cover - exercised on BE hosts
+    section.frombytes(buffer.tobytes())
+    section.byteswap()
+    return section
+
+
+def table_from_bytes(
+    data: "bytes | memoryview",
+    grammar: Grammar,
+    backing: "Optional[object]" = None,
+) -> BinaryTable:
+    """Attach a :class:`BinaryTable` to *data*, verifying every header
+    field against *grammar*.  Raises :class:`TableCacheError` on any
+    structural defect; *backing* (an open mmap) is kept alive by the
+    returned table."""
+    view = memoryview(data)
+    if len(view) < _HEADER.size + _FINGERPRINT_LEN:
+        raise TableCacheError(
+            f"truncated binary table: {len(view)} bytes is smaller than the header"
+        )
+    (
+        magic,
+        format_version,
+        id_layout,
+        n_states,
+        num_terminals,
+        num_nonterminals,
+        n_productions,
+        method_len,
+        payload_crc,
+    ) = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise TableCacheError(f"not a binary parse table (magic {magic!r})")
+    if format_version != BINARY_FORMAT_VERSION:
+        raise TableCacheError(
+            f"unsupported binary table format {format_version!r}"
+        )
+    if id_layout != ID_LAYOUT_VERSION:
+        raise TableCacheError(
+            f"binary table uses ID layout {id_layout}, current is {ID_LAYOUT_VERSION}"
+        )
+    offset = _HEADER.size
+    fingerprint = bytes(view[offset : offset + _FINGERPRINT_LEN]).decode(
+        "ascii", "replace"
+    )
+    if fingerprint != grammar_fingerprint(grammar):
+        raise TableCacheError(
+            "grammar fingerprint mismatch: the binary table was built from "
+            "a different grammar (rebuild instead of loading the cache)"
+        )
+    offset += _FINGERPRINT_LEN
+    ids = grammar.ids
+    if (
+        n_states < 0
+        or num_terminals != ids.num_terminals
+        or num_nonterminals != ids.num_nonterminals
+        or n_productions != len(grammar.productions)
+    ):
+        raise TableCacheError(
+            f"binary table dimensions ({n_states} states, "
+            f"{num_terminals}x{num_nonterminals} symbols, "
+            f"{n_productions} productions) do not match the grammar"
+        )
+    if method_len < 0 or len(view) < offset + method_len:
+        raise TableCacheError("truncated binary table: method name cut short")
+    method = bytes(view[offset : offset + method_len]).decode("utf-8", "replace")
+    offset += method_len
+    action_bytes = 4 * n_states * num_terminals
+    goto_bytes = 4 * n_states * num_nonterminals
+    if len(view) != offset + action_bytes + goto_bytes:
+        raise TableCacheError(
+            f"truncated binary table: expected "
+            f"{offset + action_bytes + goto_bytes} bytes, have {len(view)}"
+        )
+    payload = view[offset:]
+    if zlib.crc32(payload) != payload_crc:
+        raise TableCacheError("corrupt binary table: payload CRC mismatch")
+    actions_flat = _flat_int_view(payload[:action_bytes])
+    gotos_flat = _flat_int_view(payload[action_bytes:])
+    return BinaryTable(grammar, method, actions_flat, gotos_flat, n_states, backing)
+
+
+def save_binary_table(table: ParseTable, path: str) -> int:
+    """Write *table* to *path* in the binary format, atomically (temp
+    file + ``os.replace``, mirroring the JSON writer).  Returns the
+    artifact size in bytes."""
+    blob = table_to_bytes(table)
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(blob)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return len(blob)
+
+
+class _MmapBacking:
+    """Owns the (file, mmap) pair a loaded table reads through."""
+
+    __slots__ = ("_file", "map")
+
+    def __init__(self, path: str):
+        self._file = open(path, "rb")
+        try:
+            self.map = mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Empty or unmappable file: fall back to an in-memory read so
+            # the format checks produce the usual TableCacheError.
+            self.map = self._file.read()
+
+    def close(self) -> None:
+        if isinstance(self.map, mmap.mmap):
+            try:
+                self.map.close()
+            except BufferError:  # pragma: no cover - exported views alive
+                pass
+        self._file.close()
+
+
+def load_binary_table(path: str, grammar: Grammar) -> BinaryTable:
+    """Load a table written by :func:`save_binary_table` for *grammar*.
+
+    The file is mapped, not parsed: beyond one CRC pass over the payload,
+    load cost is independent of table size.  Raises
+    :class:`TableCacheError` for a damaged or foreign file;
+    ``FileNotFoundError`` propagates unchanged so callers can distinguish
+    "missing" from "damaged".
+    """
+    backing = _MmapBacking(path)
+    try:
+        return table_from_bytes(backing.map, grammar, backing=backing)
+    except TableCacheError:
+        backing.close()
+        raise

@@ -4,9 +4,12 @@ Production parser generators never rebuild tables on every run; they
 persist them and key the cache on a hash of the grammar, so application
 startup is a single file read.  :class:`TableCache` is that layer:
 
-- **Keying**: ``<method>-<grammar fingerprint>.json`` — a changed grammar
-  changes the fingerprint, so stale entries are simply never looked up
-  (and a fingerprint mismatch inside the file is treated as a miss too).
+- **Keying**: ``<method>-<grammar fingerprint><suffix>`` — a changed
+  grammar changes the fingerprint, so stale entries are simply never
+  looked up (and a fingerprint mismatch inside the file is treated as a
+  miss too).  The suffix selects the **backend**: ``.json`` (readable)
+  or ``.rtb`` (versioned binary, mmap-loaded without a JSON parse on
+  the hot path).
 - **Crash safety**: writes go through :func:`~repro.tables.serialize
   .save_table` (temp file + ``os.replace``), so the cache never holds a
   torn file.  Reads that hit a corrupt or truncated entry (a crash from
@@ -26,14 +29,21 @@ uncached rather than failing the build.
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Dict, Optional
 
 from ..core import instrument
 from ..grammar.grammar import Grammar
+from .binfmt import BINARY_SUFFIX, load_binary_table, save_binary_table
 from .serialize import TableCacheError, grammar_fingerprint, load_table, save_table
 from .table import ParseTable
 
 __all__ = ["TableCache", "default_cache_dir"]
+
+#: Cache storage backends mapped to their file suffix.  ``json`` is the
+#: readable debugging-friendly format; ``bin`` is the versioned binary
+#: artifact of :mod:`repro.tables.binfmt`, loaded zero-copy via mmap.
+BACKENDS = {"json": ".json", "bin": BINARY_SUFFIX}
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_TABLE_CACHE"
@@ -55,6 +65,9 @@ class TableCache:
 
     Args:
         directory: Where entries live; created lazily on first store.
+        backend: ``"json"`` (default) or ``"bin"`` — which serialisation
+            new entries use.  Loads dispatch on the *file* extension, so
+            a cache directory can hold a mix of both.
 
     Attributes:
         hits / misses / corrupt / stores: Event counters for this
@@ -62,8 +75,14 @@ class TableCache:
             instrumentation layer as ``table.cache.*``).
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, backend: str = "json"):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {backend!r} (known: {sorted(BACKENDS)})"
+            )
         self.directory = directory
+        self.backend = backend
+        self.suffix = BACKENDS[backend]
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -74,7 +93,9 @@ class TableCache:
     def path_for(self, grammar: Grammar, method: str) -> str:
         """The cache file for *grammar*/*method* (may not exist)."""
         fingerprint = grammar_fingerprint(grammar)
-        return os.path.join(self.directory, f"{method}-{fingerprint[:32]}.json")
+        return os.path.join(
+            self.directory, f"{method}-{fingerprint[:32]}{self.suffix}"
+        )
 
     # -- read / write ---------------------------------------------------
 
@@ -82,9 +103,11 @@ class TableCache:
         """The cached table, or None on miss/corruption (never raises
         for a damaged entry — it is deleted and counted instead)."""
         path = self.path_for(grammar, method)
+        loader = load_binary_table if path.endswith(BINARY_SUFFIX) else load_table
+        started = time.perf_counter_ns()
         with instrument.span("table.cache.load"):
             try:
-                table = load_table(path, grammar)
+                table = loader(path, grammar)
             except FileNotFoundError:
                 self.misses += 1
                 instrument.count("table.cache.misses")
@@ -98,6 +121,12 @@ class TableCache:
                 return None
         self.hits += 1
         instrument.count("table.cache.hits")
+        if instrument.enabled():
+            instrument.count("table.cache.load_ns", time.perf_counter_ns() - started)
+            try:
+                instrument.count("table.bytes", os.path.getsize(path))
+            except OSError:
+                pass
         return table
 
     def store(self, table: ParseTable) -> bool:
@@ -109,11 +138,17 @@ class TableCache:
         with instrument.span("table.cache.store"):
             try:
                 os.makedirs(self.directory, exist_ok=True)
-                save_table(table, path)
+                if path.endswith(BINARY_SUFFIX):
+                    written = save_binary_table(table, path)
+                else:
+                    save_table(table, path)
+                    written = os.path.getsize(path)
             except OSError:
                 return False
         self.stores += 1
         instrument.count("table.cache.stores")
+        if instrument.enabled():
+            instrument.count("table.bytes", written)
         return True
 
     def load_or_build(
@@ -141,7 +176,7 @@ class TableCache:
         except FileNotFoundError:
             return 0
         for name in names:
-            if name.endswith(".json"):
+            if name.endswith(tuple(BACKENDS.values())):
                 self._evict(os.path.join(self.directory, name))
                 removed += 1
         return removed

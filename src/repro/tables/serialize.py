@@ -19,6 +19,7 @@ import os
 import tempfile
 from typing import Dict, List
 
+from ..grammar.errors import SymbolError
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import ID_LAYOUT_VERSION
 from .table import ACCEPT, Action, ParseTable, Reduce, Shift
@@ -74,12 +75,15 @@ def _encode_action(action: Action) -> "List":
 
 def _decode_action(encoded: "List") -> Action:
     kind = encoded[0] if encoded else None
-    if kind == "s":
+    if kind == "s" and len(encoded) == 2 and isinstance(encoded[1], int):
         return Shift(encoded[1])
-    if kind == "r":
+    if kind == "r" and len(encoded) == 2 and isinstance(encoded[1], int):
         return Reduce(encoded[1])
-    if kind == "a":
+    if kind == "a" and len(encoded) == 1:
         return ACCEPT
+    # Anything else — including a *list* of actions, the way a future
+    # format might carry a conflicted cell — is rejected outright: a
+    # loaded table must never claim conflict-freedom it does not have.
     raise TableCacheError(f"unknown action encoding {encoded!r}")
 
 
@@ -135,9 +139,64 @@ def table_from_dict(data: Dict, grammar: Grammar) -> ParseTable:
         method = data["method"]
     except TableCacheError:
         raise
-    except (KeyError, TypeError, AttributeError, IndexError) as error:
+    except (KeyError, TypeError, AttributeError, IndexError, SymbolError) as error:
         raise TableCacheError(f"truncated or malformed table payload: {error}") from error
+    _validate_rows(actions, gotos, grammar)
+    # conflicts=[] is an *invariant* here, not a default: the serialiser
+    # refuses conflicted tables and _validate_rows just proved every row
+    # still carries at most one action per terminal, so the loaded table
+    # is conflict-free by construction.
     return ParseTable(grammar, method, actions, gotos, conflicts=[])
+
+
+def _validate_rows(
+    actions: "List[Dict]", gotos: "List[Dict]", grammar: Grammar
+) -> None:
+    """Reject structurally invalid rows a syntactically well-formed
+    payload can still carry: symbols of the wrong kind in a row,
+    out-of-range targets, duplicate actions folded onto one terminal.
+
+    Each check raises :class:`TableCacheError` so every failure mode
+    stays uniformly "evict and rebuild" for the cache layers.
+    """
+    if len(actions) != len(gotos):
+        raise TableCacheError(
+            f"malformed table payload: {len(actions)} ACTION rows but "
+            f"{len(gotos)} GOTO rows"
+        )
+    n_states = len(actions)
+    n_productions = len(grammar.productions)
+    for state, row in enumerate(actions):
+        for symbol, action in row.items():
+            if symbol.is_nonterminal:
+                raise TableCacheError(
+                    f"malformed table payload: nonterminal {symbol.name!r} "
+                    f"in ACTION row {state}"
+                )
+            if action.kind == "shift" and not 0 <= action.state < n_states:
+                raise TableCacheError(
+                    f"malformed table payload: shift target {action.state} "
+                    f"out of range in ACTION row {state}"
+                )
+            if action.kind == "reduce" and not 0 <= action.production < n_productions:
+                raise TableCacheError(
+                    f"malformed table payload: reduce production "
+                    f"{action.production} out of range in ACTION row {state}"
+                )
+    for state, row in enumerate(gotos):
+        for symbol, target in row.items():
+            if symbol.is_terminal:
+                raise TableCacheError(
+                    f"malformed table payload: terminal {symbol.name!r} "
+                    f"in GOTO row {state}"
+                )
+            if not isinstance(target, int) or isinstance(target, bool) or not (
+                0 <= target < n_states
+            ):
+                raise TableCacheError(
+                    f"malformed table payload: GOTO target {target!r} "
+                    f"out of range in row {state}"
+                )
 
 
 def save_table(table: ParseTable, path: str) -> None:

@@ -1,0 +1,188 @@
+"""Unit tests: the versioned binary parse-table format."""
+
+import struct
+
+import pytest
+
+from repro.grammars import corpus
+from repro.parser import Parser
+from repro.tables import build_lalr_table
+from repro.tables.binfmt import (
+    BINARY_FORMAT_VERSION,
+    BINARY_SUFFIX,
+    BinaryTable,
+    load_binary_table,
+    save_binary_table,
+    table_from_bytes,
+    table_to_bytes,
+)
+from repro.tables.serialize import TableCacheError
+
+
+def expr_table():
+    return build_lalr_table(corpus.load("expr", augment=True))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["expr", "json", "lvalue", "algol_like"])
+    def test_in_memory_round_trip(self, name):
+        grammar = corpus.load(name, augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_bytes(table_to_bytes(table), grammar)
+        assert restored.n_states == table.n_states
+        assert restored.method == table.method
+        assert restored.actions == table.actions
+        assert [list(r) for r in restored.goto_rows] == [
+            list(r) for r in table.goto_rows
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        path = tmp_path / f"table{BINARY_SUFFIX}"
+        written = save_binary_table(table, str(path))
+        assert written == path.stat().st_size
+        restored = load_binary_table(str(path), grammar)
+        assert restored.actions == table.actions
+        restored.close()
+
+    def test_deterministic_bytes(self):
+        table = expr_table()
+        assert table_to_bytes(table) == table_to_bytes(table)
+
+    def test_restored_table_parses_identically(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_bytes(table_to_bytes(table), grammar)
+        original, loaded = Parser(table), Parser(restored)
+        good = ["id", "+", "id", "*", "(", "id", ")"]
+        assert loaded.parse(good).sexpr() == original.parse(good).sexpr()
+
+    def test_conflicted_table_refused(self):
+        table = build_lalr_table(corpus.load("dangling_else", augment=True))
+        with pytest.raises(ValueError, match="conflicts"):
+            table_to_bytes(table)
+
+
+class TestLazyDecode:
+    def test_rows_cached_and_interned(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_bytes(table_to_bytes(table), grammar)
+        assert restored.action_rows[0] is restored.action_rows[0]
+        assert restored.goto_rows[0] is restored.goto_rows[0]
+
+    def test_duck_compatible_surface(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_bytes(table_to_bytes(table), grammar)
+        assert restored.is_deterministic
+        assert restored.unresolved_conflicts == []
+        assert restored.conflict_summary() == {
+            "shift_reduce": 0, "reduce_reduce": 0, "resolved": 0,
+        }
+        assert restored.size_cells() == table.size_cells()
+        for state in range(table.n_states):
+            for terminal, action in table.actions[state].items():
+                assert restored.action(state, terminal) == action
+            for nonterminal, target in table.gotos[state].items():
+                assert restored.goto(state, nonterminal) == target
+
+
+class TestRejection:
+    """Every structural defect is a TableCacheError — the cache layer's
+    uniform "evict and rebuild" contract covers binary entries too."""
+
+    def corrupt(self, blob: bytes, offset: int, new: bytes) -> bytes:
+        return blob[:offset] + new + blob[offset + len(new) :]
+
+    def test_bad_magic(self):
+        grammar = corpus.load("expr", augment=True)
+        blob = self.corrupt(table_to_bytes(expr_table()), 0, b"JUNK")
+        with pytest.raises(TableCacheError, match="magic"):
+            table_from_bytes(blob, grammar)
+
+    def test_foreign_format_version(self):
+        grammar = corpus.load("expr", augment=True)
+        blob = self.corrupt(
+            table_to_bytes(expr_table()), 4, struct.pack("<H", BINARY_FORMAT_VERSION + 1)
+        )
+        with pytest.raises(TableCacheError, match="format"):
+            table_from_bytes(blob, grammar)
+
+    def test_foreign_id_layout(self):
+        grammar = corpus.load("expr", augment=True)
+        blob = self.corrupt(table_to_bytes(expr_table()), 6, struct.pack("<H", 99))
+        with pytest.raises(TableCacheError, match="ID layout"):
+            table_from_bytes(blob, grammar)
+
+    def test_foreign_fingerprint(self):
+        other = corpus.load("lvalue", augment=True)
+        with pytest.raises(TableCacheError, match="fingerprint"):
+            table_from_bytes(table_to_bytes(expr_table()), other)
+
+    def test_truncated_header(self):
+        grammar = corpus.load("expr", augment=True)
+        with pytest.raises(TableCacheError, match="truncated"):
+            table_from_bytes(table_to_bytes(expr_table())[:10], grammar)
+
+    def test_truncated_payload(self):
+        grammar = corpus.load("expr", augment=True)
+        with pytest.raises(TableCacheError, match="truncated"):
+            table_from_bytes(table_to_bytes(expr_table())[:-8], grammar)
+
+    def test_payload_corruption_caught_by_crc(self):
+        grammar = corpus.load("expr", augment=True)
+        blob = table_to_bytes(expr_table())
+        # XOR-flip one mid-payload byte: same length, different content.
+        index = len(blob) - len(blob) // 4
+        corrupted = self.corrupt(blob, index, bytes([blob[index] ^ 0x5A]))
+        with pytest.raises(TableCacheError, match="CRC"):
+            table_from_bytes(corrupted, grammar)
+
+    def test_empty_file(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        path = tmp_path / f"empty{BINARY_SUFFIX}"
+        path.write_bytes(b"")
+        with pytest.raises(TableCacheError, match="truncated"):
+            load_binary_table(str(path), grammar)
+
+    def test_json_file_masquerading_as_binary(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        path = tmp_path / f"fake{BINARY_SUFFIX}"
+        path.write_bytes(b'{"format": 2, "actions": []}' + b" " * 100)
+        with pytest.raises(TableCacheError, match="magic"):
+            load_binary_table(str(path), grammar)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        with pytest.raises(FileNotFoundError):
+            load_binary_table(str(tmp_path / "absent.rtb"), grammar)
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / f"table{BINARY_SUFFIX}"
+        save_binary_table(expr_table(), str(path))
+        assert sorted(p.name for p in tmp_path.iterdir()) == [path.name]
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        path = tmp_path / f"table{BINARY_SUFFIX}"
+        path.write_bytes(b"old junk")
+        save_binary_table(table, str(path))
+        restored = load_binary_table(str(path), grammar)
+        assert restored.actions == table.actions
+        restored.close()
+
+
+class TestClose:
+    def test_close_is_idempotent(self, tmp_path):
+        grammar = corpus.load("expr", augment=True)
+        path = tmp_path / f"table{BINARY_SUFFIX}"
+        save_binary_table(build_lalr_table(grammar), str(path))
+        restored = load_binary_table(str(path), grammar)
+        assert isinstance(restored, BinaryTable)
+        restored.close()
+        restored.close()

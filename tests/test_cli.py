@@ -182,6 +182,98 @@ class TestTable:
         assert "more states" in output
 
 
+class TestTableArtifacts:
+    def test_compress_displace_report(self, grammar_file):
+        code, output = run(["table", grammar_file, "--compress", "displace"])
+        assert code == 0
+        assert "compression[displace]:" in output
+        assert "comb slots" in output and "ratio" in output
+
+    def test_compress_default_report(self, grammar_file):
+        code, output = run(["table", grammar_file, "--compress", "default"])
+        assert code == 0
+        assert "compression[default]:" in output
+
+    def test_compress_skipped_on_conflicts(self):
+        code, output = run(
+            ["table", "corpus:dangling_else", "--compress", "displace"]
+        )
+        assert code == 1
+        assert "compression: skipped" in output
+
+    def test_output_json_artifact(self, grammar_file, tmp_path):
+        out = str(tmp_path / "table.json")
+        code, output = run(["table", grammar_file, "--output", out])
+        assert code == 0
+        assert f"wrote {out}" in output and "json)" in output
+        import json
+
+        with open(out, "r", encoding="utf-8") as handle:
+            assert "actions" in json.load(handle)
+
+    def test_output_binary_by_extension(self, grammar_file, tmp_path):
+        out = str(tmp_path / "table.rtb")
+        code, output = run(["table", grammar_file, "-o", out])
+        assert code == 0
+        assert "binary)" in output
+        with open(out, "rb") as handle:
+            assert handle.read(4) == b"RPTB"
+
+    def test_output_binary_by_format_flag(self, grammar_file, tmp_path):
+        out = str(tmp_path / "table.bin")
+        code, output = run(
+            ["table", grammar_file, "--format", "bin", "-o", out]
+        )
+        assert code == 0 and "binary)" in output
+
+    def test_output_refused_for_conflicted_table(self, tmp_path):
+        out = str(tmp_path / "table.rtb")
+        code, _ = run(["table", "corpus:dangling_else", "-o", out])
+        assert code == 1
+        import os
+
+        assert not os.path.exists(out)
+
+
+class TestBinaryCacheFlag:
+    def test_bin_backend_miss_then_hit(self, grammar_file, tmp_path):
+        import os
+
+        cache_dir = str(tmp_path / "cache")
+        code, output = run(
+            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+        )
+        assert code == 0 and "cache: miss" in output
+        assert [n for n in os.listdir(cache_dir) if n.endswith(".rtb")]
+        code, output = run(
+            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+        )
+        assert code == 0 and "cache: hit" in output
+
+    def test_backends_do_not_collide(self, grammar_file, tmp_path):
+        # A JSON entry must not satisfy a binary lookup or vice versa.
+        cache_dir = str(tmp_path / "cache")
+        run([grammar_file, "--cache", cache_dir])
+        _, output = run(
+            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+        )
+        assert "cache: miss" in output
+
+    def test_corrupt_binary_entry_rebuilds(self, grammar_file, tmp_path):
+        import os
+
+        cache_dir = str(tmp_path / "cache")
+        run([grammar_file, "--cache", cache_dir, "--format", "bin"])
+        (entry,) = [n for n in os.listdir(cache_dir) if n.endswith(".rtb")]
+        with open(os.path.join(cache_dir, entry), "wb") as handle:
+            handle.write(b"RPTB truncated mid-write")
+        code, output = run(
+            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+        )
+        assert code == 0
+        assert "rebuilt (corrupt entry)" in output
+
+
 class TestStatesAndConflicts:
     def test_states_dump(self, grammar_file):
         code, output = run(["states", grammar_file])
@@ -240,6 +332,20 @@ class TestGenerateAndDot:
         import types
 
         module = types.ModuleType("g")
+        exec(compile(out_path.read_text(), str(out_path), "exec"), module.__dict__)
+        assert module.accepts("id + id".split())
+        assert not module.accepts("id +".split())
+
+    @pytest.mark.parametrize("style", ["dense", "displace"])
+    def test_generate_style_flag(self, grammar_file, tmp_path, style):
+        out_path = tmp_path / f"gen_{style}.py"
+        code, output = run(
+            ["generate", grammar_file, "--style", style, "-o", str(out_path)]
+        )
+        assert code == 0 and "wrote" in output
+        import types
+
+        module = types.ModuleType(f"g_{style}")
         exec(compile(out_path.read_text(), str(out_path), "exec"), module.__dict__)
         assert module.accepts("id + id".split())
         assert not module.accepts("id +".split())

@@ -100,3 +100,20 @@ class TestAlgorithmDoc:
         grammar = corpus.load("toy_java", augment=True)
         assert len(LR0Automaton(grammar)) == 178
         assert len(LR1Automaton(grammar)) == 722
+
+    def test_section_14_expr_displacement_numbers(self):
+        # §14: "the dense 130 cells pack into 75 stored slots (1.73x)".
+        from repro.tables import build_lalr_table
+        from repro.tables.displace import displace
+
+        table = build_lalr_table(corpus.load("expr", augment=True))
+        stats = displace(table).packing_stats()
+        assert stats["dense_cells"] == 130
+        assert stats["stored_cells"] == 75
+        assert round(stats["dense_cells"] / stats["stored_cells"], 2) == 1.73
+
+    def test_section_14_header_layout(self):
+        # §14's offset table: 32-byte fixed header + 64-char fingerprint.
+        from repro.tables.binfmt import _HEADER
+
+        assert _HEADER.size == 32

@@ -25,6 +25,7 @@ class TestRegistry:
             "digraph-identity",
             "table-agreement",
             "sentence-roundtrip",
+            "representation-parity",
         ]
 
     def test_duplicate_registration_rejected(self):

@@ -145,6 +145,94 @@ class TestTypedErrors:
             load_table(str(tmp_path / "absent.json"), grammar)
 
 
+class TestRowValidation:
+    """table_from_dict reconstructs with conflicts=[]; that is only
+    sound because every loaded row is validated — a hand-corrupted
+    payload that smuggles structural nonsense must be rejected."""
+
+    def payload(self):
+        grammar = corpus.load("expr", augment=True)
+        return grammar, table_to_dict(build_lalr_table(grammar))
+
+    def test_conflict_cell_list_rejected(self):
+        # A list of actions in one cell is how a conflicted table would
+        # have to be encoded; it must never load as "conflict-free".
+        grammar, data = self.payload()
+        data["actions"][0]["id"] = [["s", 5], ["r", 2]]
+        with pytest.raises(TableCacheError):
+            table_from_dict(data, grammar)
+
+    def test_overlong_action_encoding_rejected(self):
+        grammar, data = self.payload()
+        data["actions"][0]["id"] = ["s", 5, 6]
+        with pytest.raises(TableCacheError, match="action encoding"):
+            table_from_dict(data, grammar)
+
+    def test_non_integer_shift_target_rejected(self):
+        grammar, data = self.payload()
+        data["actions"][0]["id"] = ["s", "5"]
+        with pytest.raises(TableCacheError, match="action encoding"):
+            table_from_dict(data, grammar)
+
+    def test_unknown_symbol_name_rejected(self):
+        grammar, data = self.payload()
+        data["actions"][0]["not_a_symbol"] = ["s", 1]
+        with pytest.raises(TableCacheError, match="malformed"):
+            table_from_dict(data, grammar)
+
+    def test_nonterminal_in_action_row_rejected(self):
+        grammar, data = self.payload()
+        data["actions"][0]["E"] = ["s", 1]
+        with pytest.raises(TableCacheError, match="nonterminal"):
+            table_from_dict(data, grammar)
+
+    def test_terminal_in_goto_row_rejected(self):
+        grammar, data = self.payload()
+        data["gotos"][0]["id"] = 1
+        with pytest.raises(TableCacheError, match="terminal"):
+            table_from_dict(data, grammar)
+
+    def test_shift_target_out_of_range_rejected(self):
+        grammar, data = self.payload()
+        data["actions"][0]["id"] = ["s", 10_000]
+        with pytest.raises(TableCacheError, match="shift target"):
+            table_from_dict(data, grammar)
+
+    def test_reduce_production_out_of_range_rejected(self):
+        grammar, data = self.payload()
+        data["actions"][0]["id"] = ["r", 10_000]
+        with pytest.raises(TableCacheError, match="reduce production"):
+            table_from_dict(data, grammar)
+
+    def test_goto_target_out_of_range_rejected(self):
+        grammar, data = self.payload()
+        state, row = next(
+            (i, row) for i, row in enumerate(data["gotos"]) if row
+        )
+        row[next(iter(row))] = -3
+        with pytest.raises(TableCacheError, match="GOTO target"):
+            table_from_dict(data, grammar)
+
+    def test_boolean_goto_target_rejected(self):
+        grammar, data = self.payload()
+        row = next(row for row in data["gotos"] if row)
+        row[next(iter(row))] = True
+        with pytest.raises(TableCacheError, match="GOTO target"):
+            table_from_dict(data, grammar)
+
+    def test_row_count_mismatch_rejected(self):
+        grammar, data = self.payload()
+        data["gotos"] = data["gotos"][:-1]
+        with pytest.raises(TableCacheError, match="rows"):
+            table_from_dict(data, grammar)
+
+    def test_valid_payload_still_loads(self):
+        grammar, data = self.payload()
+        table = table_from_dict(data, grammar)
+        assert table.conflicts == []
+        assert Parser(table).accepts(["id", "+", "id"])
+
+
 class TestAtomicWrite:
     def test_no_temp_files_left_behind(self, tmp_path):
         grammar = corpus.load("expr", augment=True)

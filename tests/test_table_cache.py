@@ -166,6 +166,87 @@ class TestStore:
         assert cache.clear() == 0  # idempotent, also fine on missing dir
 
 
+class TestBinaryBackend:
+    """backend="bin" stores .rtb artifacts and loads them zero-copy; the
+    eviction/corruption contract is identical to the JSON backend."""
+
+    @pytest.fixture
+    def bin_cache(self, tmp_path):
+        return TableCache(str(tmp_path / "cache"), backend="bin")
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            TableCache(str(tmp_path), backend="xml")
+
+    def test_round_trip_through_binary_entry(self, grammar, bin_cache):
+        from repro.tables.binfmt import BINARY_SUFFIX
+
+        builder, calls = _build_calls(build_lalr_table)
+        first = bin_cache.load_or_build(grammar, "lalr1", builder)
+        path = bin_cache.path_for(grammar, "lalr1")
+        assert path.endswith(BINARY_SUFFIX)
+        assert os.path.exists(path)
+        second = bin_cache.load_or_build(grammar, "lalr1", builder)
+        assert calls == [grammar.name]
+        assert bin_cache.hits == 1
+        assert second.actions == first.actions
+        assert second.method == first.method
+
+    def test_loaded_binary_table_parses(self, grammar, bin_cache):
+        from repro.parser import Parser
+
+        bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        table = bin_cache.load(grammar, "lalr1")
+        assert Parser(table).accepts(["id", "+", "id"])
+
+    def test_corrupt_binary_entry_rebuilds_and_evicts(self, grammar, bin_cache):
+        builder, calls = _build_calls(build_lalr_table)
+        bin_cache.load_or_build(grammar, "lalr1", builder)
+        path = bin_cache.path_for(grammar, "lalr1")
+        with open(path, "wb") as handle:
+            handle.write(b"RPTB" + b"\x00" * 10)  # truncated header
+        table = bin_cache.load_or_build(grammar, "lalr1", builder)
+        assert len(calls) == 2
+        assert bin_cache.corrupt == 1
+        assert table.is_deterministic
+
+    def test_backends_are_keyed_separately(self, grammar, tmp_path):
+        directory = str(tmp_path / "cache")
+        json_cache = TableCache(directory, backend="json")
+        bin_cache = TableCache(directory, backend="bin")
+        json_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        # Different suffix => the binary cache misses and stores its own.
+        bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert bin_cache.hits == 0 and bin_cache.stores == 1
+        assert len(os.listdir(directory)) == 2
+
+    def test_clear_removes_both_backends(self, grammar, tmp_path):
+        directory = str(tmp_path / "cache")
+        TableCache(directory, backend="json").load_or_build(
+            grammar, "lalr1", build_lalr_table
+        )
+        bin_cache = TableCache(directory, backend="bin")
+        bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert bin_cache.clear() == 2
+        assert os.listdir(directory) == []
+
+    def test_load_emits_latency_and_size_counters(self, grammar, bin_cache):
+        bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        with profile() as collector:
+            bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert collector.counters["table.cache.load_ns"] > 0
+        assert collector.counters["table.bytes"] == os.path.getsize(
+            bin_cache.path_for(grammar, "lalr1")
+        )
+
+    def test_store_emits_size_counter(self, grammar, bin_cache):
+        with profile() as collector:
+            bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
+        assert collector.counters["table.bytes"] == os.path.getsize(
+            bin_cache.path_for(grammar, "lalr1")
+        )
+
+
 class TestDefaultDirectory:
     def test_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
