@@ -19,7 +19,15 @@ from ..grammar.symbols import Symbol
 
 
 def nullable_nonterminals(grammar: Grammar) -> FrozenSet[Symbol]:
-    """The set of nonterminals deriving the empty string."""
+    """The set of nonterminals deriving the empty string.
+
+    Cached on the grammar instance: grammars are immutable after
+    construction, and the incremental session consults nullability on
+    every edit classification and relation splice.
+    """
+    cached = grammar.__dict__.get("_nullable_nonterminals")
+    if cached is not None:
+        return cached
     # occurrences[B] = productions in which B appears (with multiplicity).
     occurrences: Dict[Symbol, List[int]] = {}
     remaining: List[int] = []
@@ -53,7 +61,9 @@ def nullable_nonterminals(grammar: Grammar) -> FrozenSet[Symbol]:
                     nullable.add(lhs)
                     worklist.append(lhs)
 
-    return frozenset(nullable)
+    result = frozenset(nullable)
+    grammar._nullable_nonterminals = result
+    return result
 
 
 def is_nullable_sequence(

@@ -205,8 +205,23 @@ class LR0Automaton:
         - ``_nt_shift_entries[nt]``: ``(sid, packed Item(p, 1))`` per
           non-empty production — the successor-bucket contributions of
           ``nt``'s derived items.
+
+        The tables depend only on the grammar, so they are cached on the
+        grammar instance — the incremental splice prepares them for every
+        edit, and grammars are immutable after construction.
         """
         grammar = self.grammar
+        cached = grammar.__dict__.get("_closure_tables")
+        if cached is not None:
+            (
+                self._dot_shift,
+                self._dot_mask,
+                self._prod_rhs_sids,
+                self._nt_first_nts,
+                self._nt_epsilon_items,
+                self._nt_shift_entries,
+            ) = cached
+            return
         productions = grammar.productions
         max_rhs = max((len(p.rhs_sids) for p in productions), default=0)
         self._dot_shift = shift = max(1, max_rhs.bit_length())
@@ -235,6 +250,14 @@ class LR0Automaton:
         self._nt_first_nts = first_nts
         self._nt_epsilon_items = epsilon_items
         self._nt_shift_entries = shift_entries
+        grammar._closure_tables = (
+            self._dot_shift,
+            self._dot_mask,
+            self._prod_rhs_sids,
+            first_nts,
+            epsilon_items,
+            shift_entries,
+        )
 
     def _intern(
         self, kernel_codes: Tuple[int, ...]

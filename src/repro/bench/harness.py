@@ -25,6 +25,7 @@ from ..baselines.slr import SlrAnalysis
 from ..core import instrument
 from ..core.budget import Budget, BudgetExceeded
 from ..core.lalr import LalrAnalysis
+from ..grammar.fingerprint import grammar_fingerprint
 from ..grammar.grammar import Grammar
 
 
@@ -216,6 +217,7 @@ def _snapshot_entry(
     except BudgetExceeded as error:
         return {"budget_exceeded": error.describe()}
     return {
+        "fingerprint": grammar_fingerprint(grammar),
         "lookahead_seconds": seconds,
         "phases": collector.phase_totals(),
         "counters": analysis.cost_summary(),
@@ -294,6 +296,17 @@ def compare_baseline(current: Dict, baseline: Dict) -> "Tuple[List[List], List[s
             drift.append(f"{name}: baseline has no timings "
                          f"({base.get('budget_exceeded', 'marker row')})")
             continue
+        # Same-name-different-grammar is the silent killer of counter
+        # diffs; the content fingerprint catches it.  Checked only when
+        # both sides carry one so pre-fingerprint baselines stay valid.
+        if (
+            "fingerprint" in entry
+            and "fingerprint" in base
+            and entry["fingerprint"] != base["fingerprint"]
+        ):
+            drift.append(f"{name}: grammar content fingerprint changed "
+                         f"({base['fingerprint'][:12]}... -> "
+                         f"{entry['fingerprint'][:12]}...)")
         base_seconds = base["lookahead_seconds"]
         entry_seconds = entry["lookahead_seconds"]
         rows.append([

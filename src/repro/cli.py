@@ -13,6 +13,9 @@ Commands:
     dot        Emit Graphviz DOT for the automaton or a DP relation.
     lint       Report grammar hygiene findings (yacc-style warnings).
     ambiguity  Search for an ambiguous sentence up to a length bound.
+    edit       Apply grammar edits through a live incremental session:
+               only what each edit invalidated is recomputed, with
+               --verify checking bit-identity against a scratch build.
     fuzz       Differential fuzzing: run/replay/minimize campaigns
                (see repro.fuzz; takes no grammar file).
     batch      Compile every grammar file in a directory through the
@@ -306,6 +309,70 @@ def _cmd_lint(grammar: Grammar, args) -> int:
     return 1 if any(w.severity == "error" for w in findings) else 0
 
 
+def _cmd_edit(grammar: Grammar, args) -> int:
+    """Apply grammar edits through a live incremental analysis session."""
+    from .grammar.delta import add_production, remove_production, replace_rhs
+    from .pipeline import AnalysisSession
+
+    steps = []
+    for spec in args.set:
+        index_text, sep, rhs_text = spec.partition(":")
+        if not sep:
+            return _usage_error(f"bad --set {spec!r} (want 'INDEX: rhs tokens')")
+        try:
+            steps.append(("set", int(index_text), rhs_text.split()))
+        except ValueError:
+            return _usage_error(f"bad --set index {index_text.strip()!r}")
+    for spec in args.add:
+        lhs, sep, rhs_text = spec.partition(":")
+        if not sep or not lhs.strip():
+            return _usage_error(f"bad --add {spec!r} (want 'LHS: rhs tokens')")
+        steps.append(("add", lhs.strip(), rhs_text.split()))
+    for index in args.remove:
+        steps.append(("remove", index, None))
+    if not steps:
+        return _usage_error("no edits given (use --set/--add/--remove)")
+
+    session = AnalysisSession(grammar.augmented())
+    print(f"grammar: {grammar.name} ({len(session.automaton.states)} states)")
+    for op, key, rhs in steps:
+        try:
+            if op == "set":
+                edited = replace_rhs(session.grammar, key, rhs)
+            elif op == "add":
+                edited = add_production(session.grammar, key, rhs)
+            else:
+                edited = remove_production(session.grammar, key)
+        except (IndexError, ValueError) as error:
+            return _usage_error(f"--{op}: {error}")
+        report = session.update(edited)
+        label = f"{op} {key}" if op == "add" else f"{op} #{key}"
+        print(f"edit[{label}]: {report.describe()}")
+
+    table = session.table
+    summary = table.conflict_summary()
+    print(f"states: {table.n_states}")
+    print(
+        f"conflicts: {summary['shift_reduce']} shift/reduce, "
+        f"{summary['reduce_reduce']} reduce/reduce, "
+        f"{summary['resolved']} resolved by precedence"
+    )
+    if args.verify:
+        reference = build_lalr_table(session.grammar)
+        identical = (
+            table.actions == reference.actions
+            and table.gotos == reference.gotos
+            and [c.describe(session.grammar) for c in table.conflicts]
+            == [c.describe(session.grammar) for c in reference.conflicts]
+        )
+        print("verify: " + (
+            "bit-identical to a from-scratch build" if identical else "MISMATCH"
+        ))
+        if not identical:
+            return 1
+    return 0 if table.is_deterministic else 1
+
+
 def _usage_error(message: str) -> int:
     """Report a usage-level mistake; exit code 2 mirrors argparse's."""
     print(f"error: {message}", file=sys.stderr)
@@ -337,6 +404,13 @@ def _cmd_fuzz_run(_, args) -> int:
                 f"(known: {', '.join(by_label)})"
             )
         buckets = [by_label[b] for b in wanted]
+    if args.edit_oracle:
+        from .fuzz.oracles import default_oracle_names
+
+        if names is None:
+            names = default_oracle_names()
+        if "incremental-edit" not in names:
+            names = names + ["incremental-edit"]
     corpus_store = FailureCorpus(args.corpus) if args.corpus else None
     config = CampaignConfig(
         seed=args.seed,
@@ -620,6 +694,23 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     ambiguity_cmd.add_argument("--bound", type=int, default=6,
                                help="max sentence length to search (default 6)")
 
+    edit_cmd = add("edit", _cmd_edit)
+    edit_cmd.add_argument("--set", action="append", default=[],
+                          metavar="'INDEX: RHS'",
+                          help="replace production INDEX's right-hand side "
+                               "with the given tokens (repeatable; applied "
+                               "in order through one live session)")
+    edit_cmd.add_argument("--add", action="append", default=[],
+                          metavar="'LHS: RHS'",
+                          help="append production LHS -> RHS (a structural "
+                               "delta: the session rebuilds)")
+    edit_cmd.add_argument("--remove", action="append", type=int, default=[],
+                          metavar="INDEX",
+                          help="remove production INDEX (a structural delta)")
+    edit_cmd.add_argument("--verify", action="store_true",
+                          help="after the edits, check the session's table "
+                               "is bit-identical to a from-scratch build")
+
     batch_cmd = sub.add_parser(
         "batch", help="compile every grammar file in a directory"
     )
@@ -674,6 +765,9 @@ def main(argv: "Optional[List[str]]" = None) -> int:
                           help="comma-separated oracle names (default: all)")
     fuzz_run.add_argument("--corpus", default="", metavar="DIR",
                           help="persist distinct failures to this corpus dir")
+    fuzz_run.add_argument("--edit-oracle", action="store_true",
+                          help="also run the opt-in incremental-edit oracle "
+                               "(session updates vs from-scratch rebuilds)")
     fuzz_run.add_argument("--time-budget", type=float, default=0.0, metavar="SEC",
                           help="stop sweeping after SEC wall-clock seconds")
     fuzz_run.add_argument("--timeout", type=float, default=0.0, metavar="SEC",

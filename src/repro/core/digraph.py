@@ -317,6 +317,115 @@ def digraph_int(
     return result, nontrivial
 
 
+def build_reverse_adjacency(
+    num_nodes: int, offsets: Sequence[int], edges: Sequence[int]
+) -> List[List[int]]:
+    """Per-node predecessor lists for a CSR relation.
+
+    The reverse view :func:`digraph_int_incremental` sweeps is the one
+    O(edges) artifact of that function; callers that splice the forward
+    CSR between calls (see :mod:`repro.core.relations_delta`) cache this
+    and patch only the changed rows, so repeated incremental passes stop
+    paying the full-graph rebuild.  Entry order within a predecessor
+    list is irrelevant — reachability is a set.
+    """
+    reverse: List[List[int]] = [[] for _ in range(num_nodes)]
+    for node in range(num_nodes):
+        for ptr in range(offsets[node], offsets[node + 1]):
+            reverse[edges[ptr]].append(node)
+    return reverse
+
+
+def digraph_int_incremental(
+    num_nodes: int,
+    offsets: Sequence[int],
+    edges: Sequence[int],
+    initial: Sequence[int],
+    old_result: Sequence[int],
+    seed_nodes: Sequence[int],
+    stats: "DigraphStats | None" = None,
+    reverse: "List[List[int]] | None" = None,
+) -> Tuple[List[int], List[Tuple[int, ...]], bytearray]:
+    """Patch a previous :func:`digraph_int` result after a localized change.
+
+    *seed_nodes* are the nodes whose input changed — a different F
+    (``initial``) value, or a different successor row.  Everything that
+    can reach a seed through the relation is **dirty** (its F* may have
+    changed); everything else keeps its old F* by definition of the
+    least fixed point, because F*(x) depends only on the F values and
+    edges along paths out of x.
+
+    The dirty region is found by a reverse-reachability sweep — the
+    condensation-DAG view of the same fact: a changed SCC invalidates
+    exactly its ancestors in the condensation, and SCC members are
+    uniformly dirty or clean.  The dirty subgraph is then solved with
+    the ordinary :func:`digraph_int`, folding each clean successor's
+    (still valid) old F* into the sub-seed of the dirty node that reads
+    it, and the solutions are patched over a copy of *old_result*.  The
+    least fixed point is unique, so the patched list is element-wise
+    identical to a from-scratch run.
+
+    Returns:
+        ``(result, dirty_sccs, dirty)`` — the patched masks, the
+        nontrivial SCCs found *within the dirty subgraph* (caller merges
+        them with the surviving all-clean SCCs of the old run; the
+        combined list can be ordered differently than a from-scratch
+        run's, so compare SCC lists as sets), and the per-node dirty
+        flags.
+    """
+    dirty = bytearray(num_nodes)
+    if not seed_nodes:
+        return list(old_result), [], dirty
+
+    # Reverse adjacency (caller-cached or built here), then BFS
+    # backwards from the seeds.
+    if reverse is None:
+        reverse = build_reverse_adjacency(num_nodes, offsets, edges)
+    worklist: List[int] = []
+    for seed in seed_nodes:
+        if not dirty[seed]:
+            dirty[seed] = 1
+            worklist.append(seed)
+    i = 0
+    while i < len(worklist):
+        node = worklist[i]
+        i += 1
+        for predecessor in reverse[node]:
+            if not dirty[predecessor]:
+                dirty[predecessor] = 1
+                worklist.append(predecessor)
+
+    # Solve the dirty subgraph.  Clean successors are frozen: their old
+    # F* folds into the dirty reader's sub-seed.
+    dirty_list = [node for node in range(num_nodes) if dirty[node]]
+    sub_index = {node: i for i, node in enumerate(dirty_list)}
+    sub_offsets: List[int] = [0]
+    sub_edges: List[int] = []
+    sub_initial: List[int] = []
+    for node in dirty_list:
+        mask = initial[node]
+        for ptr in range(offsets[node], offsets[node + 1]):
+            successor = edges[ptr]
+            if dirty[successor]:
+                sub_edges.append(sub_index[successor])
+            else:
+                mask |= old_result[successor]
+        sub_initial.append(mask)
+        sub_offsets.append(len(sub_edges))
+    sub_result, sub_sccs = digraph_int(
+        len(dirty_list), sub_offsets, sub_edges, sub_initial, stats
+    )
+
+    result = list(old_result)
+    for i, node in enumerate(dirty_list):
+        result[node] = sub_result[i]
+    dirty_sccs = [
+        tuple(dirty_list[member] for member in component)
+        for component in sub_sccs
+    ]
+    return result, dirty_sccs, dirty
+
+
 def naive_closure(
     nodes: Sequence[Node],
     relation: Callable[[Node], Iterable[Node]],

@@ -30,7 +30,12 @@ from ..grammar.grammar import Grammar
 from ..grammar.symbols import Symbol
 from . import instrument
 from .bitset import TerminalVocabulary
-from .digraph import DigraphStats, digraph_int
+from .digraph import (
+    DigraphStats,
+    build_reverse_adjacency,
+    digraph_int,
+    digraph_int_incremental,
+)
 from .relations import LalrRelations, ReductionSite, Transition
 
 
@@ -59,13 +64,16 @@ class LalrAnalysis:
         grammar: Grammar,
         automaton: "LR0Automaton | None" = None,
         budget=None,
+        record_walks: bool = False,
     ):
         if automaton is None:
             automaton = LR0Automaton(grammar, budget=budget)
         self.automaton = automaton
         self.grammar = automaton.grammar
         self.vocabulary = TerminalVocabulary(self.grammar)
-        self.relations = LalrRelations(automaton, self.vocabulary, budget=budget)
+        self.relations = LalrRelations(
+            automaton, self.vocabulary, budget=budget, record_walks=record_walks
+        )
         self.stats = DigraphStats()
 
         relations = self.relations
@@ -100,6 +108,23 @@ class LalrAnalysis:
                 budget=budget,
             )
 
+        self._finish(reads_scc_nodes, includes_scc_nodes, budget)
+
+    def _finish(
+        self,
+        reads_scc_nodes: List[Tuple[int, ...]],
+        includes_scc_nodes: List[Tuple[int, ...]],
+        budget=None,
+    ) -> None:
+        """Phase 3 (LA unions) plus the shared epilogue.
+
+        Factored out of ``__init__`` so the incremental assembly path
+        (:meth:`spliced_from`) finishes identically: the LA dict is
+        rebuilt here in ``lookback_nodes`` insertion order, which both
+        construction paths produce identically, so ``la_masks`` comes
+        out bit-identical either way.
+        """
+        relations = self.relations
         # Phase 3: LA = union of Follow over `lookback`.
         if budget is not None:
             budget.enter_phase("la")
@@ -119,6 +144,11 @@ class LalrAnalysis:
             budget.publish()
         instrument.count("lalr.lookahead_sites", len(self.la_masks))
 
+        # Node-level SCCs are kept for the incremental path (clean ones
+        # survive an edit verbatim); the Symbol-level views below are the
+        # public diagnostics.
+        self._reads_scc_nodes = reads_scc_nodes
+        self._includes_scc_nodes = includes_scc_nodes
         # SCC diagnostics are rare and small: widen to Symbol-level
         # transitions eagerly so the public attributes keep their
         # pre-refactor shape.
@@ -132,6 +162,100 @@ class LalrAnalysis:
         ]
         self._read_sets_view: "Dict[Transition, int] | None" = None
         self._follow_sets_view: "Dict[Transition, int] | None" = None
+
+    @classmethod
+    def spliced_from(
+        cls,
+        old: "LalrAnalysis",
+        automaton: LR0Automaton,
+        relations: LalrRelations,
+        changed_reads: List[int],
+        changed_includes: List[int],
+    ) -> "LalrAnalysis":
+        """Assemble the edited grammar's analysis by patching *old*'s.
+
+        *automaton*/*relations* come from the splice layers
+        (:func:`repro.automaton.lr0_delta.splice_lr0`,
+        :func:`repro.core.relations_delta.splice_relations`) over the
+        same node space as *old*; *changed_reads*/*changed_includes* are
+        the relation rows that actually differ.  Both Digraph passes are
+        patched via :func:`digraph_int_incremental` (bit-identical masks
+        by least-fixed-point uniqueness); surviving all-clean SCCs are
+        carried over from *old* — SCC membership is uniformly dirty or
+        clean, so the merged list equals a from-scratch run's as a set,
+        though possibly in different order.
+        """
+        self = object.__new__(cls)
+        self.automaton = automaton
+        self.grammar = automaton.grammar
+        self.vocabulary = relations.vocabulary
+        self.relations = relations
+        self.stats = DigraphStats()
+        n_nodes = relations.n_nodes
+
+        # The reverse views are cached on the relations object: the
+        # splice layer patches them across edits, so after the first
+        # incremental pass the O(edges) rebuild disappears.
+        if relations.reads_reverse is None:
+            relations.reads_reverse = build_reverse_adjacency(
+                n_nodes, relations.reads_offsets, relations.reads_adj
+            )
+        if relations.includes_reverse is None:
+            relations.includes_reverse = build_reverse_adjacency(
+                n_nodes, relations.includes_offsets, relations.includes_adj
+            )
+        with instrument.span("lalr.digraph.reads"):
+            read_masks, dirty_reads_sccs, dirty_reads = digraph_int_incremental(
+                n_nodes,
+                relations.reads_offsets,
+                relations.reads_adj,
+                relations.dr_masks,
+                old._read_masks,
+                changed_reads,
+                self.stats,
+                reverse=relations.reads_reverse,
+            )
+        self._read_masks = read_masks
+        reads_scc_nodes = [
+            component
+            for component in old._reads_scc_nodes
+            if not dirty_reads[component[0]]
+        ] + dirty_reads_sccs
+
+        # The includes pass sees a changed input wherever the includes
+        # row changed *or* the node's Read mask (its seed) changed.
+        old_read_masks = old._read_masks
+        includes_seeds = list(changed_includes)
+        seeded = set(changed_includes)
+        for node in range(n_nodes):
+            if (
+                dirty_reads[node]
+                and read_masks[node] != old_read_masks[node]
+                and node not in seeded
+            ):
+                includes_seeds.append(node)
+        with instrument.span("lalr.digraph.includes"):
+            follow_masks, dirty_includes_sccs, dirty_includes = (
+                digraph_int_incremental(
+                    n_nodes,
+                    relations.includes_offsets,
+                    relations.includes_adj,
+                    read_masks,
+                    old._follow_masks,
+                    includes_seeds,
+                    self.stats,
+                    reverse=relations.includes_reverse,
+                )
+            )
+        self._follow_masks = follow_masks
+        includes_scc_nodes = [
+            component
+            for component in old._includes_scc_nodes
+            if not dirty_includes[component[0]]
+        ] + dirty_includes_sccs
+
+        self._finish(reads_scc_nodes, includes_scc_nodes)
+        return self
 
     # -- diagnostics -----------------------------------------------------
 

@@ -82,6 +82,7 @@ class LalrRelations:
         automaton: LR0Automaton,
         vocabulary: "TerminalVocabulary | None" = None,
         budget=None,
+        record_walks: bool = False,
     ):
         self.automaton = automaton
         self.grammar = automaton.grammar
@@ -103,6 +104,27 @@ class LalrRelations:
         self.includes_offsets: "array" = array("i")
         self.includes_adj: "array" = array("i")
         self.lookback_nodes: Dict[ReductionSite, List[int]] = {}
+
+        # Per-node walk memos for the incremental pipeline (recorded only
+        # when *record_walks* is set — sessions set it, one-shot callers
+        # don't pay for it).  For node n:
+        #   walk_edges[n]  — includes-edge targets, in emission order;
+        #   walk_sites[n]  — the lookback sites n feeds, one per production;
+        #   walk_states[n] — every state any of n's walks touched.
+        # An unchanged walk is replayed by appending these verbatim.
+        self.walk_edges: "List[List[int]] | None" = None
+        self.walk_sites: "List[List[ReductionSite]] | None" = None
+        self.walk_states: "List[List[int]] | None" = None
+        self._record_walks = record_walks
+        # Per-node successor state ids (goto targets), built lazily by the
+        # splice layer.  Invariant across rhs splices: the lr0 guards
+        # pin both the node space and every successor state id.
+        self.successors: "array | None" = None
+        # Reverse (predecessor) views of the reads/includes CSRs, built
+        # lazily by the incremental digraph passes and *patched* across
+        # splices (only changed rows move) rather than rebuilt.
+        self.reads_reverse: "List[List[int]] | None" = None
+        self.includes_reverse: "List[List[int]] | None" = None
 
         # Lazily built Symbol-level views.
         self._transitions_view: "List[Transition] | None" = None
@@ -187,9 +209,18 @@ class LalrRelations:
         node_index = self.node_index
 
         budget = self._budget
+        recording = self._record_walks
+        if recording:
+            self.walk_edges = walk_edges = []
+            self.walk_sites = walk_sites = []
+            self.walk_states = walk_states = []
         buckets: List[List[int]] = [[] for _ in range(self.n_nodes)]
         for node, packed_id in enumerate(self.packed):
             source, lhs_nt_id = divmod(packed_id, num_nonterminals)
+            if recording:
+                node_edges: List[int] = []
+                node_sites: List[ReductionSite] = []
+                node_states: List[int] = [source]
             for production in grammar.productions_for_ntid(lhs_nt_id):
                 if budget is not None:
                     budget.tick()
@@ -217,14 +248,23 @@ class LalrRelations:
                         # continues, but guard for robustness.
                         if edge_node is not None:
                             buckets[edge_node].append(node)
+                            if recording:
+                                node_edges.append(edge_node)
                     next_state = states[state].targets[sid]
                     assert next_state >= 0, (
                         "automaton is missing a transition the closure implies"
                     )
                     state = next_state
-                self.lookback_nodes.setdefault(
-                    (state, production.index), []
-                ).append(node)
+                    if recording:
+                        node_states.append(state)
+                site = (state, production.index)
+                self.lookback_nodes.setdefault(site, []).append(node)
+                if recording:
+                    node_sites.append(site)
+            if recording:
+                walk_edges.append(node_edges)
+                walk_sites.append(node_sites)
+                walk_states.append(node_states)
 
         offsets, adj = self.includes_offsets, self.includes_adj
         offsets.append(0)

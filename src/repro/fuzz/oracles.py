@@ -35,14 +35,13 @@ failure, never propagated.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..automaton.lr0 import LR0Automaton
 from ..core import instrument
 from ..core.digraph import DigraphStats, digraph, digraph_int
+from ..grammar.fingerprint import grammar_text, text_fingerprint
 from ..grammar.grammar import Grammar
-from ..grammar.writer import write_arrow
 
 Oracle = Callable[["OracleContext"], Optional[str]]
 
@@ -50,13 +49,25 @@ Oracle = Callable[["OracleContext"], Optional[str]]
 #: address oracles by these names.
 ORACLES: "Dict[str, Oracle]" = {}
 
+#: Oracles excluded from the default stack: they run only when selected
+#: by name (``repro fuzz run --edit-oracle`` / ``--oracles``) or when a
+#: persisted corpus entry replays them.  Keeps opt-in additions from
+#: changing every existing campaign's workload and output.
+OPT_IN_ORACLES: "set[str]" = set()
 
-def oracle(name: str) -> Callable[[Oracle], Oracle]:
-    """Register an oracle under *name* (decorator)."""
+
+def oracle(name: str, default: bool = True) -> Callable[[Oracle], Oracle]:
+    """Register an oracle under *name* (decorator).
+
+    ``default=False`` registers it as opt-in: addressable by name and
+    replayable from the corpus, but not part of the default stack.
+    """
 
     def register(fn: Oracle) -> Oracle:
         assert name not in ORACLES, f"duplicate oracle {name!r}"
         ORACLES[name] = fn
+        if not default:
+            OPT_IN_ORACLES.add(name)
         return fn
 
     return register
@@ -65,6 +76,11 @@ def oracle(name: str) -> Callable[[Oracle], Oracle]:
 def oracle_names() -> List[str]:
     """All registered oracle names, in stack order."""
     return list(ORACLES)
+
+
+def default_oracle_names() -> List[str]:
+    """The default stack: every registered oracle that is not opt-in."""
+    return [name for name in ORACLES if name not in OPT_IN_ORACLES]
 
 
 class OracleFailure:
@@ -95,16 +111,7 @@ def failure_fingerprint(oracle_name: str, grammar: Grammar) -> str:
     name (which carries the generating seed) is excluded — identity is
     structural.
     """
-    text = "\n".join(
-        line
-        for line in write_arrow(grammar).splitlines()
-        if not line.startswith("%name ")
-    )
-    digest = hashlib.sha256()
-    digest.update(oracle_name.encode("utf-8"))
-    digest.update(b"\x00")
-    digest.update(text.encode("utf-8"))
-    return digest.hexdigest()
+    return text_fingerprint(oracle_name, grammar_text(grammar))
 
 
 class OracleContext:
@@ -223,7 +230,7 @@ def run_oracles(
     """
     if context is None:
         context = OracleContext(grammar, **context_knobs)
-    selected = list(ORACLES) if names is None else list(names)
+    selected = default_oracle_names() if names is None else list(names)
     failures: List[OracleFailure] = []
     for name in selected:
         check = ORACLES[name]
@@ -465,6 +472,150 @@ def check_representation_parity(ctx: OracleContext) -> Optional[str]:
                     f"{label} table diverges on {rendered!r}: "
                     f"{outcome!r} != {expected_outcome!r}"
                 )
+    return None
+
+
+@oracle("incremental-edit", default=False)
+def check_incremental_edit(ctx: OracleContext) -> Optional[str]:
+    """Session updates are bit-identical to from-scratch rebuilds.
+
+    Drives an :class:`~repro.pipeline.session.AnalysisSession` through a
+    deterministic (seed-derived) schedule of edits — rhs symbol swaps
+    and substitutions, production additions and removals — and after
+    every update compares the session's artifacts against a from-scratch
+    pipeline on the edited grammar: state kernels and transitions, the
+    LA dict (including insertion order), ACTION/GOTO rows dict and
+    dense, conflict reports, and the SCC diagnostics (as sets — the
+    incremental path may order the list differently).  Structural deltas
+    must take the rebuild path, never a splice.
+
+    Opt-in (``repro fuzz run --edit-oracle``): it multiplies the
+    per-grammar workload by the edit count, so the default campaigns
+    don't pay for it.
+    """
+    import random
+
+    from ..core.lalr import LalrAnalysis
+    from ..grammar.delta import DeltaKind, classify
+    from ..pipeline import AnalysisSession
+    from ..tables.build import build_lalr_table
+
+    session = AnalysisSession(ctx.augmented)
+    rng = random.Random((ctx.seed * 2654435761 + 97) % 2**31)
+    for step in range(6):
+        current = session.grammar
+        edited = _random_session_edit(rng, current)
+        if edited is None:
+            continue
+        delta_kind = classify(current, edited).kind
+        report = session.update(edited)
+
+        if delta_kind not in (DeltaKind.RHS, DeltaKind.IDENTICAL):
+            if report.strategy == "splice":
+                return (
+                    f"step {step}: structural delta ({delta_kind}) was "
+                    f"spliced instead of rebuilt"
+                )
+
+        reference = LalrAnalysis(session.grammar)
+        reference_table = build_lalr_table(session.grammar, reference.automaton)
+        mismatch = _session_mismatch(session, reference, reference_table)
+        if mismatch:
+            return f"step {step} ({report.describe()}): {mismatch}"
+    return None
+
+
+def _random_session_edit(rng, grammar):
+    """One seed-driven edit of *grammar* (same SymbolTable), or None."""
+    from ..grammar.delta import add_production, remove_production, replace_rhs
+
+    terminals = [t for t in grammar.terminals if t is not grammar.eof]
+    editable = [
+        p for p in grammar.productions[1:] if len(p.rhs) >= 1
+    ]
+    if not editable or not terminals:
+        return None
+    choice = rng.randrange(4)
+    if choice == 0:
+        # Substitute one rhs position with a random terminal.
+        production = rng.choice(editable)
+        rhs = list(production.rhs)
+        rhs[rng.randrange(len(rhs))] = rng.choice(terminals)
+        return replace_rhs(grammar, production.index, rhs)
+    if choice == 1:
+        # Swap two rhs positions.
+        candidates = [p for p in editable if len(p.rhs) >= 2]
+        if not candidates:
+            return None
+        production = rng.choice(candidates)
+        rhs = list(production.rhs)
+        i = rng.randrange(len(rhs) - 1)
+        rhs[i], rhs[i + 1] = rhs[i + 1], rhs[i]
+        return replace_rhs(grammar, production.index, rhs)
+    if choice == 2:
+        # Append a fresh alternative (an add-remove delta).
+        production = rng.choice(editable)
+        return add_production(
+            grammar,
+            production.lhs,
+            tuple(production.rhs) + (rng.choice(terminals),),
+        )
+    # Remove a production whose lhs keeps at least one other rule.
+    by_lhs = {}
+    for production in grammar.productions[1:]:
+        by_lhs.setdefault(production.lhs, []).append(production)
+    removable = [
+        p for rules in by_lhs.values() if len(rules) > 1 for p in rules
+    ]
+    if not removable:
+        return None
+    return remove_production(grammar, rng.choice(removable).index)
+
+
+def _session_mismatch(session, reference, reference_table) -> Optional[str]:
+    """First bit-level divergence between session artifacts and a
+    from-scratch pipeline, or None when identical."""
+    automaton = session.automaton
+    if len(automaton.states) != len(reference.automaton.states):
+        return (
+            f"state counts differ: session={len(automaton.states)} "
+            f"scratch={len(reference.automaton.states)}"
+        )
+    for ours, theirs in zip(automaton.states, reference.automaton.states):
+        if ours.kernel_codes != theirs.kernel_codes:
+            return f"state {theirs.state_id}: kernels differ"
+        if list(ours.targets) != list(theirs.targets):
+            return f"state {theirs.state_id}: transition rows differ"
+        if ours.reductions != theirs.reductions:
+            return f"state {theirs.state_id}: reduction items differ"
+    analysis = session.analysis
+    if analysis.la_masks != reference.la_masks:
+        return "LA masks differ"
+    if list(analysis.la_masks) != list(reference.la_masks):
+        return "LA site order differs"
+    if analysis._read_masks != reference._read_masks:
+        return "Read masks differ"
+    if analysis._follow_masks != reference._follow_masks:
+        return "Follow masks differ"
+    if set(analysis.reads_sccs) != set(reference.reads_sccs):
+        return "reads SCCs differ"
+    if set(analysis.includes_sccs) != set(reference.includes_sccs):
+        return "includes SCCs differ"
+    table = session.table
+    if table.actions != reference_table.actions:
+        return "ACTION rows differ"
+    if table.gotos != reference_table.gotos:
+        return "GOTO rows differ"
+    if table.action_rows != reference_table.action_rows:
+        return "dense ACTION rows differ"
+    if [list(row) for row in table.goto_rows] != [
+        list(row) for row in reference_table.goto_rows
+    ]:
+        return "dense GOTO rows differ"
+    ours = [c.describe(session.grammar) for c in table.conflicts]
+    theirs = [c.describe(session.grammar) for c in reference_table.conflicts]
+    if ours != theirs:
+        return "conflict reports differ"
     return None
 
 

@@ -1,6 +1,20 @@
 """Context-free grammar substrate: symbols, productions, I/O, transforms."""
 
 from .cnf import CnfGrammar, is_cnf, to_cnf
+from .delta import (
+    DeltaKind,
+    GrammarDelta,
+    add_production,
+    classify,
+    remove_production,
+    replace_rhs,
+)
+from .fingerprint import (
+    grammar_fingerprint,
+    production_fingerprint,
+    production_fingerprints,
+    text_fingerprint,
+)
 from .lint import LintWarning, lint, lint_report
 from .builder import GrammarBuilder, grammar_from_rules
 from .errors import (
@@ -20,10 +34,12 @@ from .writer import write_arrow, write_yacc
 
 __all__ = [
     "Assoc",
+    "DeltaKind",
     "EOF_NAME",
     "EPSILON_NAME",
     "Grammar",
     "GrammarBuilder",
+    "GrammarDelta",
     "CnfGrammar",
     "LintWarning",
     "lint",
@@ -39,13 +55,21 @@ __all__ = [
     "Symbol",
     "SymbolError",
     "SymbolTable",
+    "add_production",
+    "classify",
+    "grammar_fingerprint",
     "grammar_from_rules",
     "load_grammar",
     "load_grammar_file",
     "left_factor",
+    "production_fingerprint",
+    "production_fingerprints",
     "remove_left_recursion",
+    "remove_production",
     "reduce_grammar",
     "remove_epsilon_rules",
+    "replace_rhs",
+    "text_fingerprint",
     "write_arrow",
     "write_yacc",
 ]

@@ -1,0 +1,124 @@
+"""Per-phase input fingerprints for the incremental pipeline.
+
+Every phase of the pipeline is a pure function of (part of) the grammar
+plus upstream phase outputs.  This module names each phase's *input*
+with a content hash composed from the fine-grained hashes of
+:mod:`repro.grammar.fingerprint` — per-production digests, rolled into
+per-nonterminal digests, rolled into per-phase digests along the
+pipeline's dependency chain::
+
+    grammar ──> lr0 ──> relations ──> digraph.reads ──> digraph.includes ──> la ──> table
+
+Two grammars with equal ``phase_fingerprints()[p]`` necessarily produce
+identical phase-``p`` artifacts (the converse does not hold: phases also
+reuse artifacts under the finer delta analysis of
+:mod:`repro.grammar.delta`, which proves reusability fingerprints alone
+cannot).  :class:`~repro.pipeline.session.AnalysisSession` keys its
+artifact memo on these, and they are what an on-disk phase store should
+key entries on — the ``table`` digest in particular extends the
+:func:`~repro.grammar.fingerprint.grammar_fingerprint` scheme the
+:class:`~repro.tables.cache.TableCache` already uses.
+
+All digests are hex sha256 strings and depend only on symbol *names*
+(never on object identity or interning order), so they are stable
+across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..analysis.nullable import nullable_nonterminals
+from ..grammar.fingerprint import (
+    grammar_fingerprint,
+    production_fingerprints,
+    text_fingerprint,
+)
+from ..grammar.grammar import Grammar
+from ..grammar.symbols import ID_LAYOUT_VERSION
+
+__all__ = ["PHASES", "nonterminal_fingerprints", "phase_fingerprints"]
+
+#: The fingerprinted phases, in pipeline order.
+PHASES = (
+    "grammar",
+    "lr0",
+    "relations",
+    "digraph.reads",
+    "digraph.includes",
+    "la",
+    "table",
+)
+
+
+def nonterminal_fingerprints(grammar: Grammar) -> Dict[str, str]:
+    """Per-nonterminal content digest: the nonterminal's name plus its
+    productions' digests, in declaration order.
+
+    A nonterminal whose digest is unchanged by an edit contributed the
+    same rules before and after — the per-nonterminal unit of change the
+    delta machinery dirties closures by.
+    """
+    per_production = production_fingerprints(grammar)
+    buckets: Dict[str, List[str]] = {}
+    for production, digest in zip(grammar.productions, per_production):
+        buckets.setdefault(production.lhs.name, []).append(digest)
+    return {
+        name: text_fingerprint(name, *digests)
+        for name, digests in buckets.items()
+    }
+
+
+def phase_fingerprints(grammar: Grammar) -> Dict[str, str]:
+    """The per-phase input digests for *grammar*, keyed by :data:`PHASES`.
+
+    Each phase digest chains its upstream phase's digest with exactly
+    the extra grammar facts that phase consumes:
+
+    - ``lr0``: ID-layout version, start symbol, every production digest
+      (the automaton reads productions and the symbol layout);
+    - ``relations``: ``lr0`` plus the nullable set (DR/reads/includes
+      walks branch on nullability);
+    - ``digraph.reads`` / ``digraph.includes``: the chained relation
+      passes;
+    - ``la``: the ``digraph.includes`` digest (LA is a pure union over
+      Follow and lookback);
+    - ``table``: ``la`` plus the precedence declarations (conflict
+      resolution is the one later consumer of precedence).
+
+    The result is cached on the grammar instance — grammars are immutable
+    after construction (every edit helper builds a new object), and a
+    session touching the same version repeatedly (classify, memo key,
+    artifact bundle) must not re-hash every production each time.
+    """
+    cached = grammar.__dict__.get("_phase_fingerprints")
+    if cached is not None:
+        return cached
+    productions = production_fingerprints(grammar)
+    fingerprints = {"grammar": grammar_fingerprint(grammar)}
+    fingerprints["lr0"] = text_fingerprint(
+        "lr0", str(ID_LAYOUT_VERSION), grammar.start.name, *productions
+    )
+    nullable = sorted(symbol.name for symbol in nullable_nonterminals(grammar))
+    fingerprints["relations"] = text_fingerprint(
+        "relations", fingerprints["lr0"], *nullable
+    )
+    fingerprints["digraph.reads"] = text_fingerprint(
+        "digraph.reads", fingerprints["relations"]
+    )
+    fingerprints["digraph.includes"] = text_fingerprint(
+        "digraph.includes", fingerprints["digraph.reads"]
+    )
+    fingerprints["la"] = text_fingerprint("la", fingerprints["digraph.includes"])
+    precedence = json.dumps(
+        sorted(
+            (symbol.name, prec.level, prec.assoc.value)
+            for symbol, prec in grammar.precedence.items()
+        )
+    )
+    fingerprints["table"] = text_fingerprint(
+        "table", fingerprints["la"], precedence
+    )
+    grammar._phase_fingerprints = fingerprints
+    return fingerprints

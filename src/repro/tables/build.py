@@ -17,6 +17,7 @@ fires and carries no lookaheads anywhere in the library.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, FrozenSet, List
 
 from ..automaton.lr0 import LR0Automaton
@@ -67,23 +68,28 @@ def build_lalr_table(
     automaton: "LR0Automaton | None" = None,
     lookahead_table: "Dict[ReductionSite, FrozenSet[Symbol]] | None" = None,
     budget=None,
+    la_masks: "Dict[ReductionSite, int] | None" = None,
 ) -> ParseTable:
     """The LALR(1) table.
 
     By default lookaheads come straight from the DeRemer–Pennello
     analysis's LA bitmasks (no Symbol round-trip); pass *lookahead_table*
     (e.g. from a baseline) to build from other sources — the classifier
-    and the equivalence tests use this hook.  A *budget* governs the
-    whole build (automaton, analysis and fill share one deadline).
+    and the equivalence tests use this hook — or *la_masks* to reuse an
+    already-computed analysis's masks without paying for a second one
+    (the session pipeline's path).  A *budget* governs the whole build
+    (automaton, analysis and fill share one deadline).
     """
     with instrument.span("table.build.lalr1"):
         if automaton is None:
             automaton = LR0Automaton(grammar, budget=budget)
         if lookahead_table is None:
-            la_masks = LalrAnalysis(grammar, automaton, budget=budget).la_masks
+            if la_masks is None:
+                la_masks = LalrAnalysis(grammar, automaton, budget=budget).la_masks
+            site_masks = la_masks
 
             def lookahead_mask(site: ReductionSite) -> int:
-                return la_masks.get(site, 0)
+                return site_masks.get(site, 0)
 
         else:
             mask_of = _symbol_set_masker(automaton)
@@ -145,34 +151,16 @@ def _fill_lr0_based(
         for state in automaton.states:
             if budget is not None:
                 budget.tick()
-            action_row: Dict[Symbol, Action] = {}
-            goto_row: Dict[Symbol, int] = {}
-            targets = state.targets
-            for sid in state.out_sids:
-                successor = targets[sid]
-                if sid >= num_terminals:
-                    goto_row[symbol_of[sid]] = successor
-                elif sid == eof_sid:
-                    # goto on $end exists only from the item S' -> S . $end.
-                    action_row[eof] = ACCEPT
-                else:
-                    action_row[symbol_of[sid]] = Shift(successor)
-            for item in state.reductions:
-                if item.production == 0:
-                    continue
-                reduce_action = Reduce(item.production)
-                mask = lookahead_mask_for((state.state_id, item.production))
-                while mask:
-                    low_bit = mask & -mask
-                    mask ^= low_bit
-                    _place(
-                        grammar,
-                        actions_row=action_row,
-                        state_id=state.state_id,
-                        terminal=symbol_of[low_bit.bit_length() - 1],
-                        new_action=reduce_action,
-                        conflicts=conflicts,
-                    )
+            action_row, goto_row = _fill_state_row(
+                grammar,
+                state,
+                lookahead_mask_for,
+                conflicts,
+                symbol_of,
+                num_terminals,
+                eof_sid,
+                eof,
+            )
             actions.append(action_row)
             gotos.append(goto_row)
     if budget is not None:
@@ -182,6 +170,170 @@ def _fill_lr0_based(
         instrument.count("table.action_cells", sum(len(row) for row in actions))
         instrument.count("table.conflicts", len(conflicts))
     return ParseTable(grammar, method, actions, gotos, conflicts)
+
+
+def _fill_state_row(
+    grammar: Grammar,
+    state,
+    lookahead_mask_for: "callable",
+    conflicts: List[Conflict],
+    symbol_of,
+    num_terminals: int,
+    eof_sid: int,
+    eof: Symbol,
+) -> "tuple[Dict[Symbol, Action], Dict[Symbol, int]]":
+    """One state's ACTION/GOTO dict rows (the fill engine's inner body).
+
+    Shared between the from-scratch fill and the incremental refill so a
+    refilled row is computed by the exact same code path.  Conflicts
+    discovered in this state are appended to *conflicts* in discovery
+    order.
+    """
+    action_row: Dict[Symbol, Action] = {}
+    goto_row: Dict[Symbol, int] = {}
+    targets = state.targets
+    for sid in state.out_sids:
+        successor = targets[sid]
+        if sid >= num_terminals:
+            goto_row[symbol_of[sid]] = successor
+        elif sid == eof_sid:
+            # goto on $end exists only from the item S' -> S . $end.
+            action_row[eof] = ACCEPT
+        else:
+            action_row[symbol_of[sid]] = Shift(successor)
+    for item in state.reductions:
+        if item.production == 0:
+            continue
+        reduce_action = Reduce(item.production)
+        mask = lookahead_mask_for((state.state_id, item.production))
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            _place(
+                grammar,
+                actions_row=action_row,
+                state_id=state.state_id,
+                terminal=symbol_of[low_bit.bit_length() - 1],
+                new_action=reduce_action,
+                conflicts=conflicts,
+            )
+    return action_row, goto_row
+
+
+def refill_lalr_table(
+    old_table: ParseTable,
+    automaton: LR0Automaton,
+    la_masks: Dict[ReductionSite, int],
+    old_la_masks: Dict[ReductionSite, int],
+    dirty: bytearray,
+) -> ParseTable:
+    """Rebuild only the table rows an rhs edit can have changed.
+
+    A state's ACTION/GOTO row is a function of its transition row, its
+    reduction items' LA masks, and the grammar's precedence
+    declarations.  After a splice, a state that is not *dirty* shares
+    its transition row object with the old automaton, and rhs-delta
+    eligibility keeps grammar-level precedence fixed; so its row can be
+    reused verbatim iff none of its reduction sites' LA masks changed.
+    (A changed production's ``%prec`` cannot affect a clean state either:
+    any state reducing by that production contains one of its items and
+    is dirty by definition.)  Everything is assembled in state order, so
+    rows, dense rows and the conflict list come out ordered exactly as a
+    from-scratch fill — reused rows shared object-for-object.
+    """
+    grammar = automaton.grammar
+    states = automaton.states
+    n_states = len(states)
+    refill = bytearray(dirty)
+    # Sites that appear or disappear belong to recomputed (dirty, hence
+    # already marked) states, so scanning the old site list is enough.
+    la_get = la_masks.get
+    for site, old_mask in old_la_masks.items():
+        if la_get(site) != old_mask:
+            refill[site[0]] = 1
+
+    ids = grammar.ids
+    symbol_of = ids.by_sid
+    num_terminals = ids.num_terminals
+    eof = grammar.eof
+    eof_sid = ids.terminal_id(eof)
+    terminal_id = ids.terminal_id
+    nonterminal_id = ids.nonterminal_id
+    empty_goto_row = array("i", [-1]) * ids.num_nonterminals
+
+    def lookahead_mask(site: ReductionSite) -> int:
+        return la_masks.get(site, 0)
+
+    actions: List[Dict[Symbol, Action]] = []
+    gotos: List[Dict[Symbol, int]] = []
+    conflicts: List[Conflict] = []
+    action_rows: "List[List[Action | None]]" = []
+    goto_rows: "List[array]" = []
+    reused = 0
+    # ``old_table.conflicts`` is in state order (so is our output), so a
+    # single pointer walks it: clean runs copy their slice of old
+    # conflicts, a refilled state skips its old entries and regenerates.
+    old_conflicts = old_table.conflicts
+    n_old_conflicts = len(old_conflicts)
+    conflict_ptr = 0
+    old_actions = old_table.actions
+    old_gotos = old_table.gotos
+    old_action_rows = old_table.action_rows
+    old_goto_rows = old_table.goto_rows
+    with instrument.span("table.refill"):
+        state_id = 0
+        while state_id < n_states:
+            boundary = refill.find(1, state_id)
+            if boundary < 0:
+                boundary = n_states
+            if boundary > state_id:
+                # Clean run [state_id, boundary): rows shared verbatim.
+                actions.extend(old_actions[state_id:boundary])
+                gotos.extend(old_gotos[state_id:boundary])
+                action_rows.extend(old_action_rows[state_id:boundary])
+                goto_rows.extend(old_goto_rows[state_id:boundary])
+                while (
+                    conflict_ptr < n_old_conflicts
+                    and old_conflicts[conflict_ptr].state < boundary
+                ):
+                    conflicts.append(old_conflicts[conflict_ptr])
+                    conflict_ptr += 1
+                reused += boundary - state_id
+                state_id = boundary
+                if state_id >= n_states:
+                    break
+            while (
+                conflict_ptr < n_old_conflicts
+                and old_conflicts[conflict_ptr].state <= state_id
+            ):
+                conflict_ptr += 1
+            action_row, goto_row = _fill_state_row(
+                grammar,
+                states[state_id],
+                lookahead_mask,
+                conflicts,
+                symbol_of,
+                num_terminals,
+                eof_sid,
+                eof,
+            )
+            actions.append(action_row)
+            gotos.append(goto_row)
+            dense: "List[Action | None]" = [None] * num_terminals
+            for terminal, action in action_row.items():
+                dense[terminal_id(terminal)] = action
+            action_rows.append(dense)
+            goto_dense = array(empty_goto_row.typecode, empty_goto_row)
+            for nonterminal, target in goto_row.items():
+                goto_dense[nonterminal_id(nonterminal)] = target
+            goto_rows.append(goto_dense)
+            state_id += 1
+    if instrument.enabled():
+        instrument.count("phase.table.rows_reused", reused)
+        instrument.count("phase.table.rows_refilled", n_states - reused)
+    return ParseTable.from_rows(
+        grammar, "lalr1", actions, gotos, conflicts, action_rows, goto_rows
+    )
 
 
 def build_clr_table(

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Dict, Optional
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
 
 from ..core import instrument
 from ..grammar.grammar import Grammar
@@ -75,7 +76,7 @@ class TableCache:
             instrumentation layer as ``table.cache.*``).
     """
 
-    def __init__(self, directory: str, backend: str = "json"):
+    def __init__(self, directory: str, backend: str = "json", hot_capacity: int = 0):
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown cache backend {backend!r} (known: {sorted(BACKENDS)})"
@@ -87,12 +88,36 @@ class TableCache:
         self.misses = 0
         self.corrupt = 0
         self.stores = 0
+        # Bounded in-memory LRU of hot ParseTable objects, keyed like the
+        # disk entries.  Opt-in (capacity 0 = off): a deserialised table
+        # is cheap next to a rebuild but the in-memory object bypasses
+        # the disk entirely, which long-lived sessions want and one-shot
+        # CLI runs don't need.
+        self.hot_capacity = hot_capacity
+        self._hot: "OrderedDict[Tuple[str, str], ParseTable]" = OrderedDict()
+        self.hot_hits = 0
+        self.hot_evictions = 0
 
     # -- keying --------------------------------------------------------
 
     def path_for(self, grammar: Grammar, method: str) -> str:
         """The cache file for *grammar*/*method* (may not exist)."""
-        fingerprint = grammar_fingerprint(grammar)
+        return self._path(method, grammar_fingerprint(grammar))
+
+    def _path(self, method: str, fingerprint: str) -> str:
+        # Entries shard into two-hex-char fingerprint-prefix
+        # subdirectories so huge caches never produce one flat directory
+        # with tens of thousands of entries (pathological on several
+        # filesystems and unwieldy for humans).
+        return os.path.join(
+            self.directory,
+            fingerprint[:2],
+            f"{method}-{fingerprint[:32]}{self.suffix}",
+        )
+
+    def _flat_path(self, method: str, fingerprint: str) -> str:
+        """The pre-sharding location — read-fallback for caches written
+        by earlier versions; new entries are never stored here."""
         return os.path.join(
             self.directory, f"{method}-{fingerprint[:32]}{self.suffix}"
         )
@@ -102,12 +127,27 @@ class TableCache:
     def load(self, grammar: Grammar, method: str) -> Optional[ParseTable]:
         """The cached table, or None on miss/corruption (never raises
         for a damaged entry — it is deleted and counted instead)."""
-        path = self.path_for(grammar, method)
+        fingerprint = grammar_fingerprint(grammar)
+        hot_key = (method, fingerprint)
+        if self.hot_capacity:
+            table = self._hot.get(hot_key)
+            if table is not None:
+                self._hot.move_to_end(hot_key)
+                self.hot_hits += 1
+                instrument.count("table.cache.hot_hits")
+                return table
+        path = self._path(method, fingerprint)
         loader = load_binary_table if path.endswith(BINARY_SUFFIX) else load_table
         started = time.perf_counter_ns()
         with instrument.span("table.cache.load"):
             try:
-                table = loader(path, grammar)
+                try:
+                    table = loader(path, grammar)
+                except FileNotFoundError:
+                    # Transparent fallback: entries written before the
+                    # sharded layout live directly in the directory.
+                    path = self._flat_path(method, fingerprint)
+                    table = loader(path, grammar)
             except FileNotFoundError:
                 self.misses += 1
                 instrument.count("table.cache.misses")
@@ -127,6 +167,7 @@ class TableCache:
                 instrument.count("table.bytes", os.path.getsize(path))
             except OSError:
                 pass
+        self._hot_put(hot_key, table)
         return table
 
     def store(self, table: ParseTable) -> bool:
@@ -134,10 +175,11 @@ class TableCache:
         not cacheable (unresolved conflicts) or the disk write fails."""
         if table.unresolved_conflicts:
             return False
-        path = self.path_for(table.grammar, table.method)
+        fingerprint = grammar_fingerprint(table.grammar)
+        path = self._path(table.method, fingerprint)
         with instrument.span("table.cache.store"):
             try:
-                os.makedirs(self.directory, exist_ok=True)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
                 if path.endswith(BINARY_SUFFIX):
                     written = save_binary_table(table, path)
                 else:
@@ -149,7 +191,18 @@ class TableCache:
         instrument.count("table.cache.stores")
         if instrument.enabled():
             instrument.count("table.bytes", written)
+        self._hot_put((table.method, fingerprint), table)
         return True
+
+    def _hot_put(self, key: "Tuple[str, str]", table: ParseTable) -> None:
+        if not self.hot_capacity:
+            return
+        self._hot[key] = table
+        self._hot.move_to_end(key)
+        while len(self._hot) > self.hot_capacity:
+            self._hot.popitem(last=False)
+            self.hot_evictions += 1
+            instrument.count("table.cache.hot_evictions")
 
     def load_or_build(
         self,
@@ -169,25 +222,44 @@ class TableCache:
     # -- maintenance -----------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every cache entry; returns how many were removed."""
+        """Delete every cache entry (sharded and legacy flat layouts,
+        plus the hot LRU); returns how many files were removed."""
+        self._hot.clear()
         removed = 0
+        suffixes = tuple(BACKENDS.values())
         try:
             names = os.listdir(self.directory)
-        except FileNotFoundError:
+        except (FileNotFoundError, NotADirectoryError):
             return 0
         for name in names:
-            if name.endswith(tuple(BACKENDS.values())):
-                self._evict(os.path.join(self.directory, name))
+            path = os.path.join(self.directory, name)
+            if name.endswith(suffixes):
+                self._evict(path)
                 removed += 1
+            elif len(name) == 2 and os.path.isdir(path):
+                # A fingerprint-prefix shard: clear its entries, then the
+                # (now empty) directory itself.
+                for entry in os.listdir(path):
+                    if entry.endswith(suffixes):
+                        self._evict(os.path.join(path, entry))
+                        removed += 1
+                try:
+                    os.rmdir(path)
+                except OSError:
+                    pass
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {
+        stats = {
             "hits": self.hits,
             "misses": self.misses,
             "corrupt": self.corrupt,
             "stores": self.stores,
         }
+        if self.hot_capacity:
+            stats["hot_hits"] = self.hot_hits
+            stats["hot_evictions"] = self.hot_evictions
+        return stats
 
     @staticmethod
     def _evict(path: str) -> None:

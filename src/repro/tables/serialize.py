@@ -13,15 +13,14 @@ conflict-free tables (the normal case for a cached production parser).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 from typing import Dict, List
 
 from ..grammar.errors import SymbolError
+from ..grammar.fingerprint import grammar_fingerprint
 from ..grammar.grammar import Grammar
-from ..grammar.symbols import ID_LAYOUT_VERSION
 from .table import ACCEPT, Action, ParseTable, Reduce, Shift
 
 #: Bumped to 2 with the integer-interned symbol core: tables now carry
@@ -40,29 +39,18 @@ class TableCacheError(ValueError):
     """
 
 
-def grammar_fingerprint(grammar: Grammar) -> str:
-    """A stable hash of the grammar's rules, start symbol and precedence.
-
-    The symbol-ID layout version is part of the payload: a change to how
-    dense IDs are assigned re-keys every cached table, because the
-    ID-indexed rows rebuilt at load time must match the layout the table
-    was validated under.
-    """
-    payload = {
-        "id_layout": ID_LAYOUT_VERSION,
-        "start": grammar.start.name,
-        "productions": [
-            [p.lhs.name, [s.name for s in p.rhs],
-             p.prec_symbol.name if p.prec_symbol else None]
-            for p in grammar.productions
-        ],
-        "precedence": sorted(
-            (s.name, prec.level, prec.assoc.value)
-            for s, prec in grammar.precedence.items()
-        ),
-    }
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()
+# grammar_fingerprint now lives in repro.grammar.fingerprint (shared with
+# the incremental pipeline and the fuzz corpus); re-exported here because
+# this module has always been its public home for cache users.
+__all__ = [
+    "FORMAT_VERSION",
+    "TableCacheError",
+    "grammar_fingerprint",
+    "table_to_dict",
+    "table_from_dict",
+    "save_table",
+    "load_table",
+]
 
 
 def _encode_action(action: Action) -> "List":

@@ -133,6 +133,34 @@ class ParseTable:
                 goto_dense[nonterminal_id(nonterminal)] = target
             self.goto_rows.append(goto_dense)
 
+    @classmethod
+    def from_rows(
+        cls,
+        grammar: Grammar,
+        method: str,
+        actions: List[Dict[Symbol, Action]],
+        gotos: List[Dict[Symbol, int]],
+        conflicts: List[Conflict],
+        action_rows: "List[List[Optional[Action]]]",
+        goto_rows: "List[array]",
+    ) -> "ParseTable":
+        """Assemble a table from prebuilt dict *and* dense rows.
+
+        The incremental refill path uses this to share the untouched
+        rows of a previous table object-for-object instead of paying
+        ``__init__``'s dense-row reconstruction for every state.  The
+        caller guarantees the dense rows mirror the dict rows.
+        """
+        self = object.__new__(cls)
+        self.grammar = grammar
+        self.method = method
+        self.actions = actions
+        self.gotos = gotos
+        self.conflicts = conflicts
+        self.action_rows = action_rows
+        self.goto_rows = goto_rows
+        return self
+
     @property
     def n_states(self) -> int:
         return len(self.actions)

@@ -1,0 +1,131 @@
+"""Unit tests: the incremental-session benchmark.
+
+The benchmark's job is to produce a *deterministic* snapshot — the
+chosen edit recipe, the dirty-region size and the ``phase.*`` splice
+counters must be pure functions of the grammar, because CI diffs them
+against the committed ``BENCH_incremental.json``.  Wall times and the
+derived speedup are context only and never asserted on here.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.incremental import (
+    bench_snapshot,
+    compare_baseline,
+    find_splice_edit,
+    main,
+    measure_incremental,
+)
+from repro.grammar.delta import replace_rhs
+from repro.grammars import corpus
+from repro.pipeline import AnalysisSession
+
+
+@pytest.fixture(scope="module")
+def expr():
+    return corpus.load("expr").augmented()
+
+
+class TestFindSpliceEdit:
+    def test_recipe_actually_splices(self, expr):
+        edit = find_splice_edit(expr)
+        assert edit is not None
+        index, position, replacement = edit
+        production = expr.productions[index]
+        assert production.rhs[position].is_terminal
+        edited = replace_rhs(
+            expr,
+            index,
+            tuple(
+                replacement if i == position else s.name
+                for i, s in enumerate(production.rhs)
+            ),
+        )
+        session = AnalysisSession(expr)
+        report = session.update(edited)
+        assert report.strategy == "splice"
+        assert not report.fell_back
+
+    def test_deterministic(self, expr):
+        assert find_splice_edit(expr) == find_splice_edit(expr)
+
+
+class TestMeasureIncremental:
+    def test_snapshot_row_shape(self, expr):
+        entry = measure_incremental(expr, repeats=1)
+        assert entry is not None
+        assert set(entry) >= {
+            "edit",
+            "dirty_states",
+            "total_states",
+            "full_seconds",
+            "incremental_seconds",
+            "speedup",
+            "counters",
+        }
+        assert 0 < entry["dirty_states"] < entry["total_states"]
+        assert entry["full_seconds"] > 0
+        assert entry["incremental_seconds"] > 0
+
+    def test_counters_show_reuse_and_no_fallback(self, expr):
+        entry = measure_incremental(expr, repeats=1)
+        assert entry["counters"].get("phase.reuse", 0) > 0
+        assert entry["counters"].get("phase.fallback", 0) == 0
+        assert entry["counters"].get("phase.recompute", 0) == 0
+
+
+class TestCompareBaseline:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        return bench_snapshot([("expr", corpus.load("expr"))], repeats=1)
+
+    def test_matching_snapshots_have_no_drift(self, snapshot):
+        rows, drift = compare_baseline(snapshot, copy.deepcopy(snapshot))
+        assert drift == []
+        assert [row[0] for row in rows] == ["expr"]
+
+    def test_counter_drift_is_reported(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["grammars"]["expr"]["counters"]["phase.reuse"] += 1
+        _, drift = compare_baseline(snapshot, baseline)
+        assert any("phase.reuse" in message for message in drift)
+
+    def test_edit_recipe_drift_is_reported(self, snapshot):
+        baseline = copy.deepcopy(snapshot)
+        baseline["grammars"]["expr"]["edit"]["position"] += 1
+        _, drift = compare_baseline(snapshot, baseline)
+        assert any("edit" in message for message in drift)
+
+    def test_missing_grammar_is_reported(self, snapshot):
+        _, drift = compare_baseline(snapshot, {"grammars": {}})
+        assert drift == ["expr: not present in baseline"]
+
+    def test_speedup_changes_are_not_drift(self, snapshot):
+        # Wall-clock speedups vary across machines; only the
+        # deterministic columns may fail the comparison.
+        baseline = copy.deepcopy(snapshot)
+        baseline["grammars"]["expr"]["speedup"] *= 10
+        _, drift = compare_baseline(snapshot, baseline)
+        assert drift == []
+
+
+class TestMain:
+    def test_baseline_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        assert main(["corpus:expr", "--repeats", "1",
+                     "--write-baseline", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert "expr" in snapshot["grammars"]
+        assert main(["corpus:expr", "--repeats", "1",
+                     "--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "match the baseline" in out
+
+    def test_min_speedup_floor_fails(self, capsys):
+        # No splice can be a million times faster than a rebuild.
+        assert main(["corpus:expr", "--repeats", "1",
+                     "--min-speedup", "1e6"]) == 1
+        assert "below the" in capsys.readouterr().out

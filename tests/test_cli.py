@@ -100,18 +100,15 @@ class TestCacheFlag:
         assert "table.cache.hits" in output
 
     def test_corrupt_entry_rebuilds_silently(self, grammar_file, tmp_path):
-        import os
-
-        cache_dir = str(tmp_path / "cache")
-        run([grammar_file, "--cache", cache_dir])
-        (entry,) = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
-        with open(os.path.join(cache_dir, entry), "w", encoding="utf-8") as f:
-            f.write('{"format": 1, "acti')  # torn file from a fake crash
-        code, output = run([grammar_file, "--cache", cache_dir])
+        cache_dir = tmp_path / "cache"
+        run([grammar_file, "--cache", str(cache_dir)])
+        (entry,) = cache_dir.glob("*/*.json")  # entries live in shards
+        entry.write_text('{"format": 1, "acti')  # torn file from a fake crash
+        code, output = run([grammar_file, "--cache", str(cache_dir)])
         assert code == 0  # no traceback, just a rebuild
         assert "rebuilt (corrupt entry)" in output
         # The rebuild re-stored a good entry: next run is a clean hit.
-        code, output = run([grammar_file, "--cache", cache_dir])
+        code, output = run([grammar_file, "--cache", str(cache_dir)])
         assert "cache: hit" in output
 
     def test_cache_const_default(self, grammar_file, tmp_path, monkeypatch):
@@ -239,14 +236,14 @@ class TestBinaryCacheFlag:
     def test_bin_backend_miss_then_hit(self, grammar_file, tmp_path):
         import os
 
-        cache_dir = str(tmp_path / "cache")
+        cache_dir = tmp_path / "cache"
         code, output = run(
-            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+            [grammar_file, "--cache", str(cache_dir), "--format", "bin"]
         )
         assert code == 0 and "cache: miss" in output
-        assert [n for n in os.listdir(cache_dir) if n.endswith(".rtb")]
+        assert list(cache_dir.glob("*/*.rtb"))  # entries live in shards
         code, output = run(
-            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+            [grammar_file, "--cache", str(cache_dir), "--format", "bin"]
         )
         assert code == 0 and "cache: hit" in output
 
@@ -260,15 +257,12 @@ class TestBinaryCacheFlag:
         assert "cache: miss" in output
 
     def test_corrupt_binary_entry_rebuilds(self, grammar_file, tmp_path):
-        import os
-
-        cache_dir = str(tmp_path / "cache")
-        run([grammar_file, "--cache", cache_dir, "--format", "bin"])
-        (entry,) = [n for n in os.listdir(cache_dir) if n.endswith(".rtb")]
-        with open(os.path.join(cache_dir, entry), "wb") as handle:
-            handle.write(b"RPTB truncated mid-write")
+        cache_dir = tmp_path / "cache"
+        run([grammar_file, "--cache", str(cache_dir), "--format", "bin"])
+        (entry,) = cache_dir.glob("*/*.rtb")  # entries live in shards
+        entry.write_bytes(b"RPTB truncated mid-write")
         code, output = run(
-            [grammar_file, "--cache", cache_dir, "--format", "bin"]
+            [grammar_file, "--cache", str(cache_dir), "--format", "bin"]
         )
         assert code == 0
         assert "rebuilt (corrupt entry)" in output
@@ -409,3 +403,46 @@ class TestAmbiguityCommand:
         path.write_text("A -> B | a\nB -> A\n")
         code, output = run(["ambiguity", str(path)])
         assert code == 1 and "cyclic" in output
+
+
+class TestEditCommand:
+    def test_rhs_edit_splices_and_verifies(self):
+        code, output = run(
+            ["edit", "corpus:expr", "--set", "1: E * T", "--verify"]
+        )
+        assert code == 1  # the edited grammar is conflicted
+        assert "splice (rhs)" in output
+        assert "states recomputed" in output
+        assert "2 shift/reduce" in output
+        assert "bit-identical to a from-scratch build" in output
+
+    def test_guard_fallback_still_verifies(self):
+        # T -> T * id re-shapes state 10: the splice must fall back, and
+        # --verify must still certify the rebuilt table.
+        code, output = run(
+            ["edit", "corpus:expr", "--set", "3: T * id", "--verify"]
+        )
+        assert code == 0
+        assert "rebuild (rhs)" in output
+        assert "bit-identical to a from-scratch build" in output
+
+    def test_self_edit_is_a_noop(self):
+        code, output = run(["edit", "corpus:expr", "--set", "5: ( E )"])
+        assert code == 0
+        assert "noop (identical)" in output
+
+    def test_add_is_a_structural_rebuild(self):
+        code, output = run(
+            ["edit", "corpus:expr", "--add", "F: num", "--verify"]
+        )
+        assert code == 0
+        assert "rebuild (terminal-set)" in output
+        assert "states: 14" in output
+
+    def test_no_edits_is_a_usage_error(self, capsys):
+        assert main(["edit", "corpus:expr"]) == 2
+        assert "no edits given" in capsys.readouterr().err
+
+    def test_bad_index_is_a_usage_error(self, capsys):
+        assert main(["edit", "corpus:expr", "--set", "99: id"]) == 2
+        assert "--set" in capsys.readouterr().err

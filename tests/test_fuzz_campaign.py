@@ -12,7 +12,7 @@ from repro.fuzz.campaign import (
     run_campaign,
 )
 from repro.fuzz.corpus import FailureCorpus
-from repro.fuzz.oracles import ORACLES
+from repro.fuzz.oracles import ORACLES, default_oracle_names
 
 
 @pytest.fixture
@@ -142,4 +142,8 @@ class TestInstrumentation:
             phase.startswith("fuzz.oracle.") for phase in collector.phase_totals()
         )
         assert collector.counters["fuzz.grammars"] == 5
-        assert collector.counters["fuzz.oracle_runs"] == 5 * len(ORACLES)
+        # Campaigns run the default stack; opt-in oracles (the
+        # incremental-edit one) are excluded unless requested.
+        assert collector.counters["fuzz.oracle_runs"] == 5 * len(
+            default_oracle_names()
+        )

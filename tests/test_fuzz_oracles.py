@@ -6,6 +6,7 @@ from repro.fuzz.oracles import (
     ORACLES,
     OracleContext,
     OracleFailure,
+    default_oracle_names,
     failure_fingerprint,
     oracle,
     oracle_names,
@@ -26,7 +27,14 @@ class TestRegistry:
             "table-agreement",
             "sentence-roundtrip",
             "representation-parity",
+            "incremental-edit",
         ]
+
+    def test_edit_oracle_is_opt_in(self):
+        # It multiplies the per-grammar workload by the edit count, so
+        # default campaigns must not pay for it.
+        assert "incremental-edit" not in default_oracle_names()
+        assert "incremental-edit" in oracle_names()
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(AssertionError):
@@ -142,3 +150,22 @@ class TestFingerprint:
         assert failure_fingerprint("a", grammar) != failure_fingerprint(
             "a", random_grammar(18)
         )
+
+
+class TestIncrementalEditOracle:
+    """Satellite: the opt-in edit oracle drives a session through random
+    edits and demands bit-identity with a from-scratch build each step."""
+
+    @pytest.mark.parametrize("name", ["expr", "json", "mini_pascal_det"])
+    def test_corpus_grammar_runs_clean(self, name):
+        failures = run_oracles(
+            corpus.load(name), names=["incremental-edit"], seed=7
+        )
+        assert failures == [], [f.describe() for f in failures]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_grammars_run_clean(self, seed):
+        failures = run_oracles(
+            random_grammar(seed), names=["incremental-edit"], seed=seed
+        )
+        assert failures == [], [f.describe() for f in failures]

@@ -1,0 +1,136 @@
+"""Unit tests: edit classification and the grammar edit constructors.
+
+``repro.grammar.delta`` is the gatekeeper of the incremental pipeline:
+an ``rhs`` verdict licenses the splice chain to reuse bitmasks, packed
+items and dense symbol IDs object-for-object, so the classifier must
+never report ``rhs`` when the symbol layout moved — and the edit
+constructors must produce grammars that share the original's symbols.
+"""
+
+import pytest
+
+from repro.grammar import load_grammar
+from repro.grammar.delta import (
+    DeltaKind,
+    add_production,
+    classify,
+    remove_production,
+    replace_rhs,
+)
+
+EXPR = """
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+"""
+
+
+@pytest.fixture
+def grammar():
+    return load_grammar(EXPR, name="expr").augmented()
+
+
+class TestClassify:
+    def test_same_object_is_identical(self, grammar):
+        delta = classify(grammar, grammar)
+        assert delta.kind == DeltaKind.IDENTICAL
+        assert delta.is_identical
+
+    def test_rhs_edit(self, grammar):
+        edited = replace_rhs(grammar, 6, ["("])  # F -> id  =>  F -> (
+        delta = classify(grammar, edited)
+        assert delta.kind == DeltaKind.RHS
+        assert delta.is_incremental
+        assert delta.changed == (6,)
+        assert {s.name for s in delta.dirty_nonterminals} == {"F"}
+
+    def test_rhs_edit_shares_symbol_objects(self, grammar):
+        edited = replace_rhs(grammar, 6, ["("])
+        assert edited.symbols is grammar.symbols
+        assert all(
+            a is b for a, b in zip(grammar.ids.by_sid, edited.ids.by_sid)
+        )
+
+    def test_unchanged_rebuild_is_identical(self, grammar):
+        # Replacing a rhs with itself produces a fresh Grammar object
+        # whose content is unchanged: identical, not rhs.
+        production = grammar.productions[6]
+        edited = replace_rhs(grammar, 6, [s.name for s in production.rhs])
+        assert classify(grammar, edited).kind == DeltaKind.IDENTICAL
+
+    def test_add_production_is_add_remove(self, grammar):
+        edited = add_production(grammar, "F", ["id", "id"])
+        assert classify(grammar, edited).kind == DeltaKind.ADD_REMOVE
+
+    def test_remove_production_is_add_remove(self, grammar):
+        edited = remove_production(grammar, 6)
+        assert classify(grammar, edited).kind == DeltaKind.ADD_REMOVE
+
+    def test_new_terminal_is_terminal_set(self, grammar):
+        # A name never seen as an lhs interns as a fresh terminal; the
+        # layout grows and the delta must demand a full rebuild.
+        edited = replace_rhs(grammar, 6, ["brand_new_terminal"])
+        assert classify(grammar, edited).kind == DeltaKind.TERMINALS
+
+    def test_prec_pin_is_rhs(self, grammar):
+        production = grammar.productions[3]  # T -> T * F
+        edited = replace_rhs(
+            grammar, 3, [s.name for s in production.rhs], prec_symbol="+"
+        )
+        delta = classify(grammar, edited)
+        assert delta.kind == DeltaKind.RHS
+        assert delta.changed == (3,)
+
+    def test_independent_loads_are_structural(self):
+        # Two independent parses intern distinct Symbol objects: never
+        # spliceable, whatever the text says.
+        first = load_grammar(EXPR).augmented()
+        second = load_grammar(EXPR).augmented()
+        delta = classify(first, second)
+        assert delta.kind in (DeltaKind.STRUCTURAL, DeltaKind.TERMINALS)
+
+    def test_multi_edit_lists_every_changed_index(self, grammar):
+        edited = replace_rhs(grammar, 6, ["("])
+        edited = replace_rhs(edited, 4, ["F", "*", "F"])
+        delta = classify(grammar, edited)
+        assert delta.kind == DeltaKind.RHS
+        assert delta.changed == (4, 6)
+        assert {s.name for s in delta.dirty_nonterminals} == {"T", "F"}
+
+
+class TestEditConstructors:
+    def test_replace_refuses_augmented_start(self, grammar):
+        with pytest.raises(ValueError):
+            replace_rhs(grammar, 0, ["E"])
+
+    def test_remove_refuses_augmented_start(self, grammar):
+        with pytest.raises(ValueError):
+            remove_production(grammar, 0)
+
+    def test_add_refuses_terminal_lhs(self, grammar):
+        with pytest.raises(ValueError):
+            add_production(grammar, "id", ["E"])
+
+    def test_untouched_productions_survive_verbatim(self, grammar):
+        edited = replace_rhs(grammar, 6, ["("])
+        for index, (p, q) in enumerate(
+            zip(grammar.productions, edited.productions)
+        ):
+            if index == 6:
+                continue
+            assert p.lhs is q.lhs and p.rhs == q.rhs
+            assert p.prec_symbol is q.prec_symbol
+
+    def test_add_appends_at_the_end(self, grammar):
+        edited = add_production(grammar, "F", ["id", "id"])
+        assert len(edited.productions) == len(grammar.productions) + 1
+        appended = edited.productions[-1]
+        assert appended.lhs.name == "F"
+        assert [s.name for s in appended.rhs] == ["id", "id"]
+
+    def test_remove_reindexes(self, grammar):
+        edited = remove_production(grammar, 3)
+        assert len(edited.productions) == len(grammar.productions) - 1
+        assert [p.index for p in edited.productions] == list(
+            range(len(edited.productions))
+        )

@@ -1,0 +1,179 @@
+"""Integration tests: the incremental analysis session.
+
+The contract under test is absolute: whatever strategy ``update`` picks
+(noop, memo restore, delta-scoped splice, full rebuild), the session's
+artifacts afterwards are **bit-identical** to what a fresh session on
+the same grammar would hold — same LA masks in the same insertion
+order, same table rows, same conflict reports, same automaton shape.
+Incremental mode may only ever change latency.
+"""
+
+import pytest
+
+from repro.automaton.lr0 import LR0Automaton
+from repro.core import instrument
+from repro.core.lalr import LalrAnalysis
+from repro.grammar import load_grammar
+from repro.grammar.delta import DeltaKind, add_production, replace_rhs
+from repro.grammars import corpus
+from repro.pipeline import AnalysisSession, SESSION_PHASES
+from repro.tables.build import build_lalr_table
+
+EXPR = """
+E -> E + T | T
+T -> T * F | F
+F -> ( E ) | id
+"""
+
+
+def assert_matches_scratch(session):
+    """The session's artifacts equal a from-scratch build, bit for bit."""
+    grammar = session.grammar
+    automaton = LR0Automaton(grammar)
+    analysis = LalrAnalysis(grammar, automaton)
+    table = build_lalr_table(grammar, automaton, la_masks=analysis.la_masks)
+
+    assert len(session.automaton.states) == len(automaton.states)
+    for ours, reference in zip(session.automaton.states, automaton.states):
+        assert ours.kernel_codes == reference.kernel_codes
+        assert list(ours.targets) == list(reference.targets)
+        assert ours.reductions == reference.reductions
+
+    # Dict equality *and* key order: downstream consumers (serialisers,
+    # diffing tools) see insertion order.
+    assert session.analysis.la_masks == analysis.la_masks
+    assert list(session.analysis.la_masks) == list(analysis.la_masks)
+    assert session.analysis._read_masks == analysis._read_masks
+    assert session.analysis._follow_masks == analysis._follow_masks
+    assert set(session.analysis.reads_sccs) == set(analysis.reads_sccs)
+    assert set(session.analysis.includes_sccs) == set(analysis.includes_sccs)
+
+    assert session.table.actions == table.actions
+    assert session.table.gotos == table.gotos
+    assert session.table.action_rows == table.action_rows
+    assert [list(row) for row in session.table.goto_rows] == [
+        list(row) for row in table.goto_rows
+    ]
+    assert [c.describe(grammar) for c in session.table.conflicts] == [
+        c.describe(grammar) for c in table.conflicts
+    ]
+
+
+@pytest.fixture
+def grammar():
+    return load_grammar(EXPR, name="expr").augmented()
+
+
+class TestStrategies:
+    def test_identical_grammar_is_a_noop(self, grammar):
+        session = AnalysisSession(grammar)
+        report = session.update(grammar)
+        assert report.strategy == "noop"
+        assert report.kind == DeltaKind.IDENTICAL
+
+    def test_rhs_edit_splices(self, grammar):
+        session = AnalysisSession(grammar)
+        report = session.update(replace_rhs(grammar, 1, ["E", "*", "T"]))
+        assert report.strategy == "splice"
+        assert not report.fell_back
+        assert 0 < report.dirty_states < report.total_states
+        assert_matches_scratch(session)
+
+    def test_structural_edit_rebuilds(self, grammar):
+        session = AnalysisSession(grammar)
+        report = session.update(add_production(grammar, "F", ["id", "id"]))
+        assert report.strategy == "rebuild"
+        assert report.kind == DeltaKind.ADD_REMOVE
+        assert not report.fell_back
+        assert_matches_scratch(session)
+
+    def test_guard_failure_falls_back_to_rebuild(self, grammar):
+        # E -> E ) T re-shapes the automaton: the splice must detect it
+        # and rebuild rather than produce a wrong table.
+        session = AnalysisSession(grammar)
+        report = session.update(replace_rhs(grammar, 1, ["E", ")", "T"]))
+        assert report.strategy == "rebuild"
+        assert report.kind == DeltaKind.RHS
+        assert report.fell_back
+        assert_matches_scratch(session)
+
+    def test_memo_restores_the_exact_bundle(self, grammar):
+        session = AnalysisSession(grammar)
+        original = session.artifacts
+        edited = replace_rhs(grammar, 1, ["E", "*", "T"])
+        session.update(edited)
+        report = session.update(grammar)
+        assert report.strategy == "memo"
+        assert session.artifacts is original
+
+    def test_memo_disabled_splices_both_ways(self, grammar):
+        session = AnalysisSession(grammar, memo_size=0)
+        edited = replace_rhs(grammar, 1, ["E", "*", "T"])
+        assert session.update(edited).strategy == "splice"
+        assert session.update(grammar).strategy == "splice"
+        assert_matches_scratch(session)
+
+    def test_describe_mentions_the_dirty_region(self, grammar):
+        session = AnalysisSession(grammar)
+        report = session.update(replace_rhs(grammar, 1, ["E", "*", "T"]))
+        assert "states recomputed" in report.describe()
+
+
+class TestCounters:
+    def test_splice_counts_reuse_not_recompute(self, grammar):
+        session = AnalysisSession(grammar)
+        edited = replace_rhs(grammar, 1, ["E", "*", "T"])
+        with instrument.profile() as collector:
+            session.update(edited)
+        assert collector.counters.get("phase.reuse") == len(SESSION_PHASES)
+        assert not collector.counters.get("phase.recompute")
+        assert not collector.counters.get("phase.fallback")
+
+    def test_rebuild_counts_recompute(self, grammar):
+        session = AnalysisSession(grammar)
+        edited = add_production(grammar, "F", ["id", "id"])
+        with instrument.profile() as collector:
+            session.update(edited)
+        assert collector.counters.get("phase.recompute") == len(SESSION_PHASES)
+        assert not collector.counters.get("phase.fallback")
+
+    def test_fallback_is_counted(self, grammar):
+        session = AnalysisSession(grammar)
+        edited = replace_rhs(grammar, 1, ["E", ")", "T"])
+        with instrument.profile() as collector:
+            session.update(edited)
+        assert collector.counters.get("phase.fallback") == 1
+        assert collector.counters.get("phase.recompute") == len(SESSION_PHASES)
+
+
+class TestCorpusEditChains:
+    """Chained edits across real grammars stay bit-identical throughout."""
+
+    @pytest.mark.parametrize("name", ["expr", "json", "mini_pascal_det"])
+    def test_edit_chain_matches_scratch(self, name):
+        base = corpus.load(name).augmented()
+        session = AnalysisSession(base)
+        terminals = [t for t in base.terminals if t is not base.eof]
+        current = base
+        spliced = 0
+        for index, production in enumerate(base.productions):
+            if index == 0 or not production.rhs:
+                continue
+            for position, symbol in enumerate(production.rhs):
+                if not symbol.is_terminal:
+                    continue
+                edited = replace_rhs(
+                    current,
+                    index,
+                    tuple(
+                        terminals[0] if i == position else s
+                        for i, s in enumerate(production.rhs)
+                    ),
+                )
+                report = session.update(edited)
+                assert report.strategy in ("splice", "rebuild", "noop")
+                spliced += report.strategy == "splice"
+                assert_matches_scratch(session)
+                current = edited
+                break  # one terminal position per production keeps this fast
+        assert session.updates > 0

@@ -287,9 +287,15 @@ class TestFormatBump:
             table_from_dict(data, grammar)
 
     def test_fingerprint_covers_id_layout_version(self, monkeypatch):
-        from repro.tables import serialize
+        # The hashing now lives in repro.grammar.fingerprint (one scheme
+        # for the disk cache, the session memo and the fuzz corpus).
+        from repro.grammar import fingerprint
 
         grammar = corpus.load("expr", augment=True)
         before = grammar_fingerprint(grammar)
-        monkeypatch.setattr(serialize, "ID_LAYOUT_VERSION", serialize.ID_LAYOUT_VERSION + 1)
+        monkeypatch.setattr(
+            fingerprint,
+            "ID_LAYOUT_VERSION",
+            fingerprint.ID_LAYOUT_VERSION + 1,
+        )
         assert grammar_fingerprint(grammar) != before

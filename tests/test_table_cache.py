@@ -87,9 +87,9 @@ class TestInvalidation:
         # this grammar's path: the payload's own fingerprint must reject it.
         other = corpus.load("json", augment=True)
         cache.load_or_build(other, "lalr1", build_lalr_table)
-        os.replace(
-            cache.path_for(other, "lalr1"), cache.path_for(grammar, "lalr1")
-        )
+        target = cache.path_for(grammar, "lalr1")
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        os.replace(cache.path_for(other, "lalr1"), target)
         table = cache.load_or_build(grammar, "lalr1", build_lalr_table)
         assert cache.corrupt == 1
         assert table.grammar.name == grammar.name
@@ -218,7 +218,9 @@ class TestBinaryBackend:
         # Different suffix => the binary cache misses and stores its own.
         bin_cache.load_or_build(grammar, "lalr1", build_lalr_table)
         assert bin_cache.hits == 0 and bin_cache.stores == 1
-        assert len(os.listdir(directory)) == 2
+        # Same fingerprint => both entries share one shard directory.
+        shard = os.path.dirname(bin_cache.path_for(grammar, "lalr1"))
+        assert len(os.listdir(shard)) == 2
 
     def test_clear_removes_both_backends(self, grammar, tmp_path):
         directory = str(tmp_path / "cache")
@@ -269,7 +271,7 @@ class TestFormatMigration:
         stale = table_to_dict(build_lalr_table(grammar))
         stale["format"] = 1
         path = cache.path_for(grammar, "lalr1")
-        os.makedirs(cache.directory, exist_ok=True)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(stale, handle)
 
@@ -330,6 +332,10 @@ class TestConcurrentWriters:
         table = cache.load(grammar, "lalr1")
         assert table is not None and table.is_deterministic
         assert cache.stats()["corrupt"] == 0
-        # ...and the directory holds exactly the entry, no .tmp litter.
-        leftovers = sorted(os.listdir(directory))
-        assert leftovers == [os.path.basename(cache.path_for(grammar, "lalr1"))]
+        # ...and the shard holds exactly the entry, no .tmp litter.
+        entry_path = cache.path_for(grammar, "lalr1")
+        assert sorted(os.listdir(directory)) == [
+            os.path.basename(os.path.dirname(entry_path))
+        ]
+        leftovers = sorted(os.listdir(os.path.dirname(entry_path)))
+        assert leftovers == [os.path.basename(entry_path)]
