@@ -518,6 +518,14 @@ def _batch_worker(task: "tuple") -> dict:
             table = builder(augmented)
     except (GrammarError, OSError, ValueError) as error:
         return {"path": path, "status": "error", "detail": str(error)}
+    except Exception as error:  # an unexpected blow-up is one ERROR row,
+        # never a traceback that kills the whole batch (exit-code contract:
+        # any failed grammar -> nonzero, the other rows still print).
+        return {
+            "path": path,
+            "status": "error",
+            "detail": f"internal error ({type(error).__name__}: {error})",
+        }
     summary = table.conflict_summary()
     return {
         "path": path,
@@ -570,6 +578,25 @@ def _cmd_batch(_, args) -> int:
           f"{conflicted} conflicted, {errors} errors "
           f"(workers={args.workers})")
     return 1 if errors or conflicted else 0
+
+
+def _cmd_serve(_, args) -> int:
+    """Serve the pipeline over HTTP: compile/analyze/parse/fuzz + jobs + metrics."""
+    from .service import GrammarService, serve_forever
+
+    service = GrammarService(
+        cache_dir=args.cache,
+        cache_backend=args.format,
+        hot_capacity=args.hot,
+        job_workers=args.workers,
+        queue_capacity=args.queue,
+    )
+    return serve_forever(
+        service,
+        host=args.host,
+        port=args.port,
+        announce=lambda message: print(message, flush=True),
+    )
 
 
 def _report_budget_exceeded(error: BudgetExceeded) -> int:
@@ -735,6 +762,31 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     batch_cmd.add_argument("--profile-json", default="", metavar="FILE",
                            help="also write the profile as JSON to FILE")
     batch_cmd.set_defaults(fn=_cmd_batch)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="serve the pipeline over HTTP (asyncio, stdlib only)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="listen port (0 = any free port; the bound "
+                                "address is announced on stdout)")
+    serve_cmd.add_argument("--cache", nargs="?", const=default_cache_dir(),
+                           default=default_cache_dir(), metavar="DIR",
+                           help="the shared table-artifact store backing "
+                                "every request (default: $REPRO_TABLE_CACHE "
+                                "or the system tmp; '' disables)")
+    serve_cmd.add_argument("--format", choices=["json", "bin"], default="json",
+                           help="cache artifact format (JSON or versioned "
+                                "binary)")
+    serve_cmd.add_argument("--hot", type=int, default=32, metavar="N",
+                           help="in-memory hot-table LRU capacity "
+                                "(default 32)")
+    serve_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                           help="concurrent background jobs (default 2)")
+    serve_cmd.add_argument("--queue", type=int, default=16, metavar="N",
+                           help="bounded job-queue depth; submits beyond it "
+                                "get 429 (default 16)")
+    serve_cmd.set_defaults(fn=_cmd_serve)
 
     fuzz_cmd = sub.add_parser(
         "fuzz", help="differential fuzzing of the equivalence theorem"

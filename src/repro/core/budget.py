@@ -91,6 +91,18 @@ class BudgetExceeded(Exception):
             + (f" (progress: {done})" if done else "")
         )
 
+    def as_dict(self) -> "Dict[str, object]":
+        """JSON-safe payload for transports — the body of the service's
+        typed 503 response carries exactly these fields."""
+        return {
+            "error": "budget_exceeded",
+            "phase": self.phase,
+            "resource": self.resource,
+            "limit": self.limit,
+            "elapsed_seconds": round(self.elapsed, 6),
+            "progress": {key: self.progress[key] for key in sorted(self.progress)},
+        }
+
 
 class Budget:
     """A cooperative resource budget for one analysis/parse request.

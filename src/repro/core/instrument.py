@@ -225,10 +225,15 @@ class profile:
     one is restored (and stops receiving events) until the inner block
     exits.  Works as a plain context manager so callers keep the
     collector object after the block closes.
+
+    Passing an existing *collector* accumulates into it instead of
+    starting fresh — how a long-lived driver (the grammar service's
+    worker threads) folds many profiled requests into one running
+    tally without merging dicts by hand.
     """
 
-    def __init__(self) -> None:
-        self.collector = ProfileCollector()
+    def __init__(self, collector: "Optional[ProfileCollector]" = None) -> None:
+        self.collector = collector if collector is not None else ProfileCollector()
         self._previous: Optional[ProfileCollector] = None
 
     def __enter__(self) -> ProfileCollector:

@@ -185,6 +185,11 @@ class AnalysisSession:
         self._memo: "OrderedDict[str, PhaseArtifacts]" = OrderedDict()
         self._memo_size = memo_size
         self.updates = 0
+        #: How many updates took each strategy — the session-affinity
+        #: evidence the service surfaces per session and in /metrics.
+        self.strategy_counts: Dict[str, int] = {
+            "noop": 0, "memo": 0, "splice": 0, "rebuild": 0,
+        }
         self.artifacts = self._build_full(grammar)
 
     # -- current-artifact accessors ------------------------------------
@@ -225,6 +230,11 @@ class AnalysisSession:
         if not grammar.is_augmented:
             grammar = grammar.augmented()
         self.updates += 1
+        report = self._update(grammar)
+        self.strategy_counts[report.strategy] += 1
+        return report
+
+    def _update(self, grammar: Grammar) -> UpdateReport:
         delta = classify(self.grammar, grammar)
         if delta.is_identical:
             instrument.count("phase.reuse", len(SESSION_PHASES))

@@ -1,0 +1,42 @@
+"""repro.service — the async HTTP front-end over the pipeline.
+
+The serving layer is shells over pure functions: HTTP handlers parse
+payloads, call :func:`compile_result` / :func:`analyze_result` /
+:func:`parse_result` / :func:`fuzz_result`, and serialise the result
+dicts canonically — so a served response is bit-identical to calling
+the pipeline directly (a tested contract).  See ALGORITHM.md §16.
+"""
+
+from .app import (
+    GrammarService,
+    analyze_result,
+    batch_result,
+    compile_result,
+    fuzz_result,
+    parse_result,
+)
+from .metrics import MetricsRegistry
+from .protocol import HttpError, Request, Response, canonical_json
+from .qos import BUDGET_HEADERS, budget_from_headers
+from .server import Client, ClientResponse, ServiceThread, run_server, serve_forever
+
+__all__ = [
+    "BUDGET_HEADERS",
+    "Client",
+    "ClientResponse",
+    "GrammarService",
+    "HttpError",
+    "MetricsRegistry",
+    "Request",
+    "Response",
+    "ServiceThread",
+    "analyze_result",
+    "batch_result",
+    "budget_from_headers",
+    "canonical_json",
+    "compile_result",
+    "fuzz_result",
+    "parse_result",
+    "run_server",
+    "serve_forever",
+]

@@ -1,0 +1,215 @@
+"""Submit/poll jobs behind a bounded queue — batch work, served.
+
+``repro batch`` and ``repro fuzz run`` are long-running by design; a
+request/response cycle cannot hold a connection open for them.  The
+service therefore graduates them into **jobs**: ``POST`` returns ``202``
+with a job id immediately, ``GET /jobs/<id>`` polls until the result is
+attached.
+
+The moving parts:
+
+- **A bounded queue.**  ``capacity`` caps how much work may be queued;
+  a full queue rejects the submit with a typed ``429 queue_full`` —
+  backpressure, not an unbounded memory graveyard.
+- **Async workers over a thread pool.**  N asyncio worker tasks pull
+  jobs and run the (synchronous, CPU-heavy) runner in a
+  ``ThreadPoolExecutor``, keeping the event loop free to answer
+  metrics/poll requests while pipelines grind.
+- **Process fan-out inside the job.**  A batch or fuzz job's payload may
+  name ``workers``; the runner then fans across forked processes via
+  :func:`repro.core.parallel.parallel_map` — the same deterministic
+  executor the CLI verbs use, now behind the queue.
+- **Bounded retention.**  Finished jobs are kept for polling but trimmed
+  oldest-first past ``max_finished``, so a long-lived service does not
+  leak every job it ever ran.
+
+Job failures never kill a worker: the exception is recorded on the job
+(``status: "failed"``; a blown per-job budget records the typed
+``budget_exceeded`` payload) and the worker moves on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..core.budget import BudgetExceeded
+from .protocol import HttpError
+
+__all__ = ["Job", "JobQueue"]
+
+
+class Job:
+    """One unit of submitted work and its lifecycle."""
+
+    __slots__ = ("job_id", "kind", "payload", "status", "result", "error")
+
+    def __init__(self, job_id: str, kind: str, payload: dict):
+        self.job_id = job_id
+        self.kind = kind
+        self.payload = payload
+        self.status = "queued"
+        self.result: Optional[dict] = None
+        self.error: Optional[dict] = None
+
+    def as_dict(self) -> dict:
+        body = {"job": self.job_id, "kind": self.kind, "status": self.status}
+        if self.result is not None:
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class JobQueue:
+    """A bounded submit/poll queue worked by async workers.
+
+    Args:
+        runner: ``runner(job) -> dict`` — synchronous, executed in the
+            thread pool; its return value becomes ``job.result``.
+        workers: Concurrent jobs (asyncio workers == executor threads).
+        capacity: Queued-job bound; submits beyond it get 429.
+        max_finished: Finished jobs retained for polling.
+    """
+
+    def __init__(
+        self,
+        runner: "Callable[[Job], dict]",
+        workers: int = 2,
+        capacity: int = 16,
+        max_finished: int = 256,
+    ):
+        self._runner = runner
+        self.workers = max(1, workers)
+        self.capacity = max(1, capacity)
+        self.max_finished = max_finished
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._queue: "Optional[asyncio.Queue]" = None
+        self._tasks: list = []
+        self._executor: "Optional[ThreadPoolExecutor]" = None
+        self._counter = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.running = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue(maxsize=self.capacity)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-job"
+        )
+        self._tasks = [
+            asyncio.ensure_future(self._work()) for _ in range(self.workers)
+        ]
+
+    async def close(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def join(self) -> None:
+        """Wait for every queued job to finish (tests and benches)."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    # -- submit / poll -------------------------------------------------
+
+    def submit(self, kind: str, payload: dict) -> Job:
+        """Enqueue a job or raise a typed 429 when the queue is full."""
+        if self._queue is None:
+            raise HttpError(503, "not_started", "job queue is not running")
+        self._counter += 1
+        job = Job(f"job-{self._counter:06d}", kind, payload)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise HttpError(
+                429, "queue_full",
+                f"job queue is at capacity ({self.capacity}); retry later",
+            )
+        self.submitted += 1
+        self._jobs[job.job_id] = job
+        self._trim()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, "unknown_job", f"no job {job_id!r}")
+        return job
+
+    def stats(self) -> "Dict[str, int]":
+        return {
+            "capacity": self.capacity,
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "running": self.running,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+        }
+
+    # -- internals -----------------------------------------------------
+
+    async def _work(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_event_loop()
+        while True:
+            job = await self._queue.get()
+            job.status = "running"
+            self.running += 1
+            try:
+                job.result = await loop.run_in_executor(
+                    self._executor, self._runner, job
+                )
+                job.status = "done"
+                self.completed += 1
+            except asyncio.CancelledError:
+                job.status = "failed"
+                job.error = {"error": "cancelled", "detail": "service shut down"}
+                self.failed += 1
+                self.running -= 1
+                self._queue.task_done()
+                raise
+            except BudgetExceeded as error:
+                job.status = "failed"
+                job.error = error.as_dict()
+                self.failed += 1
+            except HttpError as error:
+                job.status = "failed"
+                job.error = error.body()
+                self.failed += 1
+            except Exception as error:  # one bad job must not kill a worker
+                job.status = "failed"
+                job.error = {
+                    "error": "job_failed",
+                    "detail": f"{type(error).__name__}: {error}",
+                }
+                self.failed += 1
+            self.running -= 1
+            self._queue.task_done()
+
+    def _trim(self) -> None:
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.status in ("done", "failed")
+        ]
+        excess = len(finished) - self.max_finished
+        for job_id in finished[:excess]:
+            del self._jobs[job_id]

@@ -1,0 +1,81 @@
+"""The service's metrics registry — instrument counters, aggregated.
+
+:mod:`repro.core.instrument` collects per-request (its collectors are
+thread-local and scoped to one profiled region); a serving process needs
+the *running totals* across every request it ever handled.
+:class:`MetricsRegistry` is that accumulator: worker threads profile
+each request with the instrument layer, then :meth:`absorb` the
+collector's counters under a lock.  The service adds its own families on
+top (``service.requests.*``, ``service.responses.*``,
+``service.budget_exceeded``, per-endpoint latency sums).
+
+``GET /metrics`` renders the registry two ways:
+
+- **text** (default): one ``repro_<name> <value>`` line per counter,
+  dots mapped to underscores, sorted — greppable and close enough to
+  the Prometheus exposition format for standard scrapers.
+- **JSON** (``?format=json`` or ``Accept: application/json``): the
+  counter map plus the live ``cache`` and ``jobs`` sections, which is
+  what the bench harness and the CI smoke job consume.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, Optional
+
+__all__ = ["MetricsRegistry"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+class MetricsRegistry:
+    """A thread-safe, monotonically growing counter map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: "Dict[str, float]" = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def absorb(self, counters: "Dict[str, int]", prefix: str = "") -> None:
+        """Fold a finished request's instrument counters into the totals."""
+        with self._lock:
+            for name, value in counters.items():
+                key = f"{prefix}{name}"
+                self._counters[key] = self._counters.get(key, 0) + value
+
+    def snapshot(self) -> "Dict[str, float]":
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    # -- rendering -----------------------------------------------------
+
+    def render_json(
+        self, sections: "Optional[Dict[str, Dict[str, float]]]" = None
+    ) -> "Dict[str, object]":
+        payload: "Dict[str, object]" = {"counters": self.snapshot()}
+        for name, values in (sections or {}).items():
+            payload[name] = dict(sorted(values.items()))
+        return payload
+
+    def render_text(
+        self, sections: "Optional[Dict[str, Dict[str, float]]]" = None
+    ) -> str:
+        lines = []
+        for name, value in self.snapshot().items():
+            lines.append(f"repro_{_NAME_RE.sub('_', name)} {_render_value(value)}")
+        for section, values in sorted((sections or {}).items()):
+            for name, value in sorted(values.items()):
+                metric = _NAME_RE.sub("_", f"{section}_{name}")
+                lines.append(f"repro_{metric} {_render_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _render_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6f}"
+    return str(int(value))

@@ -1,0 +1,73 @@
+"""Per-request quality of service: budget headers in, typed 503s out.
+
+:mod:`repro.core.budget` already governs every pipeline phase with a
+cooperative :class:`~repro.core.budget.Budget`.  This module is the
+serving-side adapter:
+
+- **Headers in.**  :func:`budget_from_headers` reads the ``X-Repro-*``
+  request headers (see :data:`BUDGET_HEADERS`) into a fresh Budget, so
+  every request carries its own deadline and state/step/token caps —
+  one pathological grammar cannot hold a worker hostage.
+- **503 out.**  When a governed phase raises
+  :class:`~repro.core.budget.BudgetExceeded`, the service answers
+  ``503 Service Unavailable`` whose JSON body is exactly
+  :meth:`BudgetExceeded.as_dict` — the phase reached, the resource that
+  tripped, and the partial-progress counters, so clients can tell "your
+  grammar is too big for the cap you set" from "the service is down".
+  A ``Retry-After`` header rides along for well-behaved clients.
+
+The budget object is created *before* any pipeline work and threaded
+through build and parse alike; because the table cache only stores
+tables from builders that *returned*, a blown budget can never poison
+the shared artifact store with a partial table (the QoS suite pins
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.budget import Budget, BudgetExceeded
+from .protocol import HttpError, Response
+
+__all__ = ["BUDGET_HEADERS", "budget_from_headers", "budget_exceeded_response"]
+
+#: Request header (lower-cased) -> (Budget kwarg, parser).  Every entry
+#: is optional and independent, mirroring the Budget constructor.
+BUDGET_HEADERS = {
+    "x-repro-timeout": ("timeout", float),
+    "x-repro-max-states": ("max_states", int),
+    "x-repro-max-digraph-steps": ("max_digraph_steps", int),
+    "x-repro-max-tokens": ("max_tokens", int),
+    "x-repro-max-parse-steps": ("max_parse_steps", int),
+}
+
+
+def budget_from_headers(headers: "Dict[str, str]") -> "Optional[Budget]":
+    """The request's Budget, or None when no ``X-Repro-*`` cap is set.
+
+    Malformed values are the client's fault: ``400 bad_budget_header``.
+    """
+    kwargs: "Dict[str, object]" = {}
+    for header, (kwarg, parse) in BUDGET_HEADERS.items():
+        raw = headers.get(header)
+        if raw is None:
+            continue
+        try:
+            kwargs[kwarg] = parse(raw)
+        except ValueError:
+            raise HttpError(
+                400, "bad_budget_header",
+                f"{header}: expected {parse.__name__}, got {raw!r}",
+            )
+    if not kwargs:
+        return None
+    try:
+        return Budget(**kwargs)
+    except ValueError as error:
+        raise HttpError(400, "bad_budget_header", str(error))
+
+
+def budget_exceeded_response(error: BudgetExceeded) -> Response:
+    """The typed 503 for a blown per-request budget."""
+    return Response.json(error.as_dict(), status=503, headers={"Retry-After": "1"})

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 from ..grammar.grammar import Grammar
 from ..grammar.symbols import ID_LAYOUT_VERSION, Symbol
+from .conflicts import Conflict
 from .displace import ACTION_ERROR, ActionDecoder, encode_action
 from .serialize import TableCacheError, grammar_fingerprint
 from .table import Action, ParseTable
@@ -53,7 +54,10 @@ __all__ = [
 ]
 
 #: Bump on any layout change; readers reject foreign versions outright.
-BINARY_FORMAT_VERSION = 1
+#: Bumped to 2 when the payload grew the trailing resolved-conflicts
+#: section: version-1 artifacts reload precedence-resolved tables with
+#: ``conflict_summary()["resolved"] == 0`` — evict and rebuild.
+BINARY_FORMAT_VERSION = 2
 
 #: File extension the cache uses to select the binary backend.
 BINARY_SUFFIX = ".rtb"
@@ -87,7 +91,24 @@ def table_to_bytes(table: ParseTable) -> bytes:
     gotos = array("i")
     for row in table.goto_rows:
         gotos.extend(row)
-    payload = _section_to_le_bytes(actions) + _section_to_le_bytes(gotos)
+    # Trailing variable-length section: precedence-resolved conflicts,
+    # one record each — [state, terminal_id, kind_tag, chosen, n, *actions]
+    # (kind_tag 0 = shift/reduce, 1 = reduce/reduce; chosen 0 = the cell
+    # was erased, %nonassoc-style).  Empty for conflict-free tables, so
+    # their artifacts keep their exact bytes.
+    resolved = array("i")
+    for conflict in table.conflicts:
+        resolved.append(conflict.state)
+        resolved.append(ids.terminal_id(conflict.terminal))
+        resolved.append(0 if conflict.kind == "shift/reduce" else 1)
+        resolved.append(encode_action(conflict.chosen))
+        resolved.append(len(conflict.actions))
+        resolved.extend(encode_action(action) for action in conflict.actions)
+    payload = (
+        _section_to_le_bytes(actions)
+        + _section_to_le_bytes(gotos)
+        + _section_to_le_bytes(resolved)
+    )
     method = table.method.encode("utf-8")
     fingerprint = grammar_fingerprint(table.grammar).encode("ascii")
     assert len(fingerprint) == _FINGERPRINT_LEN
@@ -160,9 +181,9 @@ class BinaryTable:
     Duck-compatible with :class:`~repro.tables.table.ParseTable`
     everywhere the engine and the diagnostics paths look: ``grammar``,
     ``method``, ``action_rows``/``goto_rows``, Symbol-keyed
-    ``actions``/``gotos`` (materialised on first use), ``conflicts`` (a
-    stored table is conflict-free by construction), and the summary
-    helpers.
+    ``actions``/``gotos`` (materialised on first use), ``conflicts``
+    (only precedence-resolved entries — a stored table has no unresolved
+    conflicts by construction), and the summary helpers.
     """
 
     def __init__(
@@ -173,10 +194,11 @@ class BinaryTable:
         gotos_flat,
         n_states: int,
         backing: "Optional[object]" = None,
+        conflicts: "Optional[list]" = None,
     ):
         self.grammar = grammar
         self.method = method
-        self.conflicts: list = []
+        self.conflicts: list = list(conflicts or [])
         self._n_states = n_states
         self._actions_flat = actions_flat
         self._gotos_flat = gotos_flat
@@ -249,7 +271,13 @@ class BinaryTable:
         return self.goto_rows[state][nt_id]
 
     def conflict_summary(self) -> Dict[str, int]:
-        return {"shift_reduce": 0, "reduce_reduce": 0, "resolved": 0}
+        # A stored table has no unresolved conflicts by construction, but
+        # precedence-resolved ones ride the artifact and count here.
+        return {
+            "shift_reduce": 0,
+            "reduce_reduce": 0,
+            "resolved": len(self.conflicts),
+        }
 
     def size_cells(self) -> int:
         return sum(len(row) for row in self.actions) + sum(
@@ -342,17 +370,55 @@ def table_from_bytes(
     offset += method_len
     action_bytes = 4 * n_states * num_terminals
     goto_bytes = 4 * n_states * num_nonterminals
-    if len(view) != offset + action_bytes + goto_bytes:
+    resolved_bytes = len(view) - offset - action_bytes - goto_bytes
+    if resolved_bytes < 0 or resolved_bytes % 4:
         raise TableCacheError(
-            f"truncated binary table: expected "
+            f"truncated binary table: expected at least "
             f"{offset + action_bytes + goto_bytes} bytes, have {len(view)}"
         )
     payload = view[offset:]
     if zlib.crc32(payload) != payload_crc:
         raise TableCacheError("corrupt binary table: payload CRC mismatch")
     actions_flat = _flat_int_view(payload[:action_bytes])
-    gotos_flat = _flat_int_view(payload[action_bytes:])
-    return BinaryTable(grammar, method, actions_flat, gotos_flat, n_states, backing)
+    gotos_flat = _flat_int_view(payload[action_bytes : action_bytes + goto_bytes])
+    conflicts = _decode_resolved_section(
+        _flat_int_view(payload[action_bytes + goto_bytes :]), grammar
+    )
+    return BinaryTable(
+        grammar, method, actions_flat, gotos_flat, n_states, backing, conflicts
+    )
+
+
+def _decode_resolved_section(flat, grammar: Grammar) -> "List[Conflict]":
+    """The trailing resolved-conflicts records back into Conflict objects."""
+    terminals = grammar.ids.terminals
+    decoder = ActionDecoder()
+    conflicts: "List[Conflict]" = []
+    index = 0
+    try:
+        while index < len(flat):
+            state, terminal_id, kind_tag, chosen, count = flat[index : index + 5]
+            index += 5
+            if count < 2 or index + count > len(flat):
+                raise TableCacheError(
+                    "corrupt binary table: malformed resolved-conflict record"
+                )
+            conflicts.append(
+                Conflict(
+                    state,
+                    terminals[terminal_id],
+                    "shift/reduce" if kind_tag == 0 else "reduce/reduce",
+                    [decoder.decode(flat[index + i]) for i in range(count)],
+                    decoder.decode(chosen),
+                    resolved_by_precedence=True,
+                )
+            )
+            index += count
+    except (ValueError, IndexError) as error:
+        raise TableCacheError(
+            f"corrupt binary table: bad resolved-conflict section ({error})"
+        ) from error
+    return conflicts
 
 
 def save_binary_table(table: ParseTable, path: str) -> int:

@@ -29,9 +29,10 @@ uncached rather than failing the build.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import instrument
 from ..grammar.grammar import Grammar
@@ -95,6 +96,11 @@ class TableCache:
         # CLI runs don't need.
         self.hot_capacity = hot_capacity
         self._hot: "OrderedDict[Tuple[str, str], ParseTable]" = OrderedDict()
+        # The disk layer is process-safe by construction (atomic
+        # os.replace writes); the hot LRU is the only shared mutable
+        # structure, so it gets its own lock — the grammar service hits
+        # one cache instance from many worker threads at once.
+        self._hot_lock = threading.Lock()
         self.hot_hits = 0
         self.hot_evictions = 0
 
@@ -130,10 +136,12 @@ class TableCache:
         fingerprint = grammar_fingerprint(grammar)
         hot_key = (method, fingerprint)
         if self.hot_capacity:
-            table = self._hot.get(hot_key)
+            with self._hot_lock:
+                table = self._hot.get(hot_key)
+                if table is not None:
+                    self._hot.move_to_end(hot_key)
+                    self.hot_hits += 1
             if table is not None:
-                self._hot.move_to_end(hot_key)
-                self.hot_hits += 1
                 instrument.count("table.cache.hot_hits")
                 return table
         path = self._path(method, fingerprint)
@@ -197,11 +205,15 @@ class TableCache:
     def _hot_put(self, key: "Tuple[str, str]", table: ParseTable) -> None:
         if not self.hot_capacity:
             return
-        self._hot[key] = table
-        self._hot.move_to_end(key)
-        while len(self._hot) > self.hot_capacity:
-            self._hot.popitem(last=False)
-            self.hot_evictions += 1
+        evictions = 0
+        with self._hot_lock:
+            self._hot[key] = table
+            self._hot.move_to_end(key)
+            while len(self._hot) > self.hot_capacity:
+                self._hot.popitem(last=False)
+                self.hot_evictions += 1
+                evictions += 1
+        for _ in range(evictions):
             instrument.count("table.cache.hot_evictions")
 
     def load_or_build(
@@ -221,10 +233,32 @@ class TableCache:
 
     # -- maintenance -----------------------------------------------------
 
+    def entry_paths(self) -> "List[str]":
+        """Every entry file currently on disk, across both layouts —
+        how tests assert an aborted build stored nothing."""
+        suffixes = tuple(BACKENDS.values())
+        paths: "List[str]" = []
+        try:
+            names = os.listdir(self.directory)
+        except (FileNotFoundError, NotADirectoryError):
+            return paths
+        for name in sorted(names):
+            path = os.path.join(self.directory, name)
+            if name.endswith(suffixes):
+                paths.append(path)
+            elif len(name) == 2 and os.path.isdir(path):
+                paths.extend(
+                    os.path.join(path, entry)
+                    for entry in sorted(os.listdir(path))
+                    if entry.endswith(suffixes)
+                )
+        return paths
+
     def clear(self) -> int:
         """Delete every cache entry (sharded and legacy flat layouts,
         plus the hot LRU); returns how many files were removed."""
-        self._hot.clear()
+        with self._hot_lock:
+            self._hot.clear()
         removed = 0
         suffixes = tuple(BACKENDS.values())
         try:

@@ -6,9 +6,12 @@ JSON-safe round-trip for any LR(0)-based table, guarded by a **grammar
 fingerprint**: loading against a grammar whose rules changed raises
 instead of silently mis-parsing.
 
-Only deterministic information is stored (actions, gotos, method); the
-conflict log is reconstruction metadata and is not carried — serialise
-conflict-free tables (the normal case for a cached production parser).
+Only deterministic tables are stored, but "deterministic" includes
+cells settled by precedence/associativity declarations — and those
+**resolved** conflicts are part of the table's observable surface
+(``conflict_summary()["resolved"]``), so the format carries them and the
+round-trip restores them.  Tables with *unresolved* conflicts are
+refused outright.
 """
 
 from __future__ import annotations
@@ -21,12 +24,18 @@ from typing import Dict, List
 from ..grammar.errors import SymbolError
 from ..grammar.fingerprint import grammar_fingerprint
 from ..grammar.grammar import Grammar
+from .conflicts import Conflict
 from .table import ACCEPT, Action, ParseTable, Reduce, Shift
 
 #: Bumped to 2 with the integer-interned symbol core: tables now carry
 #: dense ID-indexed rows derived from the grammar's ID layout, so
 #: format-1 entries (pre-ID era) must be evicted and rebuilt.
-FORMAT_VERSION = 2
+#: Bumped to 3 when the format grew the ``resolved`` conflict section:
+#: format-2 entries would reload precedence-resolved tables with an
+#: empty conflict log (``conflict_summary()["resolved"] == 0``), a
+#: round-trip infidelity the serving layer's bit-identity contract
+#: surfaced — evict and rebuild those too.
+FORMAT_VERSION = 3
 
 
 class TableCacheError(ValueError):
@@ -75,6 +84,23 @@ def _decode_action(encoded: "List") -> Action:
     raise TableCacheError(f"unknown action encoding {encoded!r}")
 
 
+def _decode_resolved(encoded: "List", symbols) -> Conflict:
+    """One ``resolved`` record back into a precedence-resolved Conflict."""
+    if not isinstance(encoded, list) or len(encoded) != 5:
+        raise TableCacheError(f"malformed resolved-conflict record {encoded!r}")
+    state, terminal_name, kind, actions, chosen = encoded
+    if kind not in ("shift/reduce", "reduce/reduce") or not isinstance(state, int):
+        raise TableCacheError(f"malformed resolved-conflict record {encoded!r}")
+    return Conflict(
+        state,
+        symbols[terminal_name],
+        kind,
+        [_decode_action(action) for action in actions],
+        None if chosen is None else _decode_action(chosen),
+        resolved_by_precedence=True,
+    )
+
+
 def table_to_dict(table: ParseTable) -> Dict:
     """A JSON-safe dict capturing *table* (conflicts must be resolved)."""
     if table.unresolved_conflicts:
@@ -82,7 +108,7 @@ def table_to_dict(table: ParseTable) -> Dict:
             f"refusing to serialise a table with "
             f"{len(table.unresolved_conflicts)} unresolved conflicts"
         )
-    return {
+    payload = {
         "format": FORMAT_VERSION,
         "method": table.method,
         "fingerprint": grammar_fingerprint(table.grammar),
@@ -95,6 +121,22 @@ def table_to_dict(table: ParseTable) -> Dict:
             for row in table.gotos
         ],
     }
+    if table.conflicts:
+        # Every surviving conflict is precedence-resolved (unresolved ones
+        # were refused above); carry them so the loaded table reports the
+        # same conflict_summary() as the freshly built one.  Omitted when
+        # empty: the common conflict-free artifact keeps its exact bytes.
+        payload["resolved"] = [
+            [
+                conflict.state,
+                conflict.terminal.name,
+                conflict.kind,
+                [_encode_action(action) for action in conflict.actions],
+                None if conflict.chosen is None else _encode_action(conflict.chosen),
+            ]
+            for conflict in table.conflicts
+        ]
+    return payload
 
 
 def table_from_dict(data: Dict, grammar: Grammar) -> ParseTable:
@@ -125,16 +167,20 @@ def table_from_dict(data: Dict, grammar: Grammar) -> ParseTable:
             for row in data["gotos"]
         ]
         method = data["method"]
+        conflicts = [
+            _decode_resolved(encoded, symbols)
+            for encoded in data.get("resolved", [])
+        ]
     except TableCacheError:
         raise
     except (KeyError, TypeError, AttributeError, IndexError, SymbolError) as error:
         raise TableCacheError(f"truncated or malformed table payload: {error}") from error
     _validate_rows(actions, gotos, grammar)
-    # conflicts=[] is an *invariant* here, not a default: the serialiser
-    # refuses conflicted tables and _validate_rows just proved every row
-    # still carries at most one action per terminal, so the loaded table
-    # is conflict-free by construction.
-    return ParseTable(grammar, method, actions, gotos, conflicts=[])
+    # Every carried conflict is precedence-resolved (the serialiser
+    # refuses unresolved ones and _decode_resolved enforces the schema),
+    # and _validate_rows just proved every row still carries at most one
+    # action per terminal — so the loaded table stays deterministic.
+    return ParseTable(grammar, method, actions, gotos, conflicts=conflicts)
 
 
 def _validate_rows(

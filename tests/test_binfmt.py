@@ -8,6 +8,7 @@ from repro.grammars import corpus
 from repro.parser import Parser
 from repro.tables import build_lalr_table
 from repro.tables.binfmt import (
+    _HEADER,
     BINARY_FORMAT_VERSION,
     BINARY_SUFFIX,
     BinaryTable,
@@ -186,3 +187,44 @@ class TestClose:
         assert isinstance(restored, BinaryTable)
         restored.close()
         restored.close()
+
+
+class TestResolvedConflictSection:
+    """Format 2's trailing section: precedence-resolved conflicts ride
+    the artifact, so a loaded table reports the builder's summary."""
+
+    def test_resolved_conflicts_survive_the_round_trip(self):
+        grammar = corpus.load("expr_prec", augment=True)
+        table = build_lalr_table(grammar)
+        assert table.conflict_summary()["resolved"] > 0
+        restored = table_from_bytes(table_to_bytes(table), grammar)
+        assert restored.conflict_summary() == table.conflict_summary()
+        original = {
+            (c.state, c.terminal, c.kind, tuple(c.actions), c.chosen)
+            for c in table.conflicts
+        }
+        roundtripped = {
+            (c.state, c.terminal, c.kind, tuple(c.actions), c.chosen)
+            for c in restored.conflicts
+        }
+        assert roundtripped == original
+        assert all(c.resolved_by_precedence for c in restored.conflicts)
+
+    def test_conflict_free_artifact_has_no_section(self):
+        grammar = corpus.load("expr", augment=True)
+        table = build_lalr_table(grammar)
+        blob = table_to_bytes(table)
+        base = (
+            _HEADER.size
+            + 64  # fingerprint
+            + len(table.method)
+            + 4 * table.n_states
+            * (grammar.ids.num_terminals + grammar.ids.num_nonterminals)
+        )
+        assert len(blob) == base
+
+    def test_truncated_resolved_section_rejected(self):
+        grammar = corpus.load("expr_prec", augment=True)
+        blob = table_to_bytes(build_lalr_table(grammar))
+        with pytest.raises(TableCacheError):
+            table_from_bytes(blob[:-8], grammar)

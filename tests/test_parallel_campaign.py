@@ -156,3 +156,45 @@ class TestBatchVerb:
                            "--cache", cache_dir, "--workers", "2"])
         assert code1 == code2 == 0
         assert "17 states" in out2
+
+
+class TestBatchExitContract:
+    """The exit-code contract callers script against: 0 = every grammar
+    compiled clean, 1 = any compile failure or conflict (including
+    *unexpected* internal errors — one bad grammar is an ERROR row, not
+    a traceback that kills the batch), 2 = usage error."""
+
+    def test_all_clean_exits_zero(self, tmp_path):
+        (tmp_path / "a.cfg").write_text("S -> a S | a\n")
+        (tmp_path / "b.cfg").write_text("E -> E + id | id\n")
+        code, output = run(["batch", str(tmp_path)])
+        assert code == 0
+        assert "2 clean, 0 conflicted, 0 errors" in output
+
+    def test_any_failed_compile_exits_nonzero(self, tmp_path):
+        (tmp_path / "good.cfg").write_text("S -> a\n")
+        (tmp_path / "broken.cfg").write_text("S -> -> ;;\n")
+        code, output = run(["batch", str(tmp_path)])
+        assert code == 1
+        assert "ERROR broken.cfg" in output
+        assert "ok" in output  # the good grammar still compiled and printed
+
+    def test_unexpected_exception_is_an_error_row_not_a_crash(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+
+        def explode(grammar, **kwargs):
+            raise RuntimeError("simulated builder bug")
+
+        monkeypatch.setitem(cli._BUILDERS, "lalr1", explode)
+        (tmp_path / "g.cfg").write_text("S -> a\n")
+        code, output = run(["batch", str(tmp_path)])
+        assert code == 1
+        assert "ERROR g.cfg" in output
+        assert "internal error (RuntimeError: simulated builder bug)" in output
+        assert "1 errors" in output
+
+    def test_usage_errors_exit_two_not_one(self, tmp_path, capsys):
+        assert run(["batch", str(tmp_path / "missing")])[0] == 2
+        capsys.readouterr()

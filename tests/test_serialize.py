@@ -271,19 +271,52 @@ class TestAtomicWrite:
 
 
 class TestFormatBump:
-    """The integer-core refactor bumped the cache format: version-1
-    payloads (pre-ID era) must be rejected so cache layers rebuild."""
+    """Format bumps evict stale artifacts: version-1 payloads (pre-ID
+    era) and version-2 payloads (no resolved-conflict section) must be
+    rejected so cache layers rebuild."""
 
-    def test_current_format_is_2(self):
+    def test_current_format_is_3(self):
         from repro.tables.serialize import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 2
+        assert FORMAT_VERSION == 3
 
-    def test_format_1_payload_rejected(self):
+    @pytest.mark.parametrize("stale_version", [1, 2])
+    def test_older_format_payload_rejected(self, stale_version):
         grammar = corpus.load("expr", augment=True)
         data = table_to_dict(build_lalr_table(grammar))
-        data["format"] = 1
+        data["format"] = stale_version
         with pytest.raises(TableCacheError, match="format"):
+            table_from_dict(data, grammar)
+
+    def test_resolved_conflicts_survive_the_round_trip(self):
+        # expr_prec settles 20 cells by precedence; the loaded table must
+        # report the same summary (the serving layer's bit-identity
+        # contract reads it) — format 2 silently dropped them.
+        grammar = corpus.load("expr_prec", augment=True)
+        table = build_lalr_table(grammar)
+        assert table.conflict_summary()["resolved"] > 0
+        restored = table_from_dict(table_to_dict(table), grammar)
+        assert restored.conflict_summary() == table.conflict_summary()
+        original = {
+            (c.state, c.terminal, c.kind, tuple(c.actions), c.chosen)
+            for c in table.conflicts
+        }
+        roundtripped = {
+            (c.state, c.terminal, c.kind, tuple(c.actions), c.chosen)
+            for c in restored.conflicts
+        }
+        assert roundtripped == original
+        assert all(c.resolved_by_precedence for c in restored.conflicts)
+
+    def test_conflict_free_payload_omits_the_resolved_key(self):
+        grammar = corpus.load("expr", augment=True)
+        assert "resolved" not in table_to_dict(build_lalr_table(grammar))
+
+    def test_malformed_resolved_record_rejected(self):
+        grammar = corpus.load("expr", augment=True)
+        data = table_to_dict(build_lalr_table(grammar))
+        data["resolved"] = [[0, "id", "shift/reduce"]]  # truncated record
+        with pytest.raises(TableCacheError, match="resolved"):
             table_from_dict(data, grammar)
 
     def test_fingerprint_covers_id_layout_version(self, monkeypatch):

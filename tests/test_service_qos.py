@@ -1,0 +1,187 @@
+"""Per-request QoS: budget headers, typed 503s, and no collateral damage.
+
+Three non-negotiables for a budgeted serving layer, pinned here:
+
+- a blown budget is a **typed** answer — ``503`` with the phase that was
+  running, the resource that tripped, and partial-progress counters —
+  never a hung connection or an anonymous 500;
+- a blown *build* never poisons the shared artifact store with a
+  partial table (the next uncapped request computes the full answer,
+  bit-identical to a direct pipeline call);
+- blown requests leak nothing: no queued jobs, no stuck workers, and
+  the service keeps answering.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.grammars import corpus
+from repro.service import Client, ServiceThread, canonical_json, compile_result
+
+#: A corpus grammar big enough that two states cannot cover it.
+BIG = "toy_java"
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("qos-cache")
+    with ServiceThread(cache_dir=str(cache_dir), hot_capacity=8) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return Client(service.port)
+
+
+class TestTyped503:
+    def test_max_states_trips_with_phase_and_progress(self, client):
+        response = client.post(
+            "/compile", {"corpus": BIG}, headers={"X-Repro-Max-States": "2"}
+        )
+        assert response.status == 503
+        body = response.json()
+        assert body["error"] == "budget_exceeded"
+        assert body["resource"] == "max_states"
+        assert body["limit"] == 2
+        assert body["phase"] == "lr0"
+        assert body["progress"]["states"] >= 2
+        assert body["elapsed_seconds"] >= 0
+        assert response.headers.get("retry-after") == "1"
+
+    def test_tight_deadline_trips_with_elapsed(self, client):
+        response = client.post(
+            "/compile",
+            {"corpus": BIG, "method": "clr1"},
+            headers={"X-Repro-Timeout": "0.000001"},
+        )
+        assert response.status == 503
+        body = response.json()
+        assert body["error"] == "budget_exceeded"
+        assert body["resource"] == "timeout"
+        assert body["elapsed_seconds"] > 0
+        assert isinstance(body["progress"], dict)
+
+    def test_parse_token_cap_trips_in_the_parse_phase(self, client):
+        response = client.post(
+            "/parse",
+            {"corpus": "expr", "input": "( ( ( id ) ) )"},
+            headers={"X-Repro-Max-Tokens": "2"},
+        )
+        assert response.status == 503
+        body = response.json()
+        assert body["resource"] == "max_tokens"
+        assert body["phase"] == "parse"
+
+    def test_analyze_honours_budget_headers_too(self, client):
+        response = client.post(
+            "/analyze", {"corpus": BIG}, headers={"X-Repro-Max-States": "2"}
+        )
+        assert response.status == 503
+        assert response.json()["error"] == "budget_exceeded"
+
+    def test_malformed_budget_header_is_client_error(self, client):
+        response = client.post(
+            "/compile", {"corpus": "expr"}, headers={"X-Repro-Timeout": "soon"}
+        )
+        assert response.status == 400
+        body = response.json()
+        assert body["error"] == "bad_budget_header"
+        assert "x-repro-timeout" in body["detail"]
+
+    def test_negative_budget_is_client_error(self, client):
+        response = client.post(
+            "/compile", {"corpus": "expr"}, headers={"X-Repro-Max-States": "-5"}
+        )
+        assert response.status == 400
+        assert response.json()["error"] == "bad_budget_header"
+
+
+class TestNoCachePoisoning:
+    def test_aborted_build_stores_nothing_and_full_answer_survives(self, tmp_path):
+        with ServiceThread(cache_dir=str(tmp_path / "store")) as thread:
+            client = Client(thread.port)
+            cache = thread.service.cache
+            for _ in range(3):
+                response = client.post(
+                    "/compile",
+                    {"corpus": BIG},
+                    headers={"X-Repro-Max-States": "3"},
+                )
+                assert response.status == 503
+            # The blown builds left no artifact behind...
+            assert cache.entry_paths() == []
+            assert cache.stats()["stores"] == 0
+            # ...so the uncapped request computes the full, correct table.
+            response = client.post("/compile", {"corpus": BIG})
+            assert response.status == 200
+            expected = canonical_json(compile_result(corpus.load(BIG), "lalr1"))
+            assert response.body == expected
+            assert cache.stats()["stores"] == 1
+            # And the stored artifact round-trips to the same bytes.
+            assert client.post("/compile", {"corpus": BIG}).body == expected
+
+
+class TestNoLeaks:
+    def test_blown_requests_leak_no_jobs_or_workers(self, service, client):
+        before = client.get("/metrics?format=json").json()["jobs"]
+        for _ in range(10):
+            assert (
+                client.post(
+                    "/compile", {"corpus": BIG}, headers={"X-Repro-Max-States": "2"}
+                ).status
+                == 503
+            )
+        after = client.get("/metrics?format=json").json()["jobs"]
+        # Request-path budgets never touch the job queue.
+        assert after["submitted"] == before["submitted"]
+        assert after["queued"] == 0
+        assert after["running"] == 0
+        # The workers are alive and well: a real job still completes.
+        submitted = client.post("/fuzz", {"seed": 1, "count": 3}).json()
+        service.join_jobs()
+        body = client.get(f"/jobs/{submitted['job']}").json()
+        assert body["status"] == "done"
+        # And the metrics recorded every blown budget.
+        counters = client.get("/metrics?format=json").json()["counters"]
+        assert counters["service.budget_exceeded"] >= 10
+        assert counters["service.responses.5xx"] >= 10
+
+    def test_service_keeps_serving_after_503s(self, client):
+        assert client.get("/healthz").json() == {"ok": True}
+        response = client.post("/compile", {"corpus": "expr"})
+        assert response.status == 200
+
+
+class TestQueueBackpressure:
+    def test_full_queue_rejects_with_429_and_drains_clean(self, tmp_path):
+        with ServiceThread(
+            cache_dir=str(tmp_path / "store"), job_workers=1, queue_capacity=1
+        ) as thread:
+            client = Client(thread.port)
+            statuses = []
+            # One slow-ish job occupies the single worker; the queue holds
+            # one more; further submits must see queue_full quickly.
+            for _ in range(20):
+                response = client.post("/fuzz", {"seed": 5, "count": 60})
+                statuses.append(response.status)
+                if response.status == 429:
+                    break
+            assert 429 in statuses
+            rejected = client.post("/fuzz", {"seed": 5, "count": 60})
+            if rejected.status == 429:
+                assert rejected.json()["error"] == "queue_full"
+            thread.join_jobs()
+            stats = client.get("/metrics?format=json").json()["jobs"]
+            assert stats["queued"] == 0
+            assert stats["running"] == 0
+            assert stats["submitted"] == stats["completed"] + stats["failed"]
+            assert stats["rejected"] >= 1
+            # Every accepted job is pollable and finished.
+            accepted = stats["submitted"]
+            for index in range(1, accepted + 1):
+                body = client.get(f"/jobs/job-{index:06d}").json()
+                assert body["status"] in ("done", "failed")

@@ -281,7 +281,9 @@ class TestFormatMigration:
         assert cache.corrupt == 1
         # The stale entry was replaced by a current-format one that now hits.
         with open(path, "r", encoding="utf-8") as handle:
-            assert json.load(handle)["format"] == 2
+            from repro.tables.serialize import FORMAT_VERSION
+
+            assert json.load(handle)["format"] == FORMAT_VERSION
         cache.load_or_build(grammar, "lalr1", builder)
         assert cache.hits == 1 and calls == [grammar.name]
 
