@@ -588,8 +588,10 @@ def _cmd_serve(_, args) -> int:
         cache_dir=args.cache,
         cache_backend=args.format,
         hot_capacity=args.hot,
-        job_workers=args.workers,
+        job_workers=args.job_workers,
         queue_capacity=args.queue,
+        pool_workers=args.workers,
+        job_ttl=args.job_ttl,
     )
     return serve_forever(
         service,
@@ -597,6 +599,32 @@ def _cmd_serve(_, args) -> int:
         port=args.port,
         announce=lambda message: print(message, flush=True),
     )
+
+
+#: `repro bench <name>` — name -> module under repro.bench with a main().
+_BENCH_MODULES = {
+    "core": "harness",
+    "artifacts": "artifacts",
+    "incremental": "incremental",
+    "service": "service",
+    "hotloop": "hotloop",
+    "scaleout": "scaleout",
+}
+
+
+def _cmd_bench(_, args) -> int:
+    """Run a bench harness; everything after the name passes through
+    (e.g. `repro bench scaleout --workers 4 --baseline BENCH_scaleout.json`)."""
+    import importlib
+
+    module = importlib.import_module(
+        f".bench.{_BENCH_MODULES[args.which]}", __package__
+    )
+    passthrough = list(args.bench_args)
+    # argparse.REMAINDER keeps a leading "--" separator; drop it.
+    if passthrough and passthrough[0] == "--":
+        passthrough = passthrough[1:]
+    return module.main(passthrough)
 
 
 def _report_budget_exceeded(error: BudgetExceeded) -> int:
@@ -781,12 +809,29 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     serve_cmd.add_argument("--hot", type=int, default=32, metavar="N",
                            help="in-memory hot-table LRU capacity "
                                 "(default 32)")
-    serve_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+    serve_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="process-pool workers for request execution "
+                                "(1 = in-process; >1 forks N workers sharing "
+                                "the table store zero-copy; default 1)")
+    serve_cmd.add_argument("--job-workers", type=int, default=2, metavar="N",
                            help="concurrent background jobs (default 2)")
     serve_cmd.add_argument("--queue", type=int, default=16, metavar="N",
                            help="bounded job-queue depth; submits beyond it "
                                 "get 429 (default 16)")
+    serve_cmd.add_argument("--job-ttl", type=float, default=3600.0, metavar="S",
+                           help="seconds a finished job stays pollable before "
+                                "eviction (0 disables; default 3600)")
     serve_cmd.set_defaults(fn=_cmd_serve)
+
+    bench_cmd = sub.add_parser(
+        "bench", help="run a bench harness (drift-checkable baselines)"
+    )
+    bench_cmd.add_argument("which", choices=sorted(_BENCH_MODULES),
+                           help="which harness to run")
+    bench_cmd.add_argument("bench_args", nargs=argparse.REMAINDER,
+                           help="arguments passed through to the harness "
+                                "(see `python -m repro.bench.<name> --help`)")
+    bench_cmd.set_defaults(fn=_cmd_bench)
 
     fuzz_cmd = sub.add_parser(
         "fuzz", help="differential fuzzing of the equivalence theorem"

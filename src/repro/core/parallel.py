@@ -89,6 +89,32 @@ def _pool(workers: int):
         return None
 
 
+def _shutdown(pool) -> None:
+    """Tear a pool down completely, even after a mid-task terminate.
+
+    ``Pool.join`` alone is not enough once ``terminate`` has killed
+    workers mid-task: the worker ``Process`` handles stay open (their
+    pipes and sentinel fds with them) until they are individually
+    joined and closed, and an unreaped child lingers in
+    ``active_children()`` where the resource tracker will flag its
+    semaphores at interpreter exit.  Deadline-cancelled sweeps hit this
+    path on every run, so the teardown is explicit: terminate, join the
+    pool machinery, then join/close every worker process."""
+    pool.terminate()
+    pool.join()
+    for proc in getattr(pool, "_pool", []):
+        try:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker only
+                proc.kill()
+                proc.join(timeout=5.0)
+            proc.close()
+        except (ValueError, OSError):  # pragma: no cover - already closed
+            pass
+    # Reap any straggling zombies so active_children() is empty again.
+    multiprocessing.active_children()
+
+
 def parallel_map(
     fn: "Callable[[Task], Result]",
     tasks: "Iterable[Task]",
@@ -110,8 +136,10 @@ def parallel_map(
     pool = _pool(n)
     if pool is None:  # pragma: no cover - resource exhaustion only
         return [fn(task) for task in task_list]
-    with pool:
+    try:
         return pool.map(fn, task_list, chunksize)
+    finally:
+        _shutdown(pool)
 
 
 def parallel_imap(
@@ -175,5 +203,4 @@ def parallel_imap(
             yield result
         pool.close()
     finally:
-        pool.terminate()
-        pool.join()
+        _shutdown(pool)

@@ -37,6 +37,16 @@ class Token(NamedTuple):
 TokenLike = Union[Token, Symbol, str]
 
 
+def _no_semantic_value(production, children):
+    """The recognition-only reduce callback (:meth:`Parser.accepts`)."""
+    return None
+
+
+def _no_leaf_value(token):
+    """The recognition-only shift callback (:meth:`Parser.accepts`)."""
+    return None
+
+
 class Parser:
     """An LR parser for one grammar/table pair."""
 
@@ -51,6 +61,15 @@ class Parser:
         # lookup is a flat list index (no Symbol hashing per action).
         self._ids = self.grammar.ids
         self._eof_tid = self._ids.terminal_id(self._eof)
+        # SpecializedTable (repro.tables.specialize) carries flat integer
+        # code arrays; the engine then runs the fused integer loop below
+        # instead of the generic Action-object loop.
+        self._specialized = bool(getattr(table, "is_specialized", False))
+        # Name-string tokens resolve to the same (Token, tid) pair every
+        # time; the specialized loop memoizes that resolution.  Only
+        # successful resolutions are cached, so unknown-terminal and
+        # nonterminal-name errors still take _normalise's path verbatim.
+        self._tok_cache: dict = {}
 
     # -- public API ---------------------------------------------------
 
@@ -88,9 +107,17 @@ class Parser:
         return self._run(tokens, reduce_fn=reduce_fn, shift_fn=shift_fn, budget=budget)
 
     def accepts(self, tokens: Iterable[TokenLike], budget=None) -> bool:
-        """True iff *tokens* is a sentence of the grammar."""
+        """True iff *tokens* is a sentence of the grammar.
+
+        Recognition only: runs the engine with constant semantic
+        callbacks, so no parse tree is allocated."""
         try:
-            self.parse(tokens, budget=budget)
+            self._run(
+                tokens,
+                reduce_fn=_no_semantic_value,
+                shift_fn=_no_leaf_value,
+                budget=budget,
+            )
         except ParseError:
             return False
         return True
@@ -154,6 +181,8 @@ class Parser:
         budget=None,
     ) -> object:
         with instrument.span("parse.run"):
+            if self._specialized:
+                return self._run_specialized_loop(tokens, reduce_fn, shift_fn, budget)
             return self._run_loop(tokens, reduce_fn, shift_fn, budget)
 
     def _run_loop(
@@ -244,6 +273,144 @@ class Parser:
                         [],
                     )
                 return value_stack[0]
+        finally:
+            if budget is not None:
+                budget.publish()
+            if instrument.enabled():
+                instrument.count("parse.tokens", position)
+                instrument.count("parse.shifts", shifts)
+                instrument.count("parse.reduces", reduces)
+                instrument.count("parse.actions", shifts + reduces)
+
+    def _run_specialized_loop(
+        self,
+        tokens: Iterable[TokenLike],
+        reduce_fn: Callable[[Production, Sequence[object]], object],
+        shift_fn: Callable[[Token], object],
+        budget=None,
+    ) -> object:
+        """The integer hot loop over a SpecializedTable.
+
+        Semantically a line-for-line mirror of :meth:`_run_loop` — same
+        budget charges in the same order, same instrument counters, same
+        error states — but dispatch is ``code & 3`` over flat
+        local-variable-bound lists, reduce→goto chains are fused into the
+        inner loop, and states whose rows reduce identically on every
+        terminal skip the look-ahead consultation entirely
+        (``default_codes``).  Byte-identity vs the plain loop is pinned
+        corpus-wide by tests/test_specialize.py and the fuzz
+        representation-parity oracle.
+        """
+        if budget is not None:
+            budget.enter_phase("parse")
+        table = self.table
+        state_stack: List[int] = [0]
+        value_stack: List[object] = []
+
+        sid_or_none = self._ids.sid_or_none
+        normalise = self._normalise
+        tok_cache = self._tok_cache
+        tok_cache_get = tok_cache.get
+        width = table.num_terminals
+        n_nts = table.num_nonterminals
+        action_codes = table.action_codes
+        goto_codes = table.goto_codes
+        default_codes = table.default_codes
+        arities = table.arities
+        lhs_nts = table.lhs_nts
+        productions = self.grammar.productions
+
+        stream = iter(tokens)
+        eof_token = Token(self._eof, None)
+        eof_tid = self._eof_tid
+        position = 0
+        shifts = 0
+        reduces = 0
+        state = 0
+
+        try:
+            raw = next(stream)
+        except StopIteration:
+            token, tid = eof_token, eof_tid
+        else:
+            entry = tok_cache_get(raw) if type(raw) is str else None
+            if entry is not None:
+                token, tid = entry
+            else:
+                token = normalise(raw, position)
+                tid = sid_or_none(token.symbol)
+                if type(raw) is str:
+                    tok_cache[raw] = (token, tid)
+
+        try:
+            while True:
+                if budget is not None:
+                    budget.charge_parse_step()
+                if tid is None:
+                    raise self._syntax_error(position, token, state)
+                code = action_codes[state * width + tid]
+                while (code & 3) == 2:
+                    # Fused reduce→goto chain: keep reducing without
+                    # bouncing through the outer dispatch.
+                    prod_index = code >> 2
+                    arity = arities[prod_index]
+                    if arity:
+                        children = value_stack[-arity:]
+                        del value_stack[-arity:]
+                        del state_stack[-arity:]
+                    else:
+                        children = []
+                    value_stack.append(reduce_fn(productions[prod_index], children))
+                    state = goto_codes[state_stack[-1] * n_nts + lhs_nts[prod_index]]
+                    if state < 0:  # pragma: no cover - tables are consistent
+                        raise self._syntax_error(position, token, state_stack[-1])
+                    state_stack.append(state)
+                    reduces += 1
+                    if budget is not None:
+                        budget.charge_parse_step()
+                    # tid cannot be None here: it only changes on shift,
+                    # and the outer dispatch already rejected None.
+                    code = default_codes[state]
+                    if code < 0:
+                        code = action_codes[state * width + tid]
+                if code & 1:
+                    if code == 3:
+                        # accept
+                        if tid != eof_tid:  # pragma: no cover - table invariant
+                            raise self._syntax_error(position, token, state)
+                        if len(value_stack) != 1:  # pragma: no cover - table invariant
+                            raise ParseError(
+                                "internal error: value stack not a singleton at accept",
+                                position,
+                                token.symbol,
+                                state,
+                                [],
+                            )
+                        return value_stack[0]
+                    # shift
+                    value_stack.append(shift_fn(token))
+                    state = code >> 2
+                    state_stack.append(state)
+                    position += 1
+                    shifts += 1
+                    if budget is not None:
+                        budget.charge_tokens(1)
+                    try:
+                        raw = next(stream)
+                    except StopIteration:
+                        token, tid = eof_token, eof_tid
+                    else:
+                        entry = tok_cache_get(raw) if type(raw) is str else None
+                        if entry is not None:
+                            token, tid = entry
+                        else:
+                            token = normalise(raw, position)
+                            tid = sid_or_none(token.symbol)
+                            if type(raw) is str:
+                                tok_cache[raw] = (token, tid)
+                    continue
+                # code == 0: error cell
+                raise self._syntax_error(position, token, state)
         finally:
             if budget is not None:
                 budget.publish()

@@ -16,6 +16,7 @@ from .app import (
     parse_result,
 )
 from .metrics import MetricsRegistry
+from .pool import WorkerCrash, WorkerPool, fork_available
 from .protocol import HttpError, Request, Response, canonical_json
 from .qos import BUDGET_HEADERS, budget_from_headers
 from .server import Client, ClientResponse, ServiceThread, run_server, serve_forever
@@ -30,7 +31,10 @@ __all__ = [
     "Request",
     "Response",
     "ServiceThread",
+    "WorkerCrash",
+    "WorkerPool",
     "analyze_result",
+    "fork_available",
     "batch_result",
     "budget_from_headers",
     "canonical_json",

@@ -61,9 +61,11 @@ from ..tables import (
     build_lalr_table,
     build_lr0_table,
     build_slr_table,
+    specialized_view,
 )
 from .jobs import Job, JobQueue
 from .metrics import MetricsRegistry
+from .pool import WorkerCrash, WorkerPool, fork_available
 from .protocol import HttpError, Request, Response
 from .qos import budget_exceeded_response, budget_from_headers
 
@@ -150,7 +152,12 @@ def parse_result(
 ) -> dict:
     """The ``POST /parse`` body: validity (plus the tree on request)."""
     _, table = _build_table(grammar, method, cache, budget)
-    parser = Parser(table)
+    # Serve off the specialized hot loop: the recompilation is memoized
+    # on the table object, so tables coming off the hot LRU pay it once.
+    # Byte-identity with the plain engine (trees, error text, positions,
+    # expected sets, budget exhaustion points) is pinned corpus-wide by
+    # tests/test_specialize.py and the representation-parity fuzz oracle.
+    parser = Parser(specialized_view(table))
     result: dict = {"grammar": grammar.name, "valid": True}
     try:
         node = parser.parse(tokens, budget=budget)
@@ -314,6 +321,14 @@ class GrammarService:
         job_workers: Concurrent jobs (and the job executor's threads).
         queue_capacity: Bounded job-queue depth (beyond it: 429).
         request_workers: Threads for synchronous request work.
+        pool_workers: Process-pool size for stateless request work
+            (``repro serve --workers N``).  At 1 (or where ``fork`` is
+            unavailable) everything runs in-process as before; above 1 a
+            :class:`~repro.service.pool.WorkerPool` executes sync
+            compile/parse/analyze/fuzz requests and async compile jobs
+            on forked workers sharing the on-disk store zero-copy, with
+            responses bit-identical to the in-process tier.
+        job_ttl: Seconds a finished job stays pollable (0 = no TTL).
     """
 
     def __init__(
@@ -324,6 +339,8 @@ class GrammarService:
         job_workers: int = 2,
         queue_capacity: int = 16,
         request_workers: int = 4,
+        pool_workers: int = 1,
+        job_ttl: float = 3600.0,
     ):
         self.cache = (
             TableCache(cache_dir, backend=cache_backend, hot_capacity=hot_capacity)
@@ -334,8 +351,18 @@ class GrammarService:
         self.cache_backend = cache_backend
         self.metrics = MetricsRegistry()
         self.jobs = JobQueue(
-            self._run_job, workers=job_workers, capacity=queue_capacity
+            self._run_job, workers=job_workers, capacity=queue_capacity,
+            ttl=job_ttl,
         )
+        self.pool: "Optional[WorkerPool]" = None
+        if pool_workers > 1 and fork_available():
+            self.pool = WorkerPool(
+                pool_workers,
+                cache_dir=cache_dir,
+                cache_backend=cache_backend,
+                hot_capacity=hot_capacity,
+                absorb=self._absorb_worker,
+            )
         self.sessions: "Dict[str, AnalysisSession]" = {}
         self._session_locks: "Dict[str, threading.Lock]" = {}
         self._sessions_guard = threading.Lock()
@@ -347,9 +374,14 @@ class GrammarService:
 
     async def start(self) -> None:
         await self.jobs.start()
+        if self.pool is not None:
+            # Fork the workers before request traffic builds up state.
+            self.pool.start()
 
     async def close(self) -> None:
         await self.jobs.close()
+        if self.pool is not None:
+            self.pool.close()
         self._request_executor.shutdown(wait=False)
 
     # -- dispatch ------------------------------------------------------
@@ -365,6 +397,14 @@ class GrammarService:
         except BudgetExceeded as error:
             self.metrics.inc("service.budget_exceeded")
             response = budget_exceeded_response(error)
+        except WorkerCrash as error:
+            # The worker-side rendering is already "TypeName: message",
+            # so the body matches the in-process 500 byte for byte.
+            self.metrics.inc("service.internal_errors")
+            response = Response.json(
+                {"error": "internal_error", "detail": error.rendered},
+                status=500,
+            )
         except Exception as error:  # noqa: BLE001 - the 500 of last resort
             self.metrics.inc("service.internal_errors")
             response = Response.json(
@@ -450,6 +490,10 @@ class GrammarService:
         if payload.get("async"):
             job = self.jobs.submit("compile", payload)
             return Response.json(job.as_dict(), status=202)
+        if self.pool is not None:
+            return Response.json(
+                await self._run_pool("compile", payload, request.headers)
+            )
         budget = budget_from_headers(request.headers)
         method = _method_of(payload)
         result = await self._run(
@@ -462,8 +506,14 @@ class GrammarService:
     async def _analyze(self, request: Request) -> Response:
         payload = self._payload(request)
         if payload.get("session") is not None:
+            # Sessions are mutable in-process state (affinity + locks);
+            # they never cross into the pool.
             result = await self._run(lambda: self._session_update(payload))
             return Response.json(result)
+        if self.pool is not None:
+            return Response.json(
+                await self._run_pool("analyze", payload, request.headers)
+            )
         budget = budget_from_headers(request.headers)
         result = await self._run(
             lambda: analyze_result(_grammar_from_spec(payload), budget)
@@ -472,6 +522,10 @@ class GrammarService:
 
     async def _parse(self, request: Request) -> Response:
         payload = self._payload(request)
+        if self.pool is not None:
+            return Response.json(
+                await self._run_pool("parse", payload, request.headers)
+            )
         budget = budget_from_headers(request.headers)
         method = _method_of(payload)
         tokens = _tokens_of(payload)
@@ -486,6 +540,10 @@ class GrammarService:
     async def _fuzz(self, request: Request) -> Response:
         payload = self._payload(request)
         if payload.get("wait"):
+            if self.pool is not None:
+                return Response.json(
+                    await self._run_pool("fuzz", payload, request.headers)
+                )
             result = await self._run(lambda: fuzz_result(payload))
             return Response.json(result)
         job = self.jobs.submit("fuzz", payload)
@@ -496,6 +554,8 @@ class GrammarService:
         if self.cache is not None:
             sections["cache"] = self.cache.stats()
         sections["sessions"] = self._session_stats()
+        if self.pool is not None:
+            sections["pool"] = self.pool.stats()
         wants_json = request.query.get("format") == "json" or (
             "application/json" in request.headers.get("accept", "")
         )
@@ -584,6 +644,22 @@ class GrammarService:
 
     # -- execution plumbing --------------------------------------------
 
+    async def _run_pool(self, kind: str, payload: dict, headers) -> dict:
+        """Dispatch one stateless request to the worker pool and await
+        its result; typed worker exceptions re-raise here and take the
+        same `handle()` paths (and produce the same bytes) as in-process
+        execution."""
+        self.metrics.inc("service.pool.dispatched")
+        future = self.pool.submit(kind, payload, dict(headers or {}))
+        return await asyncio.wrap_future(future)
+
+    def _absorb_worker(self, worker_id: int, counters) -> None:
+        """Dispatcher-thread callback: fold one pooled request's
+        instrument counters into the shared registry, tagged per worker
+        so `/metrics` provably counts every pool member."""
+        self.metrics.absorb(counters)
+        self.metrics.inc(f"service.pool.worker.{worker_id}.requests")
+
     async def _run(self, fn):
         """Run *fn* on the request executor, folding its instrument
         counters into the metrics registry even when it raises."""
@@ -612,6 +688,11 @@ class GrammarService:
                     job.payload, cache_dir=self.cache_dir, backend=self.cache_backend
                 )
             if job.kind == "compile":
+                if self.pool is not None and self.pool.alive:
+                    # Async compile jobs ride the same pool as sync
+                    # requests; .result() blocks a job thread, not the
+                    # event loop.
+                    return self.pool.submit("compile", job.payload).result()
                 budget = None
                 method = _method_of(job.payload)
                 return compile_result(

@@ -19,9 +19,11 @@ The moving parts:
   name ``workers``; the runner then fans across forked processes via
   :func:`repro.core.parallel.parallel_map` — the same deterministic
   executor the CLI verbs use, now behind the queue.
-- **Bounded retention.**  Finished jobs are kept for polling but trimmed
-  oldest-first past ``max_finished``, so a long-lived service does not
-  leak every job it ever ran.
+- **Bounded retention.**  Finished jobs are kept for polling but evicted
+  once they age past ``ttl`` seconds or overflow ``max_finished``
+  (oldest first), so a long-lived service does not leak every job it
+  ever ran.  Evictions are counted (``jobs.evicted`` in ``/metrics``);
+  polling an evicted job is an ordinary 404.
 
 Job failures never kill a worker: the exception is recorded on the job
 (``status: "failed"``; a blown per-job budget records the typed
@@ -31,11 +33,13 @@ Job failures never kill a worker: the exception is recorded on the job
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, Optional
 
 from ..core.budget import BudgetExceeded
+from .pool import WorkerCrash
 from .protocol import HttpError
 
 __all__ = ["Job", "JobQueue"]
@@ -44,7 +48,9 @@ __all__ = ["Job", "JobQueue"]
 class Job:
     """One unit of submitted work and its lifecycle."""
 
-    __slots__ = ("job_id", "kind", "payload", "status", "result", "error")
+    __slots__ = (
+        "job_id", "kind", "payload", "status", "result", "error", "finished_at"
+    )
 
     def __init__(self, job_id: str, kind: str, payload: dict):
         self.job_id = job_id
@@ -53,6 +59,9 @@ class Job:
         self.status = "queued"
         self.result: Optional[dict] = None
         self.error: Optional[dict] = None
+        #: Monotonic completion time; None while queued/running.  The
+        #: TTL eviction clock in :meth:`JobQueue._trim` keys off this.
+        self.finished_at: Optional[float] = None
 
     def as_dict(self) -> dict:
         body = {"job": self.job_id, "kind": self.kind, "status": self.status}
@@ -72,6 +81,10 @@ class JobQueue:
         workers: Concurrent jobs (asyncio workers == executor threads).
         capacity: Queued-job bound; submits beyond it get 429.
         max_finished: Finished jobs retained for polling.
+        ttl: Seconds a finished job stays pollable (0 disables age
+            eviction; the ``max_finished`` bound always applies).
+        clock: Monotonic time source (injectable for deterministic
+            eviction tests).
     """
 
     def __init__(
@@ -80,11 +93,15 @@ class JobQueue:
         workers: int = 2,
         capacity: int = 16,
         max_finished: int = 256,
+        ttl: float = 3600.0,
+        clock: "Callable[[], float]" = None,
     ):
         self._runner = runner
         self.workers = max(1, workers)
         self.capacity = max(1, capacity)
         self.max_finished = max_finished
+        self.ttl = ttl
+        self._clock = clock if clock is not None else time.monotonic
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._queue: "Optional[asyncio.Queue]" = None
         self._tasks: list = []
@@ -95,6 +112,7 @@ class JobQueue:
         self.failed = 0
         self.rejected = 0
         self.running = 0
+        self.evicted = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -147,12 +165,16 @@ class JobQueue:
         return job
 
     def get(self, job_id: str) -> Job:
+        # Age-based eviction happens on the poll path too, so a job past
+        # its TTL 404s even on an otherwise idle service.
+        self._trim()
         job = self._jobs.get(job_id)
         if job is None:
             raise HttpError(404, "unknown_job", f"no job {job_id!r}")
         return job
 
     def stats(self) -> "Dict[str, int]":
+        self._trim()
         return {
             "capacity": self.capacity,
             "workers": self.workers,
@@ -162,6 +184,7 @@ class JobQueue:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "evicted": self.evicted,
         }
 
     # -- internals -----------------------------------------------------
@@ -183,6 +206,7 @@ class JobQueue:
                 job.status = "failed"
                 job.error = {"error": "cancelled", "detail": "service shut down"}
                 self.failed += 1
+                job.finished_at = self._clock()
                 self.running -= 1
                 self._queue.task_done()
                 raise
@@ -194,6 +218,12 @@ class JobQueue:
                 job.status = "failed"
                 job.error = error.body()
                 self.failed += 1
+            except WorkerCrash as error:
+                # Already rendered worker-side as "TypeName: message" —
+                # identical to what in-process execution reports below.
+                job.status = "failed"
+                job.error = {"error": "job_failed", "detail": error.rendered}
+                self.failed += 1
             except Exception as error:  # one bad job must not kill a worker
                 job.status = "failed"
                 job.error = {
@@ -201,15 +231,33 @@ class JobQueue:
                     "detail": f"{type(error).__name__}: {error}",
                 }
                 self.failed += 1
+            job.finished_at = self._clock()
             self.running -= 1
             self._queue.task_done()
 
     def _trim(self) -> None:
+        """Evict finished jobs past their TTL, then any overflow beyond
+        ``max_finished`` (oldest first).  Queued/running jobs are never
+        evicted."""
+        if self.ttl > 0:
+            horizon = self._clock() - self.ttl
+            expired = [
+                job_id
+                for job_id, job in self._jobs.items()
+                if job.finished_at is not None and job.finished_at <= horizon
+            ]
+            for job_id in expired:
+                del self._jobs[job_id]
+                self.evicted += 1
         finished = [
             job_id
             for job_id, job in self._jobs.items()
             if job.status in ("done", "failed")
         ]
         excess = len(finished) - self.max_finished
-        for job_id in finished[:excess]:
-            del self._jobs[job_id]
+        # Note the guard: a negative excess would slice from the *end*,
+        # evicting recent jobs long before the cap is reached.
+        if excess > 0:
+            for job_id in finished[:excess]:
+                del self._jobs[job_id]
+                self.evicted += 1

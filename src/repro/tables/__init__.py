@@ -19,6 +19,7 @@ from .binfmt import (
     table_to_bytes,
 )
 from .displace import DisplacedTable, displace, displacement_ratio
+from .specialize import SpecializedTable, specialize, specialized_view
 from .explain import ConflictExample, explain_conflict, explain_table_conflicts
 from .codegen import STYLES, generate_parser_module, write_parser_module
 from .compress import CompressedTable, compress, compression_ratio
@@ -63,6 +64,9 @@ __all__ = [
     "ParseTable",
     "Reduce",
     "Shift",
+    "SpecializedTable",
+    "specialize",
+    "specialized_view",
     "build_clr_table",
     "build_lalr_table",
     "build_lr0_table",

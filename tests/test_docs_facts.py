@@ -117,3 +117,29 @@ class TestAlgorithmDoc:
         from repro.tables.binfmt import _HEADER
 
         assert _HEADER.size == 32
+
+    def test_section_17_no_default_states_on_bench_grammars(self):
+        # §17: "On the four bench grammars that is currently zero
+        # states" — the strict fully-uniform-row guard admits no default
+        # reduction on expr/json/mini_c/toy_java.
+        from repro.tables import build_lalr_table, specialize
+
+        for name in ("expr", "json", "mini_c", "toy_java"):
+            table = build_lalr_table(corpus.load(name, augment=True))
+            stats = specialize(table).specialization_stats()
+            assert stats["default_states"] == 0, name
+
+    def test_section_17_action_encoding(self):
+        # §17 quotes §14's shared encoding: 0 error, (s<<2)|1 shift,
+        # (p<<2)|2 reduce, 3 accept.
+        from repro.tables.displace import (
+            ACTION_ACCEPT,
+            ACTION_ERROR,
+            ACTION_REDUCE,
+            ACTION_SHIFT,
+        )
+
+        assert ACTION_ERROR == 0
+        assert ACTION_SHIFT == 1
+        assert ACTION_REDUCE == 2
+        assert ACTION_ACCEPT == 3

@@ -1,0 +1,175 @@
+"""JobQueue retention: TTL eviction, the finished-job cap, and the
+``evicted`` counter.
+
+A long-lived service must not keep every job it ever ran.  Finished jobs
+age out after ``ttl`` seconds (measured on an injectable monotonic
+clock, so these tests never sleep) or get trimmed oldest-first past
+``max_finished``.  Queued and running jobs are never evicted, and an
+evicted job polls as an ordinary 404.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.jobs import Job, JobQueue
+from repro.service.protocol import HttpError
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def run_jobs(queue: JobQueue, count: int, clock: FakeClock = None):
+    """Start *queue*, submit *count* trivial jobs, wait them out."""
+
+    async def drive():
+        await queue.start()
+        jobs = [queue.submit("batch", {"index": i}) for i in range(count)]
+        await queue.join()
+        await queue.close()
+        return jobs
+
+    return asyncio.run(drive())
+
+
+def finished_job(job_id: str, finished_at: float, status: str = "done") -> Job:
+    job = Job(job_id, "batch", {})
+    job.status = status
+    job.finished_at = finished_at
+    return job
+
+
+def _ok(job: Job) -> dict:
+    return {"index": job.payload.get("index")}
+
+
+class TestTtlEviction:
+    def test_finished_jobs_age_out(self):
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, ttl=100.0, clock=clock)
+        jobs = run_jobs(queue, 3, clock)
+        assert all(job.status == "done" for job in jobs)
+        assert queue.stats()["evicted"] == 0
+
+        clock.advance(101.0)
+        stats = queue.stats()
+        assert stats["evicted"] == 3
+        for job in jobs:
+            with pytest.raises(HttpError) as err:
+                queue.get(job.job_id)
+            assert err.value.status == 404
+
+    def test_young_jobs_survive_a_trim(self):
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, ttl=100.0, clock=clock)
+        jobs = run_jobs(queue, 2, clock)
+        clock.advance(99.0)
+        assert queue.stats()["evicted"] == 0
+        assert queue.get(jobs[0].job_id) is jobs[0]
+
+    def test_ttl_zero_disables_age_eviction(self):
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, ttl=0.0, clock=clock)
+        jobs = run_jobs(queue, 2, clock)
+        clock.advance(1e9)
+        assert queue.stats()["evicted"] == 0
+        assert queue.get(jobs[-1].job_id).status == "done"
+
+    def test_poll_path_also_evicts(self):
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, ttl=50.0, clock=clock)
+        jobs = run_jobs(queue, 1, clock)
+        clock.advance(51.0)
+        # get() itself trims, so the 404 arrives without a stats() call.
+        with pytest.raises(HttpError):
+            queue.get(jobs[0].job_id)
+        assert queue.evicted == 1
+
+    def test_failed_jobs_age_out_too(self):
+        clock = FakeClock()
+
+        def boom(job):
+            raise ValueError("no")
+
+        queue = JobQueue(boom, workers=1, ttl=10.0, clock=clock)
+        jobs = run_jobs(queue, 2, clock)
+        assert all(job.status == "failed" for job in jobs)
+        clock.advance(11.0)
+        assert queue.stats()["evicted"] == 2
+
+
+class TestFinishedCap:
+    def test_overflow_evicts_oldest_first(self):
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, max_finished=2, ttl=0.0, clock=clock)
+        jobs = run_jobs(queue, 5, clock)
+        stats = queue.stats()
+        assert stats["evicted"] == 3
+        for old in jobs[:3]:
+            with pytest.raises(HttpError):
+                queue.get(old.job_id)
+        for recent in jobs[3:]:
+            assert queue.get(recent.job_id).status == "done"
+
+    def test_under_the_cap_nothing_is_evicted(self):
+        """Regression: a negative excess must not slice jobs away.
+
+        ``finished[:len(finished) - max_finished]`` with a negative
+        excess evicts *most* of the retained jobs as soon as more than
+        half the cap is in use; the guard keeps retention exact."""
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, max_finished=256, ttl=0.0, clock=clock)
+        queue._jobs.update(
+            (f"job-{i:06d}", finished_job(f"job-{i:06d}", 0.0))
+            for i in range(200)
+        )
+        queue._trim()
+        assert len(queue._jobs) == 200
+        assert queue.evicted == 0
+
+    def test_unfinished_jobs_are_never_evicted(self):
+        clock = FakeClock()
+        queue = JobQueue(_ok, workers=1, max_finished=1, ttl=5.0, clock=clock)
+        queue._jobs["job-000001"] = finished_job("job-000001", 0.0)
+        running = Job("job-000002", "batch", {})
+        running.status = "running"
+        queue._jobs["job-000002"] = running
+        queued = Job("job-000003", "batch", {})
+        queue._jobs["job-000003"] = queued
+
+        clock.advance(100.0)  # both trims would fire for finished jobs
+        queue._trim()
+        assert queue.evicted == 1
+        assert "job-000001" not in queue._jobs
+        assert queue._jobs["job-000002"] is running
+        assert queue._jobs["job-000003"] is queued
+
+
+class TestStatsSurface:
+    def test_stats_reports_evicted(self):
+        queue = JobQueue(_ok, workers=1)
+        stats = queue.stats()
+        assert stats["evicted"] == 0
+        assert set(stats) == {
+            "capacity", "workers", "submitted", "queued", "running",
+            "completed", "failed", "rejected", "evicted",
+        }
+
+    def test_finished_at_set_on_completion(self):
+        clock = FakeClock()
+        clock.now = 42.0
+        queue = JobQueue(_ok, workers=1, clock=clock)
+        jobs = run_jobs(queue, 1, clock)
+        assert jobs[0].finished_at == 42.0

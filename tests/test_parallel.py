@@ -6,9 +6,15 @@ order, same exceptions.  Worker functions here are module-level so they
 pickle across the fork boundary.
 """
 
+import multiprocessing
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.core import instrument
+from repro.core.budget import Budget
 from repro.core.parallel import (
     chunked,
     derive_seed,
@@ -26,6 +32,11 @@ def _square(x):
 def _boom(x):
     if x == 3:
         raise ValueError(f"task {x} exploded")
+    return x
+
+
+def _slow(x):
+    time.sleep(0.2)
     return x
 
 
@@ -112,3 +123,64 @@ class TestParallelImap:
         assert list(parallel_imap(_square, range(5), workers=1)) == [
             0, 1, 4, 9, 16,
         ]
+
+    def test_deadline_stops_mid_sweep(self):
+        budget = Budget(timeout=0.05)
+        results = list(parallel_imap(_slow, range(64), workers=2, budget=budget))
+        assert len(results) < 64
+
+
+class TestTeardown:
+    """Cancelled pools must not leak processes or tracked semaphores."""
+
+    def test_deadline_cancel_reaps_all_children(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        budget = Budget(timeout=0.05)
+        list(parallel_imap(_slow, range(64), workers=2, budget=budget))
+        assert multiprocessing.active_children() == []
+
+    def test_early_close_reaps_all_children(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        sweep = parallel_imap(_slow, range(64), workers=2)
+        next(sweep)
+        sweep.close()
+        assert multiprocessing.active_children() == []
+
+    def test_parallel_map_reaps_all_children(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        parallel_map(_square, range(8), workers=2)
+        assert multiprocessing.active_children() == []
+
+    def test_no_resource_tracker_warnings_at_exit(self):
+        """Run a deadline-cancelled sweep in a fresh interpreter and
+        assert the multiprocessing resource tracker stays silent at
+        interpreter exit (leaked semaphores print there, not here)."""
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        script = (
+            "import time\n"
+            "from repro.core.budget import Budget\n"
+            "from repro.core.parallel import parallel_imap\n"
+            "def _slow(x):\n"
+            "    time.sleep(0.2)\n"
+            "    return x\n"
+            "list(parallel_imap(_slow, range(64), workers=2,\n"
+            "                   budget=Budget(timeout=0.05)))\n"
+            "sweep = parallel_imap(_slow, range(64), workers=2)\n"
+            "next(sweep)\n"
+            "sweep.close()\n"
+            "print('swept')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::ResourceWarning", "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "swept" in proc.stdout
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
