@@ -32,6 +32,9 @@ from ..grammar.properties import has_cycles
 from ..grammar.symbols import Symbol
 from .enumerate import enumerate_language
 
+#: Sentinel depth for "no provisional on-path value was read".
+_INFINITY = float("inf")
+
 Sentence = Tuple[Symbol, ...]
 
 
@@ -81,33 +84,82 @@ class TreeCounter:
         return tuple(out)
 
     def _count_symbol(self, symbol: Symbol, span: Sentence) -> int:
+        # Warm the memo bottom-up (all nonterminals over all subspans,
+        # shortest first) before reading the answer.  Each warm-up call
+        # starts a fresh recursion, so every pair eventually computes at
+        # depth 0 — where only *self*-reads can occur and the result is
+        # always memoisable (see _symbol) — keeping the whole DP
+        # polynomial even on heavily nullable grammars.
+        nonterminals = self.grammar.nonterminals
+        for length in range(len(span) + 1):
+            for start in range(len(span) - length + 1):
+                subspan = span[start : start + length]
+                for nonterminal in nonterminals:
+                    self._symbol(nonterminal, subspan, {})
+        return self._symbol(symbol, span, {})[0]
+
+    # The recursion guards against revisiting a (symbol, span) pair that
+    # is still being computed: cycle-freeness (checked in __init__)
+    # guarantees any derivation revisiting the pair embeds A =>+ αAβ
+    # with α, β deriving ε — a cycle — so revisits contribute exactly 0
+    # trees and reading the unfinished pair as 0 is sound *for that
+    # pair's own total*.  What is NOT sound is memoising a pair computed
+    # while such a provisional read of a proper ancestor happened
+    # beneath it (its total depends on the ancestor's unfinished value).
+    # Each frame therefore reports the minimum stack depth it read
+    # provisionally, and a pair is memoised only when nothing *above*
+    # it was read — self-reads are fine.  Unmemoised totals are still
+    # correct to return (the excluded derivations are impossible); the
+    # bottom-up warm-up in _count_symbol guarantees each pair also gets
+    # a depth-0 computation that does memoise.
+
+    def _symbol(
+        self, symbol: Symbol, span: Sentence, on_path: "Dict"
+    ) -> "Tuple[int, float]":
         if symbol.is_terminal:
-            return 1 if len(span) == 1 and span[0] is symbol else 0
+            return (1 if len(span) == 1 and span[0] is symbol else 0), _INFINITY
         key = (symbol, span)
         cached = self._memo.get(key)
         if cached is not None:
-            return cached
-        # Pre-seed 0: cycle-freeness guarantees no same-(symbol, span)
-        # recursion, so the seed is only read by genuinely zero paths.
-        self._memo[key] = 0
+            return cached, _INFINITY
+        path_depth = on_path.get(key)
+        if path_depth is not None:
+            return 0, path_depth
+        depth = len(on_path)
+        on_path[key] = depth
         total = 0
+        min_read = _INFINITY
         for production in self.grammar.productions_for(symbol):
-            total += self._count_sequence(production.rhs, span)
-        self._memo[key] = total
-        return total
+            count, read = self._sequence(production.rhs, span, on_path)
+            total += count
+            if read < min_read:
+                min_read = read
+        del on_path[key]
+        if min_read >= depth:
+            self._memo[key] = total
+            return total, _INFINITY
+        return total, min_read
 
-    def _count_sequence(self, rhs: Sentence, span: Sentence) -> int:
+    def _sequence(
+        self, rhs: Sentence, span: Sentence, on_path: "Dict"
+    ) -> "Tuple[int, float]":
         if not rhs:
-            return 1 if not span else 0
+            return (1 if not span else 0), _INFINITY
         if len(rhs) == 1:
-            return self._count_symbol(rhs[0], span)
+            return self._symbol(rhs[0], span, on_path)
         head, tail = rhs[0], rhs[1:]
         total = 0
+        min_read = _INFINITY
         for cut in range(len(span) + 1):
-            head_count = self._count_symbol(head, span[:cut])
+            head_count, read = self._symbol(head, span[:cut], on_path)
+            if read < min_read:
+                min_read = read
             if head_count:
-                total += head_count * self._count_sequence(tail, span[cut:])
-        return total
+                tail_count, read = self._sequence(tail, span[cut:], on_path)
+                total += head_count * tail_count
+                if read < min_read:
+                    min_read = read
+        return total, min_read
 
 
 class AmbiguityReport(NamedTuple):

@@ -10,9 +10,9 @@ are pure functions of the grammar and the serving contract:
 - ``states``, ``compile_bytes``, ``parse_bytes`` — the served answers'
   shape (bytes are exact: responses are canonical JSON);
 - ``parse_requests``, ``parse_valid`` — the recipe itself;
-- ``stores_delta`` (1 for cacheable tables, else 0) and
-  ``hot_hits_delta`` (one per cached-table parse) — the cache flow a
-  served grammar must follow.
+- ``stores_delta`` (1: every table is cacheable, conflicted ones
+  included since JSON format 4) and ``hot_hits_delta`` (one per
+  cached-table parse) — the cache flow a served grammar must follow.
 
 ``--baseline`` fails on any counter drift, exactly like the other bench
 harnesses::
@@ -35,7 +35,8 @@ from ..grammars import corpus
 SERVICE_BASELINE_FORMAT = 1
 
 #: Default grammars: a spread of table sizes plus a conflicted one
-#: (dangling_else), whose table the store must refuse to cache.
+#: (dangling_else), served by the GLR engine off its cached
+#: conflict-carrying artifact.
 DEFAULT_GRAMMARS = ["expr", "json", "dangling_else", "mini_pascal_det", "toy_java"]
 
 
@@ -83,13 +84,17 @@ def service_snapshot(
                 assert compile_response.status == 200, name
                 compiled = compile_response.json()
 
+                # The lr engine 422s on conflicted tables; serve those
+                # with the GLR engine, like a real client would.
+                engine = "lr" if compiled["deterministic"] else "glr"
                 tokens = grammar_tokens(name)
                 latencies: "List[float]" = []
                 parse_bytes = 0
                 parse_valid = None
                 for _ in range(parse_requests):
                     response, seconds = _timed(
-                        client, "POST", "/parse", {"corpus": name, "input": tokens}
+                        client, "POST", "/parse",
+                        {"corpus": name, "input": tokens, "engine": engine},
                     )
                     assert response.status == 200, name
                     latencies.append(seconds)

@@ -57,7 +57,7 @@ from .bench import format_table, grammar_row
 from .core import Budget, BudgetExceeded, LalrAnalysis, instrument
 from .grammar import Grammar, load_grammar_file
 from .grammars import corpus
-from .parser import ParseError, Parser
+from .parser import ConflictedTableError, ParseError, Parser
 from .tables import (
     TableCache,
     build_clr_table,
@@ -127,7 +127,14 @@ def _cmd_pipeline(grammar: Grammar, args) -> int:
         )
         print(f"cache: {verdict} ({cache.directory})")
     if args.input:
-        parser = Parser(table)
+        try:
+            parser = Parser(table)
+        except ConflictedTableError:
+            # Fall back to the engine that can honestly answer for a
+            # conflicted table instead of silently picking winners.
+            from .parser import GlrParser
+
+            parser = GlrParser(table)
         try:
             parser.parse(args.input.split(), budget=budget)
         except ParseError as error:
@@ -197,10 +204,8 @@ def _cmd_table(grammar: Grammar, args) -> int:
                 f"-> {stored} stored (ratio {ratio:.2f}x)"
             )
     if args.output:
-        if table.unresolved_conflicts:
-            print("error: cannot write an artifact for a table with "
-                  "unresolved conflicts", file=sys.stderr)
-            return 1
+        # Conflicted tables serialize too (JSON format 4 / binary format
+        # 3 carry the full conflict log for the GLR engine's nondet view).
         as_binary = args.format == "bin" or args.output.endswith(BINARY_SUFFIX)
         if as_binary:
             written = save_binary_table(table, args.output)
@@ -244,8 +249,26 @@ def _cmd_conflicts(grammar: Grammar, args) -> int:
 def _cmd_parse(grammar: Grammar, args) -> int:
     budget = _budget_from(args)
     table, _ = _table_for(grammar, args, budget)
-    parser = Parser(table)
     tokens = args.input.split()
+    if args.engine == "glr":
+        from .parser import GlrParser
+
+        try:
+            forest = GlrParser(table).parse_forest(tokens, budget=budget)
+        except ParseError as error:
+            print(f"invalid: {error}")
+            return 1
+        count = forest.tree_count(limit=1000)
+        plural = "" if count == 1 else "s"
+        print(f"valid ({count}{'+' if count >= 1000 else ''} parse tree{plural})")
+        if args.tree and count:
+            print(forest.tree().format())
+        return 0
+    try:
+        parser = Parser(table)
+    except ConflictedTableError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     try:
         tree = parser.parse(tokens, budget=budget)
     except ParseError as error:
@@ -609,6 +632,7 @@ _BENCH_MODULES = {
     "service": "service",
     "hotloop": "hotloop",
     "scaleout": "scaleout",
+    "glr": "glr",
 }
 
 
@@ -723,6 +747,10 @@ def main(argv: "Optional[List[str]]" = None) -> int:
     parse_cmd.add_argument("--input", required=True,
                            help="whitespace-separated terminal names")
     parse_cmd.add_argument("--method", choices=_BUILDERS, default="lalr1")
+    parse_cmd.add_argument("--engine", choices=["lr", "glr"], default="lr",
+                           help="lr: deterministic engine (refuses conflicted "
+                                "tables); glr: generalized engine exploring "
+                                "every conflicted action")
     parse_cmd.add_argument("--tree", action="store_true")
 
     add("stats", _cmd_stats)

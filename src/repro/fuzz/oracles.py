@@ -25,6 +25,10 @@ Registered oracles (in stack order):
   serialisation round-trip drive the engine to identical derivations
   *and* identical diagnostics (message, position, expected set) on both
   accepted sentences and deterministic mutants.
+- ``glr-parity`` — the GLR engine run over the same table: on
+  deterministic tables its forest holds exactly the LALR parse (or the
+  byte-identical diagnostic); on conflicted tables its recognition
+  agrees with CYK.
 
 Each oracle takes an :class:`OracleContext` (which lazily builds and
 caches the shared artifacts — automaton, analyses, tables) and returns
@@ -478,6 +482,101 @@ def check_representation_parity(ctx: OracleContext) -> Optional[str]:
                     f"{label} table diverges on {rendered!r}: "
                     f"{outcome!r} != {expected_outcome!r}"
                 )
+    return None
+
+
+@oracle("glr-parity")
+def check_glr_parity(ctx: OracleContext) -> Optional[str]:
+    """The GLR engine agrees with the ground truth for its table.
+
+    On grammars whose LALR table is deterministic, the GLR forest must
+    contain *exactly* the LALR parse on every generated sentence, and
+    must fail with the byte-identical error (message, position, expected
+    set) on deterministic mutants — the GSS degenerates to a chain, so
+    any divergence is an engine bug.  On conflicted tables the
+    deterministic engine is no reference; there GLR recognition must
+    agree with CYK (the LR-independent membership oracle) on every
+    stream.
+    """
+    from ..parser.engine import Parser
+    from ..parser.errors import ParseError
+    from ..parser.glr import GlrParser
+
+    table = ctx.lalr_table
+    glr = GlrParser(table)
+    sentences = ctx.sentences()
+    # No EOF in the swap alphabet: CYK (the conflicted-branch reference)
+    # has no notion of an end marker.
+    terminals = sorted(
+        (t for t in ctx.augmented.terminals if t is not ctx.augmented.eof),
+        key=lambda s: s.name,
+    )
+    streams: List[list] = [list(sentence) for sentence in sentences]
+    for index, sentence in enumerate(sentences):
+        if sentence:
+            streams.append(list(sentence[:-1]))
+            swapped = list(sentence)
+            swapped[index % len(swapped)] = terminals[index % len(terminals)]
+            streams.append(swapped)
+    streams.append([])
+
+    if table.is_deterministic:
+        reference = Parser(table)
+        for words in streams:
+            rendered = " ".join(t.name for t in words) or "<empty>"
+            try:
+                expected = ("tree", reference.parse(list(words)).sexpr())
+            except ParseError as error:
+                expected = (
+                    "error",
+                    str(error),
+                    error.position,
+                    [s.name for s in error.expected],
+                )
+            try:
+                forest = glr.parse_forest(list(words))
+                count = forest.tree_count(limit=2)
+                if count != 1:
+                    return (
+                        f"GLR forest holds {count} trees on {rendered!r} "
+                        f"under a deterministic table (expected exactly 1)"
+                    )
+                outcome = ("tree", forest.tree().sexpr())
+            except ParseError as error:
+                outcome = (
+                    "error",
+                    str(error),
+                    error.position,
+                    [s.name for s in error.expected],
+                )
+            if outcome != expected:
+                return (
+                    f"GLR diverges from LALR on {rendered!r}: "
+                    f"{outcome!r} != {expected!r}"
+                )
+        return None
+
+    # Conflicted table: cross-check recognition against CYK on the raw
+    # (pre-augmentation) grammar.
+    raw = ctx.grammar
+    if raw.is_augmented:
+        return None
+    from ..grammar.errors import GrammarValidationError
+    from ..parser.cyk import CykRecognizer
+
+    try:
+        cyk = CykRecognizer(raw)
+    except GrammarValidationError:
+        return None
+    for words in streams:
+        rendered = " ".join(t.name for t in words) or "<empty>"
+        glr_accepts = glr.accepts(list(words))
+        cyk_accepts = cyk.accepts([t.name for t in words])
+        if glr_accepts != cyk_accepts:
+            return (
+                f"GLR and CYK disagree on {rendered!r}: "
+                f"GLR={glr_accepts} CYK={cyk_accepts}"
+            )
     return None
 
 

@@ -1,10 +1,24 @@
-"""LR parsing engine, parse trees, and a lexer for building token streams."""
+"""LR parsing engines (deterministic + GLR), parse trees, and a lexer."""
 
 from .cyk import CykRecognizer
 from .recovery import RecoveringParser
 from .engine import Parser, Token
-from .errors import LexError, ParseError
+from .errors import ConflictedTableError, LexError, ParseError
+from .glr import GlrParser, ParseForest
 from .lexer import Lexer
 from .tree import Node, count_nodes
 
-__all__ = ["CykRecognizer", "RecoveringParser", "Lexer", "LexError", "Node", "ParseError", "Parser", "Token", "count_nodes"]
+__all__ = [
+    "ConflictedTableError",
+    "CykRecognizer",
+    "GlrParser",
+    "LexError",
+    "Lexer",
+    "Node",
+    "ParseError",
+    "ParseForest",
+    "Parser",
+    "RecoveringParser",
+    "Token",
+    "count_nodes",
+]

@@ -23,7 +23,7 @@ from ..grammar.grammar import Grammar
 from ..grammar.production import Production
 from ..grammar.symbols import Symbol
 from ..tables.table import ParseTable
-from .errors import ParseError
+from .errors import ConflictedTableError, ParseError, syntax_error
 from .tree import Node
 
 
@@ -47,14 +47,78 @@ def _no_leaf_value(token):
     return None
 
 
-class Parser:
-    """An LR parser for one grammar/table pair."""
+def not_a_terminal_error(name: str, position: int) -> ParseError:
+    """The engine-standard error for a nonterminal Symbol in the input."""
+    return ParseError(
+        f"token at position {position} is the nonterminal {name!r}; "
+        f"only terminals can appear in the input",
+        position,
+        None,
+        state=-1,
+        expected=[],
+    )
 
-    def __init__(self, table: ParseTable):
+
+def normalise_token(grammar: Grammar, token: TokenLike, position: int) -> Token:
+    """*token* (Token | Symbol | terminal name) as a :class:`Token`.
+
+    Shared by the deterministic engine and the GLR engine so both reject
+    malformed input — nonterminal Symbols, unknown terminal names — with
+    byte-identical diagnostics.
+    """
+    if isinstance(token, Token):
+        if token.symbol.is_nonterminal:
+            raise not_a_terminal_error(token.symbol.name, position)
+        return token
+    if isinstance(token, Symbol):
+        if token.is_nonterminal:
+            raise not_a_terminal_error(token.name, position)
+        return Token(token, token.name)
+    if isinstance(token, str):
+        symbol = grammar.symbols.get(token)
+        if symbol is None or symbol.is_nonterminal:
+            raise ParseError(
+                f"unknown terminal {token!r} at position {position}",
+                position,
+                None,
+                state=-1,
+                expected=[],
+            )
+        return Token(symbol, token)
+    raise TypeError(f"cannot interpret token {token!r}")
+
+
+class Parser:
+    """An LR parser for one grammar/table pair.
+
+    Tables with unresolved conflicts are refused by default: parsing one
+    deterministically silently commits to the yacc-default winners, so a
+    caller must opt in with ``allow_conflicts=True`` (counted via the
+    ``parser.conflicted_table`` instrument counter) — or drive the table
+    with :class:`repro.parser.glr.GlrParser`, which explores every
+    conflicted action instead of picking one.
+    """
+
+    def __init__(self, table: ParseTable, allow_conflicts: bool = False):
         self.table = table
         self.grammar: Grammar = table.grammar
         if not self.grammar.is_augmented:
             raise ValueError("parse tables must be built over an augmented grammar")
+        unresolved = table.unresolved_conflicts
+        if unresolved:
+            if not allow_conflicts:
+                first = unresolved[0]
+                raise ConflictedTableError(
+                    f"table for {self.grammar.name!r} has {len(unresolved)} "
+                    f"unresolved conflict(s); first: "
+                    f"{first.describe(self.grammar)}.  The deterministic "
+                    f"engine would silently parse with the yacc-default "
+                    f"winners — pass allow_conflicts=True to opt in, or use "
+                    f"the GLR engine (repro.parser.glr.GlrParser, "
+                    f"`repro parse --engine glr`) to explore every action",
+                    unresolved,
+                )
+            instrument.count("parser.conflicted_table")
         self._eof = self.grammar.eof
         # The hot loop works in the grammar's integer ID layout: tokens
         # are mapped to terminal IDs once each, then every ACTION/GOTO
@@ -142,36 +206,7 @@ class Parser:
     # -- engine ---------------------------------------------------------
 
     def _normalise(self, token: TokenLike, position: int) -> Token:
-        if isinstance(token, Token):
-            if token.symbol.is_nonterminal:
-                raise self._not_a_terminal(token.symbol.name, position)
-            return token
-        if isinstance(token, Symbol):
-            if token.is_nonterminal:
-                raise self._not_a_terminal(token.name, position)
-            return Token(token, token.name)
-        if isinstance(token, str):
-            symbol = self.grammar.symbols.get(token)
-            if symbol is None or symbol.is_nonterminal:
-                raise ParseError(
-                    f"unknown terminal {token!r} at position {position}",
-                    position,
-                    None,
-                    state=-1,
-                    expected=[],
-                )
-            return Token(symbol, token)
-        raise TypeError(f"cannot interpret token {token!r}")
-
-    def _not_a_terminal(self, name: str, position: int) -> ParseError:
-        return ParseError(
-            f"token at position {position} is the nonterminal {name!r}; "
-            f"only terminals can appear in the input",
-            position,
-            None,
-            state=-1,
-            expected=[],
-        )
+        return normalise_token(self.grammar, token, position)
 
     def _run(
         self,
@@ -431,19 +466,8 @@ class Parser:
             (by_sid[tid] for tid in range(len(row)) if row[tid] is not None),
             key=lambda s: s.name,
         )
-        # The end marker is an augmentation artifact; spell it the same
-        # way the offending-token text does instead of leaking "$end".
-        # Generated standalone parsers render identically (parity-tested).
-        names = ", ".join(
-            sorted(
-                "end of input" if t is self._eof else t.name for t in expected
-            )
-        ) or "<nothing>"
-        what = token.symbol.name if token.symbol is not self._eof else "end of input"
-        return ParseError(
-            f"syntax error at position {position}: unexpected {what}; expected one of: {names}",
-            position,
-            token.symbol,
-            state,
-            expected,
-        )
+        # The end marker is an augmentation artifact; the shared formatter
+        # spells it the same way the offending-token text does instead of
+        # leaking "$end".  Generated standalone parsers and the GLR engine
+        # render identically (parity-tested).
+        return syntax_error(position, token.symbol, state, expected, self._eof)

@@ -32,6 +32,56 @@ class ParseError(Exception):
         self.expected = expected
 
 
+class ConflictedTableError(ValueError):
+    """A deterministic :class:`~repro.parser.engine.Parser` was built
+    over a table with unresolved conflicts without opting in.
+
+    Parsing such a table deterministically silently commits to the
+    yacc-default winners (shift over reduce, earlier production over
+    later), which is rarely what a caller who never declared precedence
+    wants.  Pass ``allow_conflicts=True`` to accept that behaviour
+    explicitly, or drive the table with the GLR engine
+    (:class:`repro.parser.glr.GlrParser`), which explores every
+    conflicted action instead of picking one.
+
+    Attributes:
+        conflicts: The table's unresolved :class:`~repro.tables.conflicts
+            .Conflict` records, in discovery order.
+    """
+
+    def __init__(self, message: str, conflicts: list):
+        super().__init__(message)
+        self.conflicts = conflicts
+
+
+def syntax_error(
+    position: int,
+    token: Optional[Symbol],
+    state: int,
+    expected: "List[Symbol]",
+    eof: Symbol,
+) -> ParseError:
+    """The engine-standard :class:`ParseError` for an unexpected token.
+
+    Shared by the deterministic engine and the GLR engine so both spell
+    syntax errors byte-identically (message text, "end of input" for the
+    end marker, sorted expected-set rendering) — the GLR parity suite
+    compares the strings directly.
+    """
+    names = ", ".join(
+        sorted("end of input" if t is eof else t.name for t in expected)
+    ) or "<nothing>"
+    what = token.name if token is not eof else "end of input"
+    return ParseError(
+        f"syntax error at position {position}: unexpected {what}; "
+        f"expected one of: {names}",
+        position,
+        token,
+        state,
+        expected,
+    )
+
+
 class LexError(Exception):
     """Raised by the example lexer on unrecognisable input text."""
 

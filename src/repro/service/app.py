@@ -53,7 +53,7 @@ from ..grammar.delta import add_production, remove_production, replace_rhs
 from ..grammar.errors import GrammarError
 from ..grammar.fingerprint import grammar_fingerprint
 from ..grammars import corpus
-from ..parser import ParseError, Parser
+from ..parser import ConflictedTableError, ParseError, Parser
 from ..pipeline import AnalysisSession
 from ..tables import (
     TableCache,
@@ -149,16 +149,36 @@ def parse_result(
     tree: bool = False,
     cache: "Optional[TableCache]" = None,
     budget: "Optional[Budget]" = None,
+    engine: str = "lr",
 ) -> dict:
     """The ``POST /parse`` body: validity (plus the tree on request)."""
     _, table = _build_table(grammar, method, cache, budget)
+    if engine == "glr":
+        from ..parser import GlrParser
+
+        glr = GlrParser(table)
+        try:
+            forest = glr.parse_forest(tokens, budget=budget)
+        except ParseError as error:
+            return {"grammar": grammar.name, "valid": False, "error": str(error)}
+        result = {
+            "grammar": grammar.name,
+            "valid": True,
+            "trees": forest.tree_count(limit=1000),
+        }
+        if tree and result["trees"]:
+            result["tree"] = forest.tree().format()
+        return result
     # Serve off the specialized hot loop: the recompilation is memoized
     # on the table object, so tables coming off the hot LRU pay it once.
     # Byte-identity with the plain engine (trees, error text, positions,
     # expected sets, budget exhaustion points) is pinned corpus-wide by
     # tests/test_specialize.py and the representation-parity fuzz oracle.
-    parser = Parser(specialized_view(table))
-    result: dict = {"grammar": grammar.name, "valid": True}
+    try:
+        parser = Parser(specialized_view(table))
+    except ConflictedTableError as error:
+        raise HttpError(422, "conflicted_table", str(error))
+    result = {"grammar": grammar.name, "valid": True}
     try:
         node = parser.parse(tokens, budget=budget)
     except ParseError as error:
@@ -294,6 +314,15 @@ def _method_of(payload: dict) -> str:
             f"unknown method {method!r} (known: {', '.join(sorted(BUILDERS))})",
         )
     return method
+
+
+def _engine_of(payload: dict) -> str:
+    engine = payload.get("engine", "lr")
+    if engine not in ("lr", "glr"):
+        raise HttpError(
+            400, "bad_engine", f"unknown engine {engine!r} (known: glr, lr)"
+        )
+    return engine
 
 
 def _tokens_of(payload: dict) -> "List[str]":
@@ -530,9 +559,11 @@ class GrammarService:
         method = _method_of(payload)
         tokens = _tokens_of(payload)
         tree = bool(payload.get("tree"))
+        engine = _engine_of(payload)
         result = await self._run(
             lambda: parse_result(
-                _grammar_from_spec(payload), tokens, method, tree, self.cache, budget
+                _grammar_from_spec(payload), tokens, method, tree, self.cache,
+                budget, engine,
             )
         )
         return Response.json(result)

@@ -73,6 +73,7 @@ def _execute(kind: str, payload: dict, headers: "Dict[str, str]", cache):
     in-process handlers use — divergence here would break the
     single-vs-multi-worker bit-identity contract."""
     from .app import (
+        _engine_of,
         _grammar_from_spec,
         _method_of,
         _tokens_of,
@@ -92,8 +93,9 @@ def _execute(kind: str, payload: dict, headers: "Dict[str, str]", cache):
         method = _method_of(payload)
         tokens = _tokens_of(payload)
         tree = bool(payload.get("tree"))
+        engine = _engine_of(payload)
         return parse_result(
-            _grammar_from_spec(payload), tokens, method, tree, cache, budget
+            _grammar_from_spec(payload), tokens, method, tree, cache, budget, engine
         )
     if kind == "analyze":
         budget = budget_from_headers(headers)

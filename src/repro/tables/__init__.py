@@ -19,6 +19,7 @@ from .binfmt import (
     table_to_bytes,
 )
 from .displace import DisplacedTable, displace, displacement_ratio
+from .nondet import NondeterministicTable, nondet_view
 from .specialize import SpecializedTable, specialize, specialized_view
 from .explain import ConflictExample, explain_conflict, explain_table_conflicts
 from .codegen import STYLES, generate_parser_module, write_parser_module
@@ -61,6 +62,8 @@ __all__ = [
     "compression_ratio",
     "Conflict",
     "GrammarClass",
+    "NondeterministicTable",
+    "nondet_view",
     "ParseTable",
     "Reduce",
     "Shift",

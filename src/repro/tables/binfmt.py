@@ -2,8 +2,9 @@
 
 JSON table entries (:mod:`repro.tables.serialize`) pay a full parse +
 Symbol-dict reconstruction on every load.  This module stores the same
-deterministic information as a **packed binary artifact** that a service
-worker can attach to instantly:
+information — dense rows plus the full conflict log, resolved and
+unresolved alike — as a **packed binary artifact** that a service worker
+can attach to instantly:
 
 - a fixed header (magic, format version, ID-layout version, dimensions,
   a CRC-32 of the payload) plus the grammar fingerprint and method name;
@@ -57,7 +58,11 @@ __all__ = [
 #: Bumped to 2 when the payload grew the trailing resolved-conflicts
 #: section: version-1 artifacts reload precedence-resolved tables with
 #: ``conflict_summary()["resolved"] == 0`` — evict and rebuild.
-BINARY_FORMAT_VERSION = 2
+#: Bumped to 3 when the trailing section started carrying *unresolved*
+#: conflicts too (each record gained a resolved flag), making conflicted
+#: tables — the GLR engine's input — cacheable; version-2 artifacts
+#: cannot represent them, so both directions evict and rebuild.
+BINARY_FORMAT_VERSION = 3
 
 #: File extension the cache uses to select the binary backend.
 BINARY_SUFFIX = ".rtb"
@@ -79,11 +84,6 @@ def _section_to_le_bytes(section: array) -> bytes:
 
 def table_to_bytes(table: ParseTable) -> bytes:
     """Serialise *table* into the binary artifact format."""
-    if table.unresolved_conflicts:
-        raise ValueError(
-            f"refusing to serialise a table with "
-            f"{len(table.unresolved_conflicts)} unresolved conflicts"
-        )
     ids = table.grammar.ids
     actions = array("i")
     for row in table.action_rows:
@@ -91,23 +91,29 @@ def table_to_bytes(table: ParseTable) -> bytes:
     gotos = array("i")
     for row in table.goto_rows:
         gotos.extend(row)
-    # Trailing variable-length section: precedence-resolved conflicts,
-    # one record each — [state, terminal_id, kind_tag, chosen, n, *actions]
-    # (kind_tag 0 = shift/reduce, 1 = reduce/reduce; chosen 0 = the cell
-    # was erased, %nonassoc-style).  Empty for conflict-free tables, so
-    # their artifacts keep their exact bytes.
-    resolved = array("i")
+    # Trailing variable-length section: the full conflict log, one
+    # record each — [state, terminal_id, kind_tag, resolved_flag,
+    # chosen, n, *actions] (kind_tag 0 = shift/reduce, 1 =
+    # reduce/reduce; resolved_flag 1 = settled by precedence; chosen 0 =
+    # the cell was erased, %nonassoc-style).  Unresolved records are
+    # what let the GLR engine's nondet view rebuild its forked cells
+    # from a cache hit.  Empty for conflict-free tables, so their
+    # artifacts keep their exact bytes.
+    conflict_section = array("i")
     for conflict in table.conflicts:
-        resolved.append(conflict.state)
-        resolved.append(ids.terminal_id(conflict.terminal))
-        resolved.append(0 if conflict.kind == "shift/reduce" else 1)
-        resolved.append(encode_action(conflict.chosen))
-        resolved.append(len(conflict.actions))
-        resolved.extend(encode_action(action) for action in conflict.actions)
+        conflict_section.append(conflict.state)
+        conflict_section.append(ids.terminal_id(conflict.terminal))
+        conflict_section.append(0 if conflict.kind == "shift/reduce" else 1)
+        conflict_section.append(1 if conflict.resolved_by_precedence else 0)
+        conflict_section.append(encode_action(conflict.chosen))
+        conflict_section.append(len(conflict.actions))
+        conflict_section.extend(
+            encode_action(action) for action in conflict.actions
+        )
     payload = (
         _section_to_le_bytes(actions)
         + _section_to_le_bytes(gotos)
-        + _section_to_le_bytes(resolved)
+        + _section_to_le_bytes(conflict_section)
     )
     method = table.method.encode("utf-8")
     fingerprint = grammar_fingerprint(table.grammar).encode("ascii")
@@ -181,9 +187,10 @@ class BinaryTable:
     Duck-compatible with :class:`~repro.tables.table.ParseTable`
     everywhere the engine and the diagnostics paths look: ``grammar``,
     ``method``, ``action_rows``/``goto_rows``, Symbol-keyed
-    ``actions``/``gotos`` (materialised on first use), ``conflicts``
-    (only precedence-resolved entries — a stored table has no unresolved
-    conflicts by construction), and the summary helpers.
+    ``actions``/``gotos`` (materialised on first use), the full
+    ``conflicts`` log (resolved and unresolved — a conflicted table off
+    the cache drives the GLR engine exactly like a fresh build), and the
+    summary helpers.
     """
 
     def __init__(
@@ -223,11 +230,15 @@ class BinaryTable:
 
     @property
     def is_deterministic(self) -> bool:
-        return True
+        return not self.unresolved_conflicts
 
     @property
     def unresolved_conflicts(self) -> list:
-        return []
+        return [
+            conflict
+            for conflict in self.conflicts
+            if not conflict.resolved_by_precedence
+        ]
 
     @property
     def actions(self) -> "List[Dict[Symbol, Action]]":
@@ -271,13 +282,15 @@ class BinaryTable:
         return self.goto_rows[state][nt_id]
 
     def conflict_summary(self) -> Dict[str, int]:
-        # A stored table has no unresolved conflicts by construction, but
-        # precedence-resolved ones ride the artifact and count here.
-        return {
-            "shift_reduce": 0,
-            "reduce_reduce": 0,
-            "resolved": len(self.conflicts),
-        }
+        summary = {"shift_reduce": 0, "reduce_reduce": 0, "resolved": 0}
+        for conflict in self.conflicts:
+            if conflict.resolved_by_precedence:
+                summary["resolved"] += 1
+            elif conflict.kind == "shift/reduce":
+                summary["shift_reduce"] += 1
+            else:
+                summary["reduce_reduce"] += 1
+        return summary
 
     def size_cells(self) -> int:
         return sum(len(row) for row in self.actions) + sum(
@@ -370,8 +383,8 @@ def table_from_bytes(
     offset += method_len
     action_bytes = 4 * n_states * num_terminals
     goto_bytes = 4 * n_states * num_nonterminals
-    resolved_bytes = len(view) - offset - action_bytes - goto_bytes
-    if resolved_bytes < 0 or resolved_bytes % 4:
+    conflict_bytes = len(view) - offset - action_bytes - goto_bytes
+    if conflict_bytes < 0 or conflict_bytes % 4:
         raise TableCacheError(
             f"truncated binary table: expected at least "
             f"{offset + action_bytes + goto_bytes} bytes, have {len(view)}"
@@ -381,7 +394,7 @@ def table_from_bytes(
         raise TableCacheError("corrupt binary table: payload CRC mismatch")
     actions_flat = _flat_int_view(payload[:action_bytes])
     gotos_flat = _flat_int_view(payload[action_bytes : action_bytes + goto_bytes])
-    conflicts = _decode_resolved_section(
+    conflicts = _decode_conflict_section(
         _flat_int_view(payload[action_bytes + goto_bytes :]), grammar
     )
     return BinaryTable(
@@ -389,19 +402,21 @@ def table_from_bytes(
     )
 
 
-def _decode_resolved_section(flat, grammar: Grammar) -> "List[Conflict]":
-    """The trailing resolved-conflicts records back into Conflict objects."""
+def _decode_conflict_section(flat, grammar: Grammar) -> "List[Conflict]":
+    """The trailing conflict records back into Conflict objects."""
     terminals = grammar.ids.terminals
     decoder = ActionDecoder()
     conflicts: "List[Conflict]" = []
     index = 0
     try:
         while index < len(flat):
-            state, terminal_id, kind_tag, chosen, count = flat[index : index + 5]
-            index += 5
-            if count < 2 or index + count > len(flat):
+            state, terminal_id, kind_tag, resolved, chosen, count = flat[
+                index : index + 6
+            ]
+            index += 6
+            if count < 2 or resolved not in (0, 1) or index + count > len(flat):
                 raise TableCacheError(
-                    "corrupt binary table: malformed resolved-conflict record"
+                    "corrupt binary table: malformed conflict record"
                 )
             conflicts.append(
                 Conflict(
@@ -410,13 +425,13 @@ def _decode_resolved_section(flat, grammar: Grammar) -> "List[Conflict]":
                     "shift/reduce" if kind_tag == 0 else "reduce/reduce",
                     [decoder.decode(flat[index + i]) for i in range(count)],
                     decoder.decode(chosen),
-                    resolved_by_precedence=True,
+                    resolved_by_precedence=bool(resolved),
                 )
             )
             index += count
     except (ValueError, IndexError) as error:
         raise TableCacheError(
-            f"corrupt binary table: bad resolved-conflict section ({error})"
+            f"corrupt binary table: bad conflict section ({error})"
         ) from error
     return conflicts
 

@@ -21,9 +21,9 @@ startup is a single file read.  :class:`TableCache` is that layer:
   instance counters and flows through :mod:`repro.core.instrument`, so a
   ``--profile`` run shows cache behaviour next to phase timings.
 
-Tables with unresolved conflicts are not cacheable (the serialiser
-refuses them); :meth:`TableCache.load_or_build` returns such tables
-uncached rather than failing the build.
+Tables with unresolved conflicts are cacheable like any other (JSON
+format 4 / binary format 3 carry the full conflict log), so GLR-bound
+tables get the same warm-start path as deterministic ones.
 """
 
 from __future__ import annotations
@@ -179,10 +179,8 @@ class TableCache:
         return table
 
     def store(self, table: ParseTable) -> bool:
-        """Persist *table*; False (not an exception) when the table is
-        not cacheable (unresolved conflicts) or the disk write fails."""
-        if table.unresolved_conflicts:
-            return False
+        """Persist *table*; False (not an exception) when the disk
+        write fails."""
         fingerprint = grammar_fingerprint(table.grammar)
         path = self._path(table.method, fingerprint)
         with instrument.span("table.cache.store"):

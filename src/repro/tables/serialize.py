@@ -6,12 +6,13 @@ JSON-safe round-trip for any LR(0)-based table, guarded by a **grammar
 fingerprint**: loading against a grammar whose rules changed raises
 instead of silently mis-parsing.
 
-Only deterministic tables are stored, but "deterministic" includes
-cells settled by precedence/associativity declarations — and those
-**resolved** conflicts are part of the table's observable surface
-(``conflict_summary()["resolved"]``), so the format carries them and the
-round-trip restores them.  Tables with *unresolved* conflicts are
-refused outright.
+The format carries the table's full conflict log — precedence-resolved
+cells (part of ``conflict_summary()["resolved"]``) *and* unresolved
+conflicts, which the GLR engine's :func:`~repro.tables.nondet
+.nondet_view` re-expands into nondeterministic cells.  The section is
+omitted entirely for conflict-free tables, so the common artifact keeps
+its exact bytes.  The dense rows always store the single yacc-default
+winner per cell; the conflict section is what preserves the losers.
 """
 
 from __future__ import annotations
@@ -35,7 +36,13 @@ from .table import ACCEPT, Action, ParseTable, Reduce, Shift
 #: empty conflict log (``conflict_summary()["resolved"] == 0``), a
 #: round-trip infidelity the serving layer's bit-identity contract
 #: surfaced — evict and rebuild those too.
-FORMAT_VERSION = 3
+#: Bumped to 4 when the ``resolved`` section became the ``conflicts``
+#: section carrying *unresolved* conflicts too (each record gains a
+#: resolved flag), so conflicted tables — the GLR engine's input — are
+#: cacheable at all.  Format-3 readers must not see format-4 artifacts
+#: (they would reject the unknown section silently-absent) and format-3
+#: artifacts under-report conflicted tables, so both directions evict.
+FORMAT_VERSION = 4
 
 
 class TableCacheError(ValueError):
@@ -84,30 +91,29 @@ def _decode_action(encoded: "List") -> Action:
     raise TableCacheError(f"unknown action encoding {encoded!r}")
 
 
-def _decode_resolved(encoded: "List", symbols) -> Conflict:
-    """One ``resolved`` record back into a precedence-resolved Conflict."""
-    if not isinstance(encoded, list) or len(encoded) != 5:
-        raise TableCacheError(f"malformed resolved-conflict record {encoded!r}")
-    state, terminal_name, kind, actions, chosen = encoded
-    if kind not in ("shift/reduce", "reduce/reduce") or not isinstance(state, int):
-        raise TableCacheError(f"malformed resolved-conflict record {encoded!r}")
+def _decode_conflict(encoded: "List", symbols) -> Conflict:
+    """One ``conflicts`` record back into a Conflict (resolved or not)."""
+    if not isinstance(encoded, list) or len(encoded) != 6:
+        raise TableCacheError(f"malformed conflict record {encoded!r}")
+    state, terminal_name, kind, actions, chosen, resolved = encoded
+    if (
+        kind not in ("shift/reduce", "reduce/reduce")
+        or not isinstance(state, int)
+        or not isinstance(resolved, bool)
+    ):
+        raise TableCacheError(f"malformed conflict record {encoded!r}")
     return Conflict(
         state,
         symbols[terminal_name],
         kind,
         [_decode_action(action) for action in actions],
         None if chosen is None else _decode_action(chosen),
-        resolved_by_precedence=True,
+        resolved_by_precedence=resolved,
     )
 
 
 def table_to_dict(table: ParseTable) -> Dict:
-    """A JSON-safe dict capturing *table* (conflicts must be resolved)."""
-    if table.unresolved_conflicts:
-        raise ValueError(
-            f"refusing to serialise a table with "
-            f"{len(table.unresolved_conflicts)} unresolved conflicts"
-        )
+    """A JSON-safe dict capturing *table*, conflicts and all."""
     payload = {
         "format": FORMAT_VERSION,
         "method": table.method,
@@ -122,17 +128,19 @@ def table_to_dict(table: ParseTable) -> Dict:
         ],
     }
     if table.conflicts:
-        # Every surviving conflict is precedence-resolved (unresolved ones
-        # were refused above); carry them so the loaded table reports the
-        # same conflict_summary() as the freshly built one.  Omitted when
-        # empty: the common conflict-free artifact keeps its exact bytes.
-        payload["resolved"] = [
+        # The full conflict log, in discovery order, so the loaded table
+        # reports the same conflict_summary() — and re-expands the same
+        # nondeterministic cells for the GLR engine — as the freshly
+        # built one.  Omitted when empty: the common conflict-free
+        # artifact keeps its exact bytes.
+        payload["conflicts"] = [
             [
                 conflict.state,
                 conflict.terminal.name,
                 conflict.kind,
                 [_encode_action(action) for action in conflict.actions],
                 None if conflict.chosen is None else _encode_action(conflict.chosen),
+                conflict.resolved_by_precedence,
             ]
             for conflict in table.conflicts
         ]
@@ -168,18 +176,18 @@ def table_from_dict(data: Dict, grammar: Grammar) -> ParseTable:
         ]
         method = data["method"]
         conflicts = [
-            _decode_resolved(encoded, symbols)
-            for encoded in data.get("resolved", [])
+            _decode_conflict(encoded, symbols)
+            for encoded in data.get("conflicts", [])
         ]
     except TableCacheError:
         raise
     except (KeyError, TypeError, AttributeError, IndexError, SymbolError) as error:
         raise TableCacheError(f"truncated or malformed table payload: {error}") from error
     _validate_rows(actions, gotos, grammar)
-    # Every carried conflict is precedence-resolved (the serialiser
-    # refuses unresolved ones and _decode_resolved enforces the schema),
-    # and _validate_rows just proved every row still carries at most one
-    # action per terminal — so the loaded table stays deterministic.
+    # The dense rows stay single-winner (_validate_rows just proved at
+    # most one action per terminal); unresolved entries in the carried
+    # conflict log are what make the loaded table report
+    # is_deterministic=False and fuel the GLR engine's nondet view.
     return ParseTable(grammar, method, actions, gotos, conflicts=conflicts)
 
 

@@ -59,10 +59,21 @@ class TestRoundTrip:
         good = ["id", "+", "id", "*", "(", "id", ")"]
         assert loaded.parse(good).sexpr() == original.parse(good).sexpr()
 
-    def test_conflicted_table_refused(self):
-        table = build_lalr_table(corpus.load("dangling_else", augment=True))
-        with pytest.raises(ValueError, match="conflicts"):
-            table_to_bytes(table)
+    def test_conflicted_table_round_trips(self):
+        grammar = corpus.load("dangling_else", augment=True)
+        table = build_lalr_table(grammar)
+        assert table.unresolved_conflicts
+        restored = table_from_bytes(table_to_bytes(table), grammar)
+        assert not restored.is_deterministic
+        assert len(restored.unresolved_conflicts) == len(
+            table.unresolved_conflicts
+        )
+        assert restored.conflict_summary() == table.conflict_summary()
+        original = restored.unresolved_conflicts[0]
+        assert original.kind == table.unresolved_conflicts[0].kind
+        assert original.terminal.name == (
+            table.unresolved_conflicts[0].terminal.name
+        )
 
 
 class TestLazyDecode:

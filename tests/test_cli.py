@@ -39,6 +39,15 @@ class TestPipelineCommand:
         assert code == 1
         assert "1 shift/reduce" in output
 
+    def test_conflicted_grammar_input_falls_back_to_glr(self):
+        code, output = run(
+            ["corpus:dangling_else", "--input", "if other else other"]
+        )
+        assert code == 1  # nondeterministic table still exits 1
+        assert "input: valid" in output
+        code, output = run(["corpus:dangling_else", "--input", "else"])
+        assert "input: invalid" in output
+
     def test_input_flag(self, grammar_file):
         code, output = run([grammar_file, "--input", "id + id"])
         assert code == 0 and "input: valid" in output
@@ -223,13 +232,21 @@ class TestTableArtifacts:
         )
         assert code == 0 and "binary)" in output
 
-    def test_output_refused_for_conflicted_table(self, tmp_path):
+    def test_output_written_for_conflicted_table(self, tmp_path):
+        # JSON format 4 / binary format 3 carry the conflict log, so a
+        # conflicted table is a writable artifact (exit code still
+        # signals nondeterminism).
         out = str(tmp_path / "table.rtb")
-        code, _ = run(["table", "corpus:dangling_else", "-o", out])
+        code, output = run(["table", "corpus:dangling_else", "-o", out])
         assert code == 1
-        import os
+        assert f"wrote {out}" in output
+        from repro.grammars import corpus
+        from repro.tables import load_binary_table
 
-        assert not os.path.exists(out)
+        loaded = load_binary_table(
+            out, corpus.load("dangling_else").augmented()
+        )
+        assert len(loaded.unresolved_conflicts) == 1
 
 
 class TestBinaryCacheFlag:
@@ -304,6 +321,49 @@ class TestParse:
     def test_tree_flag(self, grammar_file):
         code, output = run(["parse", grammar_file, "--input", "id", "--tree"])
         assert "E" in output and "id" in output
+
+    def test_lr_engine_refuses_conflicted_table(self, capsys):
+        code, output = run(
+            ["parse", "corpus:dangling_else", "--input", "other"]
+        )
+        assert code == 1
+        assert "unresolved conflict" in capsys.readouterr().err
+
+    def test_glr_engine_parses_conflicted_table(self):
+        code, output = run(
+            ["parse", "corpus:dangling_else", "--engine", "glr",
+             "--input", "if other else other"]
+        )
+        assert code == 0
+        assert "valid (1 parse tree)" in output
+
+    def test_glr_engine_counts_ambiguous_readings(self):
+        code, output = run(
+            ["parse", "corpus:dangling_else", "--engine", "glr",
+             "--input", "if if other else other"]
+        )
+        assert code == 0
+        assert "valid (2 parse trees)" in output
+
+    def test_glr_engine_reports_syntax_errors(self):
+        code, output = run(
+            ["parse", "corpus:dangling_else", "--engine", "glr",
+             "--input", "else"]
+        )
+        assert code == 1
+        assert "invalid: syntax error at position 0" in output
+
+    def test_glr_engine_matches_lr_on_deterministic_grammar(self, grammar_file):
+        lr_code, lr_output = run(
+            ["parse", grammar_file, "--input", "id + id", "--tree"]
+        )
+        glr_code, glr_output = run(
+            ["parse", grammar_file, "--engine", "glr",
+             "--input", "id + id", "--tree"]
+        )
+        assert (lr_code, lr_output.replace("valid", "", 1)) == (
+            glr_code, glr_output.replace("valid (1 parse tree)", "", 1)
+        )
 
 
 class TestStats:

@@ -143,3 +143,67 @@ class TestAlgorithmDoc:
         assert ACTION_SHIFT == 1
         assert ACTION_REDUCE == 2
         assert ACTION_ACCEPT == 3
+
+
+class TestSection18GlrFacts:
+    """§18 + README "General parsing": every concrete claim, pinned."""
+
+    def test_corpus_split_14_deterministic_6_conflicted(self):
+        from repro.tables import build_lalr_table
+
+        split = {True: 0, False: 0}
+        for name in corpus.names():
+            table = build_lalr_table(corpus.load(name, augment=True))
+            split[table.is_deterministic] += 1
+        assert split[True] == 14
+        assert split[False] == 6
+
+    def test_artifact_format_versions(self):
+        # §18: "JSON format 4 and binary format 3 carry the full
+        # unresolved-conflict log."
+        from repro.tables.binfmt import BINARY_FORMAT_VERSION
+        from repro.tables.serialize import FORMAT_VERSION
+
+        assert FORMAT_VERSION == 4
+        assert BINARY_FORMAT_VERSION == 3
+
+    def test_dangling_else_two_trees_and_shift_reading(self):
+        # §18: "if if other else other yields exactly 2 trees (the
+        # yacc-default shift reading is one of them)."
+        from repro.parser import GlrParser, Parser
+        from repro.tables import build_lalr_table
+
+        table = build_lalr_table(corpus.load("dangling_else", augment=True))
+        words = "if if other else other".split()
+        forest = GlrParser(table).parse_forest(words)
+        assert forest.tree_count() == 2
+        lalr = Parser(table, allow_conflicts=True).parse(words)
+        assert lalr.sexpr() in {tree.sexpr() for tree in forest.trees()}
+
+    def test_catalan_42_trees_for_aaaaaa(self):
+        # §18: "S -> S S | a packs the Catalan numbers (42 trees for
+        # aaaaaa) into linearly many SPPF nodes."
+        from repro.grammar import load_grammar
+        from repro.parser import GlrParser
+        from repro.tables import build_lalr_table
+
+        grammar = load_grammar("S -> S S | a").augmented()
+        forest = GlrParser(build_lalr_table(grammar)).parse_forest(["a"] * 6)
+        assert forest.tree_count(limit=100) == 42
+        assert forest.stats["sppf_nodes"] < 42
+
+    def test_glr_parity_oracle_in_default_stack(self):
+        from repro.fuzz.oracles import default_oracle_names
+
+        assert "glr-parity" in default_oracle_names()
+
+    def test_cyk_budget_phase_name(self):
+        # §18: CykRecognizer is budget-governed under phase "cyk".
+        from repro.core.budget import Budget, BudgetExceeded
+        from repro.parser import CykRecognizer
+
+        with pytest.raises(BudgetExceeded) as info:
+            CykRecognizer(corpus.load("palindrome")).accepts(
+                ["a"] * 8, budget=Budget(max_tokens=2)
+            )
+        assert info.value.phase == "cyk"

@@ -27,6 +27,7 @@ class TestRegistry:
             "table-agreement",
             "sentence-roundtrip",
             "representation-parity",
+            "glr-parity",
             "incremental-edit",
         ]
 

@@ -79,10 +79,16 @@ class TestRoundTrip:
 
 
 class TestGuards:
-    def test_conflicted_table_refused(self):
+    def test_conflicted_table_round_trips(self):
         grammar = corpus.load("dangling_else", augment=True)
-        with pytest.raises(ValueError, match="conflicts"):
-            table_to_dict(build_lalr_table(grammar))
+        table = build_lalr_table(grammar)
+        assert table.unresolved_conflicts
+        restored = table_from_dict(table_to_dict(table), grammar)
+        assert not restored.is_deterministic
+        assert len(restored.unresolved_conflicts) == len(
+            table.unresolved_conflicts
+        )
+        assert restored.conflict_summary() == table.conflict_summary()
 
     def test_fingerprint_mismatch_refused(self):
         expr = corpus.load("expr", augment=True)
@@ -272,15 +278,16 @@ class TestAtomicWrite:
 
 class TestFormatBump:
     """Format bumps evict stale artifacts: version-1 payloads (pre-ID
-    era) and version-2 payloads (no resolved-conflict section) must be
-    rejected so cache layers rebuild."""
+    era), version-2 payloads (no resolved-conflict section), and
+    version-3 payloads (no unresolved conflicts — they cannot represent
+    a GLR-bound table) must be rejected so cache layers rebuild."""
 
-    def test_current_format_is_3(self):
+    def test_current_format_is_4(self):
         from repro.tables.serialize import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 3
+        assert FORMAT_VERSION == 4
 
-    @pytest.mark.parametrize("stale_version", [1, 2])
+    @pytest.mark.parametrize("stale_version", [1, 2, 3])
     def test_older_format_payload_rejected(self, stale_version):
         grammar = corpus.load("expr", augment=True)
         data = table_to_dict(build_lalr_table(grammar))
@@ -308,16 +315,33 @@ class TestFormatBump:
         assert roundtripped == original
         assert all(c.resolved_by_precedence for c in restored.conflicts)
 
-    def test_conflict_free_payload_omits_the_resolved_key(self):
+    def test_conflict_free_payload_omits_the_conflicts_key(self):
         grammar = corpus.load("expr", augment=True)
-        assert "resolved" not in table_to_dict(build_lalr_table(grammar))
+        assert "conflicts" not in table_to_dict(build_lalr_table(grammar))
 
-    def test_malformed_resolved_record_rejected(self):
+    def test_malformed_conflict_record_rejected(self):
         grammar = corpus.load("expr", augment=True)
         data = table_to_dict(build_lalr_table(grammar))
-        data["resolved"] = [[0, "id", "shift/reduce"]]  # truncated record
-        with pytest.raises(TableCacheError, match="resolved"):
+        data["conflicts"] = [[0, "id", "shift/reduce"]]  # truncated record
+        with pytest.raises(TableCacheError, match="conflict"):
             table_from_dict(data, grammar)
+
+    def test_unresolved_conflicts_survive_the_round_trip(self):
+        grammar = corpus.load("dangling_else", augment=True)
+        table = build_lalr_table(grammar)
+        restored = table_from_dict(table_to_dict(table), grammar)
+        original = {
+            (c.state, c.terminal, c.kind, tuple(c.actions), c.chosen)
+            for c in table.unresolved_conflicts
+        }
+        roundtripped = {
+            (c.state, c.terminal, c.kind, tuple(c.actions), c.chosen)
+            for c in restored.unresolved_conflicts
+        }
+        assert original and roundtripped == original
+        assert not any(
+            c.resolved_by_precedence for c in restored.unresolved_conflicts
+        )
 
     def test_fingerprint_covers_id_layout_version(self, monkeypatch):
         # The hashing now lives in repro.grammar.fingerprint (one scheme

@@ -42,6 +42,14 @@ def corpus_tokens(name: str):
     return ["id"]
 
 
+def _engine_for(name: str) -> str:
+    """glr for conflicted corpus grammars (the lr engine refuses them)."""
+    from repro.tables import build_lalr_table
+
+    table = build_lalr_table(corpus.load(name).augmented())
+    return "lr" if table.is_deterministic else "glr"
+
+
 @pytest.fixture(scope="module")
 def service(tmp_path_factory):
     cache_dir = tmp_path_factory.mktemp("service-cache")
@@ -76,15 +84,49 @@ class TestEndpointsMatchPipeline:
 
     @pytest.mark.parametrize("name", CORPUS)
     def test_parse_is_bit_identical(self, client, name):
+        # Conflicted grammars are served by the GLR engine (the lr
+        # engine 422s on them — pinned below); deterministic ones by
+        # the default deterministic hot loop.
+        engine = _engine_for(name)
         tokens = corpus_tokens(name)
         response = client.post(
-            "/parse", {"corpus": name, "input": tokens, "tree": True}
+            "/parse",
+            {"corpus": name, "input": tokens, "tree": True, "engine": engine},
         )
         assert response.status == 200
         expected = canonical_json(
-            parse_result(corpus.load(name), tokens, "lalr1", tree=True)
+            parse_result(
+                corpus.load(name), tokens, "lalr1", tree=True, engine=engine
+            )
         )
         assert response.body == expected
+
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_glr_engine_serves_every_grammar(self, client, name):
+        tokens = corpus_tokens(name)
+        response = client.post(
+            "/parse", {"corpus": name, "input": tokens, "engine": "glr"}
+        )
+        assert response.status == 200
+        body = response.json()
+        assert body["valid"] in (True, False)
+        if body["valid"]:
+            assert body["trees"] >= 1
+
+    def test_lr_engine_rejects_conflicted_table(self, client):
+        response = client.post(
+            "/parse", {"corpus": "dangling_else", "input": ["other"]}
+        )
+        assert response.status == 422
+        assert response.json()["error"] == "conflicted_table"
+
+    def test_unknown_engine_rejected(self, client):
+        response = client.post(
+            "/parse",
+            {"corpus": "expr", "input": ["id"], "engine": "turbo"},
+        )
+        assert response.status == 400
+        assert response.json()["error"] == "bad_engine"
 
     @pytest.mark.parametrize("name", CORPUS)
     def test_analyze_is_bit_identical(self, client, name):
@@ -131,6 +173,7 @@ class TestConcurrentClients:
     def test_mixed_endpoints_under_concurrency(self, service):
         picks = ["expr", "json", "dangling_else", "lr0_demo", "mini_pascal"]
         tokens = {name: corpus_tokens(name) for name in picks}
+        engines = {name: _engine_for(name) for name in picks}
         expected = {}
         for name in picks:
             grammar = corpus.load(name)
@@ -138,7 +181,10 @@ class TestConcurrentClients:
                 compile_result(grammar, "lalr1")
             )
             expected[("parse", name)] = canonical_json(
-                parse_result(corpus.load(name), tokens[name], "lalr1")
+                parse_result(
+                    corpus.load(name), tokens[name], "lalr1",
+                    engine=engines[name],
+                )
             )
 
         def hit(task):
@@ -148,7 +194,9 @@ class TestConcurrentClients:
                 response = client.post("/compile", {"corpus": name})
             else:
                 response = client.post(
-                    "/parse", {"corpus": name, "input": tokens[name]}
+                    "/parse",
+                    {"corpus": name, "input": tokens[name],
+                     "engine": engines[name]},
                 )
             return task, response.body
 

@@ -46,6 +46,10 @@ MATRIX = [
     ("/parse", {"corpus": "expr", "input": ["id", "+", "id"], "tree": True}, {}),
     ("/parse", {"corpus": "expr", "input": ["id", "+"]}, {}),
     ("/parse", {"corpus": "expr", "input": ["id", "zzz"]}, {}),
+    ("/parse", {"corpus": "dangling_else", "input": ["other"]}, {}),
+    ("/parse", {"corpus": "dangling_else", "engine": "glr", "tree": True,
+                "input": ["if", "if", "other", "else", "other"]}, {}),
+    ("/parse", {"corpus": "expr", "engine": "turbo", "input": ["id"]}, {}),
     ("/analyze", {"corpus": "lalr_not_slr"}, {}),
     ("/fuzz", {"seed": 11, "count": 5, "wait": True}, {}),
 ]

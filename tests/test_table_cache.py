@@ -129,25 +129,30 @@ class TestInvalidation:
 
 
 class TestStore:
-    def test_conflicted_table_is_not_cached(self, cache):
+    def test_conflicted_table_is_cached_with_its_conflicts(self, cache):
+        # Formats 4 (json) / 3 (bin) carry the unresolved-conflict
+        # section, so conflicted tables are cacheable like any other.
         ambiguous = load_grammar(
             "%token a\n%start E\n%%\nE : E E | a ;\n", name="amb"
         ).augmented()
         table = build_lalr_table(ambiguous)
         assert table.unresolved_conflicts
-        assert cache.store(table) is False
-        assert cache.stores == 0
-        assert not os.path.exists(cache.path_for(ambiguous, "lalr1"))
+        assert cache.store(table) is True
+        assert cache.stores == 1
+        assert os.path.exists(cache.path_for(ambiguous, "lalr1"))
+        loaded = cache.load(ambiguous, "lalr1")
+        assert not loaded.is_deterministic
+        assert len(loaded.unresolved_conflicts) == len(table.unresolved_conflicts)
 
-    def test_load_or_build_still_returns_conflicted_table(self, cache):
+    def test_load_or_build_hits_for_conflicted_table(self, cache):
         ambiguous = load_grammar(
             "%token a\n%start E\n%%\nE : E E | a ;\n", name="amb"
         ).augmented()
         builder, calls = _build_calls(build_lalr_table)
         cache.load_or_build(ambiguous, "lalr1", builder)
         cache.load_or_build(ambiguous, "lalr1", builder)
-        assert len(calls) == 2  # never cached, always rebuilt
-        assert cache.hits == 0
+        assert len(calls) == 1  # second call served from disk
+        assert cache.hits == 1
 
     def test_unusable_directory_never_raises(self, grammar, tmp_path):
         # The configured directory is an existing *file*: loads read
